@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the analytical models: full Table-3 sweeps of
+//! the runtime, utilization and hardware-cost models — the kernels behind
+//! every figure harness.
+
+use axon_core::runtime::{Architecture, RuntimeSpec};
+use axon_core::utilization::{utilization_improvement_pct, UtilArchitecture};
+use axon_core::{ArrayShape, Dataflow};
+use axon_hw::{estimate_array_cost, ArrayDesign, ComponentLibrary, TechNode};
+use axon_workloads::{resnet50, table3, yolov3};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig12_sweep(c: &mut Criterion) {
+    let ws = table3();
+    c.bench_function("fig12_full_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f64;
+            for side in [16usize, 64, 256] {
+                for w in &ws {
+                    let df = Dataflow::min_temporal(w.shape);
+                    let spec = RuntimeSpec::new(ArrayShape::square(side), df);
+                    let sa = spec.runtime(Architecture::Conventional, w.shape);
+                    let ax = spec.runtime(Architecture::Axon, w.shape);
+                    acc += sa.cycles as f64 / ax.cycles as f64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fig13_sweep(c: &mut Criterion) {
+    let ws = table3();
+    let array = ArrayShape::square(128);
+    c.bench_function("fig13_utilization_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f64;
+            for w in &ws {
+                acc += utilization_improvement_pct(
+                    UtilArchitecture::Axon,
+                    array,
+                    Dataflow::Os,
+                    w.shape,
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_network_traffic(c: &mut Criterion) {
+    let nets = [resnet50(), yolov3()];
+    c.bench_function("dram_traffic_resnet_yolo", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for net in &nets {
+                let t = net.dram_traffic(axon_im2col::DramTrafficModel::default());
+                total += t.onchip_total();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_hw_cost(c: &mut Criterion) {
+    let lib = ComponentLibrary::calibrated_7nm();
+    c.bench_function("fig15_cost_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f64;
+            for side in [8usize, 16, 32, 64, 128] {
+                for design in [
+                    ArrayDesign::Conventional,
+                    ArrayDesign::Axon {
+                        im2col: true,
+                        unified_pe: false,
+                    },
+                    ArrayDesign::SauriaStyle,
+                ] {
+                    let cost = estimate_array_cost(
+                        design,
+                        ArrayShape::square(side),
+                        TechNode::asap7(),
+                        &lib,
+                    );
+                    acc += cost.area_mm2;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig12_sweep,
+    bench_fig13_sweep,
+    bench_network_traffic,
+    bench_hw_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the im2col substrate: software lowering, the
+//! on-chip feeder schedule, and the traffic closed forms.
+
+use axon_im2col::{
+    im2col, layer_dram_traffic, onchip_ifmap_loads, simulate_feeder_group, ConvLayer,
+    DramTrafficModel, Tensor3,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_software_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col_software");
+    for (label, layer) in [
+        ("3x3_s1_32ch_28", ConvLayer::new(32, 32, 28, 28, 3, 1, 1)),
+        ("1x1_64ch_28", ConvLayer::new(64, 64, 28, 28, 1, 1, 0)),
+        ("5x5_s1_16ch_28", ConvLayer::new(16, 16, 28, 28, 5, 1, 2)),
+    ] {
+        let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
+            (c + y + x) as f32
+        });
+        group.bench_function(label, |bench| {
+            bench.iter(|| im2col(black_box(&layer), black_box(&ifmap)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_feeder_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col_feeder");
+    let layer = ConvLayer::new(16, 1, 34, 34, 3, 1, 0);
+    let ifmap = Tensor3::from_fn(16, 34, 34, |ch, y, x| (ch + y + x) as f32);
+    for chain in [4usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("chain", chain), &chain, |bench, &g| {
+            bench.iter(|| {
+                simulate_feeder_group(black_box(&layer), black_box(&ifmap), 0, 0, g)
+                    .expect("valid group")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traffic_closed_forms(c: &mut Criterion) {
+    let layer = ConvLayer::new(256, 256, 14, 14, 3, 1, 1);
+    c.bench_function("traffic_closed_form", |bench| {
+        bench.iter(|| {
+            let loads = onchip_ifmap_loads(black_box(&layer), 16);
+            let t = layer_dram_traffic(black_box(&layer), DramTrafficModel::default());
+            (loads, t)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_software_lowering,
+    bench_feeder_schedule,
+    bench_traffic_closed_forms
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the cycle-accurate tile engines: conventional
+//! vs Axon, all three dataflows, across array sizes.
+//!
+//! These measure *simulator throughput* (host time per simulated GEMM),
+//! and double as a regression harness: the simulated cycle counts are
+//! asserted against the analytical model inside each iteration setup.
+
+use axon_core::runtime::{Accounting, Architecture, DrainPolicy, RuntimeSpec};
+use axon_core::{ArrayShape, Dataflow, GemmShape};
+use axon_sim::{random_matrix, simulate_gemm, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_gemm");
+    for side in [8usize, 16, 32] {
+        let g = GemmShape::new(2 * side, side, 2 * side);
+        let a = random_matrix(g.m, g.k, 1, 0.0);
+        let b = random_matrix(g.k, g.n, 2, 0.0);
+        let array = ArrayShape::square(side);
+        for arch in [Architecture::Conventional, Architecture::Axon] {
+            // Sanity: the simulated cycles must match the model before we
+            // bother timing anything.
+            let cfg = SimConfig::new(array);
+            let sim = simulate_gemm(arch, &cfg, &a, &b).expect("valid operands");
+            let model = RuntimeSpec::new(array, Dataflow::Os)
+                .with_accounting(Accounting::ExactEdges)
+                .with_drain(DrainPolicy::PerTile)
+                .runtime(arch, g);
+            assert_eq!(sim.stats.cycles, model.cycles);
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{arch}"), side),
+                &side,
+                |bench, _| {
+                    bench.iter(|| {
+                        simulate_gemm(arch, black_box(&cfg), black_box(&a), black_box(&b))
+                            .expect("valid operands")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dataflows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflows_axon_16x16");
+    let g = GemmShape::new(32, 16, 32);
+    let a = random_matrix(g.m, g.k, 3, 0.0);
+    let b = random_matrix(g.k, g.n, 4, 0.0);
+    let array = ArrayShape::square(16);
+    for df in Dataflow::ALL {
+        let cfg = SimConfig::new(array).with_dataflow(df);
+        group.bench_function(df.name(), |bench| {
+            bench.iter(|| {
+                simulate_gemm(Architecture::Axon, black_box(&cfg), &a, &b)
+                    .expect("valid operands")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zero_gating_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_gating");
+    let a = random_matrix(32, 32, 5, 0.3);
+    let b = random_matrix(32, 32, 6, 0.3);
+    let array = ArrayShape::square(16);
+    for gating in [false, true] {
+        let cfg = SimConfig::new(array).with_zero_gating(gating);
+        group.bench_function(if gating { "on" } else { "off" }, |bench| {
+            bench.iter(|| {
+                simulate_gemm(Architecture::Axon, black_box(&cfg), &a, &b)
+                    .expect("valid operands")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_architectures,
+    bench_dataflows,
+    bench_zero_gating_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: DRAM traffic-model knobs — the M-tile refetch factor (array
+//! rows) and the Axon-side fetch policy — against the paper's reported
+//! absolute megabytes (ResNet50 261.2 -> 153.5 MB, YOLOv3 2540 -> 1117).
+
+use axon_im2col::{DramTrafficModel, OnchipPolicy};
+use axon_workloads::{resnet50, yolov3};
+
+fn main() {
+    println!("Ablation — DRAM model: array rows x on-chip policy (ifmap MB)");
+    println!(
+        "{:>6}{:>20}{:>12}{:>12}{:>8}",
+        "rows", "policy", "sw MB", "axon MB", "ratio"
+    );
+    for net in [resnet50(), yolov3()] {
+        println!("-- {} --", net.name());
+        for rows in [16usize, 32, 64] {
+            for (label, policy) in [
+                ("mux-chain", OnchipPolicy::MuxChain),
+                ("unique-ifmap", OnchipPolicy::UniqueOnly),
+            ] {
+                let model = DramTrafficModel {
+                    array_rows: rows,
+                    feeder_group: rows,
+                    policy,
+                    ..DramTrafficModel::default()
+                };
+                let t = net.dram_traffic(model);
+                println!(
+                    "{:>6}{:>20}{:>12.1}{:>12.1}{:>8.2}",
+                    rows,
+                    label,
+                    t.software_ifmap_bytes as f64 / 1e6,
+                    t.onchip_ifmap_bytes as f64 / 1e6,
+                    t.software_ifmap_bytes as f64 / t.onchip_ifmap_bytes as f64
+                );
+            }
+        }
+    }
+    println!();
+    println!("rows=32 reproduces the paper's software-side megabytes for both");
+    println!("networks; see EXPERIMENTS.md for the policy discussion.");
+}

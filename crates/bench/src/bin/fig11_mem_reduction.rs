@@ -1,0 +1,31 @@
+//! Fig. 11: memory-access reduction of Axon's on-chip im2col for conv
+//! shapes adopted from SOTA neural networks (paper claim: >60% for
+//! typical shapes).
+
+use axon_im2col::{access_reduction_pct, onchip_ifmap_loads, software_ifmap_loads};
+use axon_workloads::fig11_shapes;
+
+fn main() {
+    let group = 16; // diagonal feeders of the implemented 16x16 array
+    println!("Fig. 11 — ifmap memory-access reduction from on-chip im2col");
+    println!("(feeder chain length {group}, per-tile ifmap stream)");
+    println!(
+        "{:<28}{:>6}{:>6}{:>14}{:>14}{:>12}",
+        "conv shape", "k", "s", "sw loads", "axon loads", "reduction"
+    );
+    for nc in fig11_shapes() {
+        let sw = software_ifmap_loads(&nc.layer);
+        let hw = onchip_ifmap_loads(&nc.layer, group);
+        println!(
+            "{:<28}{:>6}{:>6}{:>14}{:>14}{:>11.1}%",
+            nc.name,
+            nc.layer.kernel,
+            nc.layer.stride,
+            sw,
+            hw,
+            access_reduction_pct(&nc.layer, group)
+        );
+    }
+    println!();
+    println!("paper: memory access reduced by more than 60% for SOTA conv shapes");
+}

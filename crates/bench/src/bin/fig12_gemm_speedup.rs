@@ -1,0 +1,15 @@
+//! Fig. 12: Axon runtime speedup over the conventional systolic array on
+//! the GEMM and Conv workloads of Table 3, for square arrays from 16x16
+//! to 256x256. Computation in [`axon_bench::fig12`]; methodology notes in
+//! EXPERIMENTS.md.
+//!
+//! Paper: average speedups 1.47x at 64x64 and 1.76x at 256x256.
+
+use axon_bench::fig12::{speedup_series, PAPER_SIDES};
+
+fn main() {
+    println!("Fig. 12 — Axon speedup over SA (normalized runtime SA/Axon)");
+    print!("{}", speedup_series(&PAPER_SIDES));
+    println!();
+    println!("paper: average 1.47x at 64x64, 1.76x at 256x256");
+}

@@ -1,0 +1,33 @@
+//! Fig. 13: PE utilization-rate improvement over the conventional
+//! systolic array, Axon vs CMSA, at a 128x128 array under OS (the
+//! implemented hardware's dataflow, which reproduces the paper's ~91%
+//! GPT3 baseline). Computation in [`axon_bench::fig13`].
+
+use axon_bench::fig13::{average_improvements, utilization_rows};
+
+fn main() {
+    let rows = utilization_rows(128);
+    println!("Fig. 13 — utilization-rate improvement over SA at 128x128");
+    println!(
+        "{:<22}{:>10}{:>12}{:>12}",
+        "workload", "SA UR", "CMSA +%", "Axon +%"
+    );
+    for r in &rows {
+        println!(
+            "{:<22}{:>9.1}%{:>11.1}%{:>11.1}%",
+            r.name,
+            100.0 * r.baseline_ur,
+            r.cmsa_improvement_pct,
+            r.axon_improvement_pct
+        );
+    }
+    let (cmsa, axon) = average_improvements(&rows);
+    println!("{:<22}{:>10}{:>11.1}%{:>11.1}%", "AVERAGE", "", cmsa, axon);
+    println!();
+    println!(
+        "Axon's average UR improvement exceeds CMSA's by {:.0}% (relative), \
+         {:.1} points (absolute); paper: ~27%",
+        100.0 * (axon - cmsa) / cmsa,
+        axon - cmsa
+    );
+}

@@ -1,0 +1,16 @@
+//! Fig. 14: Axon speedup on the memory-bound workload classes — depthwise
+//! convolution and GEMV (paper: ~1.8x average, approaching 2x, thanks to
+//! the halved fill latency and absence of data skew). Computation in
+//! [`axon_bench::fig14`].
+
+use axon_bench::fig14::{speedup_series, SIDES};
+
+fn main() {
+    println!("Fig. 14 — Axon speedup on DW-Conv and GEMV workloads");
+    let s = speedup_series(&SIDES);
+    print!("{s}");
+    let avgs = s.averages();
+    let overall = avgs.iter().sum::<f64>() / avgs.len() as f64;
+    println!();
+    println!("average speedup {overall:.2}x over all workloads/sizes; paper: ~1.8x");
+}

@@ -1,0 +1,46 @@
+//! Fig. 15: area and power of Axon (with im2col MUXes) versus a
+//! Sauria-style feeder array, swept over array sizes at 45 nm and 7 nm.
+//!
+//! Paper: Axon averages ~3.93% less area and ~4.5% less power than
+//! Sauria because a 2-to-1 MUX replaces the feeder's registers/counters.
+
+use axon_hw::{sweep_vs_sauria, ComponentLibrary, TechNode};
+
+fn main() {
+    let lib = ComponentLibrary::calibrated_7nm();
+    let sides = [8usize, 16, 32, 64, 128];
+    for node in TechNode::paper_nodes() {
+        println!("Fig. 15 — {} node", node);
+        println!(
+            "{:>8}{:>14}{:>14}{:>10}{:>12}{:>12}{:>10}",
+            "array", "Axon mm^2", "Sauria mm^2", "area -%", "Axon mW", "Sauria mW", "pwr -%"
+        );
+        let pts = sweep_vs_sauria(node, &sides, &lib);
+        let mut area_sum = 0.0;
+        let mut power_sum = 0.0;
+        for p in &pts {
+            area_sum += p.area_advantage_pct();
+            power_sum += p.power_advantage_pct();
+            println!(
+                "{:>8}{:>14.4}{:>14.4}{:>9.2}%{:>12.2}{:>12.2}{:>9.2}%",
+                format!("{0}x{0}", p.side),
+                p.axon.area_mm2,
+                p.sauria.area_mm2,
+                p.area_advantage_pct(),
+                p.axon.power_mw,
+                p.sauria.power_mw,
+                p.power_advantage_pct()
+            );
+        }
+        println!(
+            "{:>8}{:>37}{:>9.2}%{:>24}{:>9.2}%",
+            "AVG",
+            "",
+            area_sum / pts.len() as f64,
+            "",
+            power_sum / pts.len() as f64
+        );
+        println!();
+    }
+    println!("paper: Axon averages 3.93% less area and 4.5% less power than Sauria");
+}

@@ -1,0 +1,37 @@
+//! Fig. 6: the fill-latency factor — cycles for operands to reach the
+//! farthest PE — for the conventional orchestration
+//! (`f1(R,C) = R + C - 2`) versus Axon (`f2(R,C) = max(R,C) - 1`).
+
+use axon_core::runtime::{axon_tile_fill, sa_tile_fill};
+use axon_core::cmsa::cmsa_tile_fill;
+
+fn main() {
+    println!("Fig. 6 — operand fill factor (cycles to farthest PE)");
+    println!(
+        "{:>6}{:>6}{:>12}{:>12}{:>12}{:>10}",
+        "R", "C", "f1 (SA)", "f2 (Axon)", "CMSA", "f1/f2"
+    );
+    // Square sweep (the paper's headline: 256x256 drops 510 -> 255).
+    for side in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        row(side, side);
+    }
+    println!();
+    // Rectangular shapes: improvement shrinks but stays >= 1.
+    for (r, c) in [(16usize, 64usize), (64, 16), (32, 256), (256, 32), (8, 1024)] {
+        row(r, c);
+    }
+}
+
+fn row(r: usize, c: usize) {
+    let f1 = sa_tile_fill(r, c);
+    let f2 = axon_tile_fill(r, c);
+    println!(
+        "{:>6}{:>6}{:>12}{:>12}{:>12}{:>10.3}",
+        r,
+        c,
+        f1,
+        f2,
+        cmsa_tile_fill(r, c),
+        f1 as f64 / f2 as f64
+    );
+}

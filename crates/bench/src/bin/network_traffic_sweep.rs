@@ -1,0 +1,33 @@
+//! Network-level traffic sweep: software vs on-chip im2col DRAM traffic
+//! for all four conv networks in the workload zoo.
+
+use axon_im2col::DramTrafficModel;
+use axon_mem::{DramConfig, EnergyReport};
+use axon_workloads::{efficientnet_b0, mobilenet_v1, resnet50, yolov3};
+
+fn main() {
+    let model = DramTrafficModel::default();
+    let dram = DramConfig::lpddr3();
+    println!("Conv-network DRAM ifmap traffic under the scale-up refetch model");
+    println!(
+        "{:<18}{:>8}{:>12}{:>12}{:>8}{:>12}",
+        "network", "GMACs", "sw MB", "axon MB", "ratio", "saved mJ"
+    );
+    for net in [resnet50(), yolov3(), mobilenet_v1(), efficientnet_b0()] {
+        let t = net.dram_traffic(model);
+        let e = EnergyReport::new(&dram, t.software_ifmap_bytes, t.onchip_ifmap_bytes);
+        println!(
+            "{:<18}{:>8.2}{:>12.1}{:>12.1}{:>8.2}{:>12.1}",
+            net.name(),
+            net.total_macs() as f64 / 1e9,
+            t.software_ifmap_bytes as f64 / 1e6,
+            t.onchip_ifmap_bytes as f64 / 1e6,
+            e.reduction_factor(),
+            e.saved_mj()
+        );
+    }
+    println!();
+    println!("3x3-dominated nets (YOLOv3) benefit most; pointwise-dominated");
+    println!("nets (MobileNet/EfficientNet) see smaller but nonzero savings");
+    println!("from their depthwise and stem layers.");
+}

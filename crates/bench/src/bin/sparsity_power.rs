@@ -1,0 +1,44 @@
+//! §5.2.1 zero-gating power study: total-power reduction as a function of
+//! operand sparsity (paper: 5.3% reduction at 10% sparsity), validated by
+//! running the cycle-accurate simulator with zero gating on sparse
+//! operands and feeding the measured gated-MAC fraction into the
+//! calibrated power model.
+
+use axon_core::runtime::Architecture;
+use axon_core::{ArrayShape, GemmShape};
+use axon_hw::{ComponentLibrary, ZeroGatingPower};
+use axon_sim::{random_matrix, simulate_gemm, SimConfig};
+use axon_workloads::sparsity_sweep;
+
+fn main() {
+    let lib = ComponentLibrary::calibrated_7nm();
+    let gating = ZeroGatingPower::default();
+    let shape = GemmShape::new(64, 64, 64);
+    println!("Zero-gating power reduction vs operand sparsity (both operands)");
+    println!(
+        "{:>10}{:>16}{:>16}{:>14}{:>14}",
+        "sparsity", "model gated-%", "sim gated-%", "model pwr -%", "sim pwr -%"
+    );
+    for s in sparsity_sweep(shape) {
+        // Analytical gated fraction.
+        let g_model = s.expected_gated_fraction();
+        // Simulator-measured gated fraction on actual sparse operands.
+        let a = random_matrix(shape.m, shape.k, 42, s.sparsity_a);
+        let b = random_matrix(shape.k, shape.n, 43, s.sparsity_b);
+        let cfg = SimConfig::new(ArrayShape::square(16)).with_zero_gating(true);
+        let r = simulate_gemm(Architecture::Axon, &cfg, &a, &b).expect("valid operands");
+        let g_sim = r.stats.gating_fraction();
+
+        let pr = |g: f64| 100.0 * (1.0 - gating.power_factor(&lib, g));
+        println!(
+            "{:>9.0}%{:>15.1}%{:>15.1}%{:>13.2}%{:>13.2}%",
+            s.sparsity_a * 100.0,
+            100.0 * g_model,
+            100.0 * g_sim,
+            pr(g_model),
+            pr(g_sim)
+        );
+    }
+    println!();
+    println!("paper: 5.3% total power reduction at 10% sparsity");
+}

@@ -1,0 +1,23 @@
+//! Table 3: the M, K, N values of the evaluation workloads.
+
+use axon_workloads::table3;
+
+fn main() {
+    println!("Table 3 — workload dimensions");
+    println!(
+        "{:<22}{:>8}{:>8}{:>8}{:>8}{:>14}{:>8}",
+        "workload", "kind", "M", "K", "N", "MACs", "AI"
+    );
+    for w in table3() {
+        println!(
+            "{:<22}{:>8}{:>8}{:>8}{:>8}{:>14}{:>8.1}",
+            w.name,
+            w.kind.to_string(),
+            w.shape.m,
+            w.shape.k,
+            w.shape.n,
+            w.shape.macs(),
+            w.shape.arithmetic_intensity()
+        );
+    }
+}

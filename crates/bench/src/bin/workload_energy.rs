@@ -1,0 +1,74 @@
+//! Array-energy comparison per workload: Axon's speedup at near-equal
+//! power translates almost one-for-one into array-energy savings
+//! (complementing the DRAM-energy analysis of `energy_resnet_yolo`).
+
+use axon_core::runtime::{Architecture, RuntimeSpec};
+use axon_core::{ArrayShape, Dataflow};
+use axon_hw::{execution_energy, ArrayDesign, ComponentLibrary, TechNode};
+use axon_workloads::table3;
+
+fn main() {
+    let lib = ComponentLibrary::calibrated_7nm();
+    let side = 16usize;
+    let clock = 500.0;
+    let array = ArrayShape::square(side);
+    println!("Array energy per Table-3 workload at {side}x{side}, {clock:.0} MHz (7 nm)");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "workload", "SA cycles", "Axon cyc", "SA uJ", "Axon uJ", "ratio"
+    );
+    let mut sa_total = 0.0;
+    let mut ax_total = 0.0;
+    let mut log_ratio_sum = 0.0;
+    let mut count = 0usize;
+    for w in table3() {
+        let df = Dataflow::min_temporal(w.shape);
+        let spec = RuntimeSpec::new(array, df);
+        let sa_cycles = spec.runtime(Architecture::Conventional, w.shape).cycles;
+        let ax_cycles = spec.runtime(Architecture::Axon, w.shape).cycles;
+        let sa = execution_energy(
+            ArrayDesign::Conventional,
+            array,
+            TechNode::asap7(),
+            &lib,
+            sa_cycles,
+            clock,
+            0.0,
+        );
+        let ax = execution_energy(
+            ArrayDesign::Axon {
+                im2col: true,
+                unified_pe: false,
+            },
+            array,
+            TechNode::asap7(),
+            &lib,
+            ax_cycles,
+            clock,
+            0.0,
+        );
+        sa_total += sa.energy_uj();
+        ax_total += ax.energy_uj();
+        log_ratio_sum += (sa.energy_uj() / ax.energy_uj()).ln();
+        count += 1;
+        println!(
+            "{:<22}{:>12}{:>12}{:>12.1}{:>12.1}{:>9.2}x",
+            w.name,
+            sa_cycles,
+            ax_cycles,
+            sa.energy_uj(),
+            ax.energy_uj(),
+            sa.energy_uj() / ax.energy_uj()
+        );
+    }
+    println!(
+        "\ntotal: SA {:.0} uJ -> Axon {:.0} uJ ({:.2}x summed; {:.2}x geomean per workload)",
+        sa_total,
+        ax_total,
+        sa_total / ax_total,
+        (log_ratio_sum / count as f64).exp()
+    );
+    println!("The sum is dominated by the largest (temporal-bound) workloads;");
+    println!("per-workload, Axon's +0.17% power is dwarfed by its cycle");
+    println!("reduction, so array energy falls nearly with the speedup.");
+}

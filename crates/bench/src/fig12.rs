@@ -1,0 +1,91 @@
+//! Fig. 12 computation: per-workload Axon-over-SA speedups on the
+//! Table 3 suite (see `EXPERIMENTS.md` for the methodology calibration).
+
+use crate::series::{FigureSeries, WorkloadSeries};
+use axon_core::runtime::{Architecture, RuntimeSpec};
+use axon_core::{ArrayShape, Dataflow};
+use axon_workloads::table3;
+
+/// The paper's swept array sides for Fig. 12.
+pub const PAPER_SIDES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Computes the Fig. 12 speedup series: each workload mapped (identically
+/// on both architectures) with its minimum-temporal-dimension dataflow,
+/// Eq. 2 ceil tiling, drains overlapped.
+///
+/// # Examples
+///
+/// ```
+/// use axon_bench::fig12;
+///
+/// let s = fig12::speedup_series(&[64, 256]);
+/// let avg64 = s.average_at(64).expect("swept");
+/// assert!((1.38..1.55).contains(&avg64)); // paper: 1.47x
+/// ```
+pub fn speedup_series(sides: &[usize]) -> FigureSeries {
+    let rows = table3()
+        .into_iter()
+        .map(|w| {
+            let df = Dataflow::min_temporal(w.shape);
+            let values = sides
+                .iter()
+                .map(|&s| {
+                    let spec = RuntimeSpec::new(ArrayShape::square(s), df);
+                    let sa = spec.runtime(Architecture::Conventional, w.shape);
+                    let ax = spec.runtime(Architecture::Axon, w.shape);
+                    sa.cycles as f64 / ax.cycles as f64
+                })
+                .collect();
+            WorkloadSeries {
+                name: w.name,
+                mapping: df.name(),
+                values,
+            }
+        })
+        .collect();
+    FigureSeries {
+        sides: sides.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_match_paper_bands() {
+        let s = speedup_series(&PAPER_SIDES);
+        let avg64 = s.average_at(64).unwrap();
+        let avg256 = s.average_at(256).unwrap();
+        assert!((1.38..1.55).contains(&avg64), "{avg64}");
+        assert!((1.55..1.80).contains(&avg256), "{avg256}");
+    }
+
+    #[test]
+    fn speedup_grows_with_array_size_on_average() {
+        let s = speedup_series(&PAPER_SIDES);
+        let avgs = s.averages();
+        for w in avgs.windows(2) {
+            assert!(w[1] >= w[0], "averages not monotone: {avgs:?}");
+        }
+    }
+
+    #[test]
+    fn every_speedup_in_1_to_2() {
+        let s = speedup_series(&PAPER_SIDES);
+        for row in &s.rows {
+            for &v in &row.values {
+                assert!((1.0..=2.0).contains(&v), "{}: {v}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_bound_workloads_stay_flat() {
+        // GPT3_3 (huge K under IS) gains little even at 256x256.
+        let s = speedup_series(&[256]);
+        let gpt3 = s.rows.iter().find(|r| r.name.contains("lmhead")).unwrap();
+        assert!(gpt3.values[0] < 1.3, "{}", gpt3.values[0]);
+    }
+}

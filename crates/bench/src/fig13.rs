@@ -1,0 +1,96 @@
+//! Fig. 13 computation: PE utilization-rate improvement over the
+//! conventional array, Axon vs CMSA, at 128x128 under OS.
+
+use axon_core::utilization::{utilization, utilization_improvement_pct, UtilArchitecture};
+use axon_core::{ArrayShape, Dataflow, GemmShape};
+use axon_workloads::fig13_workloads;
+
+/// One workload's Fig. 13 data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Conventional-array utilization (0..1).
+    pub baseline_ur: f64,
+    /// CMSA improvement over the baseline, percent.
+    pub cmsa_improvement_pct: f64,
+    /// Axon improvement over the baseline, percent.
+    pub axon_improvement_pct: f64,
+}
+
+/// Computes the Fig. 13 rows for the given square array side (the paper
+/// uses 128).
+///
+/// # Examples
+///
+/// ```
+/// use axon_bench::fig13;
+///
+/// let rows = fig13::utilization_rows(128);
+/// let gpt3 = rows.iter().find(|r| r.name.contains("matmul1")).expect("present");
+/// assert!(gpt3.baseline_ur > 0.88); // paper: ~91%
+/// ```
+pub fn utilization_rows(side: usize) -> Vec<UtilizationRow> {
+    let array = ArrayShape::square(side);
+    fig13_workloads()
+        .into_iter()
+        .map(|w| row(array, w.name, w.shape))
+        .collect()
+}
+
+fn row(array: ArrayShape, name: &'static str, shape: GemmShape) -> UtilizationRow {
+    UtilizationRow {
+        name,
+        baseline_ur: utilization(UtilArchitecture::Conventional, array, Dataflow::Os, shape),
+        cmsa_improvement_pct: utilization_improvement_pct(
+            UtilArchitecture::Cmsa,
+            array,
+            Dataflow::Os,
+            shape,
+        ),
+        axon_improvement_pct: utilization_improvement_pct(
+            UtilArchitecture::Axon,
+            array,
+            Dataflow::Os,
+            shape,
+        ),
+    }
+}
+
+/// Average improvements `(cmsa, axon)` over a row set.
+pub fn average_improvements(rows: &[UtilizationRow]) -> (f64, f64) {
+    let n = rows.len().max(1) as f64;
+    (
+        rows.iter().map(|r| r.cmsa_improvement_pct).sum::<f64>() / n,
+        rows.iter().map(|r| r.axon_improvement_pct).sum::<f64>() / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axon_average_beats_cmsa() {
+        let rows = utilization_rows(128);
+        let (cmsa, axon) = average_improvements(&rows);
+        assert!(axon > cmsa, "axon {axon} <= cmsa {cmsa}");
+    }
+
+    #[test]
+    fn improvements_never_negative() {
+        for r in utilization_rows(128) {
+            assert!(r.cmsa_improvement_pct >= -1e-9, "{}", r.name);
+            assert!(r.axon_improvement_pct >= -1e-9, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn high_baseline_leaves_small_headroom() {
+        for r in utilization_rows(128) {
+            if r.baseline_ur > 0.85 {
+                assert!(r.axon_improvement_pct < 20.0, "{}", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 14 computation: Axon speedups on the memory-bound classes
+//! (depthwise convolution and GEMV).
+
+use crate::series::{FigureSeries, WorkloadSeries};
+use axon_core::runtime::{Architecture, RuntimeSpec};
+use axon_core::{ArrayShape, Dataflow};
+use axon_workloads::{fig14_dw_workloads, gemv_workloads, GemmWorkload};
+
+/// The swept array sides used by the reproduction for Fig. 14.
+pub const SIDES: [usize; 3] = [64, 128, 256];
+
+fn workloads() -> Vec<GemmWorkload> {
+    fig14_dw_workloads()
+        .iter()
+        .map(|d| d.workload())
+        .chain(gemv_workloads())
+        .collect()
+}
+
+/// Computes the Fig. 14 speedup series (min-temporal mapping, drains
+/// overlapped — the same methodology as Fig. 12).
+///
+/// # Examples
+///
+/// ```
+/// use axon_bench::fig14;
+///
+/// let s = fig14::speedup_series(&fig14::SIDES);
+/// let overall: f64 = s.averages().iter().sum::<f64>() / s.averages().len() as f64;
+/// assert!((1.7..2.0).contains(&overall)); // paper: ~1.8x
+/// ```
+pub fn speedup_series(sides: &[usize]) -> FigureSeries {
+    let rows = workloads()
+        .into_iter()
+        .map(|w| {
+            let df = Dataflow::min_temporal(w.shape);
+            let values = sides
+                .iter()
+                .map(|&s| {
+                    let spec = RuntimeSpec::new(ArrayShape::square(s), df);
+                    let sa = spec.runtime(Architecture::Conventional, w.shape);
+                    let ax = spec.runtime(Architecture::Axon, w.shape);
+                    sa.cycles as f64 / ax.cycles as f64
+                })
+                .collect();
+            WorkloadSeries {
+                name: w.name,
+                mapping: df.name(),
+                values,
+            }
+        })
+        .collect();
+    FigureSeries {
+        sides: sides.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_average_near_1_8() {
+        let s = speedup_series(&SIDES);
+        let avgs = s.averages();
+        let overall = avgs.iter().sum::<f64>() / avgs.len() as f64;
+        assert!((1.7..2.0).contains(&overall), "{overall}");
+    }
+
+    #[test]
+    fn gemv_rows_approach_two() {
+        let s = speedup_series(&[256]);
+        for row in s.rows.iter().filter(|r| r.name.starts_with("GEMV")) {
+            assert!(row.values[0] > 1.85, "{}: {}", row.name, row.values[0]);
+        }
+    }
+
+    #[test]
+    fn dw_rows_all_above_1_4() {
+        let s = speedup_series(&SIDES);
+        for row in s.rows.iter().filter(|r| !r.name.starts_with("GEMV")) {
+            for &v in &row.values {
+                assert!(v > 1.4, "{}: {v}", row.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # axon-bench
+//!
+//! Figure/table regeneration library for the Axon reproduction. Each
+//! module computes one experiment's data series; the binaries in
+//! `src/bin/` print them. Keeping the computation in the library makes
+//! every figure unit-testable and reusable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod series;

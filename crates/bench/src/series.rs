@@ -1,0 +1,104 @@
+//! Shared series types for the figure modules.
+
+use std::fmt;
+
+/// One workload's value across a sweep of array sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSeries {
+    /// Workload display name.
+    pub name: &'static str,
+    /// Short label of the mapping used (e.g. `"OS"`).
+    pub mapping: &'static str,
+    /// One value per swept array size, in sweep order.
+    pub values: Vec<f64>,
+}
+
+/// A complete figure series: the sweep axis plus per-workload rows and
+/// the column averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureSeries {
+    /// Swept square-array sides.
+    pub sides: Vec<usize>,
+    /// Per-workload rows.
+    pub rows: Vec<WorkloadSeries>,
+}
+
+impl FigureSeries {
+    /// Column-wise arithmetic means over the workloads.
+    pub fn averages(&self) -> Vec<f64> {
+        let n = self.rows.len().max(1) as f64;
+        (0..self.sides.len())
+            .map(|i| self.rows.iter().map(|r| r.values[i]).sum::<f64>() / n)
+            .collect()
+    }
+
+    /// The average for one swept side, if present.
+    pub fn average_at(&self, side: usize) -> Option<f64> {
+        let i = self.sides.iter().position(|&s| s == side)?;
+        Some(self.averages()[i])
+    }
+}
+
+impl fmt::Display for FigureSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<24}{:>5}", "workload", "map")?;
+        for s in &self.sides {
+            write!(f, "{:>10}", format!("{s}x{s}"))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:<24}{:>5}", row.name, row.mapping)?;
+            for v in &row.values {
+                write!(f, "{v:>10.3}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<29}", "AVERAGE")?;
+        for v in self.averages() {
+            write!(f, "{v:>10.3}")?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_are_columnwise() {
+        let s = FigureSeries {
+            sides: vec![8, 16],
+            rows: vec![
+                WorkloadSeries {
+                    name: "a",
+                    mapping: "OS",
+                    values: vec![1.0, 3.0],
+                },
+                WorkloadSeries {
+                    name: "b",
+                    mapping: "WS",
+                    values: vec![2.0, 5.0],
+                },
+            ],
+        };
+        assert_eq!(s.averages(), vec![1.5, 4.0]);
+        assert_eq!(s.average_at(16), Some(4.0));
+        assert_eq!(s.average_at(99), None);
+    }
+
+    #[test]
+    fn display_includes_average_row() {
+        let s = FigureSeries {
+            sides: vec![4],
+            rows: vec![WorkloadSeries {
+                name: "x",
+                mapping: "IS",
+                values: vec![1.25],
+            }],
+        };
+        let out = s.to_string();
+        assert!(out.contains("AVERAGE"));
+        assert!(out.contains("1.250"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Analytical model of the Configurable Multi-directional Systolic Array
+//! (CMSA, Xu et al., ACM TACO 2021) used as the paper's second baseline
+//! (§5.2.2, Fig. 13).
+//!
+//! CMSA augments a conventional systolic array with an additional data path
+//! so that one operand can be streamed into the array from *two opposite
+//! edges* simultaneously. The farthest PE is then at distance
+//! `ceil(r / 2) + c - 2` instead of `r + c - 2`: the vertical half of the
+//! Manhattan distance is halved while the horizontal component (and the
+//! stream skew that produces it) is unchanged.
+//!
+//! This is a *substitute model*: the original work drives RTL; here we keep
+//! only its latency law, which is the quantity the Axon paper compares
+//! against. Axon's diagonal feed shortens **both** components at once
+//! (`max(r, c) - 1`), which is why it wins on utilization-rate improvement
+//! (by ~27% on average in the paper's Fig. 13).
+
+use crate::shape::ArrayShape;
+
+/// Fill latency of a CMSA tile occupying `r x c` PEs:
+/// `ceil(r/2) + c - 2`.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::cmsa::cmsa_tile_fill;
+///
+/// // 128x128: conventional fill is 254, CMSA cuts it to 190.
+/// assert_eq!(cmsa_tile_fill(128, 128), 64 + 128 - 2);
+/// ```
+pub fn cmsa_tile_fill(r: usize, c: usize) -> usize {
+    (r.div_ceil(2) + c).saturating_sub(2)
+}
+
+/// Full per-tile latency for CMSA: fill + compute + drain (`r`).
+pub fn cmsa_tile_cycles(r: usize, c: usize, t: usize) -> usize {
+    cmsa_tile_fill(r, c) + t + r
+}
+
+/// Latency-law wrapper for CMSA, mirroring
+/// [`SaRuntime`](crate::runtime::SaRuntime) and
+/// [`AxonRuntime`](crate::runtime::AxonRuntime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CmsaRuntime;
+
+impl CmsaRuntime {
+    /// See [`cmsa_tile_fill`].
+    pub fn fill(&self, r: usize, c: usize) -> usize {
+        cmsa_tile_fill(r, c)
+    }
+
+    /// See [`cmsa_tile_cycles`].
+    pub fn tile_cycles(&self, r: usize, c: usize, t: usize) -> usize {
+        cmsa_tile_cycles(r, c, t)
+    }
+
+    /// Fill latency for a full array.
+    pub fn array_fill(&self, array: ArrayShape) -> usize {
+        cmsa_tile_fill(array.rows(), array.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{axon_tile_fill, sa_tile_fill};
+
+    #[test]
+    fn cmsa_between_sa_and_axon_on_squares() {
+        for n in [8usize, 16, 64, 128, 256] {
+            let sa = sa_tile_fill(n, n);
+            let cmsa = cmsa_tile_fill(n, n);
+            let axon = axon_tile_fill(n, n);
+            assert!(axon < cmsa, "axon {axon} !< cmsa {cmsa} at {n}");
+            assert!(cmsa < sa, "cmsa {cmsa} !< sa {sa} at {n}");
+        }
+    }
+
+    #[test]
+    fn cmsa_fill_formula() {
+        assert_eq!(cmsa_tile_fill(16, 16), 8 + 16 - 2);
+        assert_eq!(cmsa_tile_fill(15, 16), 8 + 16 - 2);
+        assert_eq!(cmsa_tile_fill(1, 1), 0);
+    }
+
+    #[test]
+    fn cmsa_never_worse_than_sa() {
+        for r in 1..40usize {
+            for c in 1..40usize {
+                assert!(cmsa_tile_fill(r, c) <= sa_tile_fill(r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Systolic-array dataflows and their GEMM-dimension mappings.
+
+use crate::shape::{GemmShape, SpatioTemporal};
+use std::fmt;
+
+/// The three classical systolic dataflows (paper §2.1).
+///
+/// * **Output stationary (OS)** — partial sums stay in place; both operands
+///   stream through the array.
+/// * **Weight stationary (WS)** — weights are preloaded and held; inputs
+///   stream and partial sums flow down the columns.
+/// * **Input stationary (IS)** — like WS with the roles of the operands
+///   swapped.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{Dataflow, GemmShape};
+///
+/// let g = GemmShape::new(8, 4, 16);
+/// let st = Dataflow::Os.map(g);
+/// assert_eq!((st.sr, st.sc, st.t), (8, 16, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Dataflow {
+    /// Output stationary.
+    #[default]
+    Os,
+    /// Weight stationary.
+    Ws,
+    /// Input stationary.
+    Is,
+}
+
+impl Dataflow {
+    /// All three dataflows, in the paper's presentation order.
+    pub const ALL: [Dataflow; 3] = [Dataflow::Os, Dataflow::Ws, Dataflow::Is];
+
+    /// Projects a GEMM onto the array's spatio-temporal dimensions,
+    /// following the paper's Table 1:
+    ///
+    /// | Dataflow | Mapping                        |
+    /// |----------|--------------------------------|
+    /// | OS       | `S_R = M`, `S_C = N`, `T = K`  |
+    /// | WS       | `S_R = K`, `S_C = M`, `T = N`  |
+    /// | IS       | `S_R = K`, `S_C = N`, `T = M`  |
+    pub fn map(self, gemm: GemmShape) -> SpatioTemporal {
+        let GemmShape { m, k, n } = gemm;
+        match self {
+            Dataflow::Os => SpatioTemporal::new(m, n, k),
+            Dataflow::Ws => SpatioTemporal::new(k, m, n),
+            Dataflow::Is => SpatioTemporal::new(k, n, m),
+        }
+    }
+
+    /// `true` for the dataflows that preload one operand (WS and IS) and
+    /// therefore need Axon's bypass-add partial-sum synchronization
+    /// (paper §4.2.2).
+    pub fn preloads_operand(self) -> bool {
+        matches!(self, Dataflow::Ws | Dataflow::Is)
+    }
+
+    /// The dataflow whose mapping (Table 1) gives `gemm` the smallest
+    /// temporal dimension: OS when `K` is smallest, WS when `N` is,
+    /// IS when `M` is.
+    ///
+    /// This is the fill-sensitive mapping: the two largest dimensions are
+    /// laid out spatially, so per-tile time is dominated by the operand
+    /// fill — the regime Axon accelerates. The paper's Fig. 12/14 speedups
+    /// are reproduced under this per-workload mapping (see
+    /// EXPERIMENTS.md).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axon_core::{Dataflow, GemmShape};
+    ///
+    /// assert_eq!(Dataflow::min_temporal(GemmShape::new(100, 2, 100)), Dataflow::Os);
+    /// assert_eq!(Dataflow::min_temporal(GemmShape::new(100, 100, 2)), Dataflow::Ws);
+    /// assert_eq!(Dataflow::min_temporal(GemmShape::new(2, 100, 100)), Dataflow::Is);
+    /// ```
+    pub fn min_temporal(gemm: GemmShape) -> Dataflow {
+        if gemm.k <= gemm.m && gemm.k <= gemm.n {
+            Dataflow::Os
+        } else if gemm.n <= gemm.m {
+            Dataflow::Ws
+        } else {
+            Dataflow::Is
+        }
+    }
+
+    /// Short uppercase name used in report tables (`"OS"`, `"WS"`, `"IS"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataflow::Os => "OS",
+            Dataflow::Ws => "WS",
+            Dataflow::Is => "IS",
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mappings() {
+        let g = GemmShape::new(10, 20, 30);
+        assert_eq!(Dataflow::Os.map(g), SpatioTemporal::new(10, 30, 20));
+        assert_eq!(Dataflow::Ws.map(g), SpatioTemporal::new(20, 10, 30));
+        assert_eq!(Dataflow::Is.map(g), SpatioTemporal::new(20, 30, 10));
+    }
+
+    #[test]
+    fn mapping_preserves_mac_count() {
+        // S_R * S_C * T must always equal M * K * N: the projection is a
+        // permutation of the loop nest, not a change of work.
+        let g = GemmShape::new(7, 11, 13);
+        for df in Dataflow::ALL {
+            let st = df.map(g);
+            assert_eq!(st.sr * st.sc * st.t, g.macs());
+        }
+    }
+
+    #[test]
+    fn preload_classification() {
+        assert!(!Dataflow::Os.preloads_operand());
+        assert!(Dataflow::Ws.preloads_operand());
+        assert!(Dataflow::Is.preloads_operand());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Dataflow::Os.to_string(), "OS");
+        assert_eq!(Dataflow::Ws.name(), "WS");
+        assert_eq!(Dataflow::Is.name(), "IS");
+    }
+
+    #[test]
+    fn default_is_os() {
+        assert_eq!(Dataflow::default(), Dataflow::Os);
+    }
+
+    #[test]
+    fn min_temporal_minimizes_t() {
+        for (m, k, n) in [(5, 7, 9), (9, 7, 5), (7, 5, 9), (4, 4, 4), (1, 100, 1)] {
+            let g = GemmShape::new(m, k, n);
+            let df = Dataflow::min_temporal(g);
+            let t = df.map(g).t;
+            for other in Dataflow::ALL {
+                assert!(t <= other.map(g).t, "{g}: {df} t={t} vs {other}");
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types shared by the Axon crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a shape (GEMM, array or tile) is invalid for the
+/// requested operation.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, ShapeError};
+///
+/// let err = ArrayShape::try_new(0, 4).unwrap_err();
+/// assert!(matches!(err, ShapeError::ZeroDimension { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShapeError {
+    /// A dimension that must be strictly positive was zero.
+    ZeroDimension {
+        /// Name of the offending dimension (e.g. `"rows"`, `"M"`).
+        dimension: &'static str,
+    },
+    /// A tile exceeded the physical array bounds.
+    TileTooLarge {
+        /// Requested tile rows.
+        tile_rows: usize,
+        /// Requested tile columns.
+        tile_cols: usize,
+        /// Physical array rows.
+        array_rows: usize,
+        /// Physical array columns.
+        array_cols: usize,
+    },
+    /// Two operands disagreed on their shared (contraction) dimension.
+    DimensionMismatch {
+        /// Description of the context (e.g. `"lhs cols vs rhs rows"`).
+        context: &'static str,
+        /// Left-hand value.
+        left: usize,
+        /// Right-hand value.
+        right: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroDimension { dimension } => {
+                write!(f, "dimension `{dimension}` must be non-zero")
+            }
+            ShapeError::TileTooLarge {
+                tile_rows,
+                tile_cols,
+                array_rows,
+                array_cols,
+            } => write!(
+                f,
+                "tile {tile_rows}x{tile_cols} exceeds array {array_rows}x{array_cols}"
+            ),
+            ShapeError::DimensionMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "dimension mismatch ({context}): {left} != {right}"),
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_dimension() {
+        let err = ShapeError::ZeroDimension { dimension: "rows" };
+        assert_eq!(err.to_string(), "dimension `rows` must be non-zero");
+    }
+
+    #[test]
+    fn display_tile_too_large() {
+        let err = ShapeError::TileTooLarge {
+            tile_rows: 32,
+            tile_cols: 8,
+            array_rows: 16,
+            array_cols: 16,
+        };
+        assert_eq!(err.to_string(), "tile 32x8 exceeds array 16x16");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = ShapeError::DimensionMismatch {
+            context: "lhs cols vs rhs rows",
+            left: 3,
+            right: 4,
+        };
+        assert!(err.to_string().contains("3 != 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! # axon-core
+//!
+//! Core types and analytical models for the **Axon** systolic-array
+//! architecture (Nayan et al., DATE 2025): a conventional systolic array
+//! whose operands are fed through the PEs on the principal diagonal and
+//! propagate **bidirectionally**, halving the operand fill latency of a
+//! square array from `2R - 2` to `R - 1` cycles and removing the input
+//! skew entirely.
+//!
+//! This crate provides:
+//!
+//! * geometric types ([`ArrayShape`], [`GemmShape`], [`SpatioTemporal`]);
+//! * the three classical dataflows and their GEMM mappings ([`Dataflow`],
+//!   paper Table 1);
+//! * tiling for workloads larger than the array ([`tile::Tiling`],
+//!   scale-up / scale-out, paper Eq. 2–3);
+//! * analytical runtime models for the conventional array (SCALE-sim,
+//!   Eq. 1), Axon (Table 2) and the CMSA baseline ([`runtime`], [`cmsa`]);
+//! * PE utilization-rate models ([`utilization`], Fig. 13).
+//!
+//! Cycle-accurate simulation lives in the `axon-sim` crate; this crate is
+//! pure arithmetic and has no dependencies.
+//!
+//! ## Example
+//!
+//! ```
+//! use axon_core::{ArrayShape, Dataflow, GemmShape};
+//! use axon_core::runtime::{Architecture, RuntimeSpec};
+//!
+//! // TF0 from the paper's Table 3 on a 64x64 array, output stationary.
+//! let spec = RuntimeSpec::new(ArrayShape::square(64), Dataflow::Os);
+//! let gemm = GemmShape::new(31999, 84, 1024);
+//!
+//! let sa = spec.runtime(Architecture::Conventional, gemm);
+//! let axon = spec.runtime(Architecture::Axon, gemm);
+//! let speedup = sa.cycles as f64 / axon.cycles as f64;
+//! assert!(speedup > 1.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataflow;
+mod error;
+mod shape;
+
+pub mod cmsa;
+pub mod mapper;
+pub mod runtime;
+pub mod tile;
+pub mod utilization;
+
+pub use dataflow::Dataflow;
+pub use error::ShapeError;
+pub use shape::{ArrayShape, GemmShape, SpatioTemporal};
+pub use tile::Tiling;

@@ -1,0 +1,185 @@
+//! Mapping-space exploration: enumerate (dataflow, tiling) choices for a
+//! GEMM on an array and rank them by modeled runtime.
+//!
+//! This is the decision problem SCALE-sim-family tools answer before
+//! running a workload: which dataflow to program and whether to
+//! partition. Axon's unified PE (paper §4.3) makes the dataflow choice a
+//! runtime knob, so the explorer is part of the usable API, not just an
+//! offline study.
+
+use crate::dataflow::Dataflow;
+use crate::runtime::{Architecture, RuntimeReport, RuntimeSpec};
+use crate::shape::{ArrayShape, GemmShape};
+use crate::tile::Tiling;
+use std::fmt;
+
+/// One evaluated mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingCandidate {
+    /// Dataflow programmed into the array.
+    pub dataflow: Dataflow,
+    /// Tiling strategy.
+    pub tiling: Tiling,
+    /// Modeled runtime.
+    pub report: RuntimeReport,
+    /// PE utilization under this mapping (useful MACs per PE-cycle,
+    /// aggregated over all parallel arrays).
+    pub utilization: f64,
+}
+
+impl fmt::Display for MappingCandidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {}: {} cycles, {:.1}% utilized",
+            self.dataflow,
+            self.tiling,
+            self.report.cycles,
+            100.0 * self.utilization
+        )
+    }
+}
+
+/// Explores all dataflows and the given scale-out partitionings for
+/// `gemm` on `array`, returning candidates sorted by ascending cycles.
+///
+/// `partition_options` lists the `(P_R, P_C)` grids to consider in
+/// addition to monolithic scale-up; pass `&[]` to consider scale-up only.
+/// The utilization accounts for all `P_R * P_C` arrays, so scale-out
+/// trades utilization for makespan honestly.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::mapper::explore;
+/// use axon_core::runtime::Architecture;
+/// use axon_core::{ArrayShape, GemmShape};
+///
+/// let ranked = explore(
+///     Architecture::Axon,
+///     ArrayShape::square(32),
+///     GemmShape::new(256, 16, 256),
+///     &[(2, 2)],
+/// );
+/// // Candidates are sorted fastest-first.
+/// assert!(ranked.windows(2).all(|w| w[0].report.cycles <= w[1].report.cycles));
+/// ```
+pub fn explore(
+    arch: Architecture,
+    array: ArrayShape,
+    gemm: GemmShape,
+    partition_options: &[(usize, usize)],
+) -> Vec<MappingCandidate> {
+    let mut tilings = vec![Tiling::ScaleUp];
+    tilings.extend(partition_options.iter().map(|&(pr, pc)| Tiling::ScaleOut {
+        partitions_r: pr.max(1),
+        partitions_c: pc.max(1),
+    }));
+
+    let mut out = Vec::with_capacity(3 * tilings.len());
+    for df in Dataflow::ALL {
+        for &tiling in &tilings {
+            let spec = RuntimeSpec::new(array, df).with_tiling(tiling);
+            let report = spec.runtime(arch, gemm);
+            let pe_cycles =
+                array.num_pes() as f64 * tiling.parallel_arrays() as f64 * report.cycles as f64;
+            out.push(MappingCandidate {
+                dataflow: df,
+                tiling,
+                report,
+                utilization: gemm.macs() as f64 / pe_cycles,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.report
+            .cycles
+            .cmp(&b.report.cycles)
+            .then(b.utilization.total_cmp(&a.utilization))
+    });
+    out
+}
+
+/// The fastest mapping from [`explore`].
+pub fn best_mapping(
+    arch: Architecture,
+    array: ArrayShape,
+    gemm: GemmShape,
+    partition_options: &[(usize, usize)],
+) -> MappingCandidate {
+    explore(arch, array, gemm, partition_options)
+        .into_iter()
+        .next()
+        .expect("explore always yields at least the three scale-up mappings")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explore_covers_all_dataflows() {
+        let ranked = explore(
+            Architecture::Axon,
+            ArrayShape::square(16),
+            GemmShape::new(64, 64, 64),
+            &[],
+        );
+        assert_eq!(ranked.len(), 3);
+        let mut dfs: Vec<_> = ranked.iter().map(|c| c.dataflow).collect();
+        dfs.sort_by_key(|d| d.name());
+        dfs.dedup();
+        assert_eq!(dfs.len(), 3);
+    }
+
+    #[test]
+    fn best_matches_best_dataflow_for_scale_up() {
+        let array = ArrayShape::square(32);
+        let gemm = GemmShape::new(100, 500, 80);
+        let best = best_mapping(Architecture::Conventional, array, gemm, &[]);
+        let spec = RuntimeSpec::new(array, Dataflow::Os);
+        let (df, report) = spec.best_dataflow(Architecture::Conventional, gemm);
+        assert_eq!(best.dataflow, df);
+        assert_eq!(best.report.cycles, report.cycles);
+    }
+
+    #[test]
+    fn scale_out_wins_on_makespan_but_loses_utilization() {
+        let array = ArrayShape::square(16);
+        let gemm = GemmShape::new(512, 8, 512);
+        let ranked = explore(Architecture::Axon, array, gemm, &[(4, 4)]);
+        let best = &ranked[0];
+        assert!(matches!(best.tiling, Tiling::ScaleOut { .. }));
+        let scale_up_best = ranked
+            .iter()
+            .find(|c| c.tiling == Tiling::ScaleUp)
+            .expect("scale-up candidates present");
+        assert!(best.report.cycles < scale_up_best.report.cycles);
+        assert!(best.utilization <= scale_up_best.utilization + 1e-12);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for c in explore(
+            Architecture::Axon,
+            ArrayShape::square(8),
+            GemmShape::new(31, 17, 23),
+            &[(2, 2), (3, 1)],
+        ) {
+            assert!(c.utilization > 0.0 && c.utilization <= 1.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let best = best_mapping(
+            Architecture::Axon,
+            ArrayShape::square(8),
+            GemmShape::new(8, 8, 8),
+            &[],
+        );
+        let s = best.to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("utilized"));
+    }
+}

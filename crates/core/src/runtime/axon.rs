@@ -1,0 +1,92 @@
+//! Axon latency laws (paper §3.1, Table 2).
+
+/// Fill latency of an Axon tile occupying `r x c` PEs: operands enter at
+/// the principal diagonal and propagate bidirectionally, so the farthest PE
+/// is `max(r, c) - 1` hops away.
+///
+/// This is `f2(R, C)` in the paper's Fig. 6. For a square array it is half
+/// of the conventional `2r - 2`; for rectangular arrays the improvement is
+/// smaller but always at least 1x (columns beyond the diagonal are fed from
+/// the array edge with conventional skew, paper Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::runtime::axon_tile_fill;
+///
+/// assert_eq!(axon_tile_fill(256, 256), 255);
+/// assert_eq!(axon_tile_fill(16, 64), 63);
+/// ```
+pub fn axon_tile_fill(r: usize, c: usize) -> usize {
+    r.max(c).saturating_sub(1)
+}
+
+/// Full per-tile latency of an Axon array: `max(r, c) - 1 + t + r`
+/// (fill, compute, drain). Matches the paper's Table 2 once the dataflow
+/// mapping of Table 1 is substituted.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::runtime::axon_tile_cycles;
+///
+/// // OS on a square 16x16 tile with T = K = 100:
+/// // Table 2: max(M, N) + M + K - 1 = 16 + 16 + 100 - 1.
+/// assert_eq!(axon_tile_cycles(16, 16, 100), 16 + 16 + 100 - 1);
+/// ```
+pub fn axon_tile_cycles(r: usize, c: usize, t: usize) -> usize {
+    axon_tile_fill(r, c) + t + r
+}
+
+/// Convenience wrapper bundling the Axon laws, mirroring
+/// [`SaRuntime`](crate::runtime::SaRuntime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AxonRuntime;
+
+impl AxonRuntime {
+    /// See [`axon_tile_fill`].
+    pub fn fill(&self, r: usize, c: usize) -> usize {
+        axon_tile_fill(r, c)
+    }
+
+    /// See [`axon_tile_cycles`].
+    pub fn tile_cycles(&self, r: usize, c: usize, t: usize) -> usize {
+        axon_tile_cycles(r, c, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::sa_tile_fill;
+
+    #[test]
+    fn square_fill_halves() {
+        for n in [2usize, 16, 64, 256, 1024] {
+            assert_eq!(axon_tile_fill(n, n), n - 1);
+            assert_eq!(sa_tile_fill(n, n), 2 * (n - 1));
+        }
+    }
+
+    #[test]
+    fn rectangular_improvement_bounded() {
+        // max(r,c)-1 <= r+c-2 always (for r,c >= 1), with equality only
+        // when min(r,c) == 1.
+        for r in 1..20usize {
+            for c in 1..20usize {
+                assert!(axon_tile_fill(r, c) <= sa_tile_fill(r, c));
+                if r.min(c) == 1 {
+                    assert_eq!(axon_tile_fill(r, c), sa_tile_fill(r, c));
+                } else {
+                    assert!(axon_tile_fill(r, c) < sa_tile_fill(r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_pe() {
+        assert_eq!(axon_tile_fill(1, 1), 0);
+        assert_eq!(axon_tile_cycles(1, 1, 5), 6);
+    }
+}

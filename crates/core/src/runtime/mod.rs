@@ -1,0 +1,438 @@
+//! Analytical runtime models for conventional systolic arrays and Axon.
+//!
+//! The conventional model follows SCALE-sim (paper Eq. 1–3); the Axon model
+//! follows the paper's Table 2. Both decompose a tile's latency into three
+//! components (paper §2.2):
+//!
+//! 1. **fill** — cycles for both operands to reach the farthest PE
+//!    (`R + C - 2` conventionally, `max(R, C) - 1` for Axon);
+//! 2. **compute** — `T` MACs per PE;
+//! 3. **drain** — `R` cycles to read results out of the array.
+//!
+//! Two accounting choices are exposed because the paper itself uses both:
+//!
+//! * [`Accounting`] controls whether ragged edge tiles are billed at the
+//!   full array size (`PaperCeil`, exactly Eq. 2) or at their true extents
+//!   (`ExactEdges`).
+//! * [`DrainPolicy`] controls whether every tile pays the drain latency
+//!   (`PerTile`, the closed forms of Table 2) or drains overlap the next
+//!   tile's fill so that only the final tile pays it (`Overlapped`). The
+//!   paper's speedup evaluation (Fig. 12/14, "up to 2x" on GEMV/DW-conv)
+//!   is only reachable under `Overlapped`; with `PerTile` the square-array
+//!   speedup is capped at 1.5x. See EXPERIMENTS.md for the calibration.
+
+mod axon;
+mod sa;
+
+pub use axon::{axon_tile_cycles, axon_tile_fill, AxonRuntime};
+pub use sa::{sa_tile_cycles, sa_tile_fill, SaRuntime};
+
+use crate::dataflow::Dataflow;
+use crate::shape::{ArrayShape, GemmShape};
+use crate::tile::{TileExtents, Tiling};
+use std::fmt;
+
+/// Which architecture's latency law to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Conventional unidirectional systolic array (SCALE-sim model).
+    Conventional,
+    /// Axon: diagonal feed, bidirectional propagation.
+    Axon,
+}
+
+impl Architecture {
+    /// Fill latency (cycles to reach the farthest PE) for a tile occupying
+    /// `r x c` PEs.
+    pub fn tile_fill(self, r: usize, c: usize) -> usize {
+        match self {
+            Architecture::Conventional => sa_tile_fill(r, c),
+            Architecture::Axon => axon_tile_fill(r, c),
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::Conventional => f.write_str("systolic-array"),
+            Architecture::Axon => f.write_str("axon"),
+        }
+    }
+}
+
+/// How edge tiles are billed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Accounting {
+    /// Every tile is billed at the full array extents and the tile count is
+    /// `ceil(S_R/R) * ceil(S_C/C)` — exactly the paper's Eq. 2/3.
+    #[default]
+    PaperCeil,
+    /// Ragged edge tiles are billed at their true `r x c` extents.
+    ExactEdges,
+}
+
+/// Whether the array-drain latency is paid per tile or amortized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DrainPolicy {
+    /// Each tile pays `fill + T + drain` (the closed forms of Table 2).
+    PerTile,
+    /// Steady-state pipelining: a tile's drain overlaps the next tile's
+    /// fill, so the total is `tiles * (fill + T) + drain_last`.
+    #[default]
+    Overlapped,
+}
+
+/// A fully-specified runtime model: array, dataflow, tiling and accounting.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, Dataflow, GemmShape};
+/// use axon_core::runtime::{Architecture, RuntimeSpec};
+///
+/// let spec = RuntimeSpec::new(ArrayShape::square(64), Dataflow::Os);
+/// let gemm = GemmShape::new(31999, 84, 1024); // TF0 from Table 3
+/// let sa = spec.runtime(Architecture::Conventional, gemm);
+/// let ax = spec.runtime(Architecture::Axon, gemm);
+/// assert!(ax.cycles < sa.cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeSpec {
+    /// Physical array shape.
+    pub array: ArrayShape,
+    /// Dataflow used for the mapping (Table 1).
+    pub dataflow: Dataflow,
+    /// Tiling strategy (scale-up / scale-out).
+    pub tiling: Tiling,
+    /// Edge-tile accounting.
+    pub accounting: Accounting,
+    /// Drain amortization policy.
+    pub drain: DrainPolicy,
+}
+
+impl RuntimeSpec {
+    /// Creates a spec with the paper's defaults: scale-up tiling, ceil
+    /// accounting and overlapped drains.
+    pub fn new(array: ArrayShape, dataflow: Dataflow) -> Self {
+        Self {
+            array,
+            dataflow,
+            tiling: Tiling::ScaleUp,
+            accounting: Accounting::default(),
+            drain: DrainPolicy::default(),
+        }
+    }
+
+    /// Builder-style override of the tiling strategy.
+    pub fn with_tiling(mut self, tiling: Tiling) -> Self {
+        self.tiling = tiling;
+        self
+    }
+
+    /// Builder-style override of the edge accounting.
+    pub fn with_accounting(mut self, accounting: Accounting) -> Self {
+        self.accounting = accounting;
+        self
+    }
+
+    /// Builder-style override of the drain policy.
+    pub fn with_drain(mut self, drain: DrainPolicy) -> Self {
+        self.drain = drain;
+        self
+    }
+
+    /// Computes the modeled runtime of `gemm` on `arch`.
+    pub fn runtime(&self, arch: Architecture, gemm: GemmShape) -> RuntimeReport {
+        let st = self.dataflow.map(gemm);
+        let (sr, sc) = self.tiling.effective_spatial(st);
+        let t = st.t;
+        let mut fill = 0usize;
+        let mut compute = 0usize;
+        let mut drain = 0usize;
+        let mut tiles = 0usize;
+        let mut last_drain = 0usize;
+
+        match self.accounting {
+            Accounting::PaperCeil => {
+                let n = self.tiling.sequential_tiles(st, self.array);
+                fill = n * arch.tile_fill(self.array.rows(), self.array.cols());
+                compute = n * t;
+                drain = n * self.array.rows();
+                last_drain = self.array.rows();
+                tiles = n;
+            }
+            Accounting::ExactEdges => {
+                for (r, c) in TileExtents::new(sr, sc, self.array) {
+                    fill += arch.tile_fill(r, c);
+                    compute += t;
+                    drain += r;
+                    last_drain = r;
+                    tiles += 1;
+                }
+            }
+        }
+
+        let cycles = match self.drain {
+            DrainPolicy::PerTile => fill + compute + drain,
+            DrainPolicy::Overlapped => fill + compute + last_drain,
+        };
+        let drain_billed = match self.drain {
+            DrainPolicy::PerTile => drain,
+            DrainPolicy::Overlapped => last_drain,
+        };
+        RuntimeReport {
+            cycles,
+            tiles,
+            fill_cycles: fill,
+            compute_cycles: compute,
+            drain_cycles: drain_billed,
+        }
+    }
+
+    /// Speedup of Axon over the conventional array for `gemm`:
+    /// `cycles_sa / cycles_axon`.
+    pub fn speedup(&self, gemm: GemmShape) -> f64 {
+        let sa = self.runtime(Architecture::Conventional, gemm);
+        let ax = self.runtime(Architecture::Axon, gemm);
+        sa.cycles as f64 / ax.cycles as f64
+    }
+
+    /// Runs all three dataflows and returns the one with the lowest cycle
+    /// count for `arch`, together with its report.
+    pub fn best_dataflow(&self, arch: Architecture, gemm: GemmShape) -> (Dataflow, RuntimeReport) {
+        Dataflow::ALL
+            .iter()
+            .map(|&df| {
+                let spec = RuntimeSpec { dataflow: df, ..*self };
+                (df, spec.runtime(arch, gemm))
+            })
+            .min_by_key(|(_, r)| r.cycles)
+            .expect("Dataflow::ALL is non-empty")
+    }
+}
+
+/// Result of a runtime-model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RuntimeReport {
+    /// Total modeled cycles.
+    pub cycles: usize,
+    /// Number of sequential tile passes.
+    pub tiles: usize,
+    /// Cycles spent filling operands (summed over tiles).
+    pub fill_cycles: usize,
+    /// Cycles spent computing (`tiles * T`).
+    pub compute_cycles: usize,
+    /// Drain cycles actually billed under the drain policy.
+    pub drain_cycles: usize,
+}
+
+impl RuntimeReport {
+    /// Fraction of billed cycles spent on useful compute.
+    pub fn compute_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.compute_cycles as f64 / self.cycles as f64
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles over {} tiles (fill {}, compute {}, drain {})",
+            self.cycles, self.tiles, self.fill_cycles, self.compute_cycles, self.drain_cycles
+        )
+    }
+}
+
+/// Closed-form single-tile runtime per the paper's Table 2, for a GEMM that
+/// fits the array (`S_R <= R`, `S_C <= C`), including the drain term.
+///
+/// | Dataflow | Systolic array      | Axon                     |
+/// |----------|---------------------|--------------------------|
+/// | OS       | `2M + K + N - 2`    | `max(M,N) + M + K - 1`   |
+/// | WS       | `2K + M + N - 2`    | `max(M,K) + K + N - 1`   |
+/// | IS       | `2K + M + N - 2`    | `max(N,K) + K + M - 1`   |
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{Dataflow, GemmShape};
+/// use axon_core::runtime::{table2_runtime, Architecture};
+///
+/// let g = GemmShape::new(16, 16, 16);
+/// assert_eq!(table2_runtime(Architecture::Conventional, Dataflow::Os, g), 2 * 16 + 16 + 16 - 2);
+/// assert_eq!(table2_runtime(Architecture::Axon, Dataflow::Os, g), 16 + 16 + 16 - 1);
+/// ```
+pub fn table2_runtime(arch: Architecture, dataflow: Dataflow, gemm: GemmShape) -> usize {
+    let GemmShape { m, k, n } = gemm;
+    match (arch, dataflow) {
+        (Architecture::Conventional, Dataflow::Os) => 2 * m + k + n - 2,
+        (Architecture::Conventional, Dataflow::Ws) | (Architecture::Conventional, Dataflow::Is) => {
+            2 * k + m + n - 2
+        }
+        (Architecture::Axon, Dataflow::Os) => m.max(n) + m + k - 1,
+        (Architecture::Axon, Dataflow::Ws) => m.max(k) + k + n - 1,
+        (Architecture::Axon, Dataflow::Is) => n.max(k) + k + m - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec64() -> RuntimeSpec {
+        RuntimeSpec::new(ArrayShape::square(64), Dataflow::Os)
+    }
+
+    #[test]
+    fn table2_matches_spec_for_single_tile() {
+        // A GEMM that exactly fills the array must reproduce Table 2 when
+        // per-tile drains are billed.
+        let g = GemmShape::new(64, 100, 64);
+        let spec = spec64()
+            .with_drain(DrainPolicy::PerTile)
+            .with_accounting(Accounting::ExactEdges);
+        for df in Dataflow::ALL {
+            // Only OS maps S_R=M; WS/IS map S_R=K which exceeds the array
+            // here, so restrict the closed-form check to shapes that fit.
+            if df == Dataflow::Os {
+                let spec = RuntimeSpec { dataflow: df, ..spec };
+                let r = spec.runtime(Architecture::Conventional, g);
+                assert_eq!(r.cycles, table2_runtime(Architecture::Conventional, df, g));
+                let r = spec.runtime(Architecture::Axon, g);
+                assert_eq!(r.cycles, table2_runtime(Architecture::Axon, df, g));
+            }
+        }
+    }
+
+    #[test]
+    fn table2_ws_is_forms() {
+        let g = GemmShape::new(10, 20, 30);
+        assert_eq!(
+            table2_runtime(Architecture::Conventional, Dataflow::Ws, g),
+            2 * 20 + 10 + 30 - 2
+        );
+        assert_eq!(
+            table2_runtime(Architecture::Axon, Dataflow::Ws, g),
+            20 + 20 + 30 - 1 // max(20,10) = 20
+        );
+        assert_eq!(
+            table2_runtime(Architecture::Axon, Dataflow::Is, g),
+            30 + 20 + 10 - 1 // max(30,20) = 30
+        );
+    }
+
+    #[test]
+    fn axon_never_slower_square() {
+        // For square arrays Axon's fill is strictly smaller whenever the
+        // array has more than one row/column.
+        for n in [2usize, 4, 16, 64, 256] {
+            let a = ArrayShape::square(n);
+            assert!(
+                Architecture::Axon.tile_fill(a.rows(), a.cols())
+                    < Architecture::Conventional.tile_fill(a.rows(), a.cols())
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_at_256_matches_paper_shape() {
+        // TF0 (M=31999, K=84, N=1024) on a 256x256 array, OS dataflow,
+        // overlapped drains: speedup should be ~1.75 (paper's Fig. 12
+        // reports a 1.76x *average* at this size).
+        let spec = RuntimeSpec::new(ArrayShape::square(256), Dataflow::Os);
+        let s = spec.speedup(GemmShape::new(31999, 84, 1024));
+        assert!((1.6..1.85).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn gemv_speedup_approaches_two() {
+        // Memory-bound GEMV under WS: T = N = 1, so per-tile time is almost
+        // entirely fill latency and Axon approaches 2x (paper §1 bullet 1).
+        // A large GEMV spans many tiles, amortizing the single final drain.
+        let spec = RuntimeSpec::new(ArrayShape::square(128), Dataflow::Ws);
+        let s = spec.speedup(GemmShape::gemv(4096, 4096));
+        assert!(s > 1.9, "GEMV speedup {s}");
+    }
+
+    #[test]
+    fn temporal_bound_workloads_see_little_gain() {
+        // DB0-like: huge K under OS means T dominates; speedup ~1
+        // (paper: "for some workloads... scaling up doesn't help").
+        let spec = RuntimeSpec::new(ArrayShape::square(64), Dataflow::Os);
+        let s = spec.speedup(GemmShape::new(1024, 50000, 16));
+        assert!(s < 1.01, "speedup {s}");
+    }
+
+    #[test]
+    fn paper_ceil_matches_eq2() {
+        // Eq. 2: tau = (2R + C + T - 2) * ceil(S_R/R) * ceil(S_C/C)
+        let array = ArrayShape::square(32);
+        let g = GemmShape::new(100, 10, 70);
+        let spec = RuntimeSpec::new(array, Dataflow::Os).with_drain(DrainPolicy::PerTile);
+        let r = spec.runtime(Architecture::Conventional, g);
+        let per_tile = 2 * 32 + 32 + 10 - 2;
+        let tiles = 4 * 3;
+        assert_eq!(r.cycles, per_tile * tiles);
+        assert_eq!(r.tiles, tiles);
+    }
+
+    #[test]
+    fn exact_edges_cheaper_than_ceil() {
+        let g = GemmShape::new(65, 10, 65);
+        let spec = spec64();
+        let ceil = spec.runtime(Architecture::Conventional, g);
+        let exact = spec
+            .with_accounting(Accounting::ExactEdges)
+            .runtime(Architecture::Conventional, g);
+        assert!(exact.cycles < ceil.cycles);
+        assert_eq!(exact.tiles, ceil.tiles);
+    }
+
+    #[test]
+    fn overlapped_drain_cheaper_than_per_tile() {
+        let g = GemmShape::new(512, 64, 512);
+        let spec = spec64();
+        let overlapped = spec.runtime(Architecture::Axon, g);
+        let per_tile = spec
+            .with_drain(DrainPolicy::PerTile)
+            .runtime(Architecture::Axon, g);
+        assert!(overlapped.cycles < per_tile.cycles);
+    }
+
+    #[test]
+    fn best_dataflow_picks_minimum() {
+        let spec = spec64();
+        let g = GemmShape::new(64, 4096, 64);
+        let (df, rep) = spec.best_dataflow(Architecture::Conventional, g);
+        for other in Dataflow::ALL {
+            let r = RuntimeSpec { dataflow: other, ..spec }
+                .runtime(Architecture::Conventional, g);
+            assert!(rep.cycles <= r.cycles, "{df} not optimal vs {other}");
+        }
+    }
+
+    #[test]
+    fn scale_out_runtime_scales_down() {
+        let g = GemmShape::new(1024, 64, 1024);
+        let base = spec64();
+        let so = base.with_tiling(Tiling::ScaleOut {
+            partitions_r: 2,
+            partitions_c: 2,
+        });
+        let mono = base.runtime(Architecture::Axon, g);
+        let part = so.runtime(Architecture::Axon, g);
+        assert!(part.cycles * 3 < mono.cycles);
+    }
+
+    #[test]
+    fn report_display_and_fraction() {
+        let spec = spec64();
+        let rep = spec.runtime(Architecture::Axon, GemmShape::new(64, 64, 64));
+        assert!(rep.compute_fraction() > 0.0 && rep.compute_fraction() < 1.0);
+        assert!(rep.to_string().contains("cycles"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Conventional systolic-array latency laws (SCALE-sim, paper Eq. 1).
+
+/// Fill latency of a conventional systolic array tile occupying `r x c`
+/// PEs: the Manhattan distance from the feed corner to the farthest PE,
+/// `r + c - 2`.
+///
+/// This is `f1(R, C)` in the paper's Fig. 6. The skew of the operand
+/// streams is what makes both the row and the column distance appear.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::runtime::sa_tile_fill;
+///
+/// assert_eq!(sa_tile_fill(256, 256), 510);
+/// assert_eq!(sa_tile_fill(1, 1), 0);
+/// ```
+pub fn sa_tile_fill(r: usize, c: usize) -> usize {
+    (r + c).saturating_sub(2)
+}
+
+/// Full per-tile latency of a conventional systolic array:
+/// `2r + c + t - 2` (fill `r + c - 2`, compute `t`, drain `r`).
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::runtime::sa_tile_cycles;
+///
+/// // Eq. 1 with S_R = 16, S_C = 16, T = 100:
+/// assert_eq!(sa_tile_cycles(16, 16, 100), 2 * 16 + 16 + 100 - 2);
+/// ```
+pub fn sa_tile_cycles(r: usize, c: usize, t: usize) -> usize {
+    sa_tile_fill(r, c) + t + r
+}
+
+/// Convenience wrapper bundling the conventional laws, mirroring
+/// [`AxonRuntime`](crate::runtime::AxonRuntime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SaRuntime;
+
+impl SaRuntime {
+    /// See [`sa_tile_fill`].
+    pub fn fill(&self, r: usize, c: usize) -> usize {
+        sa_tile_fill(r, c)
+    }
+
+    /// See [`sa_tile_cycles`].
+    pub fn tile_cycles(&self, r: usize, c: usize, t: usize) -> usize {
+        sa_tile_cycles(r, c, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_manhattan_distance() {
+        assert_eq!(sa_tile_fill(4, 4), 6);
+        assert_eq!(sa_tile_fill(1, 8), 7);
+        assert_eq!(sa_tile_fill(8, 1), 7);
+    }
+
+    #[test]
+    fn degenerate_single_pe() {
+        assert_eq!(sa_tile_fill(1, 1), 0);
+        assert_eq!(sa_tile_cycles(1, 1, 5), 6);
+    }
+
+    #[test]
+    fn eq1_decomposition() {
+        // 2 S_R + S_C + T - 2 must equal fill + T + readout.
+        for (r, c, t) in [(16, 16, 16), (8, 32, 100), (64, 4, 1)] {
+            assert_eq!(sa_tile_cycles(r, c, t), 2 * r + c + t - 2);
+        }
+    }
+}

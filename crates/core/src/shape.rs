@@ -1,0 +1,300 @@
+//! Geometric descriptions of systolic arrays and GEMM problems.
+
+use crate::error::ShapeError;
+use std::fmt;
+
+/// Physical shape of a (possibly rectangular) systolic array: `rows x cols`
+/// of processing elements.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::ArrayShape;
+///
+/// let array = ArrayShape::square(16);
+/// assert_eq!(array.num_pes(), 256);
+/// assert_eq!(array.diagonal_len(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayShape {
+    rows: usize,
+    cols: usize,
+}
+
+impl ArrayShape {
+    /// Creates a new array shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero. Use [`ArrayShape::try_new`] for a
+    /// fallible variant.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::try_new(rows, cols).expect("array dimensions must be non-zero")
+    }
+
+    /// Creates a new array shape, returning an error on a zero dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDimension`] if `rows` or `cols` is zero.
+    pub fn try_new(rows: usize, cols: usize) -> Result<Self, ShapeError> {
+        if rows == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "rows" });
+        }
+        if cols == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "cols" });
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// Creates a square `n x n` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of PE columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Length of the principal diagonal, `min(rows, cols)`.
+    ///
+    /// In Axon these are the *feeder* PEs (plus edge feeders for the
+    /// rectangular remainder, see the paper's Fig. 5).
+    pub fn diagonal_len(&self) -> usize {
+        self.rows.min(self.cols)
+    }
+
+    /// `true` when `rows == cols`.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The longer of the two dimensions.
+    pub fn long_side(&self) -> usize {
+        self.rows.max(self.cols)
+    }
+
+    /// Manhattan distance from the conventional feed corner (top-left) to the
+    /// farthest PE: `rows + cols - 2`. This is the conventional-SA fill
+    /// factor `f1` of the paper's Fig. 6.
+    pub fn manhattan_fill(&self) -> usize {
+        self.rows + self.cols - 2
+    }
+
+    /// Chebyshev-like distance from the principal diagonal to the farthest
+    /// PE: `max(rows, cols) - 1`. This is Axon's fill factor `f2` of the
+    /// paper's Fig. 6.
+    pub fn diagonal_fill(&self) -> usize {
+        self.long_side() - 1
+    }
+}
+
+impl fmt::Display for ArrayShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for ArrayShape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Self::new(rows, cols)
+    }
+}
+
+/// Dimensions of a GEMM problem `C[MxN] = A[MxK] * B[KxN]`.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::GemmShape;
+///
+/// let g = GemmShape::new(128, 64, 256);
+/// assert_eq!(g.macs(), 128 * 64 * 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GemmShape {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Contraction dimension (cols of `A`, rows of `B`).
+    pub k: usize,
+    /// Cols of `B` and `C`.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a new GEMM shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero. Use [`GemmShape::try_new`] for a
+    /// fallible variant.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self::try_new(m, k, n).expect("GEMM dimensions must be non-zero")
+    }
+
+    /// Creates a new GEMM shape, returning an error on a zero dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDimension`] naming the offending dimension.
+    pub fn try_new(m: usize, k: usize, n: usize) -> Result<Self, ShapeError> {
+        if m == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "M" });
+        }
+        if k == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "K" });
+        }
+        if n == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "N" });
+        }
+        Ok(Self { m, k, n })
+    }
+
+    /// A matrix-vector product (`N = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `k` is zero.
+    pub fn gemv(m: usize, k: usize) -> Self {
+        Self::new(m, k, 1)
+    }
+
+    /// Total multiply-accumulate operations, `M * K * N`.
+    pub fn macs(&self) -> usize {
+        self.m * self.k * self.n
+    }
+
+    /// Total elements touched if every operand and the output are streamed
+    /// once: `M*K + K*N + M*N`.
+    pub fn operand_elements(&self) -> usize {
+        self.m * self.k + self.k * self.n + self.m * self.n
+    }
+
+    /// Arithmetic intensity: MACs per operand/output element. Low values
+    /// (e.g. GEMV) indicate memory-bound operation.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.macs() as f64 / self.operand_elements() as f64
+    }
+
+    /// `true` when this is a matrix-vector product in either orientation.
+    pub fn is_gemv(&self) -> bool {
+        self.m == 1 || self.n == 1
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M={} K={} N={}", self.m, self.k, self.n)
+    }
+}
+
+/// The spatio-temporal projection of a GEMM onto an array: two spatial
+/// dimensions and one temporal dimension (SCALE-sim terminology; paper §2.2).
+///
+/// `sr` maps along array rows, `sc` along array columns, and `t` is the
+/// number of MACs each PE performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpatioTemporal {
+    /// Spatial dimension mapped along array rows (`S_R`).
+    pub sr: usize,
+    /// Spatial dimension mapped along array columns (`S_C`).
+    pub sc: usize,
+    /// Temporal dimension (`T`).
+    pub t: usize,
+}
+
+impl SpatioTemporal {
+    /// Creates a new mapping.
+    pub fn new(sr: usize, sc: usize, t: usize) -> Self {
+        Self { sr, sc, t }
+    }
+}
+
+impl fmt::Display for SpatioTemporal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S_R={} S_C={} T={}", self.sr, self.sc, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_shape_basicas() {
+        let a = ArrayShape::new(8, 4);
+        assert_eq!(a.rows(), 8);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(a.num_pes(), 32);
+        assert_eq!(a.diagonal_len(), 4);
+        assert!(!a.is_square());
+        assert_eq!(a.long_side(), 8);
+        assert_eq!(a.to_string(), "8x4");
+    }
+
+    #[test]
+    fn array_shape_fill_factors() {
+        // Paper Fig. 6 example: a 256x256 array's fill factor drops from
+        // 510 to 255 cycles.
+        let a = ArrayShape::square(256);
+        assert_eq!(a.manhattan_fill(), 510);
+        assert_eq!(a.diagonal_fill(), 255);
+    }
+
+    #[test]
+    fn rectangular_fill_factors() {
+        let a = ArrayShape::new(16, 64);
+        assert_eq!(a.manhattan_fill(), 78);
+        assert_eq!(a.diagonal_fill(), 63);
+        // Improvement exists but is below 2x for rectangular arrays.
+        assert!(a.manhattan_fill() > a.diagonal_fill());
+        assert!(a.manhattan_fill() < 2 * a.diagonal_fill());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(ArrayShape::try_new(0, 1).is_err());
+        assert!(ArrayShape::try_new(1, 0).is_err());
+        assert!(GemmShape::try_new(0, 1, 1).is_err());
+        assert!(GemmShape::try_new(1, 0, 1).is_err());
+        assert!(GemmShape::try_new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn gemm_shape_macs_and_intensity() {
+        let g = GemmShape::new(4, 3, 2);
+        assert_eq!(g.macs(), 24);
+        assert_eq!(g.operand_elements(), 12 + 6 + 8);
+        let gemv = GemmShape::gemv(1024, 1024);
+        assert!(gemv.is_gemv());
+        assert!(gemv.arithmetic_intensity() < 1.0);
+        let square = GemmShape::new(1024, 1024, 1024);
+        assert!(square.arithmetic_intensity() > 100.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let a: ArrayShape = (3, 5).into();
+        assert_eq!(a, ArrayShape::new(3, 5));
+    }
+
+    #[test]
+    fn display_gemm() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "M=1 K=2 N=3");
+    }
+}

@@ -1,0 +1,217 @@
+//! Tiling of large GEMMs onto finite arrays (scale-up and scale-out,
+//! paper §2.2 Fig. 2).
+
+use crate::shape::{ArrayShape, SpatioTemporal};
+use std::fmt;
+
+/// Integer ceiling division. Helper used throughout the runtime models.
+pub(crate) fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// How a workload larger than the array is partitioned.
+///
+/// * **Scale-up** — one large monolithic array; the operand matrices are cut
+///   into `ceil(S_R/R) * ceil(S_C/C)` tiles executed back to back (Eq. 2).
+/// * **Scale-out** — `partitions_r x partitions_c` smaller arrays working in
+///   parallel on disjoint slices (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tiling {
+    /// Single monolithic array executing all tiles sequentially.
+    #[default]
+    ScaleUp,
+    /// Multiple arrays; the workload is pre-partitioned `p_r x p_c` ways and
+    /// each array handles its slice sequentially.
+    ScaleOut {
+        /// Partitions across the row dimension (`P_R`).
+        partitions_r: usize,
+        /// Partitions across the column dimension (`P_C`).
+        partitions_c: usize,
+    },
+}
+
+impl Tiling {
+    /// Number of sequential tile passes one array performs for the given
+    /// mapped workload.
+    ///
+    /// For scale-up this is `ceil(S_R/R) * ceil(S_C/C)`; for scale-out the
+    /// spatial dimensions are first divided by the partition counts
+    /// (`S'_R = S_R / P_R`, `S'_C = S_C / P_C`, rounded up).
+    pub fn sequential_tiles(&self, st: SpatioTemporal, array: ArrayShape) -> usize {
+        let (sr, sc) = self.effective_spatial(st);
+        div_ceil(sr, array.rows()) * div_ceil(sc, array.cols())
+    }
+
+    /// The per-array spatial extents after scale-out partitioning.
+    pub fn effective_spatial(&self, st: SpatioTemporal) -> (usize, usize) {
+        match *self {
+            Tiling::ScaleUp => (st.sr, st.sc),
+            Tiling::ScaleOut {
+                partitions_r,
+                partitions_c,
+            } => (
+                div_ceil(st.sr, partitions_r.max(1)),
+                div_ceil(st.sc, partitions_c.max(1)),
+            ),
+        }
+    }
+
+    /// Total number of arrays executing in parallel.
+    pub fn parallel_arrays(&self) -> usize {
+        match *self {
+            Tiling::ScaleUp => 1,
+            Tiling::ScaleOut {
+                partitions_r,
+                partitions_c,
+            } => partitions_r.max(1) * partitions_c.max(1),
+        }
+    }
+}
+
+impl fmt::Display for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Tiling::ScaleUp => f.write_str("scale-up"),
+            Tiling::ScaleOut {
+                partitions_r,
+                partitions_c,
+            } => write!(f, "scale-out {partitions_r}x{partitions_c}"),
+        }
+    }
+}
+
+/// Iterator over the concrete (rows, cols) extents of every tile in a
+/// scale-up execution, including the ragged edge tiles.
+///
+/// Useful for exact (rather than ceil-multiplied) runtime accounting and for
+/// driving the cycle-accurate simulator tile by tile.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, tile::TileExtents};
+///
+/// let tiles: Vec<_> = TileExtents::new(5, 3, ArrayShape::new(4, 2)).collect();
+/// // rows split 4+1, cols split 2+1 -> four tiles
+/// assert_eq!(tiles, vec![(4, 2), (4, 1), (1, 2), (1, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileExtents {
+    sr: usize,
+    sc: usize,
+    array: ArrayShape,
+    row_idx: usize,
+    col_idx: usize,
+    row_tiles: usize,
+    col_tiles: usize,
+}
+
+impl TileExtents {
+    /// Creates the tile iterator for a workload with spatial extents
+    /// `sr x sc` on `array`.
+    pub fn new(sr: usize, sc: usize, array: ArrayShape) -> Self {
+        Self {
+            sr,
+            sc,
+            array,
+            row_idx: 0,
+            col_idx: 0,
+            row_tiles: div_ceil(sr.max(1), array.rows()),
+            col_tiles: div_ceil(sc.max(1), array.cols()),
+        }
+    }
+
+    fn extent(total: usize, tile_size: usize, idx: usize) -> usize {
+        let start = idx * tile_size;
+        (total - start).min(tile_size)
+    }
+}
+
+impl Iterator for TileExtents {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.row_idx >= self.row_tiles {
+            return None;
+        }
+        let r = Self::extent(self.sr, self.array.rows(), self.row_idx);
+        let c = Self::extent(self.sc, self.array.cols(), self.col_idx);
+        self.col_idx += 1;
+        if self.col_idx >= self.col_tiles {
+            self.col_idx = 0;
+            self.row_idx += 1;
+        }
+        Some((r, c))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let done = self.row_idx * self.col_tiles + self.col_idx;
+        let total = self.row_tiles * self.col_tiles;
+        let rem = total - done;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TileExtents {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::SpatioTemporal;
+
+    #[test]
+    fn scale_up_tile_count() {
+        let st = SpatioTemporal::new(100, 50, 7);
+        let array = ArrayShape::square(32);
+        assert_eq!(Tiling::ScaleUp.sequential_tiles(st, array), 4 * 2);
+    }
+
+    #[test]
+    fn scale_out_divides_spatial_dims() {
+        let st = SpatioTemporal::new(100, 50, 7);
+        let array = ArrayShape::square(32);
+        let t = Tiling::ScaleOut {
+            partitions_r: 2,
+            partitions_c: 2,
+        };
+        // S'_R = 50, S'_C = 25 -> ceil(50/32)*ceil(25/32) = 2*1
+        assert_eq!(t.sequential_tiles(st, array), 2);
+        assert_eq!(t.parallel_arrays(), 4);
+    }
+
+    #[test]
+    fn exact_fit_single_tile() {
+        let st = SpatioTemporal::new(32, 32, 1);
+        assert_eq!(
+            Tiling::ScaleUp.sequential_tiles(st, ArrayShape::square(32)),
+            1
+        );
+    }
+
+    #[test]
+    fn tile_extents_cover_workload() {
+        let array = ArrayShape::new(4, 3);
+        let tiles: Vec<_> = TileExtents::new(10, 7, array).collect();
+        assert_eq!(tiles.len(), 3 * 3);
+        let area: usize = tiles.iter().map(|&(r, c)| r * c).sum();
+        assert_eq!(area, 10 * 7);
+        // No tile exceeds the array.
+        assert!(tiles.iter().all(|&(r, c)| r <= 4 && c <= 3));
+    }
+
+    #[test]
+    fn tile_extents_exact_size() {
+        let it = TileExtents::new(9, 9, ArrayShape::square(4));
+        assert_eq!(it.len(), 9);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(Tiling::ScaleUp.to_string(), "scale-up");
+        let t = Tiling::ScaleOut {
+            partitions_r: 2,
+            partitions_c: 3,
+        };
+        assert_eq!(t.to_string(), "scale-out 2x3");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests of the analytical model's structural invariants.
+
+use axon_core::cmsa::cmsa_tile_fill;
+use axon_core::runtime::{
+    axon_tile_fill, sa_tile_fill, table2_runtime, Accounting, Architecture, DrainPolicy,
+    RuntimeSpec,
+};
+use axon_core::tile::TileExtents;
+use axon_core::{ArrayShape, Dataflow, GemmShape, Tiling};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fill_laws_ordering(r in 1usize..2000, c in 1usize..2000) {
+        // axon <= cmsa <= sa, everywhere.
+        prop_assert!(axon_tile_fill(r, c) <= cmsa_tile_fill(r, c).max(axon_tile_fill(r, c)));
+        prop_assert!(cmsa_tile_fill(r, c) <= sa_tile_fill(r, c));
+        prop_assert!(axon_tile_fill(r, c) <= sa_tile_fill(r, c));
+        // Axon's improvement is bounded by 2x (paper §3.1).
+        prop_assert!(sa_tile_fill(r, c) <= 2 * axon_tile_fill(r, c).max(1));
+    }
+
+    #[test]
+    fn runtime_monotone_in_every_dimension(
+        m in 1usize..300,
+        k in 1usize..300,
+        n in 1usize..300,
+        side in 2usize..64,
+        df_idx in 0usize..3,
+        arch_idx in 0usize..2,
+    ) {
+        let df = Dataflow::ALL[df_idx];
+        let arch = [Architecture::Conventional, Architecture::Axon][arch_idx];
+        let spec = RuntimeSpec::new(ArrayShape::square(side), df)
+            .with_accounting(Accounting::ExactEdges)
+            .with_drain(DrainPolicy::PerTile);
+        let base = spec.runtime(arch, GemmShape::new(m, k, n)).cycles;
+        for (dm, dk, dn) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+            let grown = spec
+                .runtime(arch, GemmShape::new(m + dm, k + dk, n + dn))
+                .cycles;
+            prop_assert!(grown >= base, "shrinking with larger GEMM: {m},{k},{n} +({dm},{dk},{dn})");
+        }
+    }
+
+    #[test]
+    fn tiles_cover_workload_exactly(
+        sr in 1usize..500,
+        sc in 1usize..500,
+        r in 1usize..32,
+        c in 1usize..32,
+    ) {
+        let array = ArrayShape::new(r, c);
+        let mut area = 0usize;
+        let mut count = 0usize;
+        for (tr, tc) in TileExtents::new(sr, sc, array) {
+            prop_assert!(tr >= 1 && tr <= r);
+            prop_assert!(tc >= 1 && tc <= c);
+            area += tr * tc;
+            count += 1;
+        }
+        prop_assert_eq!(area, sr * sc);
+        prop_assert_eq!(count, sr.div_ceil(r) * sc.div_ceil(c));
+    }
+
+    #[test]
+    fn paper_ceil_upper_bounds_exact_edges(
+        m in 1usize..200,
+        k in 1usize..200,
+        n in 1usize..200,
+        side in 2usize..32,
+        arch_idx in 0usize..2,
+    ) {
+        let arch = [Architecture::Conventional, Architecture::Axon][arch_idx];
+        let g = GemmShape::new(m, k, n);
+        let base = RuntimeSpec::new(ArrayShape::square(side), Dataflow::Os);
+        let ceil = base.runtime(arch, g).cycles;
+        let exact = base
+            .with_accounting(Accounting::ExactEdges)
+            .runtime(arch, g)
+            .cycles;
+        prop_assert!(exact <= ceil, "exact {exact} > ceil {ceil}");
+    }
+
+    #[test]
+    fn overlapped_never_slower_than_per_tile(
+        m in 1usize..200,
+        k in 1usize..200,
+        n in 1usize..200,
+        side in 2usize..32,
+        df_idx in 0usize..3,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let df = Dataflow::ALL[df_idx];
+        let base = RuntimeSpec::new(ArrayShape::square(side), df);
+        for arch in [Architecture::Conventional, Architecture::Axon] {
+            let overlapped = base.runtime(arch, g).cycles;
+            let per_tile = base.with_drain(DrainPolicy::PerTile).runtime(arch, g).cycles;
+            prop_assert!(overlapped <= per_tile);
+        }
+    }
+
+    #[test]
+    fn scale_out_parallelism_never_hurts_makespan(
+        m in 1usize..300,
+        k in 1usize..100,
+        n in 1usize..300,
+        side in 2usize..16,
+        p in 1usize..5,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let mono = RuntimeSpec::new(ArrayShape::square(side), Dataflow::Os);
+        let part = mono.with_tiling(Tiling::ScaleOut {
+            partitions_r: p,
+            partitions_c: p,
+        });
+        let up = mono.runtime(Architecture::Axon, g).cycles;
+        let out = part.runtime(Architecture::Axon, g).cycles;
+        prop_assert!(out <= up, "scale-out {out} > scale-up {up}");
+    }
+
+    #[test]
+    fn table2_speedup_bounded_by_two(
+        m in 1usize..500,
+        k in 1usize..500,
+        n in 1usize..500,
+        df_idx in 0usize..3,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let df = Dataflow::ALL[df_idx];
+        let sa = table2_runtime(Architecture::Conventional, df, g);
+        let ax = table2_runtime(Architecture::Axon, df, g);
+        prop_assert!(ax <= sa, "{g} {df}");
+        prop_assert!(sa <= 2 * ax, "{g} {df}: speedup beyond 2x");
+    }
+
+    #[test]
+    fn min_temporal_maps_largest_dims_spatially(
+        m in 1usize..1000,
+        k in 1usize..1000,
+        n in 1usize..1000,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let st = Dataflow::min_temporal(g).map(g);
+        prop_assert_eq!(st.t, m.min(k).min(n));
+        prop_assert!(st.sr >= st.t && st.sc >= st.t);
+    }
+}

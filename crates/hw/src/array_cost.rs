@@ -1,0 +1,277 @@
+//! Whole-array area/power rollup for the designs the paper compares.
+
+use crate::components::ComponentLibrary;
+use crate::node::TechNode;
+use crate::sauria::SauriaFeederConfig;
+use axon_core::ArrayShape;
+use std::fmt;
+
+/// The array designs compared in the paper's Figs. 10 and 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayDesign {
+    /// Conventional unidirectional systolic array.
+    Conventional,
+    /// Axon: diagonal feed, bidirectional propagation, with optional
+    /// on-chip im2col MUXes and optional unified (OS/WS/IS) PEs.
+    Axon {
+        /// Include the per-feeder 2-to-1 im2col MUX.
+        im2col: bool,
+        /// Use the unified PE of Fig. 9 (adds four MUXes per PE).
+        unified_pe: bool,
+    },
+    /// Conventional array plus a Sauria-style per-column im2col feeder.
+    SauriaStyle,
+}
+
+impl fmt::Display for ArrayDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayDesign::Conventional => f.write_str("SA"),
+            ArrayDesign::Axon { im2col: true, .. } => f.write_str("Axon+im2col"),
+            ArrayDesign::Axon { .. } => f.write_str("Axon"),
+            ArrayDesign::SauriaStyle => f.write_str("Sauria-style"),
+        }
+    }
+}
+
+/// Rolled-up silicon cost of one array instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayCost {
+    /// Total area in mm^2.
+    pub area_mm2: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+}
+
+impl fmt::Display for ArrayCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mm^2, {:.2} mW", self.area_mm2, self.power_mw)
+    }
+}
+
+/// Estimates the cost of `design` at `shape` on `node`.
+///
+/// Buffer sharing at Axon's feeder PEs (the paper's §5.1 observation that
+/// adjacent PEs mirrored across the diagonal receive identical data in
+/// the same cycle) is an **area** credit only: the shared buffer still
+/// serves both consumers, so its dynamic power is unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::ArrayShape;
+/// use axon_hw::{estimate_array_cost, ArrayDesign, ComponentLibrary, TechNode};
+///
+/// let lib = ComponentLibrary::calibrated_7nm();
+/// let sa = estimate_array_cost(
+///     ArrayDesign::Conventional, ArrayShape::square(16), TechNode::asap7(), &lib);
+/// assert!((sa.area_mm2 - 0.9992).abs() < 1e-4); // paper Fig. 10
+/// assert!((sa.power_mw - 59.88).abs() < 0.01);
+/// ```
+pub fn estimate_array_cost(
+    design: ArrayDesign,
+    shape: ArrayShape,
+    node: TechNode,
+    lib: &ComponentLibrary,
+) -> ArrayCost {
+    let pes = shape.num_pes() as f64;
+    let diag = shape.diagonal_len() as f64;
+    let mut total = lib.conventional_pe().times(pes);
+
+    match design {
+        ArrayDesign::Conventional => {}
+        ArrayDesign::Axon { im2col, unified_pe } => {
+            // Bidirectional interconnect at each feeder PE.
+            total += lib.bidir_interconnect.times(diag);
+            // Buffer sharing: each feeder PE lets one input-buffer pair
+            // (horizontal mirror) and one weight-buffer pair (vertical
+            // mirror) collapse into a single buffer. Area-only credit.
+            total.area_um2 -= lib.operand_buffer.area_um2 * 2.0 * diag;
+            if im2col {
+                total += lib.mux2_16b.times(diag);
+            }
+            if unified_pe {
+                // Fig. 9: MUX1..MUX4 in every PE.
+                total += lib.mux2_16b.times(4.0 * pes);
+            }
+        }
+        ArrayDesign::SauriaStyle => {
+            total += SauriaFeederConfig::default().network_cost(lib, shape.cols());
+        }
+    }
+
+    ArrayCost {
+        area_mm2: total.area_um2 * node.area_scale / 1e6,
+        power_mw: total.power_mw * node.power_scale,
+    }
+}
+
+/// Power model of zero gating (paper §4.1, §5.2.1: "5.3% total power
+/// reduction for the case of 10% sparsity").
+///
+/// A MAC is gated when either operand is zero; with independent operand
+/// sparsities `s_a`, `s_b`, the gated fraction is `1 - (1-s_a)(1-s_b)`.
+/// Gating suppresses the *switchable* part of the MAC's power; the share
+/// is calibrated so that 10% sparsity on both operands yields the paper's
+/// 5.3% total reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroGatingPower {
+    /// Fraction of MAC power eliminated while gated.
+    pub gatable_mac_share: f64,
+}
+
+impl Default for ZeroGatingPower {
+    fn default() -> Self {
+        // mac_share_of_pe ~= 0.5986; 0.5986 * x * 0.19 = 0.053 => x ~= 0.466.
+        Self {
+            gatable_mac_share: 0.466,
+        }
+    }
+}
+
+impl ZeroGatingPower {
+    /// Total-power multiplier for a design whose MACs are gated a
+    /// `gated_fraction` of the time.
+    pub fn power_factor(&self, lib: &ComponentLibrary, gated_fraction: f64) -> f64 {
+        let pe = lib.conventional_pe();
+        let mac_share = lib.fp16_mac.power_mw / pe.power_mw;
+        1.0 - mac_share * self.gatable_mac_share * gated_fraction.clamp(0.0, 1.0)
+    }
+
+    /// Gated MAC fraction for independent operand sparsities.
+    pub fn gated_fraction(s_a: f64, s_b: f64) -> f64 {
+        1.0 - (1.0 - s_a.clamp(0.0, 1.0)) * (1.0 - s_b.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> ComponentLibrary {
+        ComponentLibrary::calibrated_7nm()
+    }
+
+    fn at16(design: ArrayDesign) -> ArrayCost {
+        estimate_array_cost(design, ArrayShape::square(16), TechNode::asap7(), &lib())
+    }
+
+    #[test]
+    fn fig10_anchors_reproduced() {
+        let sa = at16(ArrayDesign::Conventional);
+        assert!((sa.area_mm2 - 0.9992).abs() < 1e-4, "SA area {}", sa.area_mm2);
+        assert!((sa.power_mw - 59.88).abs() < 0.01);
+
+        let axon = at16(ArrayDesign::Axon {
+            im2col: false,
+            unified_pe: false,
+        });
+        assert!((axon.area_mm2 - 0.9931).abs() < 1e-4, "Axon area {}", axon.area_mm2);
+
+        let axon_im2col = at16(ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: false,
+        });
+        assert!(
+            (axon_im2col.area_mm2 - 0.9951).abs() < 1e-4,
+            "Axon+im2col area {}",
+            axon_im2col.area_mm2
+        );
+        assert!(
+            (axon_im2col.power_mw - 59.98).abs() < 0.01,
+            "Axon+im2col power {}",
+            axon_im2col.power_mw
+        );
+    }
+
+    #[test]
+    fn im2col_overhead_is_small() {
+        let axon = at16(ArrayDesign::Axon {
+            im2col: false,
+            unified_pe: false,
+        });
+        let with = at16(ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: false,
+        });
+        let area_pct = 100.0 * (with.area_mm2 - axon.area_mm2) / axon.area_mm2;
+        assert!((0.15..0.25).contains(&area_pct), "area overhead {area_pct}%");
+    }
+
+    #[test]
+    fn axon_beats_sauria_on_area_and_power() {
+        // Paper §5.2.3: Axon averages ~3.93% less area and ~4.5% less
+        // power than Sauria across nodes/shapes.
+        let axon = at16(ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: false,
+        });
+        let sauria = at16(ArrayDesign::SauriaStyle);
+        assert!(axon.area_mm2 < sauria.area_mm2);
+        assert!(axon.power_mw < sauria.power_mw);
+        let pct = 100.0 * (sauria.area_mm2 - axon.area_mm2) / sauria.area_mm2;
+        assert!((2.0..6.0).contains(&pct), "area advantage {pct}%");
+    }
+
+    #[test]
+    fn node_scaling_preserves_ratios() {
+        let lib = lib();
+        for shape in [ArrayShape::square(8), ArrayShape::square(32)] {
+            let a7 = estimate_array_cost(
+                ArrayDesign::Axon { im2col: true, unified_pe: false },
+                shape,
+                TechNode::asap7(),
+                &lib,
+            );
+            let a45 = estimate_array_cost(
+                ArrayDesign::Axon { im2col: true, unified_pe: false },
+                shape,
+                TechNode::tsmc45(),
+                &lib,
+            );
+            let s7 = estimate_array_cost(ArrayDesign::SauriaStyle, shape, TechNode::asap7(), &lib);
+            let s45 =
+                estimate_array_cost(ArrayDesign::SauriaStyle, shape, TechNode::tsmc45(), &lib);
+            let r7 = a7.area_mm2 / s7.area_mm2;
+            let r45 = a45.area_mm2 / s45.area_mm2;
+            assert!((r7 - r45).abs() < 1e-9, "ratio differs across nodes");
+        }
+    }
+
+    #[test]
+    fn unified_pe_costs_more() {
+        let plain = at16(ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: false,
+        });
+        let unified = at16(ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: true,
+        });
+        assert!(unified.area_mm2 > plain.area_mm2);
+        // Still a small overhead: 4 MUXes per PE is < 15% of a PE.
+        assert!(unified.area_mm2 < plain.area_mm2 * 1.15);
+    }
+
+    #[test]
+    fn zero_gating_matches_paper_calibration() {
+        let g = ZeroGatingPower::default();
+        let gated = ZeroGatingPower::gated_fraction(0.1, 0.1);
+        assert!((gated - 0.19).abs() < 1e-12);
+        let factor = g.power_factor(&lib(), gated);
+        let reduction_pct = 100.0 * (1.0 - factor);
+        assert!((reduction_pct - 5.3).abs() < 0.1, "reduction {reduction_pct}%");
+    }
+
+    #[test]
+    fn zero_gating_monotone_in_sparsity() {
+        let g = ZeroGatingPower::default();
+        let l = lib();
+        let mut last = 1.1;
+        for s in [0.0, 0.1, 0.3, 0.5, 0.9] {
+            let f = g.power_factor(&l, ZeroGatingPower::gated_fraction(s, s));
+            assert!(f < last, "not monotone at {s}");
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Component library: per-block area (um^2) and power (mW) at the 7 nm
+//! reference node.
+//!
+//! Constants are **calibrated** so that the rolled-up 16x16 FP16 OS array
+//! reproduces the paper's Fig. 10 post-PnR numbers exactly:
+//!
+//! * conventional SA: 0.9992 mm^2, 59.88 mW;
+//! * Axon (buffer sharing at the diagonal minus the bidirectional
+//!   interconnect): 0.9931 mm^2;
+//! * Axon + im2col MUXes: 0.9951 mm^2 (+0.2% over Axon), 59.98 mW.
+//!
+//! The split between MAC / buffers / control within a PE follows typical
+//! FP16 MAC-dominated budgets (FPnew-derived datapaths); only the *totals*
+//! are pinned by the paper.
+
+/// Area/power of one library block at 7 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    /// Silicon area in square micrometres.
+    pub area_um2: f64,
+    /// Average power in milliwatts at the reference activity and clock.
+    pub power_mw: f64,
+}
+
+impl BlockCost {
+    /// A zero-cost placeholder.
+    pub const ZERO: BlockCost = BlockCost {
+        area_um2: 0.0,
+        power_mw: 0.0,
+    };
+
+    /// Creates a block cost.
+    pub fn new(area_um2: f64, power_mw: f64) -> Self {
+        Self { area_um2, power_mw }
+    }
+
+    /// Scales both metrics by a count.
+    pub fn times(self, count: f64) -> Self {
+        Self {
+            area_um2: self.area_um2 * count,
+            power_mw: self.power_mw * count,
+        }
+    }
+}
+
+impl std::ops::Add for BlockCost {
+    type Output = BlockCost;
+
+    fn add(self, rhs: BlockCost) -> BlockCost {
+        BlockCost {
+            area_um2: self.area_um2 + rhs.area_um2,
+            power_mw: self.power_mw + rhs.power_mw,
+        }
+    }
+}
+
+impl std::ops::AddAssign for BlockCost {
+    fn add_assign(&mut self, rhs: BlockCost) {
+        *self = *self + rhs;
+    }
+}
+
+/// The component library (7 nm reference values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentLibrary {
+    /// Simplified FPnew-derived FP16 multiply-accumulate unit.
+    pub fp16_mac: BlockCost,
+    /// One 16-bit operand buffer (input or weight) inside a PE.
+    pub operand_buffer: BlockCost,
+    /// 16-bit accumulator / psum register.
+    pub accumulator: BlockCost,
+    /// Per-PE control (dataflow select, gating).
+    pub pe_control: BlockCost,
+    /// Extra wiring for Axon's bidirectional propagation at a feeder PE.
+    pub bidir_interconnect: BlockCost,
+    /// One 16-bit 2-to-1 MUX (Axon's im2col support; also used in the
+    /// unified PE).
+    pub mux2_16b: BlockCost,
+    /// A 16-bit feed register (Sauria-style feeder building block).
+    pub feed_register: BlockCost,
+    /// A small address/window counter (Sauria-style feeder).
+    pub counter: BlockCost,
+    /// An 8-deep 16-bit FIFO (Sauria-style feeder).
+    pub fifo8x16: BlockCost,
+}
+
+impl ComponentLibrary {
+    /// The calibrated 7 nm library (see module docs for the anchors).
+    pub fn calibrated_7nm() -> Self {
+        // 16x16 SA: 256 PEs * pe_total = 999_200 um^2, 59.88 mW
+        // => pe_total = 3903.125 um^2, 0.2339 mW.
+        Self {
+            fp16_mac: BlockCost::new(2200.0, 0.1400),
+            operand_buffer: BlockCost::new(550.0, 0.0300),
+            accumulator: BlockCost::new(350.0, 0.0200),
+            pe_control: BlockCost::new(253.125, 0.013_906_25),
+            // Axon: 16 feeder PEs each share one input and one weight
+            // buffer with their mirror neighbours (-2 * 550 um^2) but add
+            // the bidirectional interconnect; net -381.25 um^2 per feeder
+            // PE so that the 16x16 array lands on 0.9931 mm^2.
+            bidir_interconnect: BlockCost::new(718.75, 0.004_25),
+            // +125 um^2 * 16 = +0.0020 mm^2 (0.9931 -> 0.9951 mm^2);
+            // power picked so Axon+im2col totals 59.98 mW.
+            mux2_16b: BlockCost::new(125.0, 0.002_0),
+            // Sauria-style feeder blocks: registers/counters/FIFO toggling
+            // every cycle. Sized so the 16x16 feeder network costs ~4% of
+            // the array area (the paper's quote for [15]) and the
+            // size-sweep averages land near the paper's 3.93%-area /
+            // 4.5%-power Axon advantage (Fig. 15).
+            feed_register: BlockCost::new(150.0, 0.025_0),
+            counter: BlockCost::new(350.0, 0.030_0),
+            fifo8x16: BlockCost::new(1450.0, 0.060_0),
+        }
+    }
+
+    /// Cost of one conventional PE (MAC + two operand buffers +
+    /// accumulator + control).
+    pub fn conventional_pe(&self) -> BlockCost {
+        self.fp16_mac
+            + self.operand_buffer.times(2.0)
+            + self.accumulator
+            + self.pe_control
+    }
+}
+
+impl Default for ComponentLibrary {
+    fn default() -> Self {
+        Self::calibrated_7nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_total_hits_calibration_anchor() {
+        let lib = ComponentLibrary::calibrated_7nm();
+        let pe = lib.conventional_pe();
+        // 256 PEs -> 0.9992 mm^2 and 59.88 mW.
+        assert!((pe.area_um2 * 256.0 - 999_200.0).abs() < 1.0);
+        assert!((pe.power_mw * 256.0 - 59.88).abs() < 0.01);
+    }
+
+    #[test]
+    fn block_cost_arithmetic() {
+        let a = BlockCost::new(10.0, 1.0);
+        let b = BlockCost::new(5.0, 0.5);
+        let c = a + b.times(2.0);
+        assert!((c.area_um2 - 20.0).abs() < 1e-12);
+        assert!((c.power_mw - 2.0).abs() < 1e-12);
+        let mut d = BlockCost::ZERO;
+        d += a;
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn mac_dominates_pe_area() {
+        let lib = ComponentLibrary::calibrated_7nm();
+        let pe = lib.conventional_pe();
+        assert!(lib.fp16_mac.area_um2 / pe.area_um2 > 0.4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Array-level energy and energy-delay product.
+//!
+//! The paper's energy argument has two parts: DRAM energy from traffic
+//! (modeled in `axon-mem`) and array energy, which tracks *runtime at
+//! nearly equal power* — Axon's power overhead is 0.17–1.6% while its
+//! runtime improves by 1.2–2x, so array energy falls almost
+//! proportionally to the speedup. This module quantifies that.
+
+use crate::array_cost::{estimate_array_cost, ArrayCost, ArrayDesign, ZeroGatingPower};
+use crate::components::ComponentLibrary;
+use crate::node::TechNode;
+use axon_core::ArrayShape;
+use std::fmt;
+
+/// Energy accounting for one workload execution on one array design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionEnergy {
+    /// Cycles the run took.
+    pub cycles: usize,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Average array power during the run, in mW.
+    pub power_mw: f64,
+}
+
+impl ExecutionEnergy {
+    /// Run time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Array energy in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.power_mw * 1e-3 * self.time_s() * 1e6
+    }
+
+    /// Energy-delay product in microjoule-seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy_uj() * self.time_s()
+    }
+}
+
+impl fmt::Display for ExecutionEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles @ {:.0} MHz, {:.2} mW -> {:.3} uJ",
+            self.cycles,
+            self.clock_mhz,
+            self.power_mw,
+            self.energy_uj()
+        )
+    }
+}
+
+/// Builds the execution-energy record for a run of `cycles` on `design`,
+/// optionally derated by zero gating at `gated_fraction`.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::ArrayShape;
+/// use axon_hw::{execution_energy, ArrayDesign, ComponentLibrary, TechNode};
+///
+/// let lib = ComponentLibrary::calibrated_7nm();
+/// let sa = execution_energy(
+///     ArrayDesign::Conventional, ArrayShape::square(16), TechNode::asap7(),
+///     &lib, 1000, 500.0, 0.0);
+/// let axon = execution_energy(
+///     ArrayDesign::Axon { im2col: true, unified_pe: false },
+///     ArrayShape::square(16), TechNode::asap7(), &lib, 700, 500.0, 0.0);
+/// // 1.43x fewer cycles at ~equal power -> ~1.43x less energy.
+/// assert!(axon.energy_uj() < sa.energy_uj() / 1.4);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn execution_energy(
+    design: ArrayDesign,
+    shape: ArrayShape,
+    node: TechNode,
+    lib: &ComponentLibrary,
+    cycles: usize,
+    clock_mhz: f64,
+    gated_fraction: f64,
+) -> ExecutionEnergy {
+    let ArrayCost { power_mw, .. } = estimate_array_cost(design, shape, node, lib);
+    let factor = ZeroGatingPower::default().power_factor(lib, gated_fraction);
+    ExecutionEnergy {
+        cycles,
+        clock_mhz,
+        power_mw: power_mw * factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> ComponentLibrary {
+        ComponentLibrary::calibrated_7nm()
+    }
+
+    #[test]
+    fn energy_scales_with_cycles() {
+        let e1 = execution_energy(
+            ArrayDesign::Conventional,
+            ArrayShape::square(16),
+            TechNode::asap7(),
+            &lib(),
+            1000,
+            500.0,
+            0.0,
+        );
+        let e2 = execution_energy(
+            ArrayDesign::Conventional,
+            ArrayShape::square(16),
+            TechNode::asap7(),
+            &lib(),
+            2000,
+            500.0,
+            0.0,
+        );
+        assert!((e2.energy_uj() - 2.0 * e1.energy_uj()).abs() < 1e-9);
+        // EDP scales quadratically with time at fixed power.
+        assert!((e2.edp() - 4.0 * e1.edp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axon_energy_advantage_tracks_speedup() {
+        // 1.47x speedup at +0.17% power => ~1.47x energy advantage.
+        let l = lib();
+        let sa = execution_energy(
+            ArrayDesign::Conventional,
+            ArrayShape::square(16),
+            TechNode::asap7(),
+            &l,
+            1470,
+            500.0,
+            0.0,
+        );
+        let ax = execution_energy(
+            ArrayDesign::Axon {
+                im2col: true,
+                unified_pe: false,
+            },
+            ArrayShape::square(16),
+            TechNode::asap7(),
+            &l,
+            1000,
+            500.0,
+            0.0,
+        );
+        let ratio = sa.energy_uj() / ax.energy_uj();
+        assert!((1.4..1.5).contains(&ratio), "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn gating_reduces_power_not_time() {
+        let l = lib();
+        let dense = execution_energy(
+            ArrayDesign::Axon {
+                im2col: true,
+                unified_pe: false,
+            },
+            ArrayShape::square(16),
+            TechNode::asap7(),
+            &l,
+            1000,
+            500.0,
+            0.0,
+        );
+        let sparse = execution_energy(
+            ArrayDesign::Axon {
+                im2col: true,
+                unified_pe: false,
+            },
+            ArrayShape::square(16),
+            TechNode::asap7(),
+            &l,
+            1000,
+            500.0,
+            0.19,
+        );
+        assert_eq!(dense.time_s(), sparse.time_s());
+        assert!(sparse.energy_uj() < dense.energy_uj());
+    }
+}

@@ -1,0 +1,47 @@
+//! # axon-hw
+//!
+//! Component-level silicon cost model for the Axon reproduction.
+//!
+//! The paper synthesizes and places-and-routes 16x16 arrays with TSMC
+//! 45 nm and ASAP 7 nm PDKs (Synopsys DC/VCS). Proprietary EDA flows are
+//! out of reach for a reproduction, so this crate substitutes an
+//! analytical rollup over a component library whose constants are
+//! **calibrated to the paper's own post-PnR anchors** (Fig. 10):
+//!
+//! | design          | area (mm^2) | power (mW) |
+//! |-----------------|-------------|------------|
+//! | conventional SA | 0.9992      | 59.88      |
+//! | Axon            | 0.9931      | —          |
+//! | Axon + im2col   | 0.9951      | 59.98      |
+//!
+//! Relative comparisons — the +0.2% im2col area, the +1.6%-class power
+//! figure, and the few-percent advantage over a Sauria-style feeder
+//! (Fig. 15) — are structural: they follow from mux-vs-counter/FIFO
+//! component counts and survive the substitution.
+//!
+//! ## Example
+//!
+//! ```
+//! use axon_hw::{ComponentLibrary, ImplementationSpecs};
+//!
+//! let lib = ComponentLibrary::calibrated_7nm();
+//! let spec = ImplementationSpecs::paper_configuration(&lib);
+//! assert!(spec.im2col_area_overhead_pct() < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array_cost;
+mod components;
+mod energy;
+mod node;
+mod report;
+mod sauria;
+
+pub use array_cost::{estimate_array_cost, ArrayCost, ArrayDesign, ZeroGatingPower};
+pub use components::{BlockCost, ComponentLibrary};
+pub use energy::{execution_energy, ExecutionEnergy};
+pub use node::TechNode;
+pub use report::{sweep_vs_sauria, ImplementationSpecs, SweepPoint};
+pub use sauria::SauriaFeederConfig;

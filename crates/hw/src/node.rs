@@ -1,0 +1,85 @@
+//! Technology nodes and scaling.
+//!
+//! The paper synthesizes at TSMC 45 nm and ASAP 7 nm. We cannot run the
+//! proprietary flows, so this model anchors all component constants at
+//! 7 nm — calibrated to the paper's post-PnR 16x16 numbers (Fig. 10) —
+//! and scales to 45 nm with generic standard-cell density/power factors.
+//! Relative comparisons (Axon vs SA vs Sauria), which are what Fig. 15
+//! plots, are preserved by construction because every design is built
+//! from the same component library.
+
+use std::fmt;
+
+/// A process technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Nominal feature size in nanometres.
+    pub feature_nm: u32,
+    /// Area multiplier relative to the 7 nm reference library.
+    pub area_scale: f64,
+    /// Power multiplier relative to the 7 nm reference library at the
+    /// same clock.
+    pub power_scale: f64,
+}
+
+impl TechNode {
+    /// ASAP 7 nm FinFET predictive PDK — the calibration reference.
+    pub fn asap7() -> Self {
+        Self {
+            name: "ASAP7",
+            feature_nm: 7,
+            area_scale: 1.0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// TSMC 45 nm. Generic scaling: ~14x the standard-cell area and
+    /// ~3.5x the dynamic power of the 7 nm library at iso-frequency.
+    pub fn tsmc45() -> Self {
+        Self {
+            name: "TSMC45",
+            feature_nm: 45,
+            area_scale: 14.0,
+            power_scale: 3.5,
+        }
+    }
+
+    /// Both nodes used in the paper's Fig. 15, 45 nm first.
+    pub fn paper_nodes() -> [TechNode; 2] {
+        [Self::tsmc45(), Self::asap7()]
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} nm)", self.name, self.feature_nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_node_is_identity() {
+        let n = TechNode::asap7();
+        assert_eq!(n.area_scale, 1.0);
+        assert_eq!(n.power_scale, 1.0);
+    }
+
+    #[test]
+    fn coarser_node_is_bigger_and_hungrier() {
+        let n45 = TechNode::tsmc45();
+        assert!(n45.area_scale > 1.0);
+        assert!(n45.power_scale > 1.0);
+        assert!(n45.feature_nm > TechNode::asap7().feature_nm);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TechNode::asap7().to_string(), "ASAP7 (7 nm)");
+        assert_eq!(TechNode::tsmc45().to_string(), "TSMC45 (45 nm)");
+    }
+}

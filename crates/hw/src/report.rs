@@ -1,0 +1,175 @@
+//! Report helpers: the Fig. 10 implementation-spec table and the Fig. 15
+//! area/power sweeps.
+
+use crate::array_cost::{estimate_array_cost, ArrayCost, ArrayDesign};
+use crate::components::ComponentLibrary;
+use crate::node::TechNode;
+use axon_core::ArrayShape;
+use std::fmt;
+
+/// The implemented-configuration summary of the paper's Fig. 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplementationSpecs {
+    /// Array shape (16x16 in the paper).
+    pub array: ArrayShape,
+    /// Datapath description.
+    pub datapath: &'static str,
+    /// Dataflow used for the hardware build.
+    pub dataflow: &'static str,
+    /// Technology node.
+    pub node: TechNode,
+    /// Conventional-SA cost for reference.
+    pub sa: ArrayCost,
+    /// Axon without im2col.
+    pub axon: ArrayCost,
+    /// Axon with im2col MUXes (the implemented design).
+    pub axon_im2col: ArrayCost,
+}
+
+impl ImplementationSpecs {
+    /// Builds the paper's implemented configuration: a 16x16 FP16 OS
+    /// array with im2col support and zero gating at ASAP 7 nm.
+    pub fn paper_configuration(lib: &ComponentLibrary) -> Self {
+        let array = ArrayShape::square(16);
+        let node = TechNode::asap7();
+        Self {
+            array,
+            datapath: "FP16 MAC (simplified FPnew)",
+            dataflow: "OS",
+            node,
+            sa: estimate_array_cost(ArrayDesign::Conventional, array, node, lib),
+            axon: estimate_array_cost(
+                ArrayDesign::Axon {
+                    im2col: false,
+                    unified_pe: false,
+                },
+                array,
+                node,
+                lib,
+            ),
+            axon_im2col: estimate_array_cost(
+                ArrayDesign::Axon {
+                    im2col: true,
+                    unified_pe: false,
+                },
+                array,
+                node,
+                lib,
+            ),
+        }
+    }
+
+    /// Area overhead of im2col support over the plain Axon array, percent.
+    pub fn im2col_area_overhead_pct(&self) -> f64 {
+        100.0 * (self.axon_im2col.area_mm2 - self.axon.area_mm2) / self.axon.area_mm2
+    }
+
+    /// Power overhead of the implemented design over the conventional SA,
+    /// in percent of absolute milliwatts.
+    pub fn power_overhead_pct(&self) -> f64 {
+        100.0 * (self.axon_im2col.power_mw - self.sa.power_mw) / self.sa.power_mw
+    }
+}
+
+impl fmt::Display for ImplementationSpecs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Array          : {} {}", self.array, self.dataflow)?;
+        writeln!(f, "Datapath       : {}", self.datapath)?;
+        writeln!(f, "Node           : {}", self.node)?;
+        writeln!(f, "SA             : {}", self.sa)?;
+        writeln!(f, "Axon           : {}", self.axon)?;
+        writeln!(f, "Axon + im2col  : {}", self.axon_im2col)?;
+        writeln!(
+            f,
+            "im2col overhead: {:.2}% area, {:.2}% power",
+            self.im2col_area_overhead_pct(),
+            self.power_overhead_pct()
+        )
+    }
+}
+
+/// One row of the Fig. 15 sweep: a design costed at a shape and node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Square array side.
+    pub side: usize,
+    /// Axon + im2col cost.
+    pub axon: ArrayCost,
+    /// Sauria-style cost.
+    pub sauria: ArrayCost,
+}
+
+impl SweepPoint {
+    /// Axon's area advantage over Sauria in percent.
+    pub fn area_advantage_pct(&self) -> f64 {
+        100.0 * (self.sauria.area_mm2 - self.axon.area_mm2) / self.sauria.area_mm2
+    }
+
+    /// Axon's power advantage over Sauria in percent.
+    pub fn power_advantage_pct(&self) -> f64 {
+        100.0 * (self.sauria.power_mw - self.axon.power_mw) / self.sauria.power_mw
+    }
+}
+
+/// Sweeps square array sizes at one node, comparing Axon + im2col against
+/// the Sauria-style feeder (the paper's Fig. 15a/b series).
+pub fn sweep_vs_sauria(node: TechNode, sides: &[usize], lib: &ComponentLibrary) -> Vec<SweepPoint> {
+    sides
+        .iter()
+        .map(|&side| {
+            let shape = ArrayShape::square(side);
+            SweepPoint {
+                side,
+                axon: estimate_array_cost(
+                    ArrayDesign::Axon {
+                        im2col: true,
+                        unified_pe: false,
+                    },
+                    shape,
+                    node,
+                    lib,
+                ),
+                sauria: estimate_array_cost(ArrayDesign::SauriaStyle, shape, node, lib),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_overheads() {
+        let lib = ComponentLibrary::calibrated_7nm();
+        let spec = ImplementationSpecs::paper_configuration(&lib);
+        assert!((spec.im2col_area_overhead_pct() - 0.2).abs() < 0.05);
+        // Paper reports +0.10 mW (59.88 -> 59.98).
+        assert!((spec.axon_im2col.power_mw - spec.sa.power_mw - 0.10).abs() < 0.01);
+    }
+
+    #[test]
+    fn sweep_advantage_shrinks_with_size() {
+        // The Sauria feeder grows with C while the array grows with R*C,
+        // so Axon's relative advantage is largest for small arrays.
+        let lib = ComponentLibrary::calibrated_7nm();
+        let pts = sweep_vs_sauria(TechNode::asap7(), &[8, 16, 32, 64, 128], &lib);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].area_advantage_pct() > w[1].area_advantage_pct());
+        }
+        // Average advantage lands in the paper's few-percent band.
+        let avg: f64 =
+            pts.iter().map(SweepPoint::area_advantage_pct).sum::<f64>() / pts.len() as f64;
+        assert!((1.0..6.0).contains(&avg), "avg advantage {avg}%");
+    }
+
+    #[test]
+    fn display_formats() {
+        let lib = ComponentLibrary::calibrated_7nm();
+        let spec = ImplementationSpecs::paper_configuration(&lib);
+        let s = spec.to_string();
+        assert!(s.contains("16x16"));
+        assert!(s.contains("FP16"));
+    }
+}

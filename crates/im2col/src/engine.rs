@@ -1,0 +1,159 @@
+//! End-to-end convolution execution: lowering, tiled systolic GEMM, and
+//! traffic accounting in one call.
+//!
+//! This is the path a user of the accelerator model actually wants: give
+//! it a layer, an ifmap and filters, pick the architecture, and get the
+//! OFMAP plus cycles and memory traffic. Functional correctness against
+//! direct convolution is asserted in tests and cheap to re-check via
+//! [`ConvRun::verify`].
+
+use crate::conv::ConvLayer;
+use crate::software::{direct_conv, flatten_filters, im2col};
+use crate::tensor::{FilterBank, Tensor3};
+use crate::traffic::{layer_traffic, LayerTraffic, TrafficParams};
+use axon_core::runtime::Architecture;
+use axon_core::ShapeError;
+use axon_sim::{simulate_gemm, Matrix, SimConfig, SimStats};
+
+/// Result of running one conv layer on a simulated array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvRun {
+    /// OFMAP as `C_out x (OH*OW)` (matching `flatten * lowered`).
+    pub ofmap: Matrix,
+    /// Simulator statistics for the GEMM execution.
+    pub stats: SimStats,
+    /// SRAM-level stream traffic of this layer under both im2col schemes.
+    pub traffic: LayerTraffic,
+    layer: ConvLayer,
+}
+
+impl ConvRun {
+    /// The executed layer.
+    pub fn layer(&self) -> ConvLayer {
+        self.layer
+    }
+
+    /// Re-checks the OFMAP against direct convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the operands mismatch the layer (cannot
+    /// happen for a `ConvRun` produced by [`run_conv`] with the same
+    /// operands).
+    pub fn verify(&self, ifmap: &Tensor3, filters: &FilterBank) -> Result<bool, ShapeError> {
+        let truth = direct_conv(&self.layer, ifmap, filters)?;
+        Ok(self.ofmap == truth)
+    }
+}
+
+/// Executes a convolution on the configured array via im2col lowering.
+///
+/// The lowering itself is the *software* scheme (the values delivered to
+/// the array are identical under the on-chip scheme — the MUX feeder
+/// changes only where they are fetched from, which is what the
+/// [`LayerTraffic`] field accounts).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when the ifmap or filters disagree with the
+/// layer geometry.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, runtime::Architecture};
+/// use axon_im2col::{run_conv, ConvLayer, FilterBank, Tensor3};
+/// use axon_sim::SimConfig;
+///
+/// # fn main() -> Result<(), axon_core::ShapeError> {
+/// let layer = ConvLayer::new(2, 4, 8, 8, 3, 1, 1);
+/// let ifmap = Tensor3::from_fn(2, 8, 8, |c, y, x| (c + y + x) as f32);
+/// let filters = FilterBank::from_fn(4, 2, 3, |m, c, y, x| (m + c + y + x) as f32);
+/// let cfg = SimConfig::new(ArrayShape::square(8));
+/// let run = run_conv(Architecture::Axon, &cfg, &layer, &ifmap, &filters)?;
+/// assert!(run.verify(&ifmap, &filters)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_conv(
+    arch: Architecture,
+    cfg: &SimConfig,
+    layer: &ConvLayer,
+    ifmap: &Tensor3,
+    filters: &FilterBank,
+) -> Result<ConvRun, ShapeError> {
+    let lowered = im2col(layer, ifmap)?;
+    let flat = flatten_filters(layer, filters)?;
+    let result = simulate_gemm(arch, cfg, &flat, &lowered)?;
+    let traffic = layer_traffic(
+        layer,
+        TrafficParams::new(2, cfg.array.diagonal_len()),
+    );
+    Ok(ConvRun {
+        ofmap: result.output,
+        stats: result.stats,
+        traffic,
+        layer: *layer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axon_core::{ArrayShape, Dataflow};
+
+    fn operands(layer: &ConvLayer) -> (Tensor3, FilterBank) {
+        let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
+            ((c * 11 + y * 5 + x * 3) % 13) as f32 - 6.0
+        });
+        let filters = FilterBank::from_fn(
+            layer.out_channels,
+            layer.in_channels,
+            layer.kernel,
+            |m, c, y, x| ((m * 3 + c * 7 + y * 2 + x) % 9) as f32 - 4.0,
+        );
+        (ifmap, filters)
+    }
+
+    #[test]
+    fn run_conv_verifies_on_both_architectures() {
+        let layer = ConvLayer::new(3, 5, 9, 9, 3, 1, 1);
+        let (ifmap, filters) = operands(&layer);
+        for arch in [Architecture::Conventional, Architecture::Axon] {
+            let cfg = SimConfig::new(ArrayShape::square(6));
+            let run = run_conv(arch, &cfg, &layer, &ifmap, &filters).unwrap();
+            assert!(run.verify(&ifmap, &filters).unwrap(), "{arch}");
+            assert_eq!(run.stats.macs_performed, layer.macs());
+        }
+    }
+
+    #[test]
+    fn axon_conv_is_faster() {
+        let layer = ConvLayer::new(2, 8, 12, 12, 3, 1, 0);
+        let (ifmap, filters) = operands(&layer);
+        let cfg = SimConfig::new(ArrayShape::square(8)).with_dataflow(Dataflow::Os);
+        let sa = run_conv(Architecture::Conventional, &cfg, &layer, &ifmap, &filters).unwrap();
+        let ax = run_conv(Architecture::Axon, &cfg, &layer, &ifmap, &filters).unwrap();
+        assert!(ax.stats.cycles < sa.stats.cycles);
+        assert_eq!(ax.ofmap, sa.ofmap);
+    }
+
+    #[test]
+    fn traffic_attached_to_run() {
+        let layer = ConvLayer::new(4, 4, 10, 10, 3, 1, 1);
+        let (ifmap, filters) = operands(&layer);
+        let cfg = SimConfig::new(ArrayShape::square(4));
+        let run = run_conv(Architecture::Axon, &cfg, &layer, &ifmap, &filters).unwrap();
+        assert!(run.traffic.ifmap_reduction_pct() > 0.0);
+        assert_eq!(run.layer(), layer);
+    }
+
+    #[test]
+    fn geometry_mismatch_propagates() {
+        let layer = ConvLayer::new(2, 2, 8, 8, 3, 1, 0);
+        let wrong_ifmap = Tensor3::zeros(3, 8, 8);
+        let (_, filters) = operands(&layer);
+        let cfg = SimConfig::new(ArrayShape::square(4));
+        assert!(run_conv(Architecture::Axon, &cfg, &layer, &wrong_ifmap, &filters).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # axon-im2col
+//!
+//! Convolution-lowering substrate for the Axon reproduction: tensors,
+//! conv-layer geometry, reference (software) im2col, the Axon on-chip
+//! MUX feeder schedule, and memory-traffic models.
+//!
+//! The paper's second contribution (§3.2) is an im2col implementation
+//! that costs a single 2-to-1 MUX per diagonal feeder PE: because Axon's
+//! diagonal feed is *unskewed and ordered*, each feeder can take the
+//! element it needs from the adjacent feeder's previous cycle for
+//! `n - 1` of every `n` cycles, eliminating the duplicated SRAM/DRAM
+//! traffic software im2col incurs.
+//!
+//! ## Example
+//!
+//! ```
+//! use axon_im2col::{access_reduction_pct, ConvLayer};
+//!
+//! // A ResNet-style 3x3 conv with a 16-wide feeder chain saves >60% of
+//! // the ifmap stream (paper Fig. 11).
+//! let layer = ConvLayer::new(64, 64, 56, 56, 3, 1, 1);
+//! assert!(access_reduction_pct(&layer, 16) > 60.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod engine;
+mod onchip;
+mod software;
+mod tensor;
+mod traffic;
+
+pub use conv::ConvLayer;
+pub use engine::{run_conv, ConvRun};
+pub use onchip::{
+    access_reduction_pct, onchip_ifmap_loads, simulate_feeder_group, software_ifmap_loads,
+    MuxTrace,
+};
+pub use software::{direct_conv, flatten_filters, im2col};
+pub use tensor::{FilterBank, Tensor3};
+pub use traffic::{
+    layer_dram_traffic, layer_traffic, network_traffic, DramTrafficModel, LayerTraffic,
+    OnchipPolicy, TrafficParams,
+};

@@ -1,0 +1,304 @@
+//! Axon's on-chip im2col: the 2-to-1 MUX feeder schedule (paper §3.2,
+//! Fig. 3b).
+//!
+//! Conv windows are streamed to the diagonal feeder PEs *in reverse*
+//! (rightmost element of each flattened window first). Because a window at
+//! output column `x+1` is the window at `x` shifted by the stride, feeder
+//! `i`'s element at stream position `p` equals feeder `i-1`'s element at
+//! position `p-1` (stride 1) — except at kernel-row boundaries, which occur
+//! once every `n` positions. A single 2-to-1 MUX per feeder therefore
+//! suffices: its control is `0` (load from SRAM) for 1 cycle and `1` (take
+//! the adjacent diagonal PE's value) for the other `n - 1` cycles.
+//!
+//! The module provides both a cycle-level schedule simulation (verified
+//! against the lowered matrix columns) and the closed-form SRAM load
+//! count; tests assert they agree.
+
+use crate::conv::ConvLayer;
+use crate::software::im2col;
+use crate::tensor::Tensor3;
+use axon_core::ShapeError;
+use axon_sim::Matrix;
+
+/// Outcome of simulating the MUX feeder chain for one group of windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuxTrace {
+    /// Elements fetched from the IFMAP SRAM buffer.
+    pub loads_from_sram: usize,
+    /// Elements taken from the adjacent diagonal PE via the MUX.
+    pub loads_from_neighbor: usize,
+    /// Per-cycle, per-feeder control bits (`true` = take from neighbor).
+    /// `controls[cycle][feeder]`.
+    pub controls: Vec<Vec<bool>>,
+}
+
+impl MuxTrace {
+    /// Total elements delivered to the array.
+    pub fn total_delivered(&self) -> usize {
+        self.loads_from_sram + self.loads_from_neighbor
+    }
+
+    /// Fraction of deliveries that avoided an SRAM access.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.total_delivered();
+        if total == 0 {
+            0.0
+        } else {
+            self.loads_from_neighbor as f64 / total as f64
+        }
+    }
+}
+
+/// Simulates the feeder chain for `group` consecutive windows of one OFMAP
+/// row starting at output coordinates `(oy, ox0)`.
+///
+/// Returns the streams actually delivered to the feeders (one row per
+/// window, in *forward* flattened order, so they can be compared to the
+/// lowered matrix columns) together with the [`MuxTrace`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError::DimensionMismatch`] if the layer stride is not 1
+/// (the single-register MUX chain only captures stride-1 reuse; the
+/// closed-form [`onchip_ifmap_loads`] generalizes the traffic accounting),
+/// if the group exceeds the OFMAP row, or if the ifmap mismatches the
+/// layer.
+pub fn simulate_feeder_group(
+    layer: &ConvLayer,
+    ifmap: &Tensor3,
+    oy: usize,
+    ox0: usize,
+    group: usize,
+) -> Result<(Matrix, MuxTrace), ShapeError> {
+    if layer.stride != 1 {
+        return Err(ShapeError::DimensionMismatch {
+            context: "mux chain requires stride",
+            left: layer.stride,
+            right: 1,
+        });
+    }
+    if ox0 + group > layer.out_w() || group == 0 {
+        return Err(ShapeError::DimensionMismatch {
+            context: "window group vs ofmap row",
+            left: ox0 + group,
+            right: layer.out_w(),
+        });
+    }
+    let lowered = im2col(layer, ifmap)?;
+    let len = layer.window_len();
+    let n = layer.kernel;
+    let ow = layer.out_w();
+
+    // delivered[(i, p_fwd)] in forward order; feeders operate in reverse.
+    let mut delivered = Matrix::zeros(group, len);
+    let mut trace = MuxTrace {
+        loads_from_sram: 0,
+        loads_from_neighbor: 0,
+        controls: Vec::with_capacity(len),
+    };
+    // prev[i] = value feeder i held in the previous cycle.
+    let mut prev: Vec<f32> = vec![0.0; group];
+
+    for p in 0..len {
+        let mut cycle_controls = Vec::with_capacity(group);
+        let mut cur = vec![0.0f32; group];
+        for i in 0..group {
+            let col = oy * ow + ox0 + i;
+            let from_neighbor = i > 0 && p % n != 0;
+            let v = if from_neighbor {
+                trace.loads_from_neighbor += 1;
+                prev[i - 1]
+            } else {
+                trace.loads_from_sram += 1;
+                lowered[(len - 1 - p, col)]
+            };
+            cur[i] = v;
+            delivered[(i, len - 1 - p)] = v;
+            cycle_controls.push(from_neighbor);
+        }
+        trace.controls.push(cycle_controls);
+        prev = cur;
+    }
+    Ok((delivered, trace))
+}
+
+/// Closed-form SRAM ifmap loads for a whole layer using the on-chip
+/// feeder with `group_size` diagonal feeders (= the array's diagonal
+/// length).
+///
+/// Per group of `g` windows the first feeder streams the full window
+/// (`L = C_in * n^2` elements) while the other `g - 1` feeders load only
+/// the elements the MUX cannot supply: `s` new elements per `n`-cycle
+/// period for stride `s < n` (a stride-`s` chain), or everything when
+/// `s >= n` (no overlap to reuse). Chains break at OFMAP row boundaries
+/// and at tile-group boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use axon_im2col::{onchip_ifmap_loads, ConvLayer};
+///
+/// // Paper Fig. 7 shape: one OFMAP row of 4 windows, 3x3 kernel:
+/// // 9 + 3*(9/3) = 18 loads for 36 delivered elements (50% saved).
+/// let layer = ConvLayer::new(1, 1, 6, 6, 3, 1, 0);
+/// assert_eq!(onchip_ifmap_loads(&layer, 4), 4 * 18);
+/// ```
+pub fn onchip_ifmap_loads(layer: &ConvLayer, group_size: usize) -> usize {
+    let len = layer.window_len();
+    let n = layer.kernel;
+    let s = layer.stride;
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    let group_size = group_size.max(1);
+
+    if s >= n {
+        // No horizontal overlap between adjacent windows.
+        return oh * ow * len;
+    }
+    // Follower feeders load s elements per n-cycle period.
+    let follower_loads = len * s / n;
+    let full_groups = ow / group_size;
+    let rem = ow % group_size;
+    let mut per_row = full_groups * (len + (group_size - 1) * follower_loads);
+    if rem > 0 {
+        per_row += len + (rem - 1) * follower_loads;
+    }
+    oh * per_row
+}
+
+/// Software-im2col ifmap loads: every element of the lowered matrix is
+/// read once, `K * N` in total.
+pub fn software_ifmap_loads(layer: &ConvLayer) -> usize {
+    layer.lowered_elements()
+}
+
+/// Fractional memory-access reduction of the on-chip scheme over software
+/// im2col for the ifmap stream, in percent (the quantity of the paper's
+/// Fig. 11).
+pub fn access_reduction_pct(layer: &ConvLayer, group_size: usize) -> f64 {
+    let sw = software_ifmap_loads(layer) as f64;
+    let hw = onchip_ifmap_loads(layer, group_size) as f64;
+    100.0 * (1.0 - hw / sw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ifmap_for(layer: &ConvLayer) -> Tensor3 {
+        Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
+            (c * 1000 + y * 10 + x) as f32
+        })
+    }
+
+    #[test]
+    fn feeder_chain_delivers_exact_windows() {
+        let layer = ConvLayer::new(2, 1, 6, 6, 3, 1, 0);
+        let ifmap = ifmap_for(&layer);
+        let lowered = im2col(&layer, &ifmap).unwrap();
+        let (delivered, _) = simulate_feeder_group(&layer, &ifmap, 1, 0, 4).unwrap();
+        for i in 0..4 {
+            for p in 0..layer.window_len() {
+                assert_eq!(
+                    delivered[(i, p)],
+                    lowered[(p, layer.out_w() + i)],
+                    "window {i} element {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig7_load_count() {
+        // 4 windows of the first OFMAP row: 36 elements delivered with
+        // only 18 SRAM loads (the 18 unique elements; 50% repetition).
+        let layer = ConvLayer::new(1, 1, 6, 6, 3, 1, 0);
+        let ifmap = ifmap_for(&layer);
+        let (_, trace) = simulate_feeder_group(&layer, &ifmap, 0, 0, 4).unwrap();
+        assert_eq!(trace.total_delivered(), 36);
+        assert_eq!(trace.loads_from_sram, 18);
+        assert_eq!(trace.loads_from_neighbor, 18);
+        assert!((trace.reuse_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_control_pattern_is_1_in_n() {
+        let layer = ConvLayer::new(1, 1, 8, 8, 3, 1, 0);
+        let ifmap = ifmap_for(&layer);
+        let (_, trace) = simulate_feeder_group(&layer, &ifmap, 0, 0, 3).unwrap();
+        for (p, cycle) in trace.controls.iter().enumerate() {
+            // Feeder 0 always loads from SRAM.
+            assert!(!cycle[0]);
+            for &ctl in &cycle[1..] {
+                assert_eq!(ctl, p % 3 != 0, "cycle {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_schedule_simulation() {
+        for (layer, group) in [
+            (ConvLayer::new(1, 1, 6, 6, 3, 1, 0), 4usize),
+            (ConvLayer::new(3, 1, 9, 9, 3, 1, 0), 7),
+            (ConvLayer::new(2, 1, 12, 12, 5, 1, 0), 8),
+        ] {
+            let ifmap = ifmap_for(&layer);
+            // Sum schedule loads over all rows/groups of the layer.
+            let mut sim_loads = 0usize;
+            let ow = layer.out_w();
+            for oy in 0..layer.out_h() {
+                let mut ox = 0;
+                while ox < ow {
+                    let g = group.min(ow - ox);
+                    let (_, trace) = simulate_feeder_group(&layer, &ifmap, oy, ox, g).unwrap();
+                    sim_loads += trace.loads_from_sram;
+                    ox += g;
+                }
+            }
+            assert_eq!(sim_loads, onchip_ifmap_loads(&layer, group), "{layer}");
+        }
+    }
+
+    #[test]
+    fn reduction_exceeds_60pct_for_typical_shapes() {
+        // Paper Fig. 11: >60% for SOTA conv shapes with a 16-wide feeder.
+        for layer in [
+            ConvLayer::new(64, 64, 56, 56, 3, 1, 1),
+            ConvLayer::new(128, 128, 28, 28, 3, 1, 1),
+            ConvLayer::new(32, 64, 112, 112, 5, 1, 2),
+        ] {
+            let red = access_reduction_pct(&layer, 16);
+            assert!(red > 60.0, "{layer}: {red}%");
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_has_no_reuse() {
+        let layer = ConvLayer::new(16, 16, 28, 28, 1, 1, 0);
+        assert_eq!(
+            onchip_ifmap_loads(&layer, 16),
+            software_ifmap_loads(&layer)
+        );
+        assert_eq!(access_reduction_pct(&layer, 16), 0.0);
+    }
+
+    #[test]
+    fn stride_at_or_above_kernel_disables_reuse() {
+        let layer = ConvLayer::new(4, 4, 16, 16, 2, 2, 0);
+        assert_eq!(onchip_ifmap_loads(&layer, 8), software_ifmap_loads(&layer));
+    }
+
+    #[test]
+    fn non_unit_stride_rejected_by_chain_sim() {
+        let layer = ConvLayer::new(1, 1, 8, 8, 3, 2, 0);
+        let ifmap = ifmap_for(&layer);
+        assert!(simulate_feeder_group(&layer, &ifmap, 0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn oversized_group_rejected() {
+        let layer = ConvLayer::new(1, 1, 6, 6, 3, 1, 0);
+        let ifmap = ifmap_for(&layer);
+        assert!(simulate_feeder_group(&layer, &ifmap, 0, 2, 3).is_err());
+        assert!(simulate_feeder_group(&layer, &ifmap, 0, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Software (reference) im2col lowering and direct-convolution ground
+//! truth.
+//!
+//! This is the baseline the paper's on-chip scheme replaces: the lowered
+//! matrix is fully materialized, duplicating every ifmap element that
+//! appears in multiple convolution windows.
+
+use crate::conv::ConvLayer;
+use crate::tensor::{FilterBank, Tensor3};
+use axon_core::ShapeError;
+use axon_sim::Matrix;
+
+/// Lowers an IFMAP into the im2col matrix of shape `K x N`
+/// (`K = C_in * n^2` window length, `N = OH * OW` windows, one column per
+/// window, in row-major output order).
+///
+/// # Errors
+///
+/// Returns [`ShapeError::DimensionMismatch`] if `ifmap` does not match the
+/// layer geometry.
+///
+/// # Examples
+///
+/// ```
+/// use axon_im2col::{im2col, ConvLayer, Tensor3};
+///
+/// # fn main() -> Result<(), axon_core::ShapeError> {
+/// let layer = ConvLayer::new(1, 1, 4, 4, 3, 1, 0);
+/// let ifmap = Tensor3::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+/// let lowered = im2col(&layer, &ifmap)?;
+/// assert_eq!(lowered.rows(), 9);
+/// assert_eq!(lowered.cols(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn im2col(layer: &ConvLayer, ifmap: &Tensor3) -> Result<Matrix, ShapeError> {
+    validate_ifmap(layer, ifmap)?;
+    let k = layer.window_len();
+    let n = layer.num_windows();
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    let mut out = Matrix::zeros(k, n);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let col = oy * ow + ox;
+            let mut row = 0usize;
+            for c in 0..layer.in_channels {
+                for ky in 0..layer.kernel {
+                    for kx in 0..layer.kernel {
+                        let y = (oy * layer.stride + ky) as isize - layer.padding as isize;
+                        let x = (ox * layer.stride + kx) as isize - layer.padding as isize;
+                        out[(row, col)] = ifmap.get_padded(c, y, x, layer.padding);
+                        row += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Flattens a filter bank into the `M x K` GEMM operand (one filter per
+/// row, channel-major then row-major within the kernel — matching the
+/// ordering produced by [`im2col`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError::DimensionMismatch`] if the bank does not match
+/// the layer geometry.
+pub fn flatten_filters(layer: &ConvLayer, filters: &FilterBank) -> Result<Matrix, ShapeError> {
+    if filters.count() != layer.out_channels {
+        return Err(ShapeError::DimensionMismatch {
+            context: "filter count vs out_channels",
+            left: filters.count(),
+            right: layer.out_channels,
+        });
+    }
+    if filters.channels() != layer.in_channels || filters.kernel() != layer.kernel {
+        return Err(ShapeError::DimensionMismatch {
+            context: "filter geometry vs layer",
+            left: filters.channels() * filters.kernel() * filters.kernel(),
+            right: layer.window_len(),
+        });
+    }
+    let m = layer.out_channels;
+    let k = layer.window_len();
+    Ok(Matrix::from_fn(m, k, |fi, idx| {
+        let per_ch = layer.kernel * layer.kernel;
+        let c = idx / per_ch;
+        let rem = idx % per_ch;
+        let ky = rem / layer.kernel;
+        let kx = rem % layer.kernel;
+        filters.get(fi, c, ky, kx).expect("validated geometry")
+    }))
+}
+
+/// Direct (non-lowered) convolution, the numerical ground truth. Returns
+/// the OFMAP as a `C_out x (OH*OW)` matrix, matching the GEMM output
+/// layout `flatten_filters(..) * im2col(..)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands do not match the layer geometry.
+pub fn direct_conv(
+    layer: &ConvLayer,
+    ifmap: &Tensor3,
+    filters: &FilterBank,
+) -> Result<Matrix, ShapeError> {
+    validate_ifmap(layer, ifmap)?;
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    let mut out = Matrix::zeros(layer.out_channels, oh * ow);
+    for m in 0..layer.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for c in 0..layer.in_channels {
+                    for ky in 0..layer.kernel {
+                        for kx in 0..layer.kernel {
+                            let y = (oy * layer.stride + ky) as isize - layer.padding as isize;
+                            let x = (ox * layer.stride + kx) as isize - layer.padding as isize;
+                            let iv = ifmap.get_padded(c, y, x, layer.padding);
+                            let fv = filters.get(m, c, ky, kx).ok_or(
+                                ShapeError::DimensionMismatch {
+                                    context: "filter geometry vs layer",
+                                    left: filters.count(),
+                                    right: layer.out_channels,
+                                },
+                            )?;
+                            acc += iv * fv;
+                        }
+                    }
+                }
+                out[(m, oy * ow + ox)] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn validate_ifmap(layer: &ConvLayer, ifmap: &Tensor3) -> Result<(), ShapeError> {
+    if ifmap.channels() != layer.in_channels {
+        return Err(ShapeError::DimensionMismatch {
+            context: "ifmap channels vs layer",
+            left: ifmap.channels(),
+            right: layer.in_channels,
+        });
+    }
+    if ifmap.height() != layer.ifmap_h || ifmap.width() != layer.ifmap_w {
+        return Err(ShapeError::DimensionMismatch {
+            context: "ifmap extents vs layer",
+            left: ifmap.height() * ifmap.width(),
+            right: layer.ifmap_h * layer.ifmap_w,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_operands(layer: &ConvLayer) -> (Tensor3, FilterBank) {
+        let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
+            ((c * 7 + y * 3 + x * 5) % 11) as f32 - 5.0
+        });
+        let filters = FilterBank::from_fn(
+            layer.out_channels,
+            layer.in_channels,
+            layer.kernel,
+            |m, c, y, x| ((m + 2 * c + 3 * y + x) % 7) as f32 - 3.0,
+        );
+        (ifmap, filters)
+    }
+
+    #[test]
+    fn gemm_of_lowered_equals_direct_conv() {
+        for layer in [
+            ConvLayer::new(2, 3, 8, 8, 3, 1, 0),
+            ConvLayer::new(1, 4, 9, 7, 3, 2, 1),
+            ConvLayer::new(3, 2, 6, 6, 1, 1, 0),
+            ConvLayer::new(2, 2, 10, 10, 5, 2, 2),
+        ] {
+            let (ifmap, filters) = test_operands(&layer);
+            let lowered = im2col(&layer, &ifmap).unwrap();
+            let flat = flatten_filters(&layer, &filters).unwrap();
+            let via_gemm = flat.matmul(&lowered);
+            let direct = direct_conv(&layer, &ifmap, &filters).unwrap();
+            assert_eq!(via_gemm, direct, "{layer}");
+        }
+    }
+
+    #[test]
+    fn lowered_shape_matches_gemm_projection() {
+        let layer = ConvLayer::new(3, 8, 12, 12, 3, 1, 1);
+        let (ifmap, _) = test_operands(&layer);
+        let lowered = im2col(&layer, &ifmap).unwrap();
+        let g = layer.gemm_shape();
+        assert_eq!(lowered.rows(), g.k);
+        assert_eq!(lowered.cols(), g.n);
+    }
+
+    #[test]
+    fn mismatched_ifmap_rejected() {
+        let layer = ConvLayer::new(2, 2, 8, 8, 3, 1, 0);
+        let wrong = Tensor3::zeros(3, 8, 8);
+        assert!(im2col(&layer, &wrong).is_err());
+        let wrong = Tensor3::zeros(2, 7, 8);
+        assert!(im2col(&layer, &wrong).is_err());
+    }
+
+    #[test]
+    fn mismatched_filters_rejected() {
+        let layer = ConvLayer::new(2, 2, 8, 8, 3, 1, 0);
+        let wrong = FilterBank::zeros(3, 2, 3);
+        assert!(flatten_filters(&layer, &wrong).is_err());
+        let wrong = FilterBank::zeros(2, 2, 5);
+        assert!(flatten_filters(&layer, &wrong).is_err());
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let layer = ConvLayer::new(1, 1, 3, 3, 3, 1, 1);
+        let ifmap = Tensor3::from_fn(1, 3, 3, |_, _, _| 1.0);
+        let lowered = im2col(&layer, &ifmap).unwrap();
+        // Corner window (0,0): only 4 of 9 taps fall inside the image.
+        let col0_sum: f32 = (0..9).map(|r| lowered[(r, 0)]).sum();
+        assert_eq!(col0_sum, 4.0);
+    }
+}

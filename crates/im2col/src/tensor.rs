@@ -1,0 +1,311 @@
+//! Minimal CHW tensor types for the convolution substrate.
+
+use axon_core::ShapeError;
+use std::fmt;
+
+/// A dense 3-D tensor in channel-major (CHW) layout: the input feature map
+/// (IFMAP) of a convolution.
+///
+/// # Examples
+///
+/// ```
+/// use axon_im2col::Tensor3;
+///
+/// let t = Tensor3::from_fn(2, 3, 3, |c, y, x| (c * 9 + y * 3 + x) as f32);
+/// assert_eq!(t.get(1, 2, 2), Some(17.0));
+/// assert_eq!(t.get_padded(0, -1, 0, 1), 0.0); // zero padding
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be non-zero"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f(channel, y, x)` per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize, usize) -> f32>(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: F,
+    ) -> Self {
+        let mut t = Self::zeros(channels, height, width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    let i = t.index(c, y, x);
+                    t.data[i] = f(c, y, x);
+                }
+            }
+        }
+        t
+    }
+
+    /// Creates a tensor from a CHW-ordered vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when dimensions are zero or the data length
+    /// disagrees with the shape.
+    pub fn from_vec(
+        channels: usize,
+        height: usize,
+        width: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, ShapeError> {
+        if channels == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "channels" });
+        }
+        if height == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "height" });
+        }
+        if width == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "width" });
+        }
+        if data.len() != channels * height * width {
+            return Err(ShapeError::DimensionMismatch {
+                context: "data length vs C*H*W",
+                left: data.len(),
+                right: channels * height * width,
+            });
+        }
+        Ok(Self {
+            channels,
+            height,
+            width,
+            data,
+        })
+    }
+
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor holds no elements (never, by construction,
+    /// but provided for API completeness alongside [`Tensor3::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bounds-checked element access.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> Option<f32> {
+        if c < self.channels && y < self.height && x < self.width {
+            Some(self.data[self.index(c, y, x)])
+        } else {
+            None
+        }
+    }
+
+    /// Element access with implicit zero padding: out-of-bounds spatial
+    /// coordinates (including negative ones) read as `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range — padding applies to the spatial
+    /// dimensions only.
+    pub fn get_padded(&self, c: usize, y: isize, x: isize, _pad: usize) -> f32 {
+        assert!(c < self.channels, "channel {c} out of range");
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            0.0
+        } else {
+            self.data[self.index(c, y as usize, x as usize)]
+        }
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index ({c},{y},{x}) out of bounds"
+        );
+        let i = self.index(c, y, x);
+        self.data[i] = v;
+    }
+}
+
+impl fmt::Display for Tensor3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor3 {}x{}x{} (CHW)",
+            self.channels, self.height, self.width
+        )
+    }
+}
+
+/// A bank of convolution filters in `(count, channels, k, k)` layout.
+///
+/// # Examples
+///
+/// ```
+/// use axon_im2col::FilterBank;
+///
+/// let f = FilterBank::from_fn(4, 2, 3, |m, c, y, x| (m + c + y + x) as f32);
+/// assert_eq!(f.count(), 4);
+/// assert_eq!(f.get(3, 1, 2, 2), Some(8.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterBank {
+    count: usize,
+    channels: usize,
+    kernel: usize,
+    data: Vec<f32>,
+}
+
+impl FilterBank {
+    /// Creates a zero-filled filter bank of `count` filters, each
+    /// `channels x kernel x kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(count: usize, channels: usize, kernel: usize) -> Self {
+        assert!(
+            count > 0 && channels > 0 && kernel > 0,
+            "filter dimensions must be non-zero"
+        );
+        Self {
+            count,
+            channels,
+            kernel,
+            data: vec![0.0; count * channels * kernel * kernel],
+        }
+    }
+
+    /// Creates a filter bank by evaluating `f(filter, channel, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize, usize, usize) -> f32>(
+        count: usize,
+        channels: usize,
+        kernel: usize,
+        mut f: F,
+    ) -> Self {
+        let mut fb = Self::zeros(count, channels, kernel);
+        for m in 0..count {
+            for c in 0..channels {
+                for y in 0..kernel {
+                    for x in 0..kernel {
+                        let i = fb.index(m, c, y, x);
+                        fb.data[i] = f(m, c, y, x);
+                    }
+                }
+            }
+        }
+        fb
+    }
+
+    fn index(&self, m: usize, c: usize, y: usize, x: usize) -> usize {
+        ((m * self.channels + c) * self.kernel + y) * self.kernel + x
+    }
+
+    /// Number of filters (output channels).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Channels per filter.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Bounds-checked element access.
+    pub fn get(&self, m: usize, c: usize, y: usize, x: usize) -> Option<f32> {
+        if m < self.count && c < self.channels && y < self.kernel && x < self.kernel {
+            Some(self.data[self.index(m, c, y, x)])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_layout_is_chw() {
+        let t = Tensor3::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.get(1, 1, 0), Some(110.0));
+        assert_eq!(t.get(2, 0, 0), None);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let t = Tensor3::from_fn(1, 2, 2, |_, y, x| (y * 2 + x + 1) as f32);
+        assert_eq!(t.get_padded(0, -1, -1, 1), 0.0);
+        assert_eq!(t.get_padded(0, 2, 0, 1), 0.0);
+        assert_eq!(t.get_padded(0, 1, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Tensor3::from_vec(1, 2, 2, vec![0.0; 3]).is_err());
+        assert!(Tensor3::from_vec(0, 2, 2, vec![]).is_err());
+        assert!(Tensor3::from_vec(1, 2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn filter_bank_access() {
+        let f = FilterBank::from_fn(2, 3, 2, |m, c, y, x| (1000 * m + 100 * c + 10 * y + x) as f32);
+        assert_eq!(f.get(1, 2, 1, 0), Some(1210.0));
+        assert_eq!(f.get(2, 0, 0, 0), None);
+    }
+}

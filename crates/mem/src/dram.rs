@@ -1,0 +1,109 @@
+//! Off-chip DRAM model: constant energy-per-byte plus a peak-bandwidth
+//! ceiling, the abstraction the paper itself uses for its §5.2.1 energy
+//! analysis (LPDDR3 numbers from the DRAMPower tool).
+
+use std::fmt;
+
+/// DRAM interface description.
+///
+/// # Examples
+///
+/// ```
+/// use axon_mem::DramConfig;
+///
+/// let dram = DramConfig::lpddr3();
+/// // Paper: saving 107.7 MB of traffic saves ~12 mJ on ResNet50.
+/// let mj = dram.transfer_energy_mj(107_700_000);
+/// assert!((mj - 12.9).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Access energy in picojoules per byte.
+    pub energy_pj_per_byte: f64,
+    /// Peak sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Interface width in bits.
+    pub bus_width_bits: u32,
+    /// Interface clock in MHz.
+    pub clock_mhz: u32,
+}
+
+impl DramConfig {
+    /// The paper's LPDDR3 configuration: 120 pJ/byte (per Chandrasekar et
+    /// al., DRAMPower), 32-bit interface at 800 MHz, 6.4 GB/s peak.
+    pub fn lpddr3() -> Self {
+        Self {
+            energy_pj_per_byte: 120.0,
+            bandwidth_bytes_per_s: 6.4e9,
+            bus_width_bits: 32,
+            clock_mhz: 800,
+        }
+    }
+
+    /// Energy to transfer `bytes`, in millijoules.
+    pub fn transfer_energy_mj(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte * 1e-9
+    }
+
+    /// Time to transfer `bytes` at peak bandwidth, in seconds.
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Transfer time expressed in cycles of an accelerator clocked at
+    /// `accel_clock_mhz`.
+    pub fn transfer_cycles(&self, bytes: usize, accel_clock_mhz: f64) -> f64 {
+        self.transfer_time_s(bytes) * accel_clock_mhz * 1e6
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::lpddr3()
+    }
+}
+
+impl fmt::Display for DramConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DRAM {}-bit @ {} MHz, {:.1} GB/s, {:.0} pJ/B",
+            self.bus_width_bits,
+            self.clock_mhz,
+            self.bandwidth_bytes_per_s / 1e9,
+            self.energy_pj_per_byte
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr3_matches_paper_constants() {
+        let d = DramConfig::lpddr3();
+        assert_eq!(d.energy_pj_per_byte, 120.0);
+        assert_eq!(d.bandwidth_bytes_per_s, 6.4e9);
+        assert_eq!(d.bus_width_bits, 32);
+        assert_eq!(d.clock_mhz, 800);
+    }
+
+    #[test]
+    fn yolo_energy_saving_matches_paper() {
+        // Paper: YOLOv3 traffic drops 2540 MB -> 1117 MB, saving ~170 mJ.
+        let d = DramConfig::lpddr3();
+        let saved = d.transfer_energy_mj(2_540_000_000 - 1_117_000_000);
+        assert!((saved - 170.76).abs() < 1.0, "saved {saved} mJ");
+    }
+
+    #[test]
+    fn transfer_time_and_cycles() {
+        let d = DramConfig::lpddr3();
+        // 6.4 GB at 6.4 GB/s takes 1 s.
+        assert!((d.transfer_time_s(6_400_000_000) - 1.0).abs() < 1e-9);
+        // At a 1 GHz accelerator clock that is 1e9 cycles.
+        let cyc = d.transfer_cycles(6_400_000_000, 1000.0);
+        assert!((cyc - 1e9).abs() / 1e9 < 1e-9);
+    }
+}

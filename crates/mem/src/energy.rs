@@ -1,0 +1,81 @@
+//! Inference-energy accounting from DRAM traffic (paper §5.2.1).
+
+use crate::dram::DramConfig;
+use std::fmt;
+
+/// Before/after DRAM energy of one network under a traffic optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Traffic without the optimization, in bytes.
+    pub before_bytes: usize,
+    /// Traffic with the optimization, in bytes.
+    pub after_bytes: usize,
+    /// DRAM energy before, in millijoules.
+    pub before_mj: f64,
+    /// DRAM energy after, in millijoules.
+    pub after_mj: f64,
+}
+
+impl EnergyReport {
+    /// Builds a report from byte counts and a DRAM model.
+    pub fn new(dram: &DramConfig, before_bytes: usize, after_bytes: usize) -> Self {
+        Self {
+            before_bytes,
+            after_bytes,
+            before_mj: dram.transfer_energy_mj(before_bytes),
+            after_mj: dram.transfer_energy_mj(after_bytes),
+        }
+    }
+
+    /// Millijoules saved.
+    pub fn saved_mj(&self) -> f64 {
+        self.before_mj - self.after_mj
+    }
+
+    /// Energy reduction factor `before / after` (the paper reports 2.17x
+    /// on average over ResNet50 and YOLOv3).
+    pub fn reduction_factor(&self) -> f64 {
+        self.before_mj / self.after_mj
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} MB / {:.1} mJ -> {:.1} MB / {:.1} mJ (saved {:.1} mJ, {:.2}x)",
+            self.before_bytes as f64 / 1e6,
+            self.before_mj,
+            self.after_bytes as f64 / 1e6,
+            self.after_mj,
+            self.saved_mj(),
+            self.reduction_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_numbers_track_paper() {
+        // Paper: 261.2 MB -> 153.5 MB saves ~12 mJ at 120 pJ/B.
+        let r = EnergyReport::new(&DramConfig::lpddr3(), 261_200_000, 153_500_000);
+        assert!((r.saved_mj() - 12.9).abs() < 0.2, "saved {}", r.saved_mj());
+        assert!((r.reduction_factor() - 1.70).abs() < 0.02);
+    }
+
+    #[test]
+    fn yolo_numbers_track_paper() {
+        let r = EnergyReport::new(&DramConfig::lpddr3(), 2_540_000_000, 1_117_000_000);
+        assert!((r.saved_mj() - 170.8).abs() < 1.0);
+        assert!((r.reduction_factor() - 2.27).abs() < 0.02);
+    }
+
+    #[test]
+    fn display_contains_factor() {
+        let r = EnergyReport::new(&DramConfig::lpddr3(), 200, 100);
+        assert!(r.to_string().contains("2.00x"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # axon-mem
+//!
+//! Memory-system models for the Axon reproduction: capacity-tracked SRAM
+//! scratchpads, an LPDDR3 DRAM energy/bandwidth model (the paper's
+//! §5.2.1 abstraction: 120 pJ/byte, 32-bit @ 800 MHz, 6.4 GB/s), and a
+//! roofline-style bandwidth-limited runtime model.
+//!
+//! ## Example
+//!
+//! ```
+//! use axon_mem::{DramConfig, EnergyReport};
+//!
+//! // ResNet50 conv traffic with software vs on-chip im2col (paper §5.2.1).
+//! let report = EnergyReport::new(&DramConfig::lpddr3(), 261_200_000, 153_500_000);
+//! assert!(report.saved_mj() > 12.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod double_buffer;
+mod dram;
+mod energy;
+mod sram;
+
+pub use bandwidth::{BandwidthModel, ExecutionLeg};
+pub use double_buffer::{schedule_double_buffered, StreamSchedule, TileDemand};
+pub use dram::DramConfig;
+pub use energy::EnergyReport;
+pub use sram::{BufferKind, SramBuffer, SramStats};

@@ -1,0 +1,178 @@
+//! On-chip SRAM scratchpad model with access counting and double
+//! buffering.
+//!
+//! The paper's architecture (like SCALE-sim's) keeps ifmap, filter and
+//! ofmap scratchpads between DRAM and the array. This model tracks
+//! capacity, refills and access counts; it does not store data — the
+//! functional values live in the simulator — but it enforces the
+//! fill-before-read discipline so traffic accounting stays honest.
+
+use std::fmt;
+
+/// Role of a scratchpad, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// Input feature map buffer.
+    Ifmap,
+    /// Filter/weight buffer.
+    Filter,
+    /// Output feature map buffer.
+    Ofmap,
+}
+
+impl fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferKind::Ifmap => f.write_str("ifmap"),
+            BufferKind::Filter => f.write_str("filter"),
+            BufferKind::Ofmap => f.write_str("ofmap"),
+        }
+    }
+}
+
+/// A capacity-tracked scratchpad.
+///
+/// # Examples
+///
+/// ```
+/// use axon_mem::{BufferKind, SramBuffer};
+///
+/// let mut buf = SramBuffer::new(BufferKind::Ifmap, 1024);
+/// let refills = buf.fill(3000); // needs 3 refills of the 1 KiB buffer
+/// assert_eq!(refills, 3);
+/// buf.read(3000);
+/// assert_eq!(buf.stats().reads, 3000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramBuffer {
+    kind: BufferKind,
+    capacity_bytes: usize,
+    stats: SramStats,
+}
+
+/// Access counters of one scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SramStats {
+    /// Bytes read by the array.
+    pub reads: usize,
+    /// Bytes written by the array (ofmap) or by refills.
+    pub writes: usize,
+    /// Number of DRAM refill bursts.
+    pub refills: usize,
+    /// Bytes fetched from DRAM.
+    pub dram_bytes: usize,
+}
+
+impl SramBuffer {
+    /// Creates a scratchpad of `capacity_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(kind: BufferKind, capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "SRAM capacity must be non-zero");
+        Self {
+            kind,
+            capacity_bytes,
+            stats: SramStats::default(),
+        }
+    }
+
+    /// The buffer's role.
+    pub fn kind(&self) -> BufferKind {
+        self.kind
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Stages `bytes` from DRAM, returning the number of refill bursts
+    /// (ceil of bytes over capacity, double-buffered halves overlap and
+    /// are not modeled separately).
+    pub fn fill(&mut self, bytes: usize) -> usize {
+        let bursts = bytes.div_ceil(self.capacity_bytes).max(usize::from(bytes > 0));
+        self.stats.refills += bursts;
+        self.stats.dram_bytes += bytes;
+        self.stats.writes += bytes;
+        bursts
+    }
+
+    /// Records `bytes` read by the array.
+    pub fn read(&mut self, bytes: usize) {
+        self.stats.reads += bytes;
+    }
+
+    /// Records `bytes` written by the array (for the ofmap buffer).
+    pub fn write_back(&mut self, bytes: usize) {
+        self.stats.writes += bytes;
+        self.stats.dram_bytes += bytes;
+    }
+
+    /// Current access counters.
+    pub fn stats(&self) -> SramStats {
+        self.stats
+    }
+
+    /// Ratio of array-side reads to DRAM-side bytes — the on-chip reuse
+    /// multiplier this buffer achieves.
+    pub fn reuse_factor(&self) -> f64 {
+        if self.stats.dram_bytes == 0 {
+            0.0
+        } else {
+            self.stats.reads as f64 / self.stats.dram_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for SramBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} SRAM {} KiB: {} reads, {} refills, {} DRAM bytes",
+            self.kind,
+            self.capacity_bytes / 1024,
+            self.stats.reads,
+            self.stats.refills,
+            self.stats.dram_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_counts_bursts() {
+        let mut b = SramBuffer::new(BufferKind::Filter, 100);
+        assert_eq!(b.fill(250), 3);
+        assert_eq!(b.fill(100), 1);
+        assert_eq!(b.fill(0), 0);
+        assert_eq!(b.stats().refills, 4);
+        assert_eq!(b.stats().dram_bytes, 350);
+    }
+
+    #[test]
+    fn reuse_factor_tracks_reads_over_dram() {
+        let mut b = SramBuffer::new(BufferKind::Ifmap, 1024);
+        b.fill(1000);
+        b.read(4000); // each staged byte read 4x by the array
+        assert!((b.reuse_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_back_adds_dram_traffic() {
+        let mut b = SramBuffer::new(BufferKind::Ofmap, 512);
+        b.write_back(2048);
+        assert_eq!(b.stats().dram_bytes, 2048);
+        assert_eq!(b.reuse_factor(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        let b = SramBuffer::new(BufferKind::Ifmap, 2048);
+        assert!(b.to_string().contains("ifmap"));
+    }
+}

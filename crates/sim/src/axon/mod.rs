@@ -1,0 +1,4 @@
+//! Tile engines for the Axon (diagonal-fed, bidirectional) array.
+
+pub(crate) mod os;
+pub(crate) mod stationary;

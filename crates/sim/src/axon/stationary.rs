@@ -1,0 +1,244 @@
+//! Cycle-accurate stationary-operand (WS/IS) tile engine for the Axon
+//! array, including the paper's bypass-add partial-sum synchronization
+//! (§4.2.2, Fig. 8b).
+//!
+//! The streaming operand enters *unskewed* through the diagonal PEs and
+//! propagates left/right along its row. Because operands move in both
+//! directions, the partial sums of one output column are generated in two
+//! wavefronts separated by the diagonal PE of that column:
+//!
+//! * the **lower segment** (`k >= j`) starts at the diagonal and
+//!   accumulates flowing *down*, exiting at the bottom edge;
+//! * the **upper segment** (`k < j`) starts just above the diagonal and
+//!   accumulates flowing *up*, exiting at the top edge.
+//!
+//! Each wavefront's arrival time at the next PE matches that PE's own
+//! compute cycle, so no stalls are needed. The two partial outputs are
+//! added at collection (the "bypass and add" of Fig. 8b); the paper bills
+//! no extra cycle for this, and neither do we — the totals then match
+//! Table 2 exactly.
+
+use crate::matrix::Matrix;
+use crate::pe::{mac, Lattice};
+use crate::probe::{FeedOperand, Probe};
+use crate::stats::SimStats;
+
+/// Simulates one Axon stationary tile; same contract as
+/// [`crate::conventional::stationary::simulate_tile`].
+///
+/// The per-tile cycle count is `max(sr, sc) + sr + t_len - 1` (paper
+/// Table 2, WS/IS rows): `sr` preload cycles plus
+/// `t_len + max(sr, sc) - 1` streaming cycles.
+pub(crate) fn simulate_tile(
+    stationary: &Matrix,
+    stream: &Matrix,
+    zero_gating: bool,
+    stats: &mut SimStats,
+    probe: &mut dyn Probe,
+) -> Matrix {
+    let sr = stationary.rows();
+    let sc = stationary.cols();
+    let t_len = stream.rows();
+    debug_assert_eq!(stream.cols(), sr);
+    let diag = sr.min(sc);
+
+    let mut flow = Lattice::new(sr, sc);
+    let mut psum_down = Lattice::new(sr, sc);
+    let mut psum_up = Lattice::new(sr, sc);
+    let mut out = Matrix::zeros(t_len, sc);
+    // Per-column collection counters for the two segments.
+    let mut got_low = vec![0usize; sc];
+    let mut got_up = vec![0usize; sc];
+    let mut done = 0usize;
+    let mut expected = 0usize;
+    for j in 0..sc {
+        if j < sr {
+            expected += t_len; // lower segment exists
+        }
+        if j >= 1 {
+            expected += t_len; // upper segment exists
+        }
+    }
+    let mut cycle = 0usize;
+
+    stats.preload_cycles += sr;
+    stats.buffer_reads += sr * sc;
+
+    while done < expected {
+        // Stream propagation: diagonal feed, bidirectional along rows;
+        // rows below a short diagonal (sr > sc) are fed from the right
+        // edge with skew, mirroring the rectangular rule of Fig. 5.
+        for k in 0..sr {
+            for j in 0..sc {
+                let v = if k < diag {
+                    if j == k {
+                        stream.get(cycle, k).inspect(|_| {
+                            stats.buffer_reads += 1;
+                            probe.feed(cycle, FeedOperand::Stream, (cycle, k));
+                        })
+                    } else if j > k {
+                        flow.get(k, j - 1)
+                    } else {
+                        flow.get(k, j + 1)
+                    }
+                } else {
+                    let skew = k - (diag - 1);
+                    if j == sc - 1 {
+                        cycle
+                            .checked_sub(skew)
+                            .and_then(|t| stream.get(t, k).map(|v| (t, v)))
+                            .map(|(t, v)| {
+                                stats.buffer_reads += 1;
+                                probe.feed(cycle, FeedOperand::Stream, (t, k));
+                                v
+                            })
+                    } else {
+                        flow.get(k, j + 1)
+                    }
+                };
+                flow.set_next(k, j, v);
+            }
+        }
+        flow.advance();
+
+        for k in 0..sr {
+            for j in 0..sc {
+                let Some(sv) = flow.get(k, j) else { continue };
+                if k >= j {
+                    // Lower segment: fresh psum at the diagonal, then
+                    // accumulate downward.
+                    let psum_in = if k == j {
+                        0.0
+                    } else {
+                        psum_down
+                            .get(k - 1, j)
+                            .expect("lower-segment psum wavefront aligned")
+                    };
+                    let acc = mac(psum_in, stationary[(k, j)], sv, zero_gating, stats);
+                    probe.mac(cycle, k, j);
+                    psum_down.set_next(k, j, Some(acc));
+                    if k == sr - 1 {
+                        let t = got_low[j];
+                        out[(t, j)] += acc;
+                        got_low[j] += 1;
+                        done += 1;
+                    }
+                } else {
+                    // Upper segment: fresh psum just above the diagonal
+                    // (or at the bottom-most used row for columns past a
+                    // short diagonal), then accumulate upward.
+                    let upper_start = (j - 1).min(sr - 1);
+                    let psum_in = if k == upper_start {
+                        0.0
+                    } else {
+                        psum_up
+                            .get(k + 1, j)
+                            .expect("upper-segment psum wavefront aligned")
+                    };
+                    let acc = mac(psum_in, stationary[(k, j)], sv, zero_gating, stats);
+                    probe.mac(cycle, k, j);
+                    psum_up.set_next(k, j, Some(acc));
+                    if k == 0 {
+                        let t = got_up[j];
+                        out[(t, j)] += acc;
+                        got_up[j] += 1;
+                        done += 1;
+                    }
+                }
+            }
+        }
+        psum_down.advance();
+        psum_up.advance();
+        cycle += 1;
+    }
+
+    stats.cycles += sr + cycle;
+    stats.tiles += 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| (r * cols + c + 1) as f32)
+    }
+
+    #[test]
+    fn computes_correct_output_square() {
+        let s = seq(4, 4);
+        let y = seq(6, 4);
+        let mut stats = SimStats::new();
+        let out = simulate_tile(&s, &y, false, &mut stats, &mut crate::probe::NoProbe);
+        assert_eq!(out, y.matmul(&s));
+    }
+
+    #[test]
+    fn computes_correct_output_wide_and_tall() {
+        // Wide: sc > sr (upper-only columns past the diagonal).
+        let s = seq(3, 7);
+        let y = seq(4, 3);
+        let mut stats = SimStats::new();
+        let out = simulate_tile(&s, &y, false, &mut stats, &mut crate::probe::NoProbe);
+        assert_eq!(out, y.matmul(&s));
+
+        // Tall: sr > sc (right-edge skewed stream feeding).
+        let s = seq(7, 3);
+        let y = seq(4, 7);
+        let mut stats = SimStats::new();
+        let out = simulate_tile(&s, &y, false, &mut stats, &mut crate::probe::NoProbe);
+        assert_eq!(out, y.matmul(&s));
+    }
+
+    #[test]
+    fn cycle_count_matches_table2() {
+        // max(sr, sc) + sr + t - 1
+        for (sr, sc, t) in [(4usize, 4usize, 6usize), (3, 7, 4), (7, 3, 4), (1, 1, 1), (5, 1, 3)]
+        {
+            let s = seq(sr, sc);
+            let y = seq(t, sr);
+            let mut stats = SimStats::new();
+            simulate_tile(&s, &y, false, &mut stats, &mut crate::probe::NoProbe);
+            assert_eq!(
+                stats.cycles,
+                sr.max(sc) + sr + t - 1,
+                "sr={sr} sc={sc} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_than_conventional_square() {
+        let s = seq(8, 8);
+        let y = seq(4, 8);
+        let mut ax = SimStats::new();
+        simulate_tile(&s, &y, false, &mut ax, &mut crate::probe::NoProbe);
+        let mut sa = SimStats::new();
+        crate::conventional::stationary::simulate_tile(&s, &y, false, &mut sa, &mut crate::probe::NoProbe);
+        assert!(ax.cycles < sa.cycles);
+        assert_eq!(ax.macs_performed, sa.macs_performed);
+    }
+
+    #[test]
+    fn zero_gating_preserves_result() {
+        let mut s = seq(5, 5);
+        s[(0, 4)] = 0.0;
+        s[(4, 0)] = 0.0;
+        let mut y = seq(3, 5);
+        y[(1, 2)] = 0.0;
+        let mut stats = SimStats::new();
+        let out = simulate_tile(&s, &y, true, &mut stats, &mut crate::probe::NoProbe);
+        assert_eq!(out, y.matmul(&s));
+        assert!(stats.macs_gated > 0);
+    }
+
+    #[test]
+    fn single_column_has_no_upper_segment() {
+        let s = seq(4, 1);
+        let y = seq(3, 4);
+        let mut stats = SimStats::new();
+        let out = simulate_tile(&s, &y, false, &mut stats, &mut crate::probe::NoProbe);
+        assert_eq!(out, y.matmul(&s));
+    }
+}

@@ -1,0 +1,4 @@
+//! Tile engines for the conventional (unidirectional) systolic array.
+
+pub(crate) mod os;
+pub(crate) mod stationary;

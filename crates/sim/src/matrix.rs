@@ -1,0 +1,268 @@
+//! A minimal dense row-major matrix used as the simulator's operand type.
+
+use axon_core::ShapeError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f32` matrix.
+///
+/// The simulator models an FP16 datapath; `f32` storage is used for the
+/// *values* because the numeric format does not affect cycle counts or
+/// traffic, and it keeps reference comparisons exact for small integers.
+///
+/// # Examples
+///
+/// ```
+/// use axon_sim::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.transposed()[(2, 1)], 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::DimensionMismatch`] if `data.len() != rows * cols`
+    /// and [`ShapeError::ZeroDimension`] on a zero dimension.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if rows == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "rows" });
+        }
+        if cols == 0 {
+            return Err(ShapeError::ZeroDimension { dimension: "cols" });
+        }
+        if data.len() != rows * cols {
+            return Err(ShapeError::DimensionMismatch {
+                context: "data length vs rows*cols",
+                left: data.len(),
+                right: rows * cols,
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns element `(r, c)` or `None` when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// A new matrix that is the transpose of `self`.
+    pub fn transposed(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// A sub-matrix view copied out as a new matrix, clamped to bounds.
+    ///
+    /// `row0/col0` are inclusive starts; `rows/cols` the extents.
+    pub fn sub(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        let rows = rows.min(self.rows.saturating_sub(row0)).max(1);
+        let cols = cols.min(self.cols.saturating_sub(col0)).max(1);
+        Self::from_fn(rows, cols, |r, c| self[(row0 + r, col0 + c)])
+    }
+
+    /// Reference matrix product `self * rhs` computed with a naive triple
+    /// loop; the ground truth for simulator verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of zero elements (used by the sparsity/zero-gating models).
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// Fraction of elements that are exactly zero.
+    pub fn sparsity(&self) -> f64 {
+        self.count_zeros() as f64 / self.data.len() as f64
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.2} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_index() {
+        let m = Matrix::from_fn(3, 2, |r, c| (10 * r + c) as f32);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.get(3, 0), None);
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.get(2, 1), Some(21.0));
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(0, 2, vec![]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(a.matmul(&b), b);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(4, 7, |r, c| (r * 31 + c * 17) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn sub_matrix_clamps() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let s = m.sub(2, 2, 10, 10);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s[(0, 0)], 10.0);
+    }
+
+    #[test]
+    fn sparsity_counting() {
+        let m = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(m.count_zeros(), 2);
+        assert!((m.sparsity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_equal() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert_eq!(m.max_abs_diff(&m), 0.0);
+    }
+}

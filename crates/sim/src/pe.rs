@@ -1,0 +1,111 @@
+//! Processing-element primitives shared by the simulation engines.
+
+use crate::stats::SimStats;
+
+/// Performs one MAC with optional zero gating, updating the statistics.
+///
+/// When `zero_gating` is enabled and either operand is exactly zero, the
+/// multiplier and adder are not exercised (the paper's §4.1 power-saving
+/// technique); the MAC slot is counted in [`SimStats::macs_gated`] and the
+/// accumulator input passes through unchanged.
+pub(crate) fn mac(acc_in: f32, a: f32, b: f32, zero_gating: bool, stats: &mut SimStats) -> f32 {
+    if zero_gating && (a == 0.0 || b == 0.0) {
+        stats.macs_gated += 1;
+        acc_in
+    } else {
+        stats.macs_performed += 1;
+        acc_in + a * b
+    }
+}
+
+/// A double-buffered grid of optional in-flight values.
+///
+/// Systolic propagation must be wavefront-correct: a value written this
+/// cycle may not be observed by a neighbour until the next cycle. `Lattice`
+/// keeps a *current* and a *next* plane; engines read `cur`, write `nxt`,
+/// then [`Lattice::advance`] swaps the planes.
+#[derive(Debug, Clone)]
+pub(crate) struct Lattice {
+    rows: usize,
+    cols: usize,
+    cur: Vec<Option<f32>>,
+    nxt: Vec<Option<f32>>,
+}
+
+impl Lattice {
+    pub(crate) fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            cur: vec![None; rows * cols],
+            nxt: vec![None; rows * cols],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Value present at `(r, c)` in the current cycle.
+    #[inline]
+    pub(crate) fn get(&self, r: usize, c: usize) -> Option<f32> {
+        self.cur[self.idx(r, c)]
+    }
+
+    /// Sets the value visible at `(r, c)` in the *next* cycle.
+    #[inline]
+    pub(crate) fn set_next(&mut self, r: usize, c: usize, v: Option<f32>) {
+        let i = self.idx(r, c);
+        self.nxt[i] = v;
+    }
+
+    /// Ends the cycle: the next plane becomes current and the stale plane
+    /// is cleared for reuse.
+    pub(crate) fn advance(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        self.nxt.iter_mut().for_each(|v| *v = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_accumulates() {
+        let mut s = SimStats::new();
+        let acc = mac(1.0, 2.0, 3.0, false, &mut s);
+        assert_eq!(acc, 7.0);
+        assert_eq!(s.macs_performed, 1);
+        assert_eq!(s.macs_gated, 0);
+    }
+
+    #[test]
+    fn mac_gates_zero_operand() {
+        let mut s = SimStats::new();
+        let acc = mac(5.0, 0.0, 3.0, true, &mut s);
+        assert_eq!(acc, 5.0);
+        assert_eq!(s.macs_gated, 1);
+        assert_eq!(s.macs_performed, 0);
+        // Without gating the zero MAC is still executed.
+        let acc = mac(5.0, 0.0, 3.0, false, &mut s);
+        assert_eq!(acc, 5.0);
+        assert_eq!(s.macs_performed, 1);
+    }
+
+    #[test]
+    fn lattice_is_wavefront_correct() {
+        let mut l = Lattice::new(1, 3);
+        l.set_next(0, 0, Some(1.0));
+        l.advance();
+        assert_eq!(l.get(0, 0), Some(1.0));
+        assert_eq!(l.get(0, 1), None);
+        // Shift right one step per advance.
+        l.set_next(0, 1, l.get(0, 0));
+        l.advance();
+        assert_eq!(l.get(0, 0), None);
+        assert_eq!(l.get(0, 1), Some(1.0));
+    }
+}

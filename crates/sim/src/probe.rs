@@ -1,0 +1,320 @@
+//! Per-PE activity probing: which PE fired when.
+//!
+//! The probe records, for every physical PE, its MAC count and the first
+//! and last cycle it fired. This makes the data orchestration directly
+//! observable: on a square tile the first-MAC cycle of PE `(i, j)` is
+//! `i + j` under the conventional corner feed and `|i - j|` under Axon's
+//! diagonal feed — the two wavefronts of the paper's Figs. 1 and 3.
+
+use std::fmt;
+
+/// Internal observation hook threaded through the tile engines.
+pub(crate) trait Probe {
+    /// Called when the PE at tile-local `(r, c)` fires a MAC in `cycle`
+    /// (local to the current tile's streaming phase).
+    fn mac(&mut self, cycle: usize, r: usize, c: usize);
+
+    /// Called when an operand element is fetched from its SRAM buffer in
+    /// `cycle`. `index` is the element's logical position in the operand
+    /// matrix being streamed.
+    #[allow(unused_variables)]
+    #[inline]
+    fn feed(&mut self, cycle: usize, operand: FeedOperand, index: (usize, usize)) {}
+}
+
+/// The default no-op probe.
+pub(crate) struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline]
+    fn mac(&mut self, _cycle: usize, _r: usize, _c: usize) {}
+}
+
+/// Which operand buffer a feed event read (SCALE-sim's demand-trace
+/// nomenclature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeedOperand {
+    /// The `A` / ifmap operand (OS engines).
+    A,
+    /// The `B` / filter operand (OS engines).
+    B,
+    /// The streaming operand of a WS/IS tile.
+    Stream,
+}
+
+/// One SRAM feed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedEvent {
+    /// Tile-local streaming cycle of the fetch.
+    pub cycle: usize,
+    /// Which buffer was read.
+    pub operand: FeedOperand,
+    /// Logical element position in the streamed operand matrix.
+    pub index: (usize, usize),
+}
+
+/// A demand trace: the ordered list of SRAM feed events of a run — the
+/// observable SCALE-sim exports as its read traces.
+///
+/// The trace shows the *skew* directly: a conventional OS tile fetches
+/// `a[(i, t)]` at cycle `t + i`, while Axon's diagonal feeders fetch
+/// `a[(i, t)]` at cycle `t` for every row — unskewed, which is exactly
+/// the property that makes the im2col MUX chain possible (paper §3.2).
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, runtime::Architecture};
+/// use axon_sim::{simulate_gemm_demand_trace, FeedOperand, Matrix, SimConfig};
+///
+/// # fn main() -> Result<(), axon_core::ShapeError> {
+/// let a = Matrix::from_fn(4, 5, |r, c| (r + c + 1) as f32);
+/// let b = Matrix::from_fn(5, 4, |r, c| (r * 2 + c + 1) as f32);
+/// let cfg = SimConfig::new(ArrayShape::square(4));
+/// let (_, trace) = simulate_gemm_demand_trace(Architecture::Axon, &cfg, &a, &b)?;
+/// // Axon feeds are unskewed: element a[(i, t)] is always fetched at cycle t.
+/// assert!(trace
+///     .events()
+///     .iter()
+///     .filter(|e| e.operand == FeedOperand::A)
+///     .all(|e| e.cycle == e.index.1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DemandTrace {
+    events: Vec<FeedEvent>,
+}
+
+impl DemandTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in fetch order.
+    pub fn events(&self) -> &[FeedEvent] {
+        &self.events
+    }
+
+    /// Number of recorded feed events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no feeds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum skew of an operand's fetch schedule: the largest
+    /// difference between an element's fetch cycle and its stream
+    /// position `t` (`index.1` for `A`/`Stream`, `index.0` for `B`).
+    pub fn max_skew(&self, operand: FeedOperand) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.operand == operand)
+            .map(|e| {
+                // Stream position of the element: `a[(i, t)]` is fetched
+                // for step t = index.1; `b[(t, j)]` and `stream[(t, k)]`
+                // for step t = index.0.
+                let t = match operand {
+                    FeedOperand::A => e.index.1,
+                    FeedOperand::B | FeedOperand::Stream => e.index.0,
+                };
+                e.cycle.saturating_sub(t)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Probe for DemandTrace {
+    #[inline]
+    fn mac(&mut self, _cycle: usize, _r: usize, _c: usize) {}
+
+    fn feed(&mut self, cycle: usize, operand: FeedOperand, index: (usize, usize)) {
+        self.events.push(FeedEvent {
+            cycle,
+            operand,
+            index,
+        });
+    }
+}
+
+/// Per-PE activity accumulated over a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, runtime::Architecture};
+/// use axon_sim::{simulate_gemm_traced, Matrix, SimConfig};
+///
+/// # fn main() -> Result<(), axon_core::ShapeError> {
+/// let a = Matrix::from_fn(4, 6, |r, c| (r + c + 1) as f32);
+/// let b = Matrix::from_fn(6, 4, |r, c| (r * 2 + c + 1) as f32);
+/// let cfg = SimConfig::new(ArrayShape::square(4));
+/// let (_, activity) = simulate_gemm_traced(Architecture::Axon, &cfg, &a, &b)?;
+/// // Diagonal PEs fire first under Axon's orchestration.
+/// assert_eq!(activity.first_mac(2, 2), Some(0));
+/// assert_eq!(activity.first_mac(0, 3), Some(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    rows: usize,
+    cols: usize,
+    macs: Vec<usize>,
+    first: Vec<Option<usize>>,
+    last: Vec<Option<usize>>,
+}
+
+impl Activity {
+    pub(crate) fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            macs: vec![0; rows * cols],
+            first: vec![None; rows * cols],
+            last: vec![None; rows * cols],
+        }
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Physical array rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Physical array columns covered.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// MACs fired by PE `(r, c)` over the whole run.
+    pub fn mac_count(&self, r: usize, c: usize) -> usize {
+        self.macs[self.idx(r, c)]
+    }
+
+    /// First streaming-phase cycle in which PE `(r, c)` fired, or `None`
+    /// if it never did.
+    pub fn first_mac(&self, r: usize, c: usize) -> Option<usize> {
+        self.first[self.idx(r, c)]
+    }
+
+    /// Last streaming-phase cycle in which PE `(r, c)` fired.
+    pub fn last_mac(&self, r: usize, c: usize) -> Option<usize> {
+        self.last[self.idx(r, c)]
+    }
+
+    /// Number of PEs that fired at least once.
+    pub fn active_pes(&self) -> usize {
+        self.macs.iter().filter(|&&m| m > 0).count()
+    }
+
+    /// ASCII heatmap of per-PE MAC counts, normalized to the busiest PE
+    /// (`.` = idle, `1`–`9` = deciles of the maximum).
+    pub fn heatmap_string(&self) -> String {
+        let max = self.macs.iter().copied().max().unwrap_or(0).max(1);
+        let mut s = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let m = self.mac_count(r, c);
+                let ch = if m == 0 {
+                    '.'
+                } else {
+                    let decile = (9 * m).div_ceil(max).min(9);
+                    char::from(b'0' + decile as u8)
+                };
+                s.push(ch);
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// ASCII rendering of the first-MAC wavefront (`.` = never fired).
+    /// Cycles above 35 render as `*`.
+    pub fn wavefront_string(&self) -> String {
+        let mut s = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let ch = match self.first_mac(r, c) {
+                    None => '.',
+                    Some(t) if t < 10 => char::from(b'0' + t as u8),
+                    Some(t) if t < 36 => char::from(b'a' + (t - 10) as u8),
+                    Some(_) => '*',
+                };
+                s.push(ch);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} active PEs of {}; wavefront:\n{}",
+            self.active_pes(),
+            self.rows * self.cols,
+            self.wavefront_string()
+        )
+    }
+}
+
+impl Probe for Activity {
+    fn mac(&mut self, cycle: usize, r: usize, c: usize) {
+        let i = self.idx(r, c);
+        self.macs[i] += 1;
+        if self.first[i].is_none() {
+            self.first[i] = Some(cycle);
+        }
+        self.last[i] = Some(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_first_and_last() {
+        let mut a = Activity::new(2, 2);
+        a.mac(3, 0, 1);
+        a.mac(5, 0, 1);
+        assert_eq!(a.first_mac(0, 1), Some(3));
+        assert_eq!(a.last_mac(0, 1), Some(5));
+        assert_eq!(a.mac_count(0, 1), 2);
+        assert_eq!(a.mac_count(1, 1), 0);
+        assert_eq!(a.active_pes(), 1);
+    }
+
+    #[test]
+    fn heatmap_rendering() {
+        let mut a = Activity::new(2, 2);
+        for _ in 0..10 {
+            a.mac(0, 0, 0);
+        }
+        a.mac(0, 1, 0);
+        let s = a.heatmap_string();
+        // Busiest PE renders 9; the 1/10th PE renders its decile; idle '.'
+        assert_eq!(s, "9.\n1.\n");
+    }
+
+    #[test]
+    fn wavefront_rendering() {
+        let mut a = Activity::new(2, 2);
+        a.mac(0, 0, 0);
+        a.mac(11, 1, 1);
+        let s = a.wavefront_string();
+        assert_eq!(s, "0.\n.b\n");
+    }
+}

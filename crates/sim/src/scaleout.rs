@@ -1,0 +1,214 @@
+//! Scale-out execution: multiple smaller arrays working on disjoint
+//! slices of one GEMM in parallel (paper Fig. 2b, Eq. 3).
+//!
+//! The workload's spatial dimensions are pre-partitioned `p_r x p_c`
+//! ways; each array runs its slice with the ordinary scale-up driver and
+//! the ensemble finishes when the slowest array does. The outputs of the
+//! slices assemble into the full product (for WS/IS, slices along the
+//! `K` partitioning are summed).
+
+use crate::matrix::Matrix;
+use crate::stats::SimStats;
+use crate::{simulate_gemm, SimConfig, SimResult};
+use axon_core::runtime::Architecture;
+use axon_core::ShapeError;
+#[cfg(test)]
+use axon_core::Dataflow;
+
+/// Result of a scale-out ensemble run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleOutResult {
+    /// The assembled `M x N` product.
+    pub output: Matrix,
+    /// Wall-clock cycles: the maximum over the per-array runs.
+    pub makespan_cycles: usize,
+    /// Per-array statistics, row-major over the partition grid.
+    pub per_array: Vec<SimStats>,
+}
+
+impl ScaleOutResult {
+    /// Aggregate statistics summed over all arrays (total energy-relevant
+    /// counts; *not* wall-clock).
+    pub fn total_stats(&self) -> SimStats {
+        let mut total = SimStats::new();
+        for s in &self.per_array {
+            total += *s;
+        }
+        total
+    }
+}
+
+/// Simulates `C = A * B` on a `p_r x p_c` grid of identical arrays.
+///
+/// The `M` dimension is partitioned `p_r` ways and `N` `p_c` ways (the
+/// paper's `S'_R = S_R / P_R`, `S'_C = S_C / P_C` for the OS mapping;
+/// for WS/IS the same row/column slicing applies to the mapped
+/// dimensions through the scale-up driver each array runs internally).
+///
+/// # Errors
+///
+/// Returns [`ShapeError::DimensionMismatch`] if the operand inner
+/// dimensions disagree, and [`ShapeError::ZeroDimension`] if a partition
+/// count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::{ArrayShape, runtime::Architecture};
+/// use axon_sim::{simulate_gemm_scale_out, Matrix, SimConfig};
+///
+/// # fn main() -> Result<(), axon_core::ShapeError> {
+/// let a = Matrix::from_fn(12, 5, |r, c| (r + c) as f32);
+/// let b = Matrix::from_fn(5, 12, |r, c| (r * 2 + c) as f32);
+/// let cfg = SimConfig::new(ArrayShape::square(4));
+/// let run = simulate_gemm_scale_out(Architecture::Axon, &cfg, 2, 2, &a, &b)?;
+/// assert_eq!(run.output, a.matmul(&b));
+/// assert_eq!(run.per_array.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_gemm_scale_out(
+    arch: Architecture,
+    cfg: &SimConfig,
+    partitions_r: usize,
+    partitions_c: usize,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<ScaleOutResult, ShapeError> {
+    if partitions_r == 0 {
+        return Err(ShapeError::ZeroDimension {
+            dimension: "partitions_r",
+        });
+    }
+    if partitions_c == 0 {
+        return Err(ShapeError::ZeroDimension {
+            dimension: "partitions_c",
+        });
+    }
+    if a.cols() != b.rows() {
+        return Err(ShapeError::DimensionMismatch {
+            context: "A cols vs B rows",
+            left: a.cols(),
+            right: b.rows(),
+        });
+    }
+    let (m, n) = (a.rows(), b.cols());
+    let pr = partitions_r.min(m);
+    let pc = partitions_c.min(n);
+    let m_slice = m.div_ceil(pr);
+    let n_slice = n.div_ceil(pc);
+
+    let mut output = Matrix::zeros(m, n);
+    let mut per_array = Vec::with_capacity(pr * pc);
+    let mut makespan = 0usize;
+
+    for pi in 0..pr {
+        let m0 = pi * m_slice;
+        if m0 >= m {
+            break;
+        }
+        let mt = m_slice.min(m - m0);
+        let a_slice = a.sub(m0, 0, mt, a.cols());
+        for pj in 0..pc {
+            let n0 = pj * n_slice;
+            if n0 >= n {
+                break;
+            }
+            let nt = n_slice.min(n - n0);
+            let b_slice = b.sub(0, n0, b.rows(), nt);
+            let SimResult { output: tile, stats } = simulate_gemm(arch, cfg, &a_slice, &b_slice)?;
+            for i in 0..mt {
+                for j in 0..nt {
+                    output[(m0 + i, n0 + j)] = tile[(i, j)];
+                }
+            }
+            makespan = makespan.max(stats.cycles);
+            per_array.push(stats);
+        }
+    }
+
+    Ok(ScaleOutResult {
+        output,
+        makespan_cycles: makespan,
+        per_array,
+    })
+}
+
+/// Convenience: compare scale-up vs scale-out for the same GEMM.
+///
+/// Returns `(scale_up_cycles, scale_out_makespan)`.
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from the underlying simulations.
+pub fn scale_up_vs_out(
+    arch: Architecture,
+    cfg: &SimConfig,
+    partitions: (usize, usize),
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<(usize, usize), ShapeError> {
+    let up = simulate_gemm(arch, cfg, a, b)?;
+    let out = simulate_gemm_scale_out(arch, cfg, partitions.0, partitions.1, a, b)?;
+    debug_assert_eq!(up.output, out.output);
+    Ok((up.stats.cycles, out.makespan_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_matrix;
+    use axon_core::ArrayShape;
+
+    #[test]
+    fn scale_out_output_matches_reference() {
+        let a = random_matrix(10, 6, 1, 0.0);
+        let b = random_matrix(6, 14, 2, 0.0);
+        for arch in [Architecture::Conventional, Architecture::Axon] {
+            for df in Dataflow::ALL {
+                let cfg = SimConfig::new(ArrayShape::square(4)).with_dataflow(df);
+                let run = simulate_gemm_scale_out(arch, &cfg, 2, 3, &a, &b).unwrap();
+                assert_eq!(run.output, a.matmul(&b), "arch={arch} df={df}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_out_speeds_up_wall_clock() {
+        let a = random_matrix(32, 4, 3, 0.0);
+        let b = random_matrix(4, 32, 4, 0.0);
+        let cfg = SimConfig::new(ArrayShape::square(8));
+        let (up, out) = scale_up_vs_out(Architecture::Axon, &cfg, (2, 2), &a, &b).unwrap();
+        assert!(out < up, "scale-out {out} should beat scale-up {up}");
+    }
+
+    #[test]
+    fn total_work_is_conserved() {
+        let a = random_matrix(16, 5, 5, 0.0);
+        let b = random_matrix(5, 16, 6, 0.0);
+        let cfg = SimConfig::new(ArrayShape::square(4));
+        let up = simulate_gemm(Architecture::Axon, &cfg, &a, &b).unwrap();
+        let out = simulate_gemm_scale_out(Architecture::Axon, &cfg, 2, 2, &a, &b).unwrap();
+        assert_eq!(out.total_stats().macs_performed, up.stats.macs_performed);
+    }
+
+    #[test]
+    fn degenerate_partitions_clamped() {
+        let a = random_matrix(3, 3, 7, 0.0);
+        let b = random_matrix(3, 3, 8, 0.0);
+        let cfg = SimConfig::new(ArrayShape::square(4));
+        // More partitions than rows/cols: clamped, still correct.
+        let run = simulate_gemm_scale_out(Architecture::Axon, &cfg, 8, 8, &a, &b).unwrap();
+        assert_eq!(run.output, a.matmul(&b));
+        assert!(run.per_array.len() <= 9);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let a = random_matrix(2, 2, 1, 0.0);
+        let b = random_matrix(2, 2, 2, 0.0);
+        let cfg = SimConfig::new(ArrayShape::square(2));
+        assert!(simulate_gemm_scale_out(Architecture::Axon, &cfg, 0, 1, &a, &b).is_err());
+        assert!(simulate_gemm_scale_out(Architecture::Axon, &cfg, 1, 0, &a, &b).is_err());
+    }
+}

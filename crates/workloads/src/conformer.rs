@@ -1,0 +1,104 @@
+//! Conformer-block workloads (Gulati et al., 2020): the mixed Conv+GeMM
+//! model the paper lists among its evaluation networks.
+//!
+//! A conformer block interleaves feed-forward GEMMs, multi-head attention
+//! GEMMs and a depthwise 1-D convolution module, exercising both of
+//! Axon's improvements in one workload.
+
+use crate::workload::{GemmWorkload, WorkloadKind};
+use axon_core::GemmShape;
+
+/// Model hyperparameters of a conformer encoder block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConformerConfig {
+    /// Sequence length (frames after subsampling).
+    pub seq_len: usize,
+    /// Model dimension.
+    pub d_model: usize,
+    /// Feed-forward expansion dimension.
+    pub d_ff: usize,
+    /// Depthwise-conv kernel size (1-D).
+    pub conv_kernel: usize,
+}
+
+impl Default for ConformerConfig {
+    fn default() -> Self {
+        // Conformer-L-ish: 17 ms frames over ~10 s audio.
+        Self {
+            seq_len: 512,
+            d_model: 512,
+            d_ff: 2048,
+            conv_kernel: 31,
+        }
+    }
+}
+
+impl ConformerConfig {
+    /// The GEMMs of one block: two macaron feed-forward pairs, QKV/output
+    /// projections, attention score/context products and the two
+    /// pointwise convs of the conv module.
+    pub fn gemm_workloads(&self) -> Vec<GemmWorkload> {
+        let s = self.seq_len;
+        let d = self.d_model;
+        let ff = self.d_ff;
+        let mk = |name, m, k, n| GemmWorkload {
+            name,
+            shape: GemmShape::new(m, k, n),
+            kind: WorkloadKind::Gemm,
+        };
+        vec![
+            mk("Conf_ffn1_up", s, d, ff),
+            mk("Conf_ffn1_down", s, ff, d),
+            mk("Conf_attn_qkv", s, d, 3 * d),
+            mk("Conf_attn_scores", s, d, s),
+            mk("Conf_attn_context", s, s, d),
+            mk("Conf_attn_out", s, d, d),
+            mk("Conf_conv_pw1", s, d, 2 * d),
+            mk("Conf_conv_pw2", s, d, d),
+            mk("Conf_ffn2_up", s, d, ff),
+            mk("Conf_ffn2_down", s, ff, d),
+        ]
+    }
+
+    /// The depthwise 1-D conv of the conv module as a batched GEMM: each
+    /// of the `d_model` channels convolves its length-`seq_len` sequence
+    /// with a `conv_kernel`-tap filter — per channel `1 x k x seq_len`
+    /// ("same" padding), stacked along `M`.
+    pub fn dw_conv_workload(&self) -> GemmWorkload {
+        GemmWorkload {
+            name: "Conf_conv_dw",
+            shape: GemmShape::new(self.d_model, self.conv_kernel, self.seq_len),
+            kind: WorkloadKind::DwConv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_has_ten_gemms() {
+        let ws = ConformerConfig::default().gemm_workloads();
+        assert_eq!(ws.len(), 10);
+        for w in &ws {
+            assert!(w.shape.macs() > 0);
+        }
+    }
+
+    #[test]
+    fn attention_products_are_square_in_seq() {
+        let cfg = ConformerConfig::default();
+        let ws = cfg.gemm_workloads();
+        let scores = ws.iter().find(|w| w.name == "Conf_attn_scores").unwrap();
+        assert_eq!(scores.shape.m, cfg.seq_len);
+        assert_eq!(scores.shape.n, cfg.seq_len);
+    }
+
+    #[test]
+    fn dw_conv_is_low_intensity() {
+        let dw = ConformerConfig::default().dw_conv_workload();
+        assert_eq!(dw.shape.k, 31);
+        assert!(dw.shape.arithmetic_intensity() < 31.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! A convolutional network as an ordered list of conv layers with
+//! repetition counts.
+
+use axon_im2col::{
+    layer_dram_traffic, layer_traffic, ConvLayer, DramTrafficModel, LayerTraffic, TrafficParams,
+};
+use std::fmt;
+
+/// A named list of conv layers, each with a repetition count (identical
+/// blocks are stored once).
+///
+/// # Examples
+///
+/// ```
+/// use axon_im2col::ConvLayer;
+/// use axon_workloads::ConvNet;
+///
+/// let mut net = ConvNet::new("tiny");
+/// net.push(ConvLayer::new(3, 8, 32, 32, 3, 1, 1), 2);
+/// assert_eq!(net.total_layer_count(), 2);
+/// assert_eq!(net.total_macs(), 2 * 8 * 27 * 32 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvNet {
+    name: &'static str,
+    layers: Vec<(ConvLayer, usize)>,
+}
+
+impl ConvNet {
+    /// Creates an empty network.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Appends `count` repetitions of `layer`.
+    pub fn push(&mut self, layer: ConvLayer, count: usize) {
+        assert!(count > 0, "layer count must be non-zero");
+        self.layers.push((layer, count));
+    }
+
+    /// Iterates over `(layer, count)` entries.
+    pub fn layers(&self) -> impl Iterator<Item = (&ConvLayer, usize)> {
+        self.layers.iter().map(|(l, c)| (l, *c))
+    }
+
+    /// Number of distinct `(layer, count)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total conv layers counting repetitions.
+    pub fn total_layer_count(&self) -> usize {
+        self.layers.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Total MACs over all layers and repetitions.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(|(l, c)| l.macs() * c).sum()
+    }
+
+    /// Total SRAM-level stream traffic of the network under both im2col
+    /// schemes (single tile pass; the Fig. 11 metric summed over layers).
+    pub fn traffic(&self, params: TrafficParams) -> LayerTraffic {
+        let mut total = LayerTraffic::default();
+        for (l, c) in self.layers() {
+            let t = layer_traffic(l, params);
+            for _ in 0..c {
+                total += t;
+            }
+        }
+        total
+    }
+
+    /// Total off-chip DRAM traffic under the scale-up refetch model of
+    /// the paper's §5.2.1 (see [`DramTrafficModel`]).
+    pub fn dram_traffic(&self, model: DramTrafficModel) -> LayerTraffic {
+        let mut total = LayerTraffic::default();
+        for (l, c) in self.layers() {
+            let t = layer_dram_traffic(l, model);
+            for _ in 0..c {
+                total += t;
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Display for ConvNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} conv layers, {:.2} GMACs",
+            self.name,
+            self.total_layer_count(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accumulates_counts() {
+        let layer = ConvLayer::new(4, 4, 16, 16, 3, 1, 1);
+        let mut one = ConvNet::new("one");
+        one.push(layer, 1);
+        let mut three = ConvNet::new("three");
+        three.push(layer, 3);
+        let p = TrafficParams::default();
+        assert_eq!(
+            3 * one.traffic(p).software_total(),
+            three.traffic(p).software_total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_count_rejected() {
+        let mut net = ConvNet::new("bad");
+        net.push(ConvLayer::new(1, 1, 4, 4, 3, 1, 0), 0);
+    }
+
+    #[test]
+    fn display_shows_name() {
+        let mut net = ConvNet::new("demo");
+        net.push(ConvLayer::new(3, 8, 8, 8, 3, 1, 1), 1);
+        assert!(net.to_string().contains("demo"));
+    }
+}

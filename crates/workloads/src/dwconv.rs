@@ -1,0 +1,175 @@
+//! Depthwise-convolution workloads.
+//!
+//! A depthwise layer applies one `n x n` filter per channel, so each
+//! channel is an independent micro-GEMM with `M = 1`, `K = n^2`,
+//! `N = OH * OW` — very low arithmetic intensity, which is exactly the
+//! regime where the paper reports ~2x Axon speedups (Fig. 14).
+
+use crate::workload::{GemmWorkload, WorkloadKind};
+use axon_core::GemmShape;
+use axon_im2col::ConvLayer;
+use std::fmt;
+
+/// A depthwise conv layer: `channels` independent single-channel convs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DwConvLayer {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of channels (independent filters).
+    pub channels: usize,
+    /// Per-channel geometry (must have `in_channels == out_channels == 1`).
+    pub geometry: ConvLayer,
+}
+
+impl DwConvLayer {
+    /// Creates a DW layer description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-channel geometry is not single-channel.
+    pub fn new(name: &'static str, channels: usize, geometry: ConvLayer) -> Self {
+        assert_eq!(geometry.in_channels, 1, "per-channel geometry must be 1-in");
+        assert_eq!(geometry.out_channels, 1, "per-channel geometry must be 1-out");
+        assert!(channels > 0, "channels must be non-zero");
+        Self {
+            name,
+            channels,
+            geometry,
+        }
+    }
+
+    /// The per-channel GEMM: `1 x n^2 x (OH*OW)`.
+    pub fn per_channel_gemm(&self) -> GemmShape {
+        self.geometry.gemm_shape()
+    }
+
+    /// The layer treated as one batched GEMM with channels stacked along
+    /// `M` (a common mapping when the array processes many channels per
+    /// pass).
+    pub fn batched_gemm(&self) -> GemmShape {
+        let g = self.geometry.gemm_shape();
+        GemmShape::new(self.channels, g.k, g.n)
+    }
+
+    /// Total MACs across channels.
+    pub fn macs(&self) -> usize {
+        self.channels * self.geometry.macs()
+    }
+
+    /// As a [`GemmWorkload`] (batched form).
+    pub fn workload(&self) -> GemmWorkload {
+        GemmWorkload {
+            name: self.name,
+            shape: self.batched_gemm(),
+            kind: WorkloadKind::DwConv,
+        }
+    }
+}
+
+impl fmt::Display for DwConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ch, k{} s{} @{}x{}",
+            self.name,
+            self.channels,
+            self.geometry.kernel,
+            self.geometry.stride,
+            self.geometry.ifmap_h,
+            self.geometry.ifmap_w
+        )
+    }
+}
+
+/// Helper building a square-input DW layer.
+fn dw(name: &'static str, channels: usize, size: usize, kernel: usize, stride: usize) -> DwConvLayer {
+    DwConvLayer::new(
+        name,
+        channels,
+        ConvLayer::new(1, 1, size, size, kernel, stride, kernel / 2),
+    )
+}
+
+/// MobileNetV1 depthwise layers at 224x224 (Howard et al., 2017).
+pub fn mobilenet_dw_layers() -> Vec<DwConvLayer> {
+    vec![
+        dw("MBv1_dw1", 32, 112, 3, 1),
+        dw("MBv1_dw2", 64, 112, 3, 2),
+        dw("MBv1_dw3", 128, 56, 3, 1),
+        dw("MBv1_dw4", 128, 56, 3, 2),
+        dw("MBv1_dw5", 256, 28, 3, 1),
+        dw("MBv1_dw6", 256, 28, 3, 2),
+        dw("MBv1_dw7", 512, 14, 3, 1),
+        dw("MBv1_dw12", 512, 14, 3, 2),
+        dw("MBv1_dw13", 1024, 7, 3, 1),
+    ]
+}
+
+/// EfficientNet-B0 depthwise layers (Tan & Le, 2019) — a mix of 3x3 and
+/// 5x5 kernels.
+pub fn efficientnet_dw_layers() -> Vec<DwConvLayer> {
+    vec![
+        dw("EffB0_dw1", 32, 112, 3, 1),
+        dw("EffB0_dw2", 96, 112, 3, 2),
+        dw("EffB0_dw3", 144, 56, 3, 1),
+        dw("EffB0_dw4", 144, 56, 5, 2),
+        dw("EffB0_dw5", 240, 28, 5, 1),
+        dw("EffB0_dw6", 240, 28, 3, 2),
+        dw("EffB0_dw7", 480, 14, 3, 1),
+        dw("EffB0_dw8", 480, 14, 5, 1),
+        dw("EffB0_dw9", 672, 14, 5, 1),
+        dw("EffB0_dw10", 672, 14, 5, 2),
+        dw("EffB0_dw11", 1152, 7, 5, 1),
+        dw("EffB0_dw12", 1152, 7, 3, 1),
+    ]
+}
+
+/// The DW-conv workload set of the paper's Fig. 14 (MobileNet +
+/// EfficientNet layers).
+pub fn fig14_dw_workloads() -> Vec<DwConvLayer> {
+    let mut v = mobilenet_dw_layers();
+    v.extend(efficientnet_dw_layers());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_gemm_shape() {
+        let l = dw("t", 64, 28, 3, 1);
+        let g = l.per_channel_gemm();
+        assert_eq!((g.m, g.k, g.n), (1, 9, 28 * 28));
+        assert!(g.is_gemv() || g.m == 1);
+    }
+
+    #[test]
+    fn batched_stacks_channels() {
+        let l = dw("t", 64, 28, 3, 1);
+        let g = l.batched_gemm();
+        assert_eq!(g.m, 64);
+        assert_eq!(l.macs(), g.macs());
+    }
+
+    #[test]
+    fn low_arithmetic_intensity() {
+        for l in fig14_dw_workloads() {
+            let ai = l.per_channel_gemm().arithmetic_intensity();
+            assert!(ai < 10.0, "{}: AI {ai}", l.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-in")]
+    fn multi_channel_geometry_rejected() {
+        DwConvLayer::new("bad", 8, ConvLayer::new(2, 1, 8, 8, 3, 1, 1));
+    }
+
+    #[test]
+    fn workload_sets_nonempty() {
+        assert_eq!(mobilenet_dw_layers().len(), 9);
+        assert_eq!(efficientnet_dw_layers().len(), 12);
+        assert_eq!(fig14_dw_workloads().len(), 21);
+    }
+}

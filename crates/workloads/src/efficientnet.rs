@@ -1,0 +1,102 @@
+//! EfficientNet-B0 (Tan & Le, 2019) conv-layer table at 224x224.
+//!
+//! MBConv blocks are expanded into their pointwise-expand / depthwise /
+//! pointwise-project convolutions; squeeze-and-excitation layers are
+//! omitted (they are ~1% of MACs and not convolution-lowered on the
+//! array). Depthwise layers are encoded as per-channel repetitions, as
+//! in [`crate::mobilenet_v1`].
+
+use crate::convnet::ConvNet;
+use axon_im2col::ConvLayer;
+
+/// One MBConv stage: expand (pw) -> depthwise (k x k) -> project (pw).
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    net: &mut ConvNet,
+    cin: usize,
+    cout: usize,
+    size: usize,
+    kernel: usize,
+    stride: usize,
+    expand: usize,
+    repeats: usize,
+) {
+    let c = ConvLayer::new;
+    let mid = cin * expand;
+    // First repeat: may downsample and change channels.
+    if expand > 1 {
+        net.push(c(cin, mid, size, size, 1, 1, 0), 1);
+    }
+    net.push(c(1, 1, size, size, kernel, stride, kernel / 2), mid);
+    let out_size = if stride == 2 { size / 2 } else { size };
+    net.push(c(mid, cout, out_size, out_size, 1, 1, 0), 1);
+    // Remaining repeats: stride 1, cout channels.
+    for _ in 1..repeats {
+        let mid = cout * expand;
+        if expand > 1 {
+            net.push(c(cout, mid, out_size, out_size, 1, 1, 0), 1);
+        }
+        net.push(c(1, 1, out_size, out_size, kernel, 1, kernel / 2), mid);
+        net.push(c(mid, cout, out_size, out_size, 1, 1, 0), 1);
+    }
+}
+
+/// Builds the EfficientNet-B0 conv-layer list.
+///
+/// # Examples
+///
+/// ```
+/// use axon_workloads::efficientnet_b0;
+///
+/// let net = efficientnet_b0();
+/// // ~390 MMACs of convolution at 224x224.
+/// let mmacs = net.total_macs() as f64 / 1e6;
+/// assert!((300.0..480.0).contains(&mmacs));
+/// ```
+pub fn efficientnet_b0() -> ConvNet {
+    let mut net = ConvNet::new("EfficientNet-B0");
+    let c = ConvLayer::new;
+
+    net.push(c(3, 32, 224, 224, 3, 2, 1), 1); // stem -> 112
+    mbconv(&mut net, 32, 16, 112, 3, 1, 1, 1); // MBConv1 k3
+    mbconv(&mut net, 16, 24, 112, 3, 2, 6, 2); // -> 56
+    mbconv(&mut net, 24, 40, 56, 5, 2, 6, 2); // -> 28
+    mbconv(&mut net, 40, 80, 28, 3, 2, 6, 3); // -> 14
+    mbconv(&mut net, 80, 112, 14, 5, 1, 6, 3);
+    mbconv(&mut net, 112, 192, 14, 5, 2, 6, 4); // -> 7
+    mbconv(&mut net, 192, 320, 7, 3, 1, 6, 1);
+    net.push(c(320, 1280, 7, 7, 1, 1, 0), 1); // head
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axon_im2col::TrafficParams;
+
+    #[test]
+    fn macs_in_published_band() {
+        // EfficientNet-B0 is ~390 MMACs (0.39 GFLOPs x2) at 224x224
+        // excluding SE and the classifier.
+        let mmacs = efficientnet_b0().total_macs() as f64 / 1e6;
+        assert!((300.0..480.0).contains(&mmacs), "{mmacs} MMACs");
+    }
+
+    #[test]
+    fn has_5x5_depthwise_layers() {
+        let net = efficientnet_b0();
+        let k5 = net
+            .layers()
+            .filter(|(l, _)| l.kernel == 5 && l.in_channels == 1)
+            .count();
+        assert!(k5 >= 3, "expected several 5x5 DW stages, got {k5}");
+    }
+
+    #[test]
+    fn dw_heavy_nets_still_reduce_traffic() {
+        // Even with the pointwise-dominated MACs, the 3x3/5x5 DW layers
+        // give the on-chip im2col something to reuse.
+        let t = efficientnet_b0().traffic(TrafficParams::default());
+        assert!(t.ifmap_reduction_pct() > 5.0, "{}", t.ifmap_reduction_pct());
+    }
+}

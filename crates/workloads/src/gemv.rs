@@ -1,0 +1,63 @@
+//! GEMV (matrix-vector) workloads: the memory-bound regime of the
+//! paper's Fig. 14.
+//!
+//! Single-token transformer decoding and recommender scoring reduce every
+//! projection to `y = W x` — `N = 1` GEMMs whose runtime on a systolic
+//! array is almost entirely operand-fill latency, which Axon halves.
+
+use crate::workload::{GemmWorkload, WorkloadKind};
+use axon_core::GemmShape;
+
+/// GEMV workloads drawn from the evaluation networks' projection shapes.
+///
+/// # Examples
+///
+/// ```
+/// use axon_workloads::gemv_workloads;
+///
+/// for w in gemv_workloads() {
+///     assert!(w.shape.is_gemv());
+/// }
+/// ```
+pub fn gemv_workloads() -> Vec<GemmWorkload> {
+    let mk = |name, m, k| GemmWorkload {
+        name,
+        shape: GemmShape::gemv(m, k),
+        kind: WorkloadKind::Gemv,
+    };
+    vec![
+        mk("GEMV_TF_qkv", 1024, 1024),
+        mk("GEMV_TF_ffn", 4096, 1024),
+        mk("GEMV_GPT3_proj", 2560, 2560),
+        mk("GEMV_GPT3_ffn", 10240, 2560),
+        mk("GEMV_GPT3_lmhead", 50257, 2560),
+        mk("GEMV_GNMT", 4096, 2048),
+        mk("GEMV_NCF", 2048, 128),
+        mk("GEMV_DB", 50000, 1024),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_have_unit_n() {
+        for w in gemv_workloads() {
+            assert_eq!(w.shape.n, 1, "{}", w.name);
+            assert_eq!(w.kind, WorkloadKind::Gemv);
+        }
+    }
+
+    #[test]
+    fn memory_bound_by_construction() {
+        for w in gemv_workloads() {
+            assert!(w.shape.arithmetic_intensity() < 1.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn set_size() {
+        assert_eq!(gemv_workloads().len(), 8);
+    }
+}

@@ -1,0 +1,63 @@
+//! # axon-workloads
+//!
+//! The workload zoo of the Axon reproduction: every input the paper's
+//! evaluation section (§5) runs.
+//!
+//! * [`table3`] — the 20 GEMM / GEMM-mapped-conv shapes of Table 3
+//!   (transformers, GNMT, GPT-3, NCF, DB, ResNet/YOLO conv layers and
+//!   synthetic GEMMs), driving Figs. 12 and 13;
+//! * [`resnet50`] / [`yolov3`] — full conv-layer tables for the §5.2.1
+//!   DRAM-traffic and inference-energy analysis;
+//! * [`mobilenet_dw_layers`] / [`efficientnet_dw_layers`] — the DW-conv
+//!   workloads of Fig. 14;
+//! * [`gemv_workloads`] — the memory-bound GEMV set of Fig. 14;
+//! * [`ConformerConfig`] — mixed Conv+GeMM conformer blocks;
+//! * [`SparseGemm`] — sparsity descriptors for the zero-gating power
+//!   study;
+//! * [`fig11_shapes`] — the conv shapes of the Fig. 11 access-reduction
+//!   sweep.
+//!
+//! ## Example
+//!
+//! ```
+//! use axon_workloads::{table3, WorkloadKind};
+//!
+//! let convs = table3()
+//!     .into_iter()
+//!     .filter(|w| w.kind == WorkloadKind::ConvMapped)
+//!     .count();
+//! assert_eq!(convs, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conformer;
+mod convnet;
+mod dwconv;
+mod efficientnet;
+mod fig11;
+mod gemv;
+mod mobilenet;
+mod resnet50;
+mod sparse;
+mod table3;
+mod transformer;
+mod workload;
+mod yolov3;
+
+pub use conformer::ConformerConfig;
+pub use convnet::ConvNet;
+pub use dwconv::{
+    efficientnet_dw_layers, fig14_dw_workloads, mobilenet_dw_layers, DwConvLayer,
+};
+pub use efficientnet::efficientnet_b0;
+pub use fig11::{fig11_shapes, NamedConv};
+pub use gemv::gemv_workloads;
+pub use mobilenet::mobilenet_v1;
+pub use resnet50::resnet50;
+pub use sparse::{sparsity_sweep, SparseGemm};
+pub use table3::{fig13_workloads, table3};
+pub use transformer::TransformerConfig;
+pub use workload::{GemmWorkload, WorkloadKind};
+pub use yolov3::yolov3;

@@ -1,0 +1,78 @@
+//! MobileNetV1 (Howard et al., 2017) full conv-layer table at 224x224:
+//! the canonical depthwise-separable network. Depthwise layers are
+//! encoded as `channels` repetitions of a single-channel conv, which is
+//! exactly how they execute on a GEMM array.
+
+use crate::convnet::ConvNet;
+use axon_im2col::ConvLayer;
+
+/// Builds the MobileNetV1 conv-layer list (standard 1.0x width).
+///
+/// # Examples
+///
+/// ```
+/// use axon_workloads::mobilenet_v1;
+///
+/// let net = mobilenet_v1();
+/// // ~568 MMACs of convolution at 224x224.
+/// let mmacs = net.total_macs() as f64 / 1e6;
+/// assert!((480.0..650.0).contains(&mmacs));
+/// ```
+pub fn mobilenet_v1() -> ConvNet {
+    let mut net = ConvNet::new("MobileNetV1");
+    let c = ConvLayer::new;
+    // Depthwise block: `ch` copies of a 1-channel 3x3 conv + pointwise.
+    let dw_pw = |net: &mut ConvNet, ch: usize, size: usize, stride: usize, out: usize| {
+        net.push(c(1, 1, size, size, 3, stride, 1), ch);
+        let out_size = if stride == 2 { size / 2 } else { size };
+        net.push(c(ch, out, out_size, out_size, 1, 1, 0), 1);
+    };
+
+    net.push(c(3, 32, 224, 224, 3, 2, 1), 1); // stem -> 112
+    dw_pw(&mut net, 32, 112, 1, 64);
+    dw_pw(&mut net, 64, 112, 2, 128); // -> 56
+    dw_pw(&mut net, 128, 56, 1, 128);
+    dw_pw(&mut net, 128, 56, 2, 256); // -> 28
+    dw_pw(&mut net, 256, 28, 1, 256);
+    dw_pw(&mut net, 256, 28, 2, 512); // -> 14
+    for _ in 0..5 {
+        dw_pw(&mut net, 512, 14, 1, 512);
+    }
+    dw_pw(&mut net, 512, 14, 2, 1024); // -> 7
+    dw_pw(&mut net, 1024, 7, 1, 1024);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_in_published_band() {
+        // MobileNetV1 is ~569 MMACs (1.14 GFLOPs) of conv at 224x224.
+        let mmacs = mobilenet_v1().total_macs() as f64 / 1e6;
+        assert!((480.0..650.0).contains(&mmacs), "{mmacs} MMACs");
+    }
+
+    #[test]
+    fn depthwise_fraction_is_small_in_macs() {
+        // DW layers are ~3% of MobileNet's MACs but a large share of its
+        // memory traffic — the imbalance that motivates Fig. 14.
+        let net = mobilenet_v1();
+        let dw_macs: usize = net
+            .layers()
+            .filter(|(l, _)| l.in_channels == 1)
+            .map(|(l, c)| l.macs() * c)
+            .sum();
+        let frac = dw_macs as f64 / net.total_macs() as f64;
+        assert!(frac < 0.10, "DW fraction {frac}");
+    }
+
+    #[test]
+    fn structure_counts() {
+        // 1 stem + 13 pointwise entries; DW entries carry channel counts.
+        let net = mobilenet_v1();
+        let pw = net.layers().filter(|(l, _)| l.kernel == 1).count();
+        assert_eq!(pw, 13);
+    }
+}

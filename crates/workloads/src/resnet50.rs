@@ -1,0 +1,106 @@
+//! ResNet-50 (He et al., CVPR 2016) convolution-layer table at 224x224
+//! input, v1.5 convention (stride-2 on the 3x3 of downsampling blocks).
+//!
+//! Used for the paper's §5.2.1 DRAM-traffic/energy analysis.
+
+use crate::convnet::ConvNet;
+use axon_im2col::ConvLayer;
+
+/// Builds the ResNet-50 conv-layer list (53 conv layers counting
+/// repetitions; the final FC layer is excluded as in the paper, which
+/// reports "conv layer only" traffic).
+///
+/// # Examples
+///
+/// ```
+/// use axon_workloads::resnet50;
+///
+/// let net = resnet50();
+/// assert_eq!(net.total_layer_count(), 53);
+/// // ~4.1 GMACs of convolution.
+/// let gmacs = net.total_macs() as f64 / 1e9;
+/// assert!((3.5..4.5).contains(&gmacs));
+/// ```
+pub fn resnet50() -> ConvNet {
+    let mut net = ConvNet::new("ResNet50");
+    let c = ConvLayer::new;
+
+    // Stem: conv1 7x7/2.
+    net.push(c(3, 64, 224, 224, 7, 2, 3), 1);
+
+    // conv2_x @56x56 (after 3x3/2 maxpool): 3 bottlenecks.
+    net.push(c(64, 64, 56, 56, 1, 1, 0), 1); // block 1 reduce
+    net.push(c(64, 64, 56, 56, 3, 1, 1), 1);
+    net.push(c(64, 256, 56, 56, 1, 1, 0), 1);
+    net.push(c(64, 256, 56, 56, 1, 1, 0), 1); // downsample shortcut
+    net.push(c(256, 64, 56, 56, 1, 1, 0), 2); // blocks 2-3 reduce
+    net.push(c(64, 64, 56, 56, 3, 1, 1), 2);
+    net.push(c(64, 256, 56, 56, 1, 1, 0), 2);
+
+    // conv3_x @28x28: 4 bottlenecks, stride 2 in block 1's 3x3.
+    net.push(c(256, 128, 56, 56, 1, 1, 0), 1);
+    net.push(c(128, 128, 56, 56, 3, 2, 1), 1);
+    net.push(c(128, 512, 28, 28, 1, 1, 0), 1);
+    net.push(c(256, 512, 56, 56, 1, 2, 0), 1); // downsample shortcut
+    net.push(c(512, 128, 28, 28, 1, 1, 0), 3);
+    net.push(c(128, 128, 28, 28, 3, 1, 1), 3);
+    net.push(c(128, 512, 28, 28, 1, 1, 0), 3);
+
+    // conv4_x @14x14: 6 bottlenecks.
+    net.push(c(512, 256, 28, 28, 1, 1, 0), 1);
+    net.push(c(256, 256, 28, 28, 3, 2, 1), 1);
+    net.push(c(256, 1024, 14, 14, 1, 1, 0), 1);
+    net.push(c(512, 1024, 28, 28, 1, 2, 0), 1); // downsample shortcut
+    net.push(c(1024, 256, 14, 14, 1, 1, 0), 5);
+    net.push(c(256, 256, 14, 14, 3, 1, 1), 5);
+    net.push(c(256, 1024, 14, 14, 1, 1, 0), 5);
+
+    // conv5_x @7x7: 3 bottlenecks.
+    net.push(c(1024, 512, 14, 14, 1, 1, 0), 1);
+    net.push(c(512, 512, 14, 14, 3, 2, 1), 1);
+    net.push(c(512, 2048, 7, 7, 1, 1, 0), 1);
+    net.push(c(1024, 2048, 14, 14, 1, 2, 0), 1); // downsample shortcut
+    net.push(c(2048, 512, 7, 7, 1, 1, 0), 2);
+    net.push(c(512, 512, 7, 7, 3, 1, 1), 2);
+    net.push(c(512, 2048, 7, 7, 1, 1, 0), 2);
+
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_is_53() {
+        // 1 stem + 16 bottlenecks * 3 + 4 downsample shortcuts = 53.
+        assert_eq!(resnet50().total_layer_count(), 53);
+    }
+
+    #[test]
+    fn macs_in_published_band() {
+        let macs = resnet50().total_macs();
+        // torchvision reports ~4.09 GMACs for ResNet-50 convolutions.
+        assert!((3_500_000_000..4_500_000_000usize).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn parameter_count_in_published_band() {
+        let params: usize = resnet50()
+            .layers()
+            .map(|(l, cnt)| l.filter_elements() * cnt)
+            .sum();
+        // ~23.5M conv parameters.
+        assert!((20_000_000..27_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn spatial_chaining_consistent() {
+        // Every 3x3 with stride 2 must halve the map.
+        for (l, _) in resnet50().layers() {
+            if l.kernel == 3 && l.stride == 2 {
+                assert_eq!(l.out_h(), l.ifmap_h / 2);
+            }
+        }
+    }
+}

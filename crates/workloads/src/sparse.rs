@@ -1,0 +1,91 @@
+//! Sparse-GEMM workload descriptors for the zero-gating power study
+//! (paper §5.2.1: 5.3% total power reduction at 10% sparsity).
+
+use crate::workload::{GemmWorkload, WorkloadKind};
+use axon_core::GemmShape;
+use std::fmt;
+
+/// A GEMM with prescribed operand sparsities (fraction of exact zeros).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseGemm {
+    /// Base workload.
+    pub workload: GemmWorkload,
+    /// Zero fraction of the `A` (ifmap) operand, in `[0, 1]`.
+    pub sparsity_a: f64,
+    /// Zero fraction of the `B` (filter) operand, in `[0, 1]`.
+    pub sparsity_b: f64,
+}
+
+impl SparseGemm {
+    /// Creates a sparse workload descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sparsity is outside `[0, 1]`.
+    pub fn new(name: &'static str, shape: GemmShape, sparsity_a: f64, sparsity_b: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity_a), "sparsity_a out of range");
+        assert!((0.0..=1.0).contains(&sparsity_b), "sparsity_b out of range");
+        Self {
+            workload: GemmWorkload {
+                name,
+                shape,
+                kind: WorkloadKind::Gemm,
+            },
+            sparsity_a,
+            sparsity_b,
+        }
+    }
+
+    /// Expected fraction of MACs gated when zeros are independent:
+    /// `1 - (1 - s_a)(1 - s_b)`.
+    pub fn expected_gated_fraction(&self) -> f64 {
+        1.0 - (1.0 - self.sparsity_a) * (1.0 - self.sparsity_b)
+    }
+}
+
+impl fmt::Display for SparseGemm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (sparsity A {:.0}%, B {:.0}%)",
+            self.workload,
+            self.sparsity_a * 100.0,
+            self.sparsity_b * 100.0
+        )
+    }
+}
+
+/// The sparsity sweep used by the reproduction's power study: the paper's
+/// 10% point plus a range for the ablation.
+pub fn sparsity_sweep(shape: GemmShape) -> Vec<SparseGemm> {
+    [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .map(|s| SparseGemm::new("sparse_sweep", shape, s, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_fraction_at_paper_point() {
+        let s = SparseGemm::new("p", GemmShape::new(64, 64, 64), 0.1, 0.1);
+        assert!((s.expected_gated_fraction() - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let sweep = sparsity_sweep(GemmShape::new(8, 8, 8));
+        assert_eq!(sweep.len(), 7);
+        for w in sweep.windows(2) {
+            assert!(w[0].expected_gated_fraction() <= w[1].expected_gated_fraction());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_sparsity_rejected() {
+        SparseGemm::new("bad", GemmShape::new(1, 1, 1), 1.5, 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's Table 3: M/K/N of the GEMM and GEMM-mapped-conv workloads
+//! used throughout the evaluation (Figs. 12 and 13).
+
+use crate::workload::{GemmWorkload, WorkloadKind};
+use axon_core::GemmShape;
+
+/// All 20 workloads of the paper's Table 3, in its reading order.
+///
+/// # Examples
+///
+/// ```
+/// use axon_workloads::table3;
+///
+/// let ws = table3();
+/// assert_eq!(ws.len(), 20);
+/// let tf0 = &ws[0];
+/// assert_eq!(tf0.name, "TF0");
+/// assert_eq!((tf0.shape.m, tf0.shape.k, tf0.shape.n), (31999, 84, 1024));
+/// ```
+pub fn table3() -> Vec<GemmWorkload> {
+    use WorkloadKind::{ConvMapped, Gemm};
+    let mk = |name, m, k, n, kind| GemmWorkload {
+        name,
+        shape: GemmShape::new(m, k, n),
+        kind,
+    };
+    vec![
+        mk("TF0", 31999, 84, 1024, Gemm),
+        mk("TF1", 84, 4096, 1024, Gemm),
+        mk("GNMT0", 128, 4096, 2048, Gemm),
+        mk("GNMT1", 2048, 32, 4096, Gemm),
+        mk("GPT3_0 (matmul0)", 1024, 1024, 80, Gemm),
+        mk("GPT3_1 (matmul1)", 1024, 2560, 7680, Gemm),
+        mk("GPT3_2 (addmm)", 1024, 2560, 10240, Gemm),
+        mk("GPT3_3 (lmhead)", 1024, 2560, 50257, Gemm),
+        mk("NCF0", 2048, 128, 1, Gemm),
+        mk("NCF1", 256, 2048, 256, Gemm),
+        mk("DB0", 1024, 50000, 16, Gemm),
+        mk("DB1", 35, 2560, 4096, Gemm),
+        mk("Resnet50_0_conv2d", 64, 147, 62500, ConvMapped),
+        mk("Resnet50_1_conv2d", 512, 4608, 676, ConvMapped),
+        mk("YOLO_v3_0_conv2d", 64, 288, 42436, ConvMapped),
+        mk("YOLO_v3_1_conv2d", 128, 576, 10404, ConvMapped),
+        mk("GEMM_0", 128, 10, 128, Gemm),
+        mk("GEMM_1", 2048, 10, 2048, Gemm),
+        mk("GEMM_2", 1024, 1024, 128, Gemm),
+        mk("GEMM_3", 64, 2560, 2560, Gemm),
+    ]
+}
+
+/// The subset of Table 3 the paper uses for the CMSA utilization
+/// comparison (Fig. 13): every workload, at a 128x128 array.
+pub fn fig13_workloads() -> Vec<GemmWorkload> {
+    table3()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_uniqueness() {
+        let ws = table3();
+        assert_eq!(ws.len(), 20);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "duplicate workload names");
+    }
+
+    #[test]
+    fn conv_mapped_entries_decompose() {
+        let ws = table3();
+        // Resnet50_0: 7x7x3 kernel -> K = 147; 250x250 output -> N = 62500.
+        let r0 = ws.iter().find(|w| w.name == "Resnet50_0_conv2d").unwrap();
+        assert_eq!(r0.shape.k, 7 * 7 * 3);
+        assert_eq!(r0.shape.n, 250 * 250);
+        // YOLO_v3_0: 3x3x32 -> K = 288; 206x206 -> N = 42436.
+        let y0 = ws.iter().find(|w| w.name == "YOLO_v3_0_conv2d").unwrap();
+        assert_eq!(y0.shape.k, 3 * 3 * 32);
+        assert_eq!(y0.shape.n, 206 * 206);
+    }
+
+    #[test]
+    fn all_shapes_non_degenerate() {
+        for w in table3() {
+            assert!(w.shape.m >= 1 && w.shape.k >= 1 && w.shape.n >= 1, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Transformer-block workload generator: produces the GEMMs of one
+//! decoder block (and the LM head) from model hyperparameters.
+//!
+//! The paper's Table 3 GPT3 rows are exactly these shapes for the
+//! GPT-3 2.7B configuration (`d_model = 2560`, 32 heads, sequence 1024,
+//! vocabulary 50257) — the provenance test below pins that
+//! correspondence.
+
+use crate::workload::{GemmWorkload, WorkloadKind};
+use axon_core::GemmShape;
+
+/// Hyperparameters of a decoder-only transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Sequence length processed per forward pass.
+    pub seq_len: usize,
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Vocabulary size (LM head output).
+    pub vocab: usize,
+}
+
+impl TransformerConfig {
+    /// GPT-3 2.7B: the configuration behind Table 3's GPT3 rows.
+    pub fn gpt3_2p7b() -> Self {
+        Self {
+            seq_len: 1024,
+            d_model: 2560,
+            n_heads: 32,
+            d_ff: 4 * 2560,
+            vocab: 50257,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// The GEMMs of one block in execution order, plus the LM head.
+    ///
+    /// Attention score/context products are per-head shapes (the form a
+    /// GEMM accelerator actually executes, and the form Table 3 lists as
+    /// "matmul0").
+    pub fn block_workloads(&self) -> Vec<GemmWorkload> {
+        let s = self.seq_len;
+        let d = self.d_model;
+        let mk = |name, m, k, n| GemmWorkload {
+            name,
+            shape: GemmShape::new(m, k, n),
+            kind: WorkloadKind::Gemm,
+        };
+        vec![
+            // Fused QKV projection (Table 3 "matmul1").
+            mk("xf_qkv_proj", s, d, 3 * d),
+            // Per-head attention scores Q K^T.
+            mk("xf_attn_scores", s, self.d_head(), s),
+            // Per-head context: scores x V (Table 3 "matmul0").
+            mk("xf_attn_context", s, s, self.d_head()),
+            // Output projection.
+            mk("xf_attn_out", s, d, d),
+            // Feed-forward up (Table 3 "addmm") and down.
+            mk("xf_ffn_up", s, d, self.d_ff),
+            mk("xf_ffn_down", s, self.d_ff, d),
+            // LM head (Table 3 "lmhead").
+            mk("xf_lm_head", s, d, self.vocab),
+        ]
+    }
+
+    /// Single-token decode: every projection collapses to a GEMV
+    /// (`M = 1`), the regime of the paper's Fig. 14.
+    pub fn decode_workloads(&self) -> Vec<GemmWorkload> {
+        let d = self.d_model;
+        let mk = |name, k, n| GemmWorkload {
+            name,
+            shape: GemmShape::new(1, k, n),
+            kind: WorkloadKind::Gemv,
+        };
+        vec![
+            mk("xf_decode_qkv", d, 3 * d),
+            mk("xf_decode_out", d, d),
+            mk("xf_decode_ffn_up", d, self.d_ff),
+            mk("xf_decode_ffn_down", self.d_ff, d),
+            mk("xf_decode_lm_head", d, self.vocab),
+        ]
+    }
+
+    /// Total MACs of one block plus the LM head (prefill mode).
+    pub fn block_macs(&self) -> usize {
+        // Per-head products run once per head.
+        self.block_workloads()
+            .iter()
+            .map(|w| {
+                let per_head = w.name.contains("attn_scores") || w.name.contains("attn_context");
+                w.shape.macs() * if per_head { self.n_heads } else { 1 }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table3;
+
+    #[test]
+    fn gpt3_rows_of_table3_are_this_config() {
+        let cfg = TransformerConfig::gpt3_2p7b();
+        let ws = cfg.block_workloads();
+        let t3 = table3();
+        let find = |name: &str| t3.iter().find(|w| w.name.contains(name)).unwrap().shape;
+        let gen = |name: &str| ws.iter().find(|w| w.name.contains(name)).unwrap().shape;
+
+        // matmul0 = per-head context (1024, 1024, 80).
+        assert_eq!(find("matmul0"), gen("attn_context"));
+        // matmul1 = fused QKV (1024, 2560, 7680).
+        assert_eq!(find("matmul1"), gen("qkv_proj"));
+        // addmm = FFN up (1024, 2560, 10240).
+        assert_eq!(find("addmm"), gen("ffn_up"));
+        // lmhead = vocabulary projection (1024, 2560, 50257).
+        assert_eq!(find("lmhead"), gen("lm_head"));
+    }
+
+    #[test]
+    fn d_head_divides_model_dim() {
+        let cfg = TransformerConfig::gpt3_2p7b();
+        assert_eq!(cfg.d_head(), 80);
+        assert_eq!(cfg.d_head() * cfg.n_heads, cfg.d_model);
+    }
+
+    #[test]
+    fn decode_mode_is_all_gemv() {
+        for w in TransformerConfig::gpt3_2p7b().decode_workloads() {
+            assert_eq!(w.shape.m, 1, "{}", w.name);
+            assert_eq!(w.kind, WorkloadKind::Gemv);
+            assert!(w.shape.arithmetic_intensity() < 1.0);
+        }
+    }
+
+    #[test]
+    fn block_macs_plausible() {
+        // One GPT-3 2.7B block + LM head at seq 1024: tens of GMACs.
+        let macs = TransformerConfig::gpt3_2p7b().block_macs();
+        assert!(
+            (50_000_000_000..350_000_000_000).contains(&macs),
+            "{macs}"
+        );
+    }
+}

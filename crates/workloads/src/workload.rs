@@ -1,0 +1,72 @@
+//! Common workload descriptors.
+
+use axon_core::GemmShape;
+use std::fmt;
+
+/// Category of a GEMM-shaped workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// A native dense GEMM (transformer / recommender / database kernels).
+    Gemm,
+    /// A convolution layer lowered to GEMM via im2col.
+    ConvMapped,
+    /// A matrix-vector product (`N = 1` or `M = 1`).
+    Gemv,
+    /// A per-channel depthwise-convolution micro-GEMM.
+    DwConv,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::Gemm => f.write_str("GEMM"),
+            WorkloadKind::ConvMapped => f.write_str("Conv"),
+            WorkloadKind::Gemv => f.write_str("GEMV"),
+            WorkloadKind::DwConv => f.write_str("DW-Conv"),
+        }
+    }
+}
+
+/// A named GEMM-shaped workload.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::GemmShape;
+/// use axon_workloads::{GemmWorkload, WorkloadKind};
+///
+/// let w = GemmWorkload {
+///     name: "toy",
+///     shape: GemmShape::new(8, 8, 8),
+///     kind: WorkloadKind::Gemm,
+/// };
+/// assert_eq!(w.to_string(), "toy [GEMM] M=8 K=8 N=8");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmWorkload {
+    /// Display name (paper nomenclature where applicable).
+    pub name: &'static str,
+    /// The GEMM dimensions.
+    pub shape: GemmShape,
+    /// Category.
+    pub kind: WorkloadKind,
+}
+
+impl fmt::Display for GemmWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.name, self.kind, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(WorkloadKind::Gemm.to_string(), "GEMM");
+        assert_eq!(WorkloadKind::ConvMapped.to_string(), "Conv");
+        assert_eq!(WorkloadKind::Gemv.to_string(), "GEMV");
+        assert_eq!(WorkloadKind::DwConv.to_string(), "DW-Conv");
+    }
+}

@@ -1,0 +1,61 @@
+//! Design-space exploration: for a workload mix, sweep array sizes and
+//! report runtime, utilization, silicon area and power for conventional
+//! SA, Axon, and Axon with im2col — the trade-off view a deployment
+//! study would start from.
+//!
+//! ```sh
+//! cargo run --example design_space
+//! ```
+
+use axon::core::runtime::{Architecture, RuntimeSpec};
+use axon::core::{ArrayShape, Dataflow};
+use axon::core::utilization::{utilization, UtilArchitecture};
+use axon::hw::{estimate_array_cost, ArrayDesign, ComponentLibrary, TechNode};
+use axon::workloads::table3;
+
+fn main() {
+    let lib = ComponentLibrary::calibrated_7nm();
+    let mix: Vec<_> = table3().into_iter().take(8).collect();
+
+    println!("Design-space sweep over the first 8 Table-3 workloads (7 nm)\n");
+    println!(
+        "{:>8}{:>14}{:>14}{:>10}{:>10}{:>12}{:>10}",
+        "array", "SA Mcycles", "Axon Mcycles", "speedup", "Axon UR", "area mm^2", "power mW"
+    );
+
+    for side in [16usize, 32, 64, 128] {
+        let array = ArrayShape::square(side);
+        let mut sa_cycles = 0usize;
+        let mut ax_cycles = 0usize;
+        let mut ur = 0.0f64;
+        for w in &mix {
+            let df = Dataflow::min_temporal(w.shape);
+            let spec = RuntimeSpec::new(array, df);
+            sa_cycles += spec.runtime(Architecture::Conventional, w.shape).cycles;
+            ax_cycles += spec.runtime(Architecture::Axon, w.shape).cycles;
+            ur += utilization(UtilArchitecture::Axon, array, df, w.shape);
+        }
+        let cost = estimate_array_cost(
+            ArrayDesign::Axon {
+                im2col: true,
+                unified_pe: false,
+            },
+            array,
+            TechNode::asap7(),
+            &lib,
+        );
+        println!(
+            "{:>8}{:>14.1}{:>14.1}{:>9.2}x{:>9.1}%{:>12.4}{:>10.1}",
+            format!("{side}x{side}"),
+            sa_cycles as f64 / 1e6,
+            ax_cycles as f64 / 1e6,
+            sa_cycles as f64 / ax_cycles as f64,
+            100.0 * ur / mix.len() as f64,
+            cost.area_mm2,
+            cost.power_mw
+        );
+    }
+
+    println!("\nBigger arrays amplify Axon's fill-latency advantage but cost");
+    println!("quadratic silicon; utilization falls as tiles under-fill the array.");
+}

@@ -1,0 +1,55 @@
+//! GEMV latency study: why memory-bound matrix-vector products approach
+//! the 2x speedup bound on Axon — measured with the cycle-accurate
+//! simulator, not just the model.
+//!
+//! ```sh
+//! cargo run --example gemv_latency
+//! ```
+
+use axon::core::runtime::{Architecture, RuntimeSpec};
+use axon::core::{ArrayShape, Dataflow, GemmShape, ShapeError};
+use axon::sim::{random_matrix, simulate_gemm, SimConfig};
+
+fn main() -> Result<(), ShapeError> {
+    let array = ArrayShape::square(16);
+    println!("GEMV y = A x on a {array} array, WS dataflow (x stationary-side)\n");
+    println!(
+        "{:>12}{:>12}{:>12}{:>10}{:>22}",
+        "A shape", "SA cycles", "Axon cyc", "speedup", "model / pipelined"
+    );
+
+    for (m, k) in [(64usize, 64usize), (128, 128), (256, 128), (256, 256)] {
+        let a = random_matrix(m, k, 3, 0.0);
+        let x = random_matrix(k, 1, 4, 0.0);
+        let cfg = SimConfig::new(array).with_dataflow(Dataflow::Ws);
+        let sa = simulate_gemm(Architecture::Conventional, &cfg, &a, &x)?;
+        let ax = simulate_gemm(Architecture::Axon, &cfg, &a, &x)?;
+        assert_eq!(sa.output, a.matmul(&x));
+        assert_eq!(ax.output, a.matmul(&x));
+
+        let spec = RuntimeSpec::new(array, Dataflow::Ws)
+            .with_drain(axon::core::runtime::DrainPolicy::PerTile)
+            .with_accounting(axon::core::runtime::Accounting::ExactEdges);
+        let g = GemmShape::gemv(m, k);
+        let model = spec.runtime(Architecture::Conventional, g).cycles as f64
+            / spec.runtime(Architecture::Axon, g).cycles as f64;
+
+        let pipelined = RuntimeSpec::new(array, Dataflow::Ws).speedup(g);
+
+        println!(
+            "{:>12}{:>12}{:>12}{:>9.2}x{:>13.2}x /{:>5.2}x",
+            format!("{m}x{k}"),
+            sa.stats.cycles,
+            ax.stats.cycles,
+            sa.stats.cycles as f64 / ax.stats.cycles as f64,
+            model,
+            pipelined
+        );
+    }
+
+    println!("\nThe simulator executes tile passes back to back (no overlap),");
+    println!("reproducing the per-tile model exactly (~1.5x for square tiles).");
+    println!("With drains overlapped across passes — the paper's pipelined");
+    println!("regime — the model speedup (right column) approaches 2x.");
+    Ok(())
+}

