@@ -15,9 +15,12 @@ fn bench_software_lowering(c: &mut Criterion) {
         ("1x1_64ch_28", ConvLayer::new(64, 64, 28, 28, 1, 1, 0)),
         ("5x5_s1_16ch_28", ConvLayer::new(16, 16, 28, 28, 5, 1, 2)),
     ] {
-        let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
-            (c + y + x) as f32
-        });
+        let ifmap = Tensor3::from_fn(
+            layer.in_channels,
+            layer.ifmap_h,
+            layer.ifmap_w,
+            |c, y, x| (c + y + x) as f32,
+        );
         group.bench_function(label, |bench| {
             bench.iter(|| im2col(black_box(&layer), black_box(&ifmap)).expect("valid"))
         });

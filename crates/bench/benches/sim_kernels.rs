@@ -54,8 +54,7 @@ fn bench_dataflows(c: &mut Criterion) {
         let cfg = SimConfig::new(array).with_dataflow(df);
         group.bench_function(df.name(), |bench| {
             bench.iter(|| {
-                simulate_gemm(Architecture::Axon, black_box(&cfg), &a, &b)
-                    .expect("valid operands")
+                simulate_gemm(Architecture::Axon, black_box(&cfg), &a, &b).expect("valid operands")
             })
         });
     }
@@ -71,8 +70,7 @@ fn bench_zero_gating_overhead(c: &mut Criterion) {
         let cfg = SimConfig::new(array).with_zero_gating(gating);
         group.bench_function(if gating { "on" } else { "off" }, |bench| {
             bench.iter(|| {
-                simulate_gemm(Architecture::Axon, black_box(&cfg), &a, &b)
-                    .expect("valid operands")
+                simulate_gemm(Architecture::Axon, black_box(&cfg), &a, &b).expect("valid operands")
             })
         });
     }

@@ -14,11 +14,8 @@ fn average(side: usize, drain: DrainPolicy) -> f64 {
     let sum: f64 = ws
         .iter()
         .map(|w| {
-            let spec = RuntimeSpec::new(
-                ArrayShape::square(side),
-                Dataflow::min_temporal(w.shape),
-            )
-            .with_drain(drain);
+            let spec = RuntimeSpec::new(ArrayShape::square(side), Dataflow::min_temporal(w.shape))
+                .with_drain(drain);
             let sa = spec.runtime(Architecture::Conventional, w.shape);
             let ax = spec.runtime(Architecture::Axon, w.shape);
             sa.cycles as f64 / ax.cycles as f64
@@ -29,7 +26,10 @@ fn average(side: usize, drain: DrainPolicy) -> f64 {
 
 fn main() {
     println!("Ablation — drain policy vs average Table-3 speedup");
-    println!("{:>10}{:>14}{:>14}{:>12}", "array", "PerTile", "Overlapped", "delta");
+    println!(
+        "{:>10}{:>14}{:>14}{:>12}",
+        "array", "PerTile", "Overlapped", "delta"
+    );
     for side in [16usize, 32, 64, 128, 256] {
         let per_tile = average(side, DrainPolicy::PerTile);
         let overlapped = average(side, DrainPolicy::Overlapped);

@@ -10,7 +10,10 @@ fn main() {
         ("3x3 s1 (ResNet)", ConvLayer::new(64, 64, 56, 56, 3, 1, 1)),
         ("5x5 s1 (EffNet)", ConvLayer::new(240, 240, 28, 28, 5, 1, 2)),
         ("7x7 s2 (stem)", ConvLayer::new(3, 64, 224, 224, 7, 2, 3)),
-        ("3x3 s2 (downsample)", ConvLayer::new(64, 128, 112, 112, 3, 2, 1)),
+        (
+            "3x3 s2 (downsample)",
+            ConvLayer::new(64, 128, 112, 112, 3, 2, 1),
+        ),
     ];
     println!("Ablation — feeder-chain length vs ifmap access reduction (%)");
     print!("{:<22}", "conv shape");

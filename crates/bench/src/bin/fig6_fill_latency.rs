@@ -2,8 +2,8 @@
 //! farthest PE — for the conventional orchestration
 //! (`f1(R,C) = R + C - 2`) versus Axon (`f2(R,C) = max(R,C) - 1`).
 
-use axon_core::runtime::{axon_tile_fill, sa_tile_fill};
 use axon_core::cmsa::cmsa_tile_fill;
+use axon_core::runtime::{axon_tile_fill, sa_tile_fill};
 
 fn main() {
     println!("Fig. 6 — operand fill factor (cycles to farthest PE)");
@@ -17,7 +17,13 @@ fn main() {
     }
     println!();
     // Rectangular shapes: improvement shrinks but stays >= 1.
-    for (r, c) in [(16usize, 64usize), (64, 16), (32, 256), (256, 32), (8, 1024)] {
+    for (r, c) in [
+        (16usize, 64usize),
+        (64, 16),
+        (32, 256),
+        (256, 32),
+        (8, 1024),
+    ] {
         row(r, c);
     }
 }

@@ -61,6 +61,10 @@ fn main() {
     );
     println!(
         "simulator vs closed forms: {}",
-        if all_match { "ALL MATCH" } else { "MISMATCH FOUND" }
+        if all_match {
+            "ALL MATCH"
+        } else {
+            "MISMATCH FOUND"
+        }
     );
 }

@@ -23,8 +23,7 @@ fn fig4() {
     let b = Matrix::from_fn(3, 3, |r, c| (r * 3 + c + 1) as f32);
     let cfg = SimConfig::new(ArrayShape::square(3));
     for arch in [Architecture::Conventional, Architecture::Axon] {
-        let (result, activity) =
-            simulate_gemm_traced(arch, &cfg, &a, &b).expect("valid operands");
+        let (result, activity) = simulate_gemm_traced(arch, &cfg, &a, &b).expect("valid operands");
         assert_eq!(result.output, a.matmul(&b));
         println!(
             "  {arch}: {} cycles, first-MAC wavefront:",

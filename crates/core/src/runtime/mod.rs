@@ -204,7 +204,10 @@ impl RuntimeSpec {
         Dataflow::ALL
             .iter()
             .map(|&df| {
-                let spec = RuntimeSpec { dataflow: df, ..*self };
+                let spec = RuntimeSpec {
+                    dataflow: df,
+                    ..*self
+                };
                 (df, spec.runtime(arch, gemm))
             })
             .min_by_key(|(_, r)| r.cycles)
@@ -299,7 +302,10 @@ mod tests {
             // Only OS maps S_R=M; WS/IS map S_R=K which exceeds the array
             // here, so restrict the closed-form check to shapes that fit.
             if df == Dataflow::Os {
-                let spec = RuntimeSpec { dataflow: df, ..spec };
+                let spec = RuntimeSpec {
+                    dataflow: df,
+                    ..spec
+                };
                 let r = spec.runtime(Architecture::Conventional, g);
                 assert_eq!(r.cycles, table2_runtime(Architecture::Conventional, df, g));
                 let r = spec.runtime(Architecture::Axon, g);
@@ -409,8 +415,11 @@ mod tests {
         let g = GemmShape::new(64, 4096, 64);
         let (df, rep) = spec.best_dataflow(Architecture::Conventional, g);
         for other in Dataflow::ALL {
-            let r = RuntimeSpec { dataflow: other, ..spec }
-                .runtime(Architecture::Conventional, g);
+            let r = RuntimeSpec {
+                dataflow: other,
+                ..spec
+            }
+            .runtime(Architecture::Conventional, g);
             assert!(rep.cycles <= r.cycles, "{df} not optimal vs {other}");
         }
     }

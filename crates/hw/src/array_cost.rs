@@ -159,14 +159,22 @@ mod tests {
     #[test]
     fn fig10_anchors_reproduced() {
         let sa = at16(ArrayDesign::Conventional);
-        assert!((sa.area_mm2 - 0.9992).abs() < 1e-4, "SA area {}", sa.area_mm2);
+        assert!(
+            (sa.area_mm2 - 0.9992).abs() < 1e-4,
+            "SA area {}",
+            sa.area_mm2
+        );
         assert!((sa.power_mw - 59.88).abs() < 0.01);
 
         let axon = at16(ArrayDesign::Axon {
             im2col: false,
             unified_pe: false,
         });
-        assert!((axon.area_mm2 - 0.9931).abs() < 1e-4, "Axon area {}", axon.area_mm2);
+        assert!(
+            (axon.area_mm2 - 0.9931).abs() < 1e-4,
+            "Axon area {}",
+            axon.area_mm2
+        );
 
         let axon_im2col = at16(ArrayDesign::Axon {
             im2col: true,
@@ -195,7 +203,10 @@ mod tests {
             unified_pe: false,
         });
         let area_pct = 100.0 * (with.area_mm2 - axon.area_mm2) / axon.area_mm2;
-        assert!((0.15..0.25).contains(&area_pct), "area overhead {area_pct}%");
+        assert!(
+            (0.15..0.25).contains(&area_pct),
+            "area overhead {area_pct}%"
+        );
     }
 
     #[test]
@@ -218,13 +229,19 @@ mod tests {
         let lib = lib();
         for shape in [ArrayShape::square(8), ArrayShape::square(32)] {
             let a7 = estimate_array_cost(
-                ArrayDesign::Axon { im2col: true, unified_pe: false },
+                ArrayDesign::Axon {
+                    im2col: true,
+                    unified_pe: false,
+                },
                 shape,
                 TechNode::asap7(),
                 &lib,
             );
             let a45 = estimate_array_cost(
-                ArrayDesign::Axon { im2col: true, unified_pe: false },
+                ArrayDesign::Axon {
+                    im2col: true,
+                    unified_pe: false,
+                },
                 shape,
                 TechNode::tsmc45(),
                 &lib,
@@ -260,7 +277,10 @@ mod tests {
         assert!((gated - 0.19).abs() < 1e-12);
         let factor = g.power_factor(&lib(), gated);
         let reduction_pct = 100.0 * (1.0 - factor);
-        assert!((reduction_pct - 5.3).abs() < 0.1, "reduction {reduction_pct}%");
+        assert!(
+            (reduction_pct - 5.3).abs() < 0.1,
+            "reduction {reduction_pct}%"
+        );
     }
 
     #[test]

@@ -116,10 +116,7 @@ impl ComponentLibrary {
     /// Cost of one conventional PE (MAC + two operand buffers +
     /// accumulator + control).
     pub fn conventional_pe(&self) -> BlockCost {
-        self.fp16_mac
-            + self.operand_buffer.times(2.0)
-            + self.accumulator
-            + self.pe_control
+        self.fp16_mac + self.operand_buffer.times(2.0) + self.accumulator + self.pe_control
     }
 }
 

@@ -50,9 +50,15 @@ impl ConvLayer {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channels must be non-zero");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be non-zero"
+        );
         assert!(ifmap_h > 0 && ifmap_w > 0, "ifmap extents must be non-zero");
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be non-zero");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be non-zero"
+        );
         assert!(
             ifmap_h + 2 * padding >= kernel && ifmap_w + 2 * padding >= kernel,
             "kernel larger than padded input"
@@ -118,9 +124,7 @@ impl ConvLayer {
                 (out * self.kernel).min(extent)
             }
         };
-        self.in_channels
-            * touched(self.ifmap_h, self.out_h())
-            * touched(self.ifmap_w, self.out_w())
+        self.in_channels * touched(self.ifmap_h, self.out_h()) * touched(self.ifmap_w, self.out_w())
     }
 
     /// Filter parameter count: `C_out * C_in * n^2`.
@@ -154,8 +158,13 @@ impl fmt::Display for ConvLayer {
         write!(
             f,
             "conv {}x{}x{}x{} k{} s{} p{}",
-            self.in_channels, self.out_channels, self.ifmap_h, self.ifmap_w, self.kernel,
-            self.stride, self.padding
+            self.in_channels,
+            self.out_channels,
+            self.ifmap_h,
+            self.ifmap_w,
+            self.kernel,
+            self.stride,
+            self.padding
         )
     }
 }

@@ -85,10 +85,7 @@ pub fn run_conv(
     let lowered = im2col(layer, ifmap)?;
     let flat = flatten_filters(layer, filters)?;
     let result = simulate_gemm(arch, cfg, &flat, &lowered)?;
-    let traffic = layer_traffic(
-        layer,
-        TrafficParams::new(2, cfg.array.diagonal_len()),
-    );
+    let traffic = layer_traffic(layer, TrafficParams::new(2, cfg.array.diagonal_len()));
     Ok(ConvRun {
         ofmap: result.output,
         stats: result.stats,
@@ -103,9 +100,12 @@ mod tests {
     use axon_core::{ArrayShape, Dataflow};
 
     fn operands(layer: &ConvLayer) -> (Tensor3, FilterBank) {
-        let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
-            ((c * 11 + y * 5 + x * 3) % 13) as f32 - 6.0
-        });
+        let ifmap = Tensor3::from_fn(
+            layer.in_channels,
+            layer.ifmap_h,
+            layer.ifmap_w,
+            |c, y, x| ((c * 11 + y * 5 + x * 3) % 13) as f32 - 6.0,
+        );
         let filters = FilterBank::from_fn(
             layer.out_channels,
             layer.in_channels,

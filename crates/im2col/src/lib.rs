@@ -35,8 +35,7 @@ mod traffic;
 pub use conv::ConvLayer;
 pub use engine::{run_conv, ConvRun};
 pub use onchip::{
-    access_reduction_pct, onchip_ifmap_loads, simulate_feeder_group, software_ifmap_loads,
-    MuxTrace,
+    access_reduction_pct, onchip_ifmap_loads, simulate_feeder_group, software_ifmap_loads, MuxTrace,
 };
 pub use software::{direct_conv, flatten_filters, im2col};
 pub use tensor::{FilterBank, Tensor3};

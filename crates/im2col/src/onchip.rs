@@ -185,9 +185,12 @@ mod tests {
     use super::*;
 
     fn ifmap_for(layer: &ConvLayer) -> Tensor3 {
-        Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
-            (c * 1000 + y * 10 + x) as f32
-        })
+        Tensor3::from_fn(
+            layer.in_channels,
+            layer.ifmap_h,
+            layer.ifmap_w,
+            |c, y, x| (c * 1000 + y * 10 + x) as f32,
+        )
     }
 
     #[test]
@@ -274,10 +277,7 @@ mod tests {
     #[test]
     fn pointwise_conv_has_no_reuse() {
         let layer = ConvLayer::new(16, 16, 28, 28, 1, 1, 0);
-        assert_eq!(
-            onchip_ifmap_loads(&layer, 16),
-            software_ifmap_loads(&layer)
-        );
+        assert_eq!(onchip_ifmap_loads(&layer, 16), software_ifmap_loads(&layer));
         assert_eq!(access_reduction_pct(&layer, 16), 0.0);
     }
 

@@ -118,13 +118,14 @@ pub fn direct_conv(
                             let y = (oy * layer.stride + ky) as isize - layer.padding as isize;
                             let x = (ox * layer.stride + kx) as isize - layer.padding as isize;
                             let iv = ifmap.get_padded(c, y, x, layer.padding);
-                            let fv = filters.get(m, c, ky, kx).ok_or(
-                                ShapeError::DimensionMismatch {
-                                    context: "filter geometry vs layer",
-                                    left: filters.count(),
-                                    right: layer.out_channels,
-                                },
-                            )?;
+                            let fv =
+                                filters
+                                    .get(m, c, ky, kx)
+                                    .ok_or(ShapeError::DimensionMismatch {
+                                        context: "filter geometry vs layer",
+                                        left: filters.count(),
+                                        right: layer.out_channels,
+                                    })?;
                             acc += iv * fv;
                         }
                     }
@@ -159,9 +160,12 @@ mod tests {
     use super::*;
 
     fn test_operands(layer: &ConvLayer) -> (Tensor3, FilterBank) {
-        let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
-            ((c * 7 + y * 3 + x * 5) % 11) as f32 - 5.0
-        });
+        let ifmap = Tensor3::from_fn(
+            layer.in_channels,
+            layer.ifmap_h,
+            layer.ifmap_w,
+            |c, y, x| ((c * 7 + y * 3 + x * 5) % 11) as f32 - 5.0,
+        );
         let filters = FilterBank::from_fn(
             layer.out_channels,
             layer.in_channels,

@@ -78,10 +78,14 @@ impl Tensor3 {
         data: Vec<f32>,
     ) -> Result<Self, ShapeError> {
         if channels == 0 {
-            return Err(ShapeError::ZeroDimension { dimension: "channels" });
+            return Err(ShapeError::ZeroDimension {
+                dimension: "channels",
+            });
         }
         if height == 0 {
-            return Err(ShapeError::ZeroDimension { dimension: "height" });
+            return Err(ShapeError::ZeroDimension {
+                dimension: "height",
+            });
         }
         if width == 0 {
             return Err(ShapeError::ZeroDimension { dimension: "width" });
@@ -304,7 +308,9 @@ mod tests {
 
     #[test]
     fn filter_bank_access() {
-        let f = FilterBank::from_fn(2, 3, 2, |m, c, y, x| (1000 * m + 100 * c + 10 * y + x) as f32);
+        let f = FilterBank::from_fn(2, 3, 2, |m, c, y, x| {
+            (1000 * m + 100 * c + 10 * y + x) as f32
+        });
         assert_eq!(f.get(1, 2, 1, 0), Some(1210.0));
         assert_eq!(f.get(2, 0, 0, 0), None);
     }

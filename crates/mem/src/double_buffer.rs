@@ -78,8 +78,7 @@ pub fn schedule_double_buffered(
     let mut stalls = 0usize;
     let mut stalled_tiles = 0usize;
 
-    let refill_cycles =
-        |bytes: usize| dram.transfer_cycles(bytes, accel_clock_mhz).ceil() as usize;
+    let refill_cycles = |bytes: usize| dram.transfer_cycles(bytes, accel_clock_mhz).ceil() as usize;
 
     if let Some(first) = tiles.first() {
         // Cold start: the first tile's own data must land before compute.

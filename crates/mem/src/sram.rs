@@ -92,7 +92,9 @@ impl SramBuffer {
     /// (ceil of bytes over capacity, double-buffered halves overlap and
     /// are not modeled separately).
     pub fn fill(&mut self, bytes: usize) -> usize {
-        let bursts = bytes.div_ceil(self.capacity_bytes).max(usize::from(bytes > 0));
+        let bursts = bytes
+            .div_ceil(self.capacity_bytes)
+            .max(usize::from(bytes > 0));
         self.stats.refills += bursts;
         self.stats.dram_bytes += bytes;
         self.stats.writes += bytes;

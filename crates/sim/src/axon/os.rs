@@ -200,7 +200,12 @@ mod tests {
         simulate_tile(&a, &b, false, &mut ax, &mut crate::probe::NoProbe);
         let mut sa = SimStats::new();
         crate::conventional::os::simulate_tile(&a, &b, false, &mut sa, &mut crate::probe::NoProbe);
-        assert!(ax.cycles < sa.cycles, "axon {} vs sa {}", ax.cycles, sa.cycles);
+        assert!(
+            ax.cycles < sa.cycles,
+            "axon {} vs sa {}",
+            ax.cycles,
+            sa.cycles
+        );
         assert_eq!(ax.macs_performed, sa.macs_performed);
     }
 

@@ -194,8 +194,13 @@ mod tests {
     #[test]
     fn cycle_count_matches_table2() {
         // max(sr, sc) + sr + t - 1
-        for (sr, sc, t) in [(4usize, 4usize, 6usize), (3, 7, 4), (7, 3, 4), (1, 1, 1), (5, 1, 3)]
-        {
+        for (sr, sc, t) in [
+            (4usize, 4usize, 6usize),
+            (3, 7, 4),
+            (7, 3, 4),
+            (1, 1, 1),
+            (5, 1, 3),
+        ] {
             let s = seq(sr, sc);
             let y = seq(t, sr);
             let mut stats = SimStats::new();
@@ -215,7 +220,13 @@ mod tests {
         let mut ax = SimStats::new();
         simulate_tile(&s, &y, false, &mut ax, &mut crate::probe::NoProbe);
         let mut sa = SimStats::new();
-        crate::conventional::stationary::simulate_tile(&s, &y, false, &mut sa, &mut crate::probe::NoProbe);
+        crate::conventional::stationary::simulate_tile(
+            &s,
+            &y,
+            false,
+            &mut sa,
+            &mut crate::probe::NoProbe,
+        );
         assert!(ax.cycles < sa.cycles);
         assert_eq!(ax.macs_performed, sa.macs_performed);
     }

@@ -367,7 +367,14 @@ fn simulate_ws(
             let mt = tc.min(m - m0);
             let stationary = Matrix::from_fn(kt, mt, |kk, mm| a[(m0 + mm, k0 + kk)]);
             let stream = Matrix::from_fn(n, kt, |nn, kk| b[(k0 + kk, nn)]);
-            let tile = stationary_tile(arch, &stationary, &stream, cfg.zero_gating, &mut stats, probe);
+            let tile = stationary_tile(
+                arch,
+                &stationary,
+                &stream,
+                cfg.zero_gating,
+                &mut stats,
+                probe,
+            );
             overlap.tile(kt);
             for nn in 0..n {
                 for mm in 0..mt {
@@ -404,7 +411,14 @@ fn simulate_is(
             let nt = tc.min(n - n0);
             let stationary = b.sub(k0, n0, kt, nt);
             let stream = a.sub(0, k0, m, kt);
-            let tile = stationary_tile(arch, &stationary, &stream, cfg.zero_gating, &mut stats, probe);
+            let tile = stationary_tile(
+                arch,
+                &stationary,
+                &stream,
+                cfg.zero_gating,
+                &mut stats,
+                probe,
+            );
             overlap.tile(kt);
             for mm in 0..m {
                 for nn in 0..nt {

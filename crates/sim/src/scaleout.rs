@@ -11,9 +11,9 @@ use crate::matrix::Matrix;
 use crate::stats::SimStats;
 use crate::{simulate_gemm, SimConfig, SimResult};
 use axon_core::runtime::Architecture;
-use axon_core::ShapeError;
 #[cfg(test)]
 use axon_core::Dataflow;
+use axon_core::ShapeError;
 
 /// Result of a scale-out ensemble run.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,7 +116,10 @@ pub fn simulate_gemm_scale_out(
             }
             let nt = n_slice.min(n - n0);
             let b_slice = b.sub(0, n0, b.rows(), nt);
-            let SimResult { output: tile, stats } = simulate_gemm(arch, cfg, &a_slice, &b_slice)?;
+            let SimResult {
+                output: tile,
+                stats,
+            } = simulate_gemm(arch, cfg, &a_slice, &b_slice)?;
             for i in 0..mt {
                 for j in 0..nt {
                     output[(m0 + i, n0 + j)] = tile[(i, j)];

@@ -1,0 +1,198 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Covers the subset used by this workspace: `Criterion::bench_function`,
+//! `benchmark_group` with `bench_function` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is timed as best-of-N wall clock
+//! and printed to stdout. When the binary is invoked with `--test` (as
+//! `cargo test` does for `harness = false` bench targets) every benchmark
+//! body runs exactly once, keeping the tier-1 suite fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value. Re-export of the std hint.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named benchmark id, e.g. `BenchmarkId::new("chain", 4)` → `chain/4`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    test_mode: bool,
+    best: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    fn run(test_mode: bool, mut f: impl FnMut(&mut Bencher)) -> (Duration, u32) {
+        let mut b = Bencher {
+            test_mode,
+            best: Duration::MAX,
+            iters: 0,
+        };
+        f(&mut b);
+        (b.best, b.iters)
+    }
+
+    /// Time one closure: best-of-N wall clock, capped by iteration count and
+    /// total budget. In `--test` mode the closure runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            self.best = Duration::ZERO;
+            return;
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        while self.iters < 30 && (self.iters < 3 || start.elapsed() < budget) {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+/// Top-level benchmark driver; one per `criterion_group!`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    fn report(&self, name: &str, best: Duration, iters: u32) {
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            println!("{name:<40} best {best:>12?} over {iters} iters");
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let name = name.to_string();
+        let (best, iters) = Bencher::run(self.test_mode, f);
+        self.report(&name, best, iters);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (best, iters) = Bencher::run(self.c.test_mode, f);
+        self.c.report(&full, best, iters);
+        self
+    }
+
+    /// Run a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (best, iters) = Bencher::run(self.c.test_mode, |b| f(b, input));
+        self.c.report(&full, best, iters);
+        self
+    }
+
+    /// Finish the group (no-op; present for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        c.bench_function("probe", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("chain", 4).to_string(), "chain/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

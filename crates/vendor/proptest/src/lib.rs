@@ -1,0 +1,201 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Covers the subset used by this workspace: the [`proptest!`] macro with
+//! `name in <integer range>` bindings, `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Sampling is
+//! driven by a deterministic xorshift RNG seeded from the test name, so runs
+//! are reproducible; there is no shrinking — failures panic with the inputs
+//! already interpolated by the assertion message.
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic xorshift64* RNG. Seeded from the test name so each property
+/// sees a stable stream independent of execution order.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from an arbitrary string (the test name).
+    pub fn new(seed: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in seed.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// A source of random values. Implemented for integer ranges.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...)` item becomes a
+/// `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue`, so it must appear directly inside the property body
+/// (not in a nested loop) — which is how this workspace uses it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn samples_stay_in_range(x in 3usize..17, y in 0u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new("seed");
+        let mut b = TestRng::new("seed");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

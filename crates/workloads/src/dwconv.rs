@@ -29,7 +29,10 @@ impl DwConvLayer {
     /// Panics if the per-channel geometry is not single-channel.
     pub fn new(name: &'static str, channels: usize, geometry: ConvLayer) -> Self {
         assert_eq!(geometry.in_channels, 1, "per-channel geometry must be 1-in");
-        assert_eq!(geometry.out_channels, 1, "per-channel geometry must be 1-out");
+        assert_eq!(
+            geometry.out_channels, 1,
+            "per-channel geometry must be 1-out"
+        );
         assert!(channels > 0, "channels must be non-zero");
         Self {
             name,
@@ -82,7 +85,13 @@ impl fmt::Display for DwConvLayer {
 }
 
 /// Helper building a square-input DW layer.
-fn dw(name: &'static str, channels: usize, size: usize, kernel: usize, stride: usize) -> DwConvLayer {
+fn dw(
+    name: &'static str,
+    channels: usize,
+    size: usize,
+    kernel: usize,
+    stride: usize,
+) -> DwConvLayer {
     DwConvLayer::new(
         name,
         channels,

@@ -18,16 +18,46 @@ pub struct NamedConv {
 pub fn fig11_shapes() -> Vec<NamedConv> {
     let c = ConvLayer::new;
     vec![
-        NamedConv { name: "ResNet_conv1 7x7/2 @224", layer: c(3, 64, 224, 224, 7, 2, 3) },
-        NamedConv { name: "ResNet_conv2 3x3 @56",    layer: c(64, 64, 56, 56, 3, 1, 1) },
-        NamedConv { name: "ResNet_conv3 3x3 @28",    layer: c(128, 128, 28, 28, 3, 1, 1) },
-        NamedConv { name: "ResNet_conv4 3x3 @14",    layer: c(256, 256, 14, 14, 3, 1, 1) },
-        NamedConv { name: "YOLO_d1 3x3 @416",        layer: c(32, 64, 416, 416, 3, 2, 1) },
-        NamedConv { name: "YOLO_d2 3x3 @208",        layer: c(64, 128, 208, 208, 3, 2, 1) },
-        NamedConv { name: "YOLO_r3 3x3 @52",         layer: c(128, 256, 52, 52, 3, 1, 1) },
-        NamedConv { name: "MobileNet 3x3 @112",      layer: c(32, 64, 112, 112, 3, 1, 1) },
-        NamedConv { name: "EffNet 5x5 @28",          layer: c(240, 240, 28, 28, 5, 1, 2) },
-        NamedConv { name: "EffNet 5x5 @14",          layer: c(672, 672, 14, 14, 5, 1, 2) },
+        NamedConv {
+            name: "ResNet_conv1 7x7/2 @224",
+            layer: c(3, 64, 224, 224, 7, 2, 3),
+        },
+        NamedConv {
+            name: "ResNet_conv2 3x3 @56",
+            layer: c(64, 64, 56, 56, 3, 1, 1),
+        },
+        NamedConv {
+            name: "ResNet_conv3 3x3 @28",
+            layer: c(128, 128, 28, 28, 3, 1, 1),
+        },
+        NamedConv {
+            name: "ResNet_conv4 3x3 @14",
+            layer: c(256, 256, 14, 14, 3, 1, 1),
+        },
+        NamedConv {
+            name: "YOLO_d1 3x3 @416",
+            layer: c(32, 64, 416, 416, 3, 2, 1),
+        },
+        NamedConv {
+            name: "YOLO_d2 3x3 @208",
+            layer: c(64, 128, 208, 208, 3, 2, 1),
+        },
+        NamedConv {
+            name: "YOLO_r3 3x3 @52",
+            layer: c(128, 256, 52, 52, 3, 1, 1),
+        },
+        NamedConv {
+            name: "MobileNet 3x3 @112",
+            layer: c(32, 64, 112, 112, 3, 1, 1),
+        },
+        NamedConv {
+            name: "EffNet 5x5 @28",
+            layer: c(240, 240, 28, 28, 5, 1, 2),
+        },
+        NamedConv {
+            name: "EffNet 5x5 @14",
+            layer: c(672, 672, 14, 14, 5, 1, 2),
+        },
     ]
 }
 

@@ -48,9 +48,7 @@ mod yolov3;
 
 pub use conformer::ConformerConfig;
 pub use convnet::ConvNet;
-pub use dwconv::{
-    efficientnet_dw_layers, fig14_dw_workloads, mobilenet_dw_layers, DwConvLayer,
-};
+pub use dwconv::{efficientnet_dw_layers, fig14_dw_workloads, mobilenet_dw_layers, DwConvLayer};
 pub use efficientnet::efficientnet_b0;
 pub use fig11::{fig11_shapes, NamedConv};
 pub use gemv::gemv_workloads;

@@ -81,7 +81,10 @@ mod tests {
     fn macs_in_published_band() {
         let macs = resnet50().total_macs();
         // torchvision reports ~4.09 GMACs for ResNet-50 convolutions.
-        assert!((3_500_000_000..4_500_000_000usize).contains(&macs), "{macs}");
+        assert!(
+            (3_500_000_000..4_500_000_000usize).contains(&macs),
+            "{macs}"
+        );
     }
 
     #[test]

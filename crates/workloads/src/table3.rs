@@ -84,7 +84,11 @@ mod tests {
     #[test]
     fn all_shapes_non_degenerate() {
         for w in table3() {
-            assert!(w.shape.m >= 1 && w.shape.k >= 1 && w.shape.n >= 1, "{}", w.name);
+            assert!(
+                w.shape.m >= 1 && w.shape.k >= 1 && w.shape.n >= 1,
+                "{}",
+                w.name
+            );
         }
     }
 }

@@ -145,9 +145,6 @@ mod tests {
     fn block_macs_plausible() {
         // One GPT-3 2.7B block + LM head at seq 1024: tens of GMACs.
         let macs = TransformerConfig::gpt3_2p7b().block_macs();
-        assert!(
-            (50_000_000_000..350_000_000_000).contains(&macs),
-            "{macs}"
-        );
+        assert!((50_000_000_000..350_000_000_000).contains(&macs), "{macs}");
     }
 }

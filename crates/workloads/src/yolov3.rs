@@ -29,22 +29,27 @@ pub fn yolov3() -> ConvNet {
     // --- Darknet-53 backbone ---
     net.push(c(3, 32, 416, 416, 3, 1, 1), 1);
     net.push(c(32, 64, 416, 416, 3, 2, 1), 1); // -> 208
+
     // 1 residual block @208.
     net.push(c(64, 32, 208, 208, 1, 1, 0), 1);
     net.push(c(32, 64, 208, 208, 3, 1, 1), 1);
     net.push(c(64, 128, 208, 208, 3, 2, 1), 1); // -> 104
+
     // 2 residual blocks @104.
     net.push(c(128, 64, 104, 104, 1, 1, 0), 2);
     net.push(c(64, 128, 104, 104, 3, 1, 1), 2);
     net.push(c(128, 256, 104, 104, 3, 2, 1), 1); // -> 52
+
     // 8 residual blocks @52.
     net.push(c(256, 128, 52, 52, 1, 1, 0), 8);
     net.push(c(128, 256, 52, 52, 3, 1, 1), 8);
     net.push(c(256, 512, 52, 52, 3, 2, 1), 1); // -> 26
+
     // 8 residual blocks @26.
     net.push(c(512, 256, 26, 26, 1, 1, 0), 8);
     net.push(c(256, 512, 26, 26, 3, 1, 1), 8);
     net.push(c(512, 1024, 26, 26, 3, 2, 1), 1); // -> 13
+
     // 4 residual blocks @13.
     net.push(c(1024, 512, 13, 13, 1, 1, 0), 4);
     net.push(c(512, 1024, 13, 13, 3, 1, 1), 4);
@@ -109,7 +114,11 @@ mod tests {
         );
         // Band checks against the paper's reported reductions.
         assert!((1.9..2.6).contains(&ratio(&yolo)), "yolo {}", ratio(&yolo));
-        assert!((1.2..1.8).contains(&ratio(&resnet)), "resnet {}", ratio(&resnet));
+        assert!(
+            (1.2..1.8).contains(&ratio(&resnet)),
+            "resnet {}",
+            ratio(&resnet)
+        );
     }
 
     #[test]

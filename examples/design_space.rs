@@ -8,8 +8,8 @@
 //! ```
 
 use axon::core::runtime::{Architecture, RuntimeSpec};
-use axon::core::{ArrayShape, Dataflow};
 use axon::core::utilization::{utilization, UtilArchitecture};
+use axon::core::{ArrayShape, Dataflow};
 use axon::hw::{estimate_array_cost, ArrayDesign, ComponentLibrary, TechNode};
 use axon::workloads::table3;
 

@@ -39,7 +39,10 @@ fn main() -> Result<(), ShapeError> {
     }
 
     let spec = RuntimeSpec::new(array, Dataflow::Os);
-    println!("\nanalytical speedup (drain-overlapped): {:.2}x", spec.speedup(gemm));
+    println!(
+        "\nanalytical speedup (drain-overlapped): {:.2}x",
+        spec.speedup(gemm)
+    );
     println!("output verified against the naive reference — exact match");
     Ok(())
 }

@@ -50,13 +50,19 @@ fn main() -> Result<(), ShapeError> {
     // What the programmability costs in silicon (four MUXes per PE).
     let lib = ComponentLibrary::calibrated_7nm();
     let fixed = estimate_array_cost(
-        ArrayDesign::Axon { im2col: true, unified_pe: false },
+        ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: false,
+        },
         array,
         TechNode::asap7(),
         &lib,
     );
     let unified = estimate_array_cost(
-        ArrayDesign::Axon { im2col: true, unified_pe: true },
+        ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: true,
+        },
         array,
         TechNode::asap7(),
         &lib,

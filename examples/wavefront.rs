@@ -27,6 +27,9 @@ fn main() -> Result<(), ShapeError> {
     println!("Conventional: a Manhattan wavefront from the top-left corner");
     println!("(farthest PE waits {} cycles).", 2 * (n - 1));
     println!("Axon: a Chebyshev wavefront from the principal diagonal");
-    println!("(farthest PE waits {} cycles) — half the fill latency.", n - 1);
+    println!(
+        "(farthest PE waits {} cycles) — half the fill latency.",
+        n - 1
+    );
     Ok(())
 }

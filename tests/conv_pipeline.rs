@@ -12,9 +12,12 @@ use axon::sim::{simulate_gemm, SimConfig};
 use proptest::prelude::*;
 
 fn operands(layer: &ConvLayer, seed: usize) -> (Tensor3, FilterBank) {
-    let ifmap = Tensor3::from_fn(layer.in_channels, layer.ifmap_h, layer.ifmap_w, |c, y, x| {
-        ((c * 13 + y * 7 + x * 3 + seed) % 9) as f32 - 4.0
-    });
+    let ifmap = Tensor3::from_fn(
+        layer.in_channels,
+        layer.ifmap_h,
+        layer.ifmap_w,
+        |c, y, x| ((c * 13 + y * 7 + x * 3 + seed) % 9) as f32 - 4.0,
+    );
     let filters = FilterBank::from_fn(
         layer.out_channels,
         layer.in_channels,

@@ -17,11 +17,19 @@ fn conventional_feed_is_skewed_by_row() {
     let b = random_matrix(4, n, 2, 0.0);
     let cfg = SimConfig::new(ArrayShape::square(n));
     let (_, trace) = simulate_gemm_demand_trace(Architecture::Conventional, &cfg, &a, &b).unwrap();
-    for e in trace.events().iter().filter(|e| e.operand == FeedOperand::A) {
+    for e in trace
+        .events()
+        .iter()
+        .filter(|e| e.operand == FeedOperand::A)
+    {
         let (i, t) = e.index;
         assert_eq!(e.cycle, t + i, "a[({i},{t})] fetched at {}", e.cycle);
     }
-    for e in trace.events().iter().filter(|e| e.operand == FeedOperand::B) {
+    for e in trace
+        .events()
+        .iter()
+        .filter(|e| e.operand == FeedOperand::B)
+    {
         let (t, j) = e.index;
         assert_eq!(e.cycle, t + j, "b[({t},{j})] fetched at {}", e.cycle);
     }
@@ -55,7 +63,11 @@ fn axon_rectangular_skews_only_past_diagonal() {
     let b = random_matrix(4, c, 6, 0.0);
     let cfg = SimConfig::new(ArrayShape::new(r, c));
     let (_, trace) = simulate_gemm_demand_trace(Architecture::Axon, &cfg, &a, &b).unwrap();
-    for e in trace.events().iter().filter(|e| e.operand == FeedOperand::B) {
+    for e in trace
+        .events()
+        .iter()
+        .filter(|e| e.operand == FeedOperand::B)
+    {
         let (t, j) = e.index;
         if j < r {
             assert_eq!(e.cycle, t, "diagonal column {j}");

@@ -40,7 +40,11 @@ fn fig14_dw_gemv_average_near_1_8() {
     let mut count = 0;
     for side in [64usize, 128, 256] {
         let spec_for = |df| RuntimeSpec::new(ArrayShape::square(side), df);
-        for w in fig14_dw_workloads().iter().map(|d| d.workload()).chain(gemv_workloads()) {
+        for w in fig14_dw_workloads()
+            .iter()
+            .map(|d| d.workload())
+            .chain(gemv_workloads())
+        {
             let df = Dataflow::min_temporal(w.shape);
             let spec = spec_for(df);
             let sa = spec.runtime(Architecture::Conventional, w.shape);
@@ -75,12 +79,20 @@ fn energy_analysis_bands() {
     let r = resnet50().dram_traffic(model);
     let rr = EnergyReport::new(&dram, r.software_ifmap_bytes, r.onchip_ifmap_bytes);
     assert!((1.3..1.8).contains(&rr.reduction_factor()), "resnet {rr}");
-    assert!((5.0..16.0).contains(&rr.saved_mj()), "resnet saved {}", rr.saved_mj());
+    assert!(
+        (5.0..16.0).contains(&rr.saved_mj()),
+        "resnet saved {}",
+        rr.saved_mj()
+    );
 
     let y = yolov3().dram_traffic(model);
     let yy = EnergyReport::new(&dram, y.software_ifmap_bytes, y.onchip_ifmap_bytes);
     assert!((1.9..2.6).contains(&yy.reduction_factor()), "yolo {yy}");
-    assert!((100.0..200.0).contains(&yy.saved_mj()), "yolo saved {}", yy.saved_mj());
+    assert!(
+        (100.0..200.0).contains(&yy.saved_mj()),
+        "yolo saved {}",
+        yy.saved_mj()
+    );
 }
 
 #[test]
@@ -101,8 +113,10 @@ fn fig13_axon_beats_cmsa_on_average_and_non_degenerate_workloads() {
     let mut axon_wins = 0usize;
     let ws = table3();
     for w in &ws {
-        let cmsa = utilization_improvement_pct(UtilArchitecture::Cmsa, array, Dataflow::Os, w.shape);
-        let axon = utilization_improvement_pct(UtilArchitecture::Axon, array, Dataflow::Os, w.shape);
+        let cmsa =
+            utilization_improvement_pct(UtilArchitecture::Cmsa, array, Dataflow::Os, w.shape);
+        let axon =
+            utilization_improvement_pct(UtilArchitecture::Axon, array, Dataflow::Os, w.shape);
         cmsa_sum += cmsa;
         axon_sum += axon;
         if axon >= cmsa {
@@ -122,7 +136,11 @@ fn fig13_axon_beats_cmsa_on_average_and_non_degenerate_workloads() {
             );
         }
     }
-    assert!(axon_wins * 4 >= ws.len() * 3, "axon won only {axon_wins}/{}", ws.len());
+    assert!(
+        axon_wins * 4 >= ws.len() * 3,
+        "axon won only {axon_wins}/{}",
+        ws.len()
+    );
     assert!(
         axon_sum > cmsa_sum,
         "average: axon {axon_sum} <= cmsa {cmsa_sum}"
@@ -135,7 +153,10 @@ fn fig13_gpt3_baseline_utilization_high() {
     // conventional array, leaving little improvement headroom.
     let array = ArrayShape::square(128);
     for name in ["GPT3_1 (matmul1)", "GPT3_2 (addmm)", "GPT3_3 (lmhead)"] {
-        let w = table3().into_iter().find(|w| w.name == name).expect("known workload");
+        let w = table3()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("known workload");
         let ur = utilization(UtilArchitecture::Conventional, array, Dataflow::Os, w.shape);
         assert!((0.85..0.97).contains(&ur), "{name}: UR {ur}");
         let imp = utilization_improvement_pct(UtilArchitecture::Axon, array, Dataflow::Os, w.shape);

@@ -1,0 +1,66 @@
+//! Smoke test for the facade crate: the exact path the top-level README's
+//! quickstart walks. If this breaks, the documented first-contact experience
+//! is broken, whatever the rest of the suite says.
+
+use axon::core::runtime::{Architecture, RuntimeSpec};
+use axon::core::{ArrayShape, Dataflow, GemmShape, ShapeError};
+use axon::sim::{simulate_gemm, Matrix, SimConfig};
+
+/// Analytical model: Axon beats the conventional array on a fill-latency
+/// dominated GEMM, and `speedup` agrees with the two runtime queries.
+#[test]
+fn analytical_quickstart_speedup_above_one() {
+    let spec = RuntimeSpec::new(ArrayShape::square(64), Dataflow::Os);
+    let gemm = GemmShape::new(512, 32, 512);
+
+    let sa = spec.runtime(Architecture::Conventional, gemm);
+    let ax = spec.runtime(Architecture::Axon, gemm);
+    assert!(
+        ax.cycles < sa.cycles,
+        "Axon ({}) should undercut conventional ({})",
+        ax.cycles,
+        sa.cycles
+    );
+
+    let speedup = spec.speedup(gemm);
+    assert!(speedup > 1.0, "speedup {speedup} <= 1");
+    let ratio = sa.cycles as f64 / ax.cycles as f64;
+    assert!(
+        (speedup - ratio).abs() < 1e-9,
+        "speedup() {speedup} != cycle ratio {ratio}"
+    );
+}
+
+/// Cycle-accurate path: both architectures produce the exact reference
+/// product, and Axon finishes first.
+#[test]
+fn simulated_quickstart_matches_reference() -> Result<(), ShapeError> {
+    let a = Matrix::from_fn(24, 8, |r, c| (r + c) as f32);
+    let b = Matrix::from_fn(8, 24, |r, c| (r * 2 + c) as f32);
+    let reference = a.matmul(&b);
+
+    let cfg = SimConfig::new(ArrayShape::square(8));
+    let sa = simulate_gemm(Architecture::Conventional, &cfg, &a, &b)?;
+    let ax = simulate_gemm(Architecture::Axon, &cfg, &a, &b)?;
+
+    assert_eq!(sa.output, reference);
+    assert_eq!(ax.output, reference);
+    assert!(
+        ax.stats.cycles < sa.stats.cycles,
+        "Axon ({}) should undercut conventional ({})",
+        ax.stats.cycles,
+        sa.stats.cycles
+    );
+    Ok(())
+}
+
+/// The facade re-exports reach every workspace crate.
+#[test]
+fn facade_reexports_cover_the_workspace() {
+    let _ = axon::core::ArrayShape::square(4);
+    let _ = axon::sim::SimConfig::new(axon::core::ArrayShape::square(4));
+    let _ = axon::im2col::ConvLayer::new(3, 8, 8, 8, 3, 1, 1);
+    let _ = axon::hw::ComponentLibrary::calibrated_7nm();
+    let _ = axon::workloads::table3();
+    let _ = axon::mem::DramConfig::default();
+}
