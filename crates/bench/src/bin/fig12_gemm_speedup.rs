@@ -4,12 +4,23 @@
 //! EXPERIMENTS.md.
 //!
 //! Paper: average speedups 1.47x at 64x64 and 1.76x at 256x256.
+//!
+//! Pass `--json <path>` to also write the series machine-readably.
 
 use axon_bench::fig12::{speedup_series, PAPER_SIDES};
+use axon_bench::series::json_path_from_args;
 
 fn main() {
     println!("Fig. 12 — Axon speedup over SA (normalized runtime SA/Axon)");
-    print!("{}", speedup_series(&PAPER_SIDES));
+    let series = speedup_series(&PAPER_SIDES);
+    print!("{series}");
     println!();
     println!("paper: average 1.47x at 64x64, 1.76x at 256x256");
+    if let Some(path) = json_path_from_args() {
+        series
+            .to_json()
+            .write_to_file(&path)
+            .expect("write --json output");
+        println!("wrote {}", path.display());
+    }
 }

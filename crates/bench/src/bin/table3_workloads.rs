@@ -1,5 +1,8 @@
 //! Table 3: the M, K, N values of the evaluation workloads.
+//!
+//! Pass `--json <path>` to also write the table machine-readably.
 
+use axon_bench::series::{json_path_from_args, Json};
 use axon_workloads::table3;
 
 fn main() {
@@ -19,5 +22,26 @@ fn main() {
             w.shape.macs(),
             w.shape.arithmetic_intensity()
         );
+    }
+    if let Some(path) = json_path_from_args() {
+        let json = Json::obj([(
+            "workloads",
+            Json::arr(table3().into_iter().map(|w| {
+                Json::obj([
+                    ("name", Json::str(w.name)),
+                    ("kind", Json::str(w.kind.to_string())),
+                    ("m", Json::num(w.shape.m as f64)),
+                    ("k", Json::num(w.shape.k as f64)),
+                    ("n", Json::num(w.shape.n as f64)),
+                    ("macs", Json::num(w.shape.macs() as f64)),
+                    (
+                        "arithmetic_intensity",
+                        Json::num(w.shape.arithmetic_intensity()),
+                    ),
+                ])
+            })),
+        )]);
+        json.write_to_file(&path).expect("write --json output");
+        println!("wrote {}", path.display());
     }
 }

@@ -12,3 +12,4 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod series;
+pub mod serving;

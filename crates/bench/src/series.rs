@@ -1,6 +1,11 @@
-//! Shared series types for the figure modules.
+//! Shared series types for the figure modules, plus a dependency-free
+//! JSON writer so figure/perf binaries can emit machine-readable output
+//! (`--json <path>`).
 
 use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// One workload's value across a sweep of array sizes.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +66,153 @@ impl fmt::Display for FigureSeries {
     }
 }
 
+/// A JSON value. Only what the benchmark binaries need — numbers,
+/// strings, booleans, arrays, objects — serialized with proper string
+/// escaping and no external dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also the serialization of non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(entries: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Array from any iterator of values.
+    pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// String value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Number value.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// Serializes and writes to `path` (with a trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`io::Error`] on failure to write.
+    pub fn write_to_file(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, format!("{self}\n"))
+    }
+}
+
+fn escape_into(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => escape_into(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl FigureSeries {
+    /// Machine-readable form of the series: swept sides, per-workload
+    /// rows, and the column averages.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "sides",
+                Json::arr(self.sides.iter().map(|&s| Json::num(s as f64))),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("name", Json::str(r.name)),
+                        ("mapping", Json::str(r.mapping)),
+                        ("values", Json::arr(r.values.iter().map(|&v| Json::num(v)))),
+                    ])
+                })),
+            ),
+            (
+                "averages",
+                Json::arr(self.averages().into_iter().map(Json::num)),
+            ),
+        ])
+    }
+}
+
+/// Scans the process arguments for `--json <path>` and returns the path,
+/// if present — the shared CLI convention of the figure binaries.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    json_path_from(&args)
+}
+
+/// Testable core of [`json_path_from_args`].
+pub fn json_path_from(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +252,64 @@ mod tests {
         let out = s.to_string();
         assert!(out.contains("AVERAGE"));
         assert!(out.contains("1.250"));
+    }
+
+    #[test]
+    fn json_serialization_and_escaping() {
+        let v = Json::obj([
+            ("a", Json::num(1.5)),
+            ("b", Json::str("x\"y\\z\n")),
+            ("c", Json::arr([Json::Bool(true), Json::Null])),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":1.5,"b":"x\"y\\z\n","c":[true,null],"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn integral_floats_print_plainly() {
+        assert_eq!(Json::num(64.0).to_string(), "64");
+        assert_eq!(Json::num(0.25).to_string(), "0.25");
+    }
+
+    #[test]
+    fn figure_series_round_trips_structure() {
+        let s = FigureSeries {
+            sides: vec![8, 16],
+            rows: vec![WorkloadSeries {
+                name: "w",
+                mapping: "OS",
+                values: vec![1.0, 2.0],
+            }],
+        };
+        let j = s.to_json().to_string();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""sides":[8,16]"#));
+        assert!(j.contains(r#""values":[1,2]"#));
+        assert!(j.contains(r#""averages":[1,2]"#));
+    }
+
+    #[test]
+    fn json_flag_parsing() {
+        let args: Vec<String> = ["bin", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(json_path_from(&args), Some(PathBuf::from("out.json")));
+        let none: Vec<String> = vec!["bin".to_string(), "--json".to_string()];
+        assert_eq!(json_path_from(&none), None);
+    }
+
+    #[test]
+    fn json_writes_to_disk() {
+        let path = std::env::temp_dir().join("axon_bench_series_test.json");
+        Json::obj([("ok", Json::Bool(true))])
+            .write_to_file(&path)
+            .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "{\"ok\":true}\n");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,279 @@
+//! Seeded request generation: workload mixes and arrival processes.
+
+use crate::request::{Request, RequestClass};
+use crate::rng::ServeRng;
+use axon_workloads::GemmWorkload;
+
+/// How requests arrive at the pod.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open loop: arrivals are a Poisson-like process with the given mean
+    /// inter-arrival time in cycles, independent of completions. This is
+    /// the load-sweep regime (offered load can exceed capacity).
+    OpenLoop {
+        /// Mean cycles between consecutive arrivals.
+        mean_interarrival: f64,
+    },
+    /// Closed loop: each client keeps exactly one request outstanding and
+    /// re-issues `think_cycles` after its previous request completes.
+    ClosedLoop {
+        /// Client think time between completion and the next issue.
+        think_cycles: u64,
+    },
+}
+
+/// A weighted mix over request classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    entries: Vec<(RequestClass, f64)>,
+}
+
+impl WorkloadMix {
+    /// Builds a mix from `(class, weight)` pairs. Weights need not be
+    /// normalized. Panics if no entry has a positive weight.
+    pub fn new(entries: Vec<(RequestClass, f64)>) -> Self {
+        let entries: Vec<_> = entries.into_iter().filter(|(_, w)| *w > 0.0).collect();
+        assert!(!entries.is_empty(), "workload mix has no positive weight");
+        WorkloadMix { entries }
+    }
+
+    /// Only one class.
+    pub fn single(class: RequestClass) -> Self {
+        WorkloadMix::new(vec![(class, 1.0)])
+    }
+
+    /// The decode-heavy serving mix of the paper's motivating scenario:
+    /// mostly single-token decode GEMVs, a trickle of prefills and
+    /// recommender-style GEMVs.
+    pub fn decode_heavy() -> Self {
+        WorkloadMix::new(vec![
+            (RequestClass::Decode, 0.85),
+            (RequestClass::Prefill, 0.05),
+            (RequestClass::Gemv, 0.10),
+        ])
+    }
+
+    /// A balanced mix across all five classes.
+    pub fn balanced() -> Self {
+        WorkloadMix::new(RequestClass::ALL.iter().map(|&c| (c, 1.0)).collect())
+    }
+
+    /// The `(class, weight)` entries.
+    pub fn entries(&self) -> &[(RequestClass, f64)] {
+        &self.entries
+    }
+
+    fn sample(&self, rng: &mut ServeRng) -> RequestClass {
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.unit_f64() * total;
+        for &(class, w) in &self.entries {
+            pick -= w;
+            if pick < 0.0 {
+                return class;
+            }
+        }
+        // Floating-point slack: the last entry.
+        self.entries.last().expect("non-empty mix").0
+    }
+}
+
+/// Full traffic specification: everything the generator needs to be
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// RNG seed; same seed + same config => bit-identical trace.
+    pub seed: u64,
+    /// Total requests to issue over the run.
+    pub num_requests: usize,
+    /// Number of client streams.
+    pub num_clients: usize,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Workload mix.
+    pub mix: WorkloadMix,
+}
+
+impl TrafficConfig {
+    /// Open-loop traffic with the given seed, volume and mean
+    /// inter-arrival time, spread over 16 client streams.
+    pub fn open_loop(seed: u64, num_requests: usize, mean_interarrival: f64) -> Self {
+        TrafficConfig {
+            seed,
+            num_requests,
+            num_clients: 16,
+            arrival: ArrivalProcess::OpenLoop { mean_interarrival },
+            mix: WorkloadMix::decode_heavy(),
+        }
+    }
+
+    /// Closed-loop traffic: `num_clients` clients, each with one request
+    /// outstanding and the given think time.
+    pub fn closed_loop(seed: u64, num_requests: usize, num_clients: usize, think: u64) -> Self {
+        TrafficConfig {
+            seed,
+            num_requests,
+            num_clients,
+            arrival: ArrivalProcess::ClosedLoop {
+                think_cycles: think,
+            },
+            mix: WorkloadMix::decode_heavy(),
+        }
+    }
+
+    /// Builder-style mix override.
+    pub fn with_mix(mut self, mix: WorkloadMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Builder-style client-count override.
+    pub fn with_clients(mut self, num_clients: usize) -> Self {
+        assert!(num_clients > 0, "need at least one client");
+        self.num_clients = num_clients;
+        self
+    }
+}
+
+/// Deterministic request source driven by a [`TrafficConfig`].
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    rng: ServeRng,
+    mix: WorkloadMix,
+    catalogs: Vec<(RequestClass, Vec<GemmWorkload>)>,
+    budget: usize,
+    next_id: usize,
+}
+
+impl RequestGenerator {
+    /// Creates a generator for `cfg`, pre-resolving the class catalogs.
+    pub fn new(cfg: &TrafficConfig) -> Self {
+        assert!(cfg.num_clients > 0, "need at least one client");
+        let catalogs = cfg
+            .mix
+            .entries()
+            .iter()
+            .map(|&(c, _)| (c, c.catalog()))
+            .collect();
+        RequestGenerator {
+            rng: ServeRng::new(cfg.seed),
+            mix: cfg.mix.clone(),
+            catalogs,
+            budget: cfg.num_requests,
+            next_id: 0,
+        }
+    }
+
+    /// Requests still available to issue.
+    pub fn remaining(&self) -> usize {
+        self.budget
+    }
+
+    /// Draws the next request for `client`, arriving at `arrival`, or
+    /// `None` when the budget is exhausted.
+    pub fn next_request(&mut self, client: usize, arrival: u64) -> Option<Request> {
+        if self.budget == 0 {
+            return None;
+        }
+        self.budget -= 1;
+        let class = self.mix.sample(&mut self.rng);
+        let catalog = &self
+            .catalogs
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("catalog pre-resolved for every mix entry")
+            .1;
+        let workload = catalog[self.rng.below(catalog.len())];
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Request {
+            id,
+            client,
+            class,
+            workload,
+            arrival,
+        })
+    }
+
+    /// Draws the full open-loop trace: exponential inter-arrivals with
+    /// the given mean, clients assigned uniformly. Returns requests in
+    /// arrival (= id) order.
+    pub fn open_loop_trace(&mut self, mean_interarrival: f64, num_clients: usize) -> Vec<Request> {
+        assert!(
+            mean_interarrival >= 0.0 && mean_interarrival.is_finite(),
+            "inter-arrival time must be finite and non-negative"
+        );
+        let mut out = Vec::with_capacity(self.remaining());
+        let mut t = 0.0f64;
+        while self.remaining() > 0 {
+            t += self.rng.exp(mean_interarrival);
+            let client = self.rng.below(num_clients);
+            let r = self
+                .next_request(client, t as u64)
+                .expect("budget checked above");
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = TrafficConfig::open_loop(11, 200, 100.0);
+        let a = RequestGenerator::new(&cfg).open_loop_trace(100.0, cfg.num_clients);
+        let b = RequestGenerator::new(&cfg).open_loop_trace(100.0, cfg.num_clients);
+        assert_eq!(a, b);
+        let c = RequestGenerator::new(&TrafficConfig::open_loop(12, 200, 100.0))
+            .open_loop_trace(100.0, cfg.num_clients);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_arrivals_monotone_ids_sequential() {
+        let cfg = TrafficConfig::open_loop(5, 300, 50.0);
+        let trace = RequestGenerator::new(&cfg).open_loop_trace(50.0, cfg.num_clients);
+        assert_eq!(trace.len(), 300);
+        for (i, w) in trace.windows(2).enumerate() {
+            assert!(w[0].arrival <= w[1].arrival, "at {i}");
+        }
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.id, i);
+            assert!(r.client < cfg.num_clients);
+        }
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let mix = WorkloadMix::decode_heavy();
+        let cfg = TrafficConfig {
+            seed: 3,
+            num_requests: 4000,
+            num_clients: 4,
+            arrival: ArrivalProcess::OpenLoop {
+                mean_interarrival: 10.0,
+            },
+            mix,
+        };
+        let trace = RequestGenerator::new(&cfg).open_loop_trace(10.0, 4);
+        let decode = trace
+            .iter()
+            .filter(|r| r.class == RequestClass::Decode)
+            .count() as f64
+            / trace.len() as f64;
+        assert!((0.80..0.90).contains(&decode), "decode fraction {decode}");
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let cfg = TrafficConfig::closed_loop(1, 3, 2, 10);
+        let mut gen = RequestGenerator::new(&cfg);
+        assert!(gen.next_request(0, 0).is_some());
+        assert!(gen.next_request(1, 0).is_some());
+        assert!(gen.next_request(0, 5).is_some());
+        assert!(gen.next_request(1, 5).is_none());
+        assert_eq!(gen.remaining(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # axon-serve
+//!
+//! Request-level inference serving on simulated accelerator pods — the
+//! layer that turns the kernel simulator into a traffic simulator.
+//!
+//! The paper argues Axon's halved operand-fill latency (`2R-2 -> R-1`)
+//! matters most for short, latency-bound kernels: the GEMV-decode and
+//! small-GEMM shapes that dominate real serving traffic. This crate
+//! quantifies that claim end to end:
+//!
+//! * [`RequestGenerator`] draws a deterministic, seeded request stream
+//!   from the `axon-workloads` definitions (transformer prefill/decode,
+//!   ResNet-50 and YOLOv3 conv-GEMMs, Fig. 14 GEMVs) under open-loop
+//!   (Poisson-like) or closed-loop arrival processes;
+//! * [`SchedulerPolicy`] dispatches FIFO or with GEMV coalescing — the
+//!   batching scheduler fuses compatible decode GEMVs into one GEMM
+//!   while preserving per-client FIFO order;
+//! * [`simulate_pod`] runs the stream through a pod of `n` arrays
+//!   (Conventional or Axon, mixed allowed), billing each dispatch with
+//!   the analytical [`RuntimeSpec`](axon_core::runtime::RuntimeSpec)
+//!   model (exact-edge accounting), optionally sharding large kernels
+//!   across idle arrays via the scale-out partitioner and spot-checking
+//!   billed latencies cycle-for-cycle against
+//!   [`axon_sim::simulate_gemm`];
+//! * [`PodMetrics`] reports throughput, p50/p95/p99 queueing + service
+//!   latency, per-array utilization and per-request energy (array power
+//!   from `axon-hw`, DRAM transfer energy from `axon-mem`).
+//!
+//! ## Example
+//!
+//! ```
+//! use axon_core::runtime::Architecture;
+//! use axon_serve::{
+//!     simulate_pod, PodConfig, RequestClass, SchedulerPolicy, TrafficConfig, WorkloadMix,
+//! };
+//!
+//! // Identical decode-heavy traffic into two 4-array pods, FIFO so the
+//! // runs are dispatch-for-dispatch comparable.
+//! let traffic = TrafficConfig::open_loop(42, 200, 3000.0)
+//!     .with_mix(WorkloadMix::single(RequestClass::Decode));
+//! let fifo = SchedulerPolicy::Fifo;
+//! let sa = PodConfig::homogeneous(4, Architecture::Conventional, 64).with_scheduler(fifo);
+//! let ax = PodConfig::homogeneous(4, Architecture::Axon, 64).with_scheduler(fifo);
+//! let (sa, ax) = (simulate_pod(&sa, &traffic), simulate_pod(&ax, &traffic));
+//!
+//! // Axon's halved fill latency shows up as lower end-to-end latency.
+//! assert!(ax.metrics.total.p50 <= sa.metrics.total.p50);
+//! assert!(ax.metrics.makespan_cycles <= sa.metrics.makespan_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod metrics;
+mod pod;
+mod request;
+mod rng;
+mod scheduler;
+
+pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix};
+pub use metrics::{percentile, Completion, LatencySummary, PodMetrics};
+pub use pod::{
+    service_cycles, simulate_pod, ArrayConfig, MappingPolicy, PodConfig, ServingReport,
+    SpotCheckConfig,
+};
+pub use request::{
+    batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,
+};
+pub use rng::ServeRng;
+pub use scheduler::{Batch, SchedulerPolicy};

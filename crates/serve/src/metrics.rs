@@ -1,0 +1,254 @@
+//! Serving metrics: latency percentiles, throughput, utilization, energy.
+
+use crate::request::RequestClass;
+use axon_core::GemmShape;
+use std::fmt;
+
+/// Nearest-rank percentile over a sorted slice. `q` in `[0, 1]`.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Distribution summary of a latency population, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a population of latencies (cycles). Empty input gives
+    /// the all-zero summary.
+    pub fn from_cycles(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&c| c as u128).sum();
+        LatencySummary {
+            p50: percentile(&samples, 0.50),
+            p95: percentile(&samples, 0.95),
+            p99: percentile(&samples, 0.99),
+            mean: sum as f64 / samples.len() as f64,
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {} / p95 {} / p99 {} / max {} cycles",
+            self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// The completion record of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Request id (issue order).
+    pub id: usize,
+    /// Client stream.
+    pub client: usize,
+    /// Workload family.
+    pub class: RequestClass,
+    /// The shape this request contributed to the dispatched GEMM.
+    pub shape: GemmShape,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Dispatch cycle (start of service).
+    pub dispatch: u64,
+    /// Completion cycle.
+    pub completion: u64,
+    /// Index of the (first) array that served it.
+    pub array: usize,
+    /// Requests fused into the same dispatch.
+    pub batch_size: usize,
+    /// Arrays the dispatch was sharded over (1 = no sharding).
+    pub sharded_over: usize,
+    /// This request's share of the dispatch's array energy, microjoules.
+    pub array_energy_uj: f64,
+    /// This request's share of the dispatch's DRAM energy, millijoules.
+    pub dram_energy_mj: f64,
+}
+
+impl Completion {
+    /// Cycles spent queued before service.
+    pub fn queue_cycles(&self) -> u64 {
+        self.dispatch - self.arrival
+    }
+
+    /// Cycles in service.
+    pub fn service_cycles(&self) -> u64 {
+        self.completion - self.dispatch
+    }
+
+    /// Arrival-to-completion cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.completion - self.arrival
+    }
+}
+
+/// Aggregate metrics of one pod run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodMetrics {
+    /// Requests completed.
+    pub completed: usize,
+    /// Last completion cycle (wall clock of the run).
+    pub makespan_cycles: u64,
+    /// Pod clock in MHz (for cycle -> time conversions).
+    pub clock_mhz: f64,
+    /// Queueing-latency distribution.
+    pub queue: LatencySummary,
+    /// Service-latency distribution.
+    pub service: LatencySummary,
+    /// End-to-end latency distribution.
+    pub total: LatencySummary,
+    /// Busy fraction per array, in pod order.
+    pub per_array_utilization: Vec<f64>,
+    /// Dispatches issued.
+    pub batches: usize,
+    /// Mean fused requests per dispatch.
+    pub mean_batch_size: f64,
+    /// Dispatches sharded over more than one array.
+    pub sharded_batches: usize,
+    /// Total array (PE/SRAM) energy, microjoules.
+    pub array_energy_uj: f64,
+    /// Total DRAM transfer energy, millijoules.
+    pub dram_energy_mj: f64,
+    /// Cycle-accurate spot checks run.
+    pub spot_checks: usize,
+    /// Spot checks whose simulated cycles diverged from the billed
+    /// analytical cycles (always 0 unless the models drift apart).
+    pub spot_check_mismatches: usize,
+}
+
+impl PodMetrics {
+    /// Seconds represented by `cycles` at the pod clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Microseconds represented by `cycles` at the pod clock.
+    pub fn micros(&self, cycles: u64) -> f64 {
+        self.seconds(cycles) * 1e6
+    }
+
+    /// Completed requests per second of simulated wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.seconds(self.makespan_cycles)
+    }
+
+    /// Mean utilization over the pod's arrays.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_array_utilization.is_empty() {
+            return 0.0;
+        }
+        self.per_array_utilization.iter().sum::<f64>() / self.per_array_utilization.len() as f64
+    }
+
+    /// Total (array + DRAM) energy per completed request, millijoules.
+    pub fn energy_per_request_mj(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        (self.array_energy_uj * 1e-3 + self.dram_energy_mj) / self.completed as f64
+    }
+}
+
+impl fmt::Display for PodMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} requests in {} cycles ({:.1} req/s at {:.0} MHz)",
+            self.completed,
+            self.makespan_cycles,
+            self.throughput_rps(),
+            self.clock_mhz
+        )?;
+        writeln!(f, "  queue   {}", self.queue)?;
+        writeln!(f, "  service {}", self.service)?;
+        writeln!(f, "  total   {}", self.total)?;
+        writeln!(
+            f,
+            "  {} dispatches (mean batch {:.2}, {} sharded), utilization {:.1}%",
+            self.batches,
+            self.mean_batch_size,
+            self.sharded_batches,
+            100.0 * self.mean_utilization()
+        )?;
+        write!(
+            f,
+            "  energy {:.3} mJ/request ({:.1} uJ array + {:.3} mJ DRAM total)",
+            self.energy_per_request_mj(),
+            self.array_energy_uj,
+            self.dram_energy_mj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn summary_of_small_population() {
+        let s = LatencySummary::from_cycles(vec![30, 10, 20]);
+        assert_eq!(s.p50, 20);
+        assert_eq!(s.max, 30);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert_eq!(
+            LatencySummary::from_cycles(vec![]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn completion_latency_decomposition() {
+        let c = Completion {
+            id: 0,
+            client: 0,
+            class: RequestClass::Decode,
+            shape: GemmShape::new(1, 8, 8),
+            arrival: 100,
+            dispatch: 150,
+            completion: 400,
+            array: 0,
+            batch_size: 2,
+            sharded_over: 1,
+            array_energy_uj: 0.0,
+            dram_energy_mj: 0.0,
+        };
+        assert_eq!(c.queue_cycles(), 50);
+        assert_eq!(c.service_cycles(), 250);
+        assert_eq!(c.total_cycles(), 300);
+    }
+}

@@ -1,0 +1,603 @@
+//! Event-driven simulation of an accelerator pod serving request traffic.
+//!
+//! The pod holds `n` systolic arrays (Conventional or Axon, mixed
+//! allowed). Per-dispatch cycle costs come from the analytical
+//! [`RuntimeSpec`] model with exact-edge accounting — which the
+//! cycle-accurate simulator reproduces *exactly* (see the
+//! `model_vs_sim` property tests), so an optional spot-check path can
+//! re-run dispatched kernels through [`axon_sim::simulate_gemm`] and
+//! assert the billed latency cycle-for-cycle.
+
+use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
+use crate::metrics::{Completion, LatencySummary, PodMetrics};
+use crate::request::Request;
+use crate::scheduler::{Batch, SchedulerPolicy};
+use axon_core::runtime::{Accounting, Architecture, DrainPolicy, RuntimeSpec};
+use axon_core::{ArrayShape, Dataflow, GemmShape, Tiling};
+use axon_hw::{execution_energy, ArrayDesign, ComponentLibrary, TechNode};
+use axon_mem::DramConfig;
+use axon_sim::{random_matrix, simulate_gemm, SimConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How a dispatch chooses its dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingPolicy {
+    /// One hardwired dataflow for every request — how conventional
+    /// accelerators ship (e.g. TPU-style weight-stationary).
+    Fixed(Dataflow),
+    /// The paper's fill-bound mapping: the dataflow minimizing the
+    /// temporal dimension (maximum spatial parallelism).
+    MinTemporal,
+    /// Evaluate all three dataflows per dispatch and take the fastest —
+    /// the runtime agility Axon's unified PE provides (paper §4.3).
+    BestPerRequest,
+}
+
+/// One array in the pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// Latency law the array follows.
+    pub arch: Architecture,
+    /// Physical shape.
+    pub array: ArrayShape,
+}
+
+/// Optional cycle-accurate validation of dispatched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpotCheckConfig {
+    /// Only kernels at or below this MAC count are simulated (the
+    /// functional simulator is O(cycles x PEs)).
+    pub max_macs: usize,
+    /// Check every `every`-th eligible dispatch.
+    pub every: usize,
+}
+
+/// Full pod specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodConfig {
+    /// The arrays, dispatch-priority order.
+    pub arrays: Vec<ArrayConfig>,
+    /// Clock in MHz (latency/throughput conversions and energy).
+    pub clock_mhz: f64,
+    /// Queue discipline.
+    pub scheduler: SchedulerPolicy,
+    /// Dataflow selection per dispatch.
+    pub mapping: MappingPolicy,
+    /// Drain amortization billed per dispatch.
+    pub drain: DrainPolicy,
+    /// Shard a dispatch across idle identical arrays (via the scale-out
+    /// partitioner) once its MAC count reaches this threshold.
+    pub shard_min_macs: Option<usize>,
+    /// Cycle-accurate spot-check configuration.
+    pub spot_check: Option<SpotCheckConfig>,
+}
+
+impl PodConfig {
+    /// A homogeneous pod of `n` square `side x side` arrays of `arch`,
+    /// with the serving defaults: 500 MHz, batching scheduler
+    /// (`max_batch` 8), best-per-request mapping, overlapped drains and
+    /// sharding of 64 MMAC+ kernels.
+    pub fn homogeneous(n: usize, arch: Architecture, side: usize) -> Self {
+        assert!(n > 0, "a pod needs at least one array");
+        PodConfig {
+            arrays: vec![
+                ArrayConfig {
+                    arch,
+                    array: ArrayShape::square(side),
+                };
+                n
+            ],
+            clock_mhz: 500.0,
+            scheduler: SchedulerPolicy::Batching { max_batch: 8 },
+            mapping: MappingPolicy::BestPerRequest,
+            drain: DrainPolicy::Overlapped,
+            shard_min_macs: Some(64 << 20),
+            spot_check: None,
+        }
+    }
+
+    /// Builder-style scheduler override.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style mapping-policy override.
+    pub fn with_mapping(mut self, mapping: MappingPolicy) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Builder-style spot-check override.
+    pub fn with_spot_check(mut self, spot_check: SpotCheckConfig) -> Self {
+        self.spot_check = Some(spot_check);
+        self
+    }
+
+    /// Builder-style sharding-threshold override (`None` disables).
+    pub fn with_shard_min_macs(mut self, macs: Option<usize>) -> Self {
+        self.shard_min_macs = macs;
+        self
+    }
+}
+
+/// Everything a pod run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Every issued request, in issue (= id) order.
+    pub trace: Vec<Request>,
+    /// Per-request completion records, in dispatch order.
+    pub completions: Vec<Completion>,
+    /// Aggregate metrics.
+    pub metrics: PodMetrics,
+}
+
+/// Pending-arrival ordering: by `(arrival, id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingReq(Request);
+
+impl Ord for PendingReq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.arrival, self.0.id).cmp(&(other.0.arrival, other.0.id))
+    }
+}
+
+impl PartialOrd for PendingReq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn design_of(arch: Architecture) -> ArrayDesign {
+    match arch {
+        Architecture::Conventional => ArrayDesign::Conventional,
+        Architecture::Axon => ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: true,
+        },
+    }
+}
+
+/// Modeled service latency of `shape` on `cfg` under `mapping`, with
+/// exact-edge accounting (the accounting the functional simulator
+/// reproduces exactly).
+pub fn service_cycles(
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    tiling: Tiling,
+    shape: GemmShape,
+) -> (Dataflow, usize) {
+    let eval = |df: Dataflow| {
+        RuntimeSpec::new(cfg.array, df)
+            .with_accounting(Accounting::ExactEdges)
+            .with_drain(drain)
+            .with_tiling(tiling)
+            .runtime(cfg.arch, shape)
+            .cycles
+    };
+    match mapping {
+        MappingPolicy::Fixed(df) => (df, eval(df)),
+        MappingPolicy::MinTemporal => {
+            let df = Dataflow::min_temporal(shape);
+            (df, eval(df))
+        }
+        MappingPolicy::BestPerRequest => Dataflow::ALL
+            .iter()
+            .map(|&df| (df, eval(df)))
+            .min_by_key(|&(_, c)| c)
+            .expect("Dataflow::ALL is non-empty"),
+    }
+}
+
+/// Picks the scale-out grid (and resulting cycles) for `shape` given
+/// `free_peers` idle identical arrays. Returns `(pr, pc, dataflow,
+/// cycles)`; `(1, 1, ..)` means no sharding pays off.
+fn plan_sharding(
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    shape: GemmShape,
+    free_peers: usize,
+) -> (usize, usize, Dataflow, usize) {
+    let mut best = {
+        let (df, cycles) = service_cycles(cfg, mapping, drain, Tiling::ScaleUp, shape);
+        (1usize, 1usize, df, cycles)
+    };
+    for pr in 1..=free_peers.min(4) {
+        for pc in 1..=free_peers.min(4) {
+            let arrays = pr * pc;
+            if arrays < 2 || arrays > free_peers {
+                continue;
+            }
+            let tiling = Tiling::ScaleOut {
+                partitions_r: pr,
+                partitions_c: pc,
+            };
+            let (df, cycles) = service_cycles(cfg, mapping, drain, tiling, shape);
+            // Strict improvement required: idle arrays are better spent on
+            // the next queued batch than on marginal sharding gains.
+            if cycles < best.3 {
+                best = (pr, pc, df, cycles);
+            }
+        }
+    }
+    best
+}
+
+/// Runs `traffic` through `pod` to completion and reports the full trace,
+/// per-request completions and aggregate metrics.
+///
+/// The simulation is event-driven and fully deterministic: the same
+/// `(pod, traffic)` pair always produces the identical report.
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::runtime::Architecture;
+/// use axon_serve::{simulate_pod, PodConfig, TrafficConfig};
+///
+/// let pod = PodConfig::homogeneous(2, Architecture::Axon, 64);
+/// let traffic = TrafficConfig::open_loop(7, 64, 4000.0);
+/// let report = simulate_pod(&pod, &traffic);
+/// assert_eq!(report.metrics.completed, 64);
+/// assert!(report.metrics.throughput_rps() > 0.0);
+/// ```
+pub fn simulate_pod(pod: &PodConfig, traffic: &TrafficConfig) -> ServingReport {
+    assert!(!pod.arrays.is_empty(), "a pod needs at least one array");
+    let mut gen = RequestGenerator::new(traffic);
+    let mut pending: BinaryHeap<Reverse<PendingReq>> = BinaryHeap::new();
+    let mut trace: Vec<Request> = Vec::new();
+    let think_cycles = match traffic.arrival {
+        ArrivalProcess::OpenLoop { mean_interarrival } => {
+            for r in gen.open_loop_trace(mean_interarrival, traffic.num_clients) {
+                trace.push(r);
+                pending.push(Reverse(PendingReq(r)));
+            }
+            0
+        }
+        ArrivalProcess::ClosedLoop { think_cycles } => {
+            for client in 0..traffic.num_clients {
+                match gen.next_request(client, 0) {
+                    Some(r) => {
+                        trace.push(r);
+                        pending.push(Reverse(PendingReq(r)));
+                    }
+                    None => break,
+                }
+            }
+            think_cycles
+        }
+    };
+    let closed_loop = matches!(traffic.arrival, ArrivalProcess::ClosedLoop { .. });
+
+    let lib = ComponentLibrary::calibrated_7nm();
+    let node = TechNode::asap7();
+    let dram = DramConfig::lpddr3();
+
+    let n_arrays = pod.arrays.len();
+    let mut free_at = vec![0u64; n_arrays];
+    let mut busy = vec![0u64; n_arrays];
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut now = 0u64;
+    let mut batches = 0usize;
+    let mut sharded_batches = 0usize;
+    let mut array_energy_uj = 0.0f64;
+    let mut dram_energy_mj = 0.0f64;
+    let mut spot_checks = 0usize;
+    let mut spot_check_mismatches = 0usize;
+
+    loop {
+        // Admit every arrival due by `now`.
+        while let Some(Reverse(p)) = pending.peek() {
+            if p.0.arrival > now {
+                break;
+            }
+            let Reverse(p) = pending.pop().expect("peeked");
+            queue.push_back(p.0);
+        }
+
+        // Dispatch onto idle arrays.
+        while !queue.is_empty() {
+            let Some(ai) = (0..n_arrays).find(|&i| free_at[i] <= now) else {
+                break;
+            };
+            let batch: Batch = pod
+                .scheduler
+                .take_next(&mut queue)
+                .expect("queue checked non-empty");
+            let cfg = pod.arrays[ai];
+
+            // Idle arrays identical to the chosen one (itself included)
+            // are candidates for sharding the dispatch.
+            let peers: Vec<usize> = (0..n_arrays)
+                .filter(|&i| free_at[i] <= now && pod.arrays[i] == cfg)
+                .collect();
+            let want_shard = pod
+                .shard_min_macs
+                .is_some_and(|min| batch.shape.macs() >= min);
+            let (pr, pc, df, cycles) = if want_shard && peers.len() > 1 {
+                plan_sharding(&cfg, pod.mapping, pod.drain, batch.shape, peers.len())
+            } else {
+                let (df, cycles) =
+                    service_cycles(&cfg, pod.mapping, pod.drain, Tiling::ScaleUp, batch.shape);
+                (1, 1, df, cycles)
+            };
+            let used: Vec<usize> = peers.into_iter().take(pr * pc).collect();
+            debug_assert_eq!(used.len(), pr * pc);
+            debug_assert_eq!(used[0], ai);
+
+            // Optional cycle-accurate validation of the billed latency
+            // (scale-up dispatches only; the sharded path is covered by
+            // the scale-out property tests).
+            if let Some(sc) = pod.spot_check {
+                if used.len() == 1
+                    && batch.shape.macs() <= sc.max_macs
+                    && batches.is_multiple_of(sc.every.max(1))
+                {
+                    let seed = batch.requests[0].id as u64;
+                    let a = random_matrix(batch.shape.m, batch.shape.k, seed, 0.0);
+                    let b = random_matrix(batch.shape.k, batch.shape.n, seed + 1, 0.0);
+                    let sim_cfg = SimConfig::new(cfg.array)
+                        .with_dataflow(df)
+                        .with_pipelining(pod.drain);
+                    let sim = simulate_gemm(cfg.arch, &sim_cfg, &a, &b)
+                        .expect("operand shapes match by construction");
+                    spot_checks += 1;
+                    if sim.stats.cycles != cycles {
+                        spot_check_mismatches += 1;
+                    }
+                }
+            }
+
+            // Energy: each involved array runs `cycles`. DRAM traffic is
+            // 1 byte/element (int8 serving); under a `pr x pc` scale-out
+            // grid each A slice is delivered to every grid column and
+            // each B slice to every grid row (no multicast modeled), so
+            // A moves `pc` times and B `pr` times; the output assembles
+            // once.
+            let per_array = execution_energy(
+                design_of(cfg.arch),
+                cfg.array,
+                node,
+                &lib,
+                cycles,
+                pod.clock_mhz,
+                0.0,
+            )
+            .energy_uj();
+            let batch_array_uj = per_array * used.len() as f64;
+            let (m, k, n) = (batch.shape.m, batch.shape.k, batch.shape.n);
+            let bytes = m * k * pc + k * n * pr + m * n;
+            let batch_dram_mj = dram.transfer_energy_mj(bytes);
+            array_energy_uj += batch_array_uj;
+            dram_energy_mj += batch_dram_mj;
+
+            let completion = now + cycles as u64;
+            for &i in &used {
+                free_at[i] = completion;
+                busy[i] += cycles as u64;
+            }
+            batches += 1;
+            if used.len() > 1 {
+                sharded_batches += 1;
+            }
+
+            let share = batch.requests.len() as f64;
+            for r in &batch.requests {
+                completions.push(Completion {
+                    id: r.id,
+                    client: r.client,
+                    class: r.class,
+                    shape: batch.shape,
+                    arrival: r.arrival,
+                    dispatch: now,
+                    completion,
+                    array: ai,
+                    batch_size: batch.requests.len(),
+                    sharded_over: used.len(),
+                    array_energy_uj: batch_array_uj / share,
+                    dram_energy_mj: batch_dram_mj / share,
+                });
+                if closed_loop {
+                    if let Some(next) = gen.next_request(r.client, completion + think_cycles) {
+                        trace.push(next);
+                        pending.push(Reverse(PendingReq(next)));
+                    }
+                }
+            }
+        }
+
+        if queue.is_empty() && pending.is_empty() {
+            break;
+        }
+
+        // Advance to the next event: an arrival, or an array freeing up.
+        let mut next = pending.peek().map_or(u64::MAX, |Reverse(p)| p.0.arrival);
+        if !queue.is_empty() {
+            let next_free = free_at
+                .iter()
+                .filter(|&&t| t > now)
+                .min()
+                .expect("queue non-empty implies a busy array");
+            next = next.min(*next_free);
+        }
+        debug_assert!(next != u64::MAX && next > now, "simulation stalled");
+        now = next;
+    }
+
+    let makespan_cycles = completions.iter().map(|c| c.completion).max().unwrap_or(0);
+    let metrics = PodMetrics {
+        completed: completions.len(),
+        makespan_cycles,
+        clock_mhz: pod.clock_mhz,
+        queue: LatencySummary::from_cycles(completions.iter().map(|c| c.queue_cycles()).collect()),
+        service: LatencySummary::from_cycles(
+            completions.iter().map(|c| c.service_cycles()).collect(),
+        ),
+        total: LatencySummary::from_cycles(completions.iter().map(|c| c.total_cycles()).collect()),
+        per_array_utilization: busy
+            .iter()
+            .map(|&b| {
+                if makespan_cycles == 0 {
+                    0.0
+                } else {
+                    b as f64 / makespan_cycles as f64
+                }
+            })
+            .collect(),
+        batches,
+        mean_batch_size: if batches == 0 {
+            0.0
+        } else {
+            completions.len() as f64 / batches as f64
+        },
+        sharded_batches,
+        array_energy_uj,
+        dram_energy_mj,
+        spot_checks,
+        spot_check_mismatches,
+    };
+
+    ServingReport {
+        trace,
+        completions,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadMix;
+    use crate::request::RequestClass;
+
+    fn small_pod(arch: Architecture) -> PodConfig {
+        PodConfig::homogeneous(2, arch, 16)
+    }
+
+    #[test]
+    fn all_requests_complete_open_loop() {
+        let pod = small_pod(Architecture::Axon);
+        let traffic = TrafficConfig::open_loop(3, 100, 2000.0)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let r = simulate_pod(&pod, &traffic);
+        assert_eq!(r.metrics.completed, 100);
+        assert_eq!(r.trace.len(), 100);
+        assert_eq!(r.completions.len(), 100);
+        for c in &r.completions {
+            assert!(c.dispatch >= c.arrival);
+            assert!(c.completion > c.dispatch);
+        }
+    }
+
+    #[test]
+    fn all_requests_complete_closed_loop() {
+        let pod = small_pod(Architecture::Conventional);
+        let traffic = TrafficConfig::closed_loop(4, 60, 8, 100)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let r = simulate_pod(&pod, &traffic);
+        assert_eq!(r.metrics.completed, 60);
+        // Closed loop: a client never has two requests in flight.
+        for client in 0..8 {
+            let mut cs: Vec<_> = r
+                .completions
+                .iter()
+                .filter(|c| c.client == client)
+                .collect();
+            cs.sort_by_key(|c| c.id);
+            for w in cs.windows(2) {
+                assert!(
+                    w[1].arrival >= w[0].completion,
+                    "client {client} overlapped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batching_reduces_makespan_on_decode_storm() {
+        let traffic = TrafficConfig::open_loop(9, 150, 10.0)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let fifo = simulate_pod(
+            &small_pod(Architecture::Axon).with_scheduler(SchedulerPolicy::Fifo),
+            &traffic,
+        );
+        let batched = simulate_pod(
+            &small_pod(Architecture::Axon)
+                .with_scheduler(SchedulerPolicy::Batching { max_batch: 8 }),
+            &traffic,
+        );
+        assert!(
+            batched.metrics.makespan_cycles < fifo.metrics.makespan_cycles,
+            "batched {} vs fifo {}",
+            batched.metrics.makespan_cycles,
+            fifo.metrics.makespan_cycles
+        );
+        assert!(batched.metrics.mean_batch_size > 1.5);
+    }
+
+    #[test]
+    fn sharding_engages_on_large_kernels() {
+        let pod = PodConfig::homogeneous(4, Architecture::Axon, 32)
+            .with_shard_min_macs(Some(1 << 20))
+            .with_scheduler(SchedulerPolicy::Fifo);
+        // Sparse arrivals so several arrays are idle per dispatch.
+        let traffic = TrafficConfig::open_loop(5, 30, 2_000_000.0)
+            .with_mix(WorkloadMix::single(RequestClass::Prefill));
+        let r = simulate_pod(&pod, &traffic);
+        assert!(r.metrics.sharded_batches > 0, "no dispatch sharded");
+        assert!(r.completions.iter().any(|c| c.sharded_over > 1));
+    }
+
+    #[test]
+    fn spot_checks_agree_with_analytical_billing() {
+        let pod =
+            PodConfig::homogeneous(2, Architecture::Axon, 16).with_spot_check(SpotCheckConfig {
+                max_macs: 1 << 22,
+                every: 1,
+            });
+        let traffic = TrafficConfig::open_loop(6, 20, 500.0)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let r = simulate_pod(&pod, &traffic);
+        assert!(r.metrics.spot_checks > 0, "no spot checks ran");
+        assert_eq!(r.metrics.spot_check_mismatches, 0);
+    }
+
+    #[test]
+    fn axon_pod_beats_conventional_on_decode_latency() {
+        let traffic = TrafficConfig::open_loop(8, 80, 5000.0)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let sa = simulate_pod(&small_pod(Architecture::Conventional), &traffic);
+        let ax = simulate_pod(&small_pod(Architecture::Axon), &traffic);
+        assert!(
+            ax.metrics.total.p50 < sa.metrics.total.p50,
+            "axon p50 {} vs conventional {}",
+            ax.metrics.total.p50,
+            sa.metrics.total.p50
+        );
+    }
+
+    #[test]
+    fn mixed_pod_is_supported() {
+        let pod = PodConfig {
+            arrays: vec![
+                ArrayConfig {
+                    arch: Architecture::Axon,
+                    array: ArrayShape::square(16),
+                },
+                ArrayConfig {
+                    arch: Architecture::Conventional,
+                    array: ArrayShape::square(16),
+                },
+            ],
+            ..PodConfig::homogeneous(1, Architecture::Axon, 16)
+        };
+        let traffic = TrafficConfig::open_loop(2, 40, 300.0);
+        let r = simulate_pod(&pod, &traffic);
+        assert_eq!(r.metrics.completed, 40);
+        assert_eq!(r.metrics.per_array_utilization.len(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Inference requests and the workload catalog they draw from.
+//!
+//! A request is one GEMM-shaped kernel invocation attributed to a client
+//! stream — the granularity at which a serving scheduler makes batching
+//! and placement decisions. Request shapes come from the existing
+//! `axon-workloads` definitions; the default transformer configuration is
+//! an edge-class model (the latency-bound regime the paper targets), with
+//! the GPT-3 2.7B shapes available through
+//! [`RequestClass::catalog_for`].
+
+use axon_core::GemmShape;
+use axon_workloads::{gemv_workloads, table3, GemmWorkload, TransformerConfig};
+use std::fmt;
+
+/// The transformer the serving catalogs default to: an edge-class decoder
+/// whose kernels are short enough to be fill-latency-bound on a 128x128
+/// array — exactly where the paper's `2R-2 -> R-1` fill claim bites.
+pub fn serving_transformer() -> TransformerConfig {
+    TransformerConfig {
+        seq_len: 128,
+        d_model: 512,
+        n_heads: 8,
+        d_ff: 2048,
+        vocab: 8192,
+    }
+}
+
+/// Workload family a request is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Transformer prefill: the full-sequence block GEMMs.
+    Prefill,
+    /// Transformer single-token decode: the per-token GEMV projections.
+    Decode,
+    /// ResNet-50 conv layers mapped to GEMM (Table 3 rows).
+    ResNet50,
+    /// YOLOv3 conv layers mapped to GEMM (Table 3 rows).
+    YoloV3,
+    /// The memory-bound GEMV set of Fig. 14.
+    Gemv,
+}
+
+impl RequestClass {
+    /// All request classes, in a fixed order.
+    pub const ALL: [RequestClass; 5] = [
+        RequestClass::Prefill,
+        RequestClass::Decode,
+        RequestClass::ResNet50,
+        RequestClass::YoloV3,
+        RequestClass::Gemv,
+    ];
+
+    /// The workloads of this class for the default
+    /// [`serving_transformer`] model.
+    pub fn catalog(self) -> Vec<GemmWorkload> {
+        self.catalog_for(serving_transformer())
+    }
+
+    /// The workloads of this class, with transformer classes drawn from
+    /// `model` (pass [`TransformerConfig::gpt3_2p7b`] for the paper's
+    /// datacenter-scale shapes).
+    pub fn catalog_for(self, model: TransformerConfig) -> Vec<GemmWorkload> {
+        match self {
+            RequestClass::Prefill => model.block_workloads(),
+            RequestClass::Decode => model.decode_workloads(),
+            RequestClass::ResNet50 => table3_named("Resnet50"),
+            RequestClass::YoloV3 => table3_named("YOLO"),
+            RequestClass::Gemv => gemv_workloads(),
+        }
+    }
+}
+
+fn table3_named(prefix: &str) -> Vec<GemmWorkload> {
+    let out: Vec<GemmWorkload> = table3()
+        .into_iter()
+        .filter(|w| w.name.starts_with(prefix))
+        .collect();
+    assert!(!out.is_empty(), "no Table 3 workloads named {prefix}*");
+    out
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestClass::Prefill => f.write_str("prefill"),
+            RequestClass::Decode => f.write_str("decode"),
+            RequestClass::ResNet50 => f.write_str("resnet50"),
+            RequestClass::YoloV3 => f.write_str("yolov3"),
+            RequestClass::Gemv => f.write_str("gemv"),
+        }
+    }
+}
+
+/// One inference request: a kernel invocation in a client stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Issue-order id (globally unique, assigned by the generator).
+    pub id: usize,
+    /// Client stream the request belongs to.
+    pub client: usize,
+    /// Workload family.
+    pub class: RequestClass,
+    /// The kernel to execute.
+    pub workload: GemmWorkload,
+    /// Arrival cycle at the pod's queue.
+    pub arrival: u64,
+}
+
+/// Which GEMM dimension a batch of compatible requests concatenates
+/// along. Coalescing assumes the batched requests share weights — the
+/// standard serving assumption (one model, many users).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchAxis {
+    /// `M = 1` kernels (decode-style `x^T W`): stack activations as rows.
+    M,
+    /// `N = 1` kernels (`W x` GEMVs): stack activations as columns.
+    N,
+}
+
+/// Coalescing compatibility key: requests with equal keys can be fused
+/// into one GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Concatenation axis.
+    pub axis: BatchAxis,
+    /// The two shared (weight) dimensions: `(K, N)` for [`BatchAxis::M`],
+    /// `(M, K)` for [`BatchAxis::N`].
+    pub fixed: (usize, usize),
+}
+
+impl Request {
+    /// The batching key of this request, if it is a batchable GEMV.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axon_core::GemmShape;
+    /// use axon_serve::{batch_key_of, BatchAxis};
+    ///
+    /// let k = batch_key_of(GemmShape::new(1, 512, 2048)).unwrap();
+    /// assert_eq!(k.axis, BatchAxis::M);
+    /// assert_eq!(k.fixed, (512, 2048));
+    /// assert!(batch_key_of(GemmShape::new(64, 64, 64)).is_none());
+    /// ```
+    pub fn batch_key(&self) -> Option<BatchKey> {
+        batch_key_of(self.workload.shape)
+    }
+}
+
+/// See [`Request::batch_key`].
+pub fn batch_key_of(shape: GemmShape) -> Option<BatchKey> {
+    if shape.m == 1 && shape.n > 1 {
+        Some(BatchKey {
+            axis: BatchAxis::M,
+            fixed: (shape.k, shape.n),
+        })
+    } else if shape.n == 1 {
+        Some(BatchKey {
+            axis: BatchAxis::N,
+            fixed: (shape.m, shape.k),
+        })
+    } else {
+        None
+    }
+}
+
+/// The GEMM executed for `count` coalesced requests with `key`.
+pub fn coalesced_shape(key: BatchKey, count: usize) -> GemmShape {
+    assert!(count > 0, "empty batch");
+    match key.axis {
+        BatchAxis::M => GemmShape::new(count, key.fixed.0, key.fixed.1),
+        BatchAxis::N => GemmShape::new(key.fixed.0, key.fixed.1, count),
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} client {} [{}] {} @{}",
+            self.id, self.client, self.class, self.workload, self.arrival
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_are_nonempty_and_class_consistent() {
+        for class in RequestClass::ALL {
+            let cat = class.catalog();
+            assert!(!cat.is_empty(), "{class}");
+            if class == RequestClass::Decode {
+                for w in &cat {
+                    assert_eq!(w.shape.m, 1, "{}", w.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpt3_catalog_matches_table3_provenance() {
+        let big = RequestClass::Prefill.catalog_for(TransformerConfig::gpt3_2p7b());
+        assert!(big.iter().any(|w| w.shape.n == 50257));
+    }
+
+    #[test]
+    fn decode_requests_batch_along_m() {
+        for w in RequestClass::Decode.catalog() {
+            let key = batch_key_of(w.shape).expect("decode is batchable");
+            assert_eq!(key.axis, BatchAxis::M);
+            let fused = coalesced_shape(key, 8);
+            assert_eq!(fused.m, 8);
+            assert_eq!((fused.k, fused.n), (w.shape.k, w.shape.n));
+        }
+    }
+
+    #[test]
+    fn gemv_requests_batch_along_n() {
+        for w in RequestClass::Gemv.catalog() {
+            let key = batch_key_of(w.shape).expect("gemv is batchable");
+            assert_eq!(key.axis, BatchAxis::N);
+            assert_eq!(coalesced_shape(key, 3).n, 3);
+        }
+    }
+
+    #[test]
+    fn prefill_requests_do_not_batch() {
+        for w in RequestClass::Prefill.catalog() {
+            assert!(batch_key_of(w.shape).is_none(), "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Dispatch policies: FIFO and GEMV-coalescing batching.
+
+use crate::request::{coalesced_shape, Request};
+use axon_core::GemmShape;
+use std::collections::{HashSet, VecDeque};
+
+/// How the pod picks work off the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Strict arrival order, one request per dispatch.
+    Fifo,
+    /// FIFO head plus up to `max_batch - 1` queued requests with the same
+    /// [batch key](crate::Request::batch_key), fused into one GEMM.
+    ///
+    /// Per-client FIFO is preserved: a request never joins a batch while
+    /// an earlier, incompatible request from the same client is still
+    /// queued ahead of it.
+    Batching {
+        /// Maximum requests fused into one dispatch.
+        max_batch: usize,
+    },
+}
+
+/// One dispatch unit: the fused requests and the GEMM actually executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The coalesced requests, in queue order.
+    pub requests: Vec<Request>,
+    /// The executed GEMM (the head's shape, or the fused shape).
+    pub shape: GemmShape,
+}
+
+impl Batch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never true for scheduler output).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+impl SchedulerPolicy {
+    /// Removes the next dispatch unit from `queue`, or `None` if the
+    /// queue is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axon_serve::{RequestClass, RequestGenerator, SchedulerPolicy, TrafficConfig, WorkloadMix};
+    /// use std::collections::VecDeque;
+    ///
+    /// let cfg = TrafficConfig::open_loop(1, 32, 10.0)
+    ///     .with_mix(WorkloadMix::single(RequestClass::Decode));
+    /// let trace = RequestGenerator::new(&cfg).open_loop_trace(10.0, 4);
+    /// let mut queue: VecDeque<_> = trace.into_iter().collect();
+    /// let batch = SchedulerPolicy::Batching { max_batch: 8 }
+    ///     .take_next(&mut queue)
+    ///     .unwrap();
+    /// assert!(batch.len() >= 1 && batch.len() <= 8);
+    /// assert_eq!(batch.shape.m, batch.len()); // decode fuses along M
+    /// ```
+    pub fn take_next(&self, queue: &mut VecDeque<Request>) -> Option<Batch> {
+        let head = queue.pop_front()?;
+        let mut requests = vec![head];
+        let mut shape = head.workload.shape;
+
+        if let (SchedulerPolicy::Batching { max_batch }, Some(key)) = (*self, head.batch_key()) {
+            // Clients with an earlier incompatible request still in the
+            // queue: taking a later request of theirs would reorder their
+            // stream.
+            let mut blocked: HashSet<usize> = HashSet::new();
+            let mut i = 0;
+            while i < queue.len() && requests.len() < max_batch {
+                let candidate = &queue[i];
+                if !blocked.contains(&candidate.client) && candidate.batch_key() == Some(key) {
+                    let taken = queue.remove(i).expect("index in bounds");
+                    requests.push(taken);
+                } else {
+                    blocked.insert(candidate.client);
+                    i += 1;
+                }
+            }
+            shape = coalesced_shape(key, requests.len());
+        }
+
+        Some(Batch { requests, shape })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestClass;
+    use axon_workloads::{GemmWorkload, WorkloadKind};
+
+    fn req(id: usize, client: usize, m: usize, k: usize, n: usize) -> Request {
+        Request {
+            id,
+            client,
+            class: RequestClass::Decode,
+            workload: GemmWorkload {
+                name: "t",
+                shape: GemmShape::new(m, k, n),
+                kind: WorkloadKind::Gemv,
+            },
+            arrival: id as u64,
+        }
+    }
+
+    #[test]
+    fn fifo_takes_one_at_a_time() {
+        let mut q: VecDeque<_> = [req(0, 0, 1, 8, 8), req(1, 0, 1, 8, 8)].into();
+        let b = SchedulerPolicy::Fifo.take_next(&mut q).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.requests[0].id, 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batching_fuses_compatible_gemvs() {
+        let mut q: VecDeque<_> = [
+            req(0, 0, 1, 8, 16),
+            req(1, 1, 1, 8, 16),
+            req(2, 2, 1, 9, 16), // different K: incompatible
+            req(3, 3, 1, 8, 16),
+        ]
+        .into();
+        let b = SchedulerPolicy::Batching { max_batch: 8 }
+            .take_next(&mut q)
+            .unwrap();
+        let ids: Vec<_> = b.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+        assert_eq!(b.shape, GemmShape::new(3, 8, 16));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].id, 2);
+    }
+
+    #[test]
+    fn batching_respects_max_batch() {
+        let mut q: VecDeque<_> = (0..10).map(|i| req(i, i, 1, 8, 16)).collect();
+        let b = SchedulerPolicy::Batching { max_batch: 4 }
+            .take_next(&mut q)
+            .unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn batching_never_overtakes_within_a_client() {
+        // Client 7 has an incompatible request (id 1) ahead of a
+        // compatible one (id 2): id 2 must NOT join the batch.
+        let mut q: VecDeque<_> = [
+            req(0, 0, 1, 8, 16),
+            req(1, 7, 5, 8, 16), // not batchable, client 7
+            req(2, 7, 1, 8, 16), // batchable but must wait for id 1
+            req(3, 3, 1, 8, 16),
+        ]
+        .into();
+        let b = SchedulerPolicy::Batching { max_batch: 8 }
+            .take_next(&mut q)
+            .unwrap();
+        let ids: Vec<_> = b.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 3]);
+        let left: Vec<_> = q.iter().map(|r| r.id).collect();
+        assert_eq!(left, vec![1, 2]);
+    }
+
+    #[test]
+    fn non_batchable_head_dispatches_alone() {
+        let mut q: VecDeque<_> = [req(0, 0, 4, 8, 16), req(1, 1, 4, 8, 16)].into();
+        let b = SchedulerPolicy::Batching { max_batch: 8 }
+            .take_next(&mut q)
+            .unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.shape, GemmShape::new(4, 8, 16));
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let mut q = VecDeque::new();
+        assert!(SchedulerPolicy::Fifo.take_next(&mut q).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Serving-layer guarantees: bit-identical determinism from `(seed,
+//! config)` and per-client FIFO under the batching scheduler.
+
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, PodConfig, SchedulerPolicy, SpotCheckConfig, TrafficConfig, WorkloadMix,
+};
+use proptest::prelude::*;
+
+fn reference_pod() -> PodConfig {
+    PodConfig::homogeneous(3, Architecture::Axon, 32).with_spot_check(SpotCheckConfig {
+        max_macs: 1 << 21,
+        every: 7,
+    })
+}
+
+fn reference_traffic(seed: u64) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, 250, 1500.0).with_mix(WorkloadMix::decode_heavy())
+}
+
+#[test]
+fn same_seed_same_config_is_bit_identical() {
+    let pod = reference_pod();
+    let traffic = reference_traffic(99);
+    let a = simulate_pod(&pod, &traffic);
+    let b = simulate_pod(&pod, &traffic);
+    // The full request trace, every completion record, and all derived
+    // metrics (p50/p99, energy, utilization) must match exactly — f64
+    // fields included, since the arithmetic is identical.
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn different_seed_changes_the_trace() {
+    let pod = reference_pod();
+    let a = simulate_pod(&pod, &reference_traffic(1));
+    let b = simulate_pod(&pod, &reference_traffic(2));
+    assert_ne!(a.trace, b.trace);
+}
+
+#[test]
+fn closed_loop_is_deterministic_too() {
+    let pod = reference_pod();
+    let traffic = TrafficConfig::closed_loop(31, 120, 12, 400);
+    let a = simulate_pod(&pod, &traffic);
+    let b = simulate_pod(&pod, &traffic);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn spot_checks_ran_and_matched() {
+    let r = simulate_pod(&reference_pod(), &reference_traffic(7));
+    assert!(r.metrics.spot_checks > 0);
+    assert_eq!(r.metrics.spot_check_mismatches, 0);
+}
+
+/// Per-client FIFO: under the batching scheduler, a client's requests
+/// are dispatched in issue order (a later request may share a batch
+/// with — but never overtake — an earlier one).
+fn assert_per_client_fifo(report: &axon_serve::ServingReport, clients: usize) {
+    for client in 0..clients {
+        let mut own: Vec<_> = report
+            .completions
+            .iter()
+            .filter(|c| c.client == client)
+            .collect();
+        own.sort_by_key(|c| c.id);
+        for w in own.windows(2) {
+            assert!(
+                w[1].dispatch >= w[0].dispatch,
+                "client {client}: request {} (dispatch {}) overtook {} (dispatch {})",
+                w[1].id,
+                w[1].dispatch,
+                w[0].id,
+                w[0].dispatch
+            );
+        }
+    }
+}
+
+#[test]
+fn batching_preserves_per_client_fifo_decode_storm() {
+    // A hot queue (fast arrivals, many clients) maximizes coalescing
+    // opportunities and therefore reordering risk.
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 32)
+        .with_scheduler(SchedulerPolicy::Batching { max_batch: 16 });
+    let traffic = TrafficConfig::open_loop(5, 400, 20.0)
+        .with_mix(WorkloadMix::decode_heavy())
+        .with_clients(6);
+    let r = simulate_pod(&pod, &traffic);
+    assert!(r.metrics.mean_batch_size > 1.2, "storm should batch");
+    assert_per_client_fifo(&r, 6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batching_preserves_per_client_fifo_random_traffic(
+        seed in 0u64..1000,
+        clients in 1usize..10,
+        mean in 10.0f64..5000.0,
+        max_batch in 2usize..20,
+    ) {
+        let pod = PodConfig::homogeneous(2, Architecture::Axon, 32)
+            .with_scheduler(SchedulerPolicy::Batching { max_batch });
+        let traffic = TrafficConfig::open_loop(seed, 120, mean)
+            .with_mix(WorkloadMix::balanced())
+            .with_clients(clients);
+        let r = simulate_pod(&pod, &traffic);
+        prop_assert_eq!(r.metrics.completed, 120);
+        assert_per_client_fifo(&r, clients);
+    }
+}

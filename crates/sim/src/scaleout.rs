@@ -11,8 +11,6 @@ use crate::matrix::Matrix;
 use crate::stats::SimStats;
 use crate::{simulate_gemm, SimConfig, SimResult};
 use axon_core::runtime::Architecture;
-#[cfg(test)]
-use axon_core::Dataflow;
 use axon_core::ShapeError;
 
 /// Result of a scale-out ensemble run.
@@ -28,11 +26,13 @@ pub struct ScaleOutResult {
 
 impl ScaleOutResult {
     /// Aggregate statistics summed over all arrays (total energy-relevant
-    /// counts; *not* wall-clock).
+    /// counts; *not* wall-clock). Sums by reference via
+    /// `AddAssign<&SimStats>`, so it stays valid even if `SimStats` grows
+    /// non-`Copy` fields.
     pub fn total_stats(&self) -> SimStats {
         let mut total = SimStats::new();
         for s in &self.per_array {
-            total += *s;
+            total += s;
         }
         total
     }
@@ -161,7 +161,7 @@ pub fn scale_up_vs_out(
 mod tests {
     use super::*;
     use crate::random_matrix;
-    use axon_core::ArrayShape;
+    use axon_core::{ArrayShape, Dataflow};
 
     #[test]
     fn scale_out_output_matches_reference() {

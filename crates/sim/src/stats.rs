@@ -59,6 +59,12 @@ impl SimStats {
 
 impl AddAssign for SimStats {
     fn add_assign(&mut self, rhs: Self) {
+        *self += &rhs;
+    }
+}
+
+impl AddAssign<&SimStats> for SimStats {
+    fn add_assign(&mut self, rhs: &SimStats) {
         self.cycles += rhs.cycles;
         self.macs_performed += rhs.macs_performed;
         self.macs_gated += rhs.macs_gated;
@@ -98,6 +104,21 @@ mod tests {
         assert_eq!(a.cycles, 20);
         assert_eq!(a.macs_total(), 210);
         assert_eq!(a.tiles, 2);
+    }
+
+    #[test]
+    fn accumulate_by_reference() {
+        let unit = SimStats {
+            cycles: 1,
+            macs_performed: 2,
+            ..SimStats::default()
+        };
+        let mut total = SimStats::new();
+        for s in [&unit, &unit, &unit] {
+            total += s;
+        }
+        assert_eq!(total.cycles, 3);
+        assert_eq!(total.macs_performed, 6);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Scale-out correctness property: for random partition grids, GEMM
+//! shapes, operand sparsity and all three dataflows, the assembled
+//! `p_r x p_c` scale-out product must equal the single-array
+//! `simulate_gemm` output (which itself equals the naive reference
+//! product), and the ensemble must conserve total work.
+
+use axon_core::runtime::Architecture;
+use axon_core::{ArrayShape, Dataflow};
+use axon_sim::{random_matrix, simulate_gemm, simulate_gemm_scale_out, SimConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn scale_out_matches_scale_up_product(
+        m in 1usize..24,
+        k in 1usize..16,
+        n in 1usize..24,
+        pr in 1usize..5,
+        pc in 1usize..5,
+        side in 2usize..7,
+        df_idx in 0usize..3,
+        arch_idx in 0usize..2,
+        seed in 0u64..1000,
+        sparsity in 0.0f64..0.5,
+    ) {
+        let a = random_matrix(m, k, seed, sparsity);
+        let b = random_matrix(k, n, seed + 1, sparsity);
+        let arch = [Architecture::Conventional, Architecture::Axon][arch_idx];
+        let df = Dataflow::ALL[df_idx];
+        let cfg = SimConfig::new(ArrayShape::square(side)).with_dataflow(df);
+
+        let up = simulate_gemm(arch, &cfg, &a, &b).expect("valid operands");
+        let out = simulate_gemm_scale_out(arch, &cfg, pr, pc, &a, &b)
+            .expect("valid operands and partitions");
+
+        // The assembled product equals the monolithic simulation (and,
+        // transitively, the naive reference product).
+        prop_assert_eq!(&out.output, &up.output,
+            "arch={} df={} M={} K={} N={} grid={}x{} side={}",
+            arch, df, m, k, n, pr, pc, side);
+        prop_assert_eq!(&up.output, &a.matmul(&b));
+
+        // Work is conserved across the partitioning.
+        prop_assert_eq!(out.total_stats().macs_performed, up.stats.macs_performed);
+
+        // The grid is clamped to the workload, never over-allocated.
+        prop_assert!(out.per_array.len() <= pr.min(m) * pc.min(n));
+
+        // Wall clock is the slowest slice, and no slice beats it.
+        let max_cycles = out.per_array.iter().map(|s| s.cycles).max().unwrap_or(0);
+        prop_assert_eq!(out.makespan_cycles, max_cycles);
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`mem`] | SRAM/DRAM models, energy and bandwidth accounting |
 //! | [`hw`] | calibrated area/power cost model (45 nm / 7 nm) |
 //! | [`workloads`] | Table 3, ResNet-50, YOLOv3, DW-conv, GEMV, conformer |
+//! | [`serve`] | request-level serving: traffic generators, batching schedulers, pod simulation |
 //!
 //! ## Quickstart
 //!
@@ -57,5 +58,6 @@ pub use axon_core as core;
 pub use axon_hw as hw;
 pub use axon_im2col as im2col;
 pub use axon_mem as mem;
+pub use axon_serve as serve;
 pub use axon_sim as sim;
 pub use axon_workloads as workloads;
