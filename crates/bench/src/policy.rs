@@ -1,0 +1,274 @@
+//! Scheduling-policy sweep: decode/prefill tail latency and goodput for
+//! FIFO vs coalescing vs EDF vs continuous batching vs WFQ on one Axon
+//! pod under mixed SLO-class traffic (the `policy_sweep` binary).
+//!
+//! Unlike [`crate::serving`] (which compares *architectures* under one
+//! policy), this sweep fixes the pod — 4x 128x128 Axon arrays — and
+//! compares *queue disciplines* on identical traffic: a decode-heavy
+//! mix with a prefill fraction large enough that head-of-line blocking
+//! is the dominant tail-latency mechanism. The headline comparison is
+//! decode p99 and SLO goodput at equal offered load; see
+//! `docs/scheduling.md` for the policy semantics and the expected
+//! ranking.
+
+use crate::series::Json;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, MappingPolicy, PodConfig, PreemptionMode, RequestClass, SchedulerPolicy,
+    ServingReport, SloBudgets, TrafficConfig, WorkloadMix,
+};
+
+/// A named scheduling configuration the sweep compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Sweep label (`fifo`, `coalesce`, `edf`, `edf+preempt`, `cont`,
+    /// `wfq`).
+    pub label: &'static str,
+    /// Queue discipline.
+    pub scheduler: SchedulerPolicy,
+    /// Whether running jobs may be checkpointed at tile boundaries.
+    pub preemption: PreemptionMode,
+}
+
+/// The policy ladder the sweep walks: each rung adds one mechanism.
+pub fn policy_ladder() -> Vec<PolicyConfig> {
+    vec![
+        PolicyConfig {
+            label: "fifo",
+            scheduler: SchedulerPolicy::Fifo,
+            preemption: PreemptionMode::Disabled,
+        },
+        PolicyConfig {
+            label: "coalesce",
+            scheduler: SchedulerPolicy::Batching { max_batch: 8 },
+            preemption: PreemptionMode::Disabled,
+        },
+        PolicyConfig {
+            label: "edf",
+            scheduler: SchedulerPolicy::Edf { max_batch: 8 },
+            preemption: PreemptionMode::Disabled,
+        },
+        PolicyConfig {
+            label: "edf+preempt",
+            scheduler: SchedulerPolicy::Edf { max_batch: 8 },
+            preemption: PreemptionMode::TileBoundary,
+        },
+        PolicyConfig {
+            label: "cont",
+            scheduler: SchedulerPolicy::Continuous { max_batch: 8 },
+            preemption: PreemptionMode::TileBoundary,
+        },
+        PolicyConfig {
+            label: "wfq",
+            scheduler: SchedulerPolicy::Wfq { max_batch: 8 },
+            preemption: PreemptionMode::Disabled,
+        },
+    ]
+}
+
+/// The mixed SLO-class scenario: decode-dominated traffic with enough
+/// prefill that large kernels regularly occupy arrays when tight-
+/// deadline decodes arrive.
+pub fn policy_mix() -> WorkloadMix {
+    WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.80),
+        (RequestClass::Prefill, 0.15),
+        (RequestClass::Gemv, 0.05),
+    ])
+}
+
+/// SLO budgets of the scenario: 300 us decode, 2 ms GEMV, 10 ms prefill
+/// at the 500 MHz pod clock.
+pub fn policy_slo() -> SloBudgets {
+    SloBudgets::serving_default()
+}
+
+/// The sweep pod: `arrays` square `side x side` Axon arrays under the
+/// paper's minimum-temporal mapping, with `policy` installed.
+pub fn policy_pod(arrays: usize, side: usize, policy: PolicyConfig) -> PodConfig {
+    PodConfig::homogeneous(arrays, Architecture::Axon, side)
+        .with_mapping(MappingPolicy::MinTemporal)
+        .with_scheduler(policy.scheduler)
+        .with_preemption(policy.preemption)
+}
+
+/// One measured operating point of a policy under offered load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyPoint {
+    /// Offered load (requests per second of the arrival process).
+    pub offered_rps: f64,
+    /// Achieved throughput (completions over makespan).
+    pub achieved_rps: f64,
+    /// In-SLO completions over makespan.
+    pub goodput_rps: f64,
+    /// Decode end-to-end p99, microseconds.
+    pub decode_p99_us: f64,
+    /// Decode SLO violations.
+    pub decode_violations: usize,
+    /// Prefill end-to-end p99, microseconds.
+    pub prefill_p99_us: f64,
+    /// All-class SLO violations.
+    pub slo_violations: usize,
+    /// Mean fused requests per dispatch.
+    pub mean_batch: f64,
+    /// Tile-boundary preemptions.
+    pub preemptions: usize,
+    /// In-flight continuous-batching joins.
+    pub inflight_joins: usize,
+}
+
+impl PolicyPoint {
+    fn from_report(offered_rps: f64, r: &ServingReport) -> Self {
+        let m = &r.metrics;
+        let class_p99 = |class| {
+            m.class_metrics(class)
+                .map_or(0.0, |c| m.micros(c.total.p99))
+        };
+        let class_violations = |class| {
+            m.class_metrics(class)
+                .map_or(0, |c: &axon_serve::ClassMetrics| c.slo_violations)
+        };
+        PolicyPoint {
+            offered_rps,
+            achieved_rps: m.throughput_rps(),
+            goodput_rps: m.goodput_rps(),
+            decode_p99_us: class_p99(RequestClass::Decode),
+            decode_violations: class_violations(RequestClass::Decode),
+            prefill_p99_us: class_p99(RequestClass::Prefill),
+            slo_violations: m.slo_violations,
+            mean_batch: m.mean_batch_size,
+            preemptions: m.preemptions,
+            inflight_joins: m.inflight_joins,
+        }
+    }
+}
+
+/// A policy's full load curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCurve {
+    /// The swept policy.
+    pub policy: PolicyConfig,
+    /// Points in offered-load order.
+    pub points: Vec<PolicyPoint>,
+}
+
+/// Sweeps `offered_rps` through the policy pod (`arrays` `side x side`
+/// Axon arrays). Every policy and load reuses `seed`, so all curves see
+/// the bit-identical request trace at each load point.
+pub fn policy_sweep(
+    policy: PolicyConfig,
+    arrays: usize,
+    side: usize,
+    offered_rps: &[f64],
+    requests: usize,
+    seed: u64,
+) -> PolicyCurve {
+    let pod = policy_pod(arrays, side, policy);
+    let points = offered_rps
+        .iter()
+        .map(|&rps| {
+            let mean_interarrival = pod.clock_mhz * 1e6 / rps;
+            let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+                .with_mix(policy_mix())
+                .with_slo(policy_slo());
+            let report = simulate_pod(&pod, &traffic);
+            PolicyPoint::from_report(rps, &report)
+        })
+        .collect();
+    PolicyCurve { policy, points }
+}
+
+/// The load points (offered rps) where `a` achieves strictly lower
+/// decode p99 than `b`. Both curves must cover the same loads.
+pub fn decode_p99_wins(a: &PolicyCurve, b: &PolicyCurve) -> Vec<f64> {
+    a.points
+        .iter()
+        .zip(&b.points)
+        .filter(|(pa, pb)| {
+            debug_assert_eq!(pa.offered_rps, pb.offered_rps);
+            pa.decode_p99_us < pb.decode_p99_us
+        })
+        .map(|(pa, _)| pa.offered_rps)
+        .collect()
+}
+
+/// Machine-readable form of the sweep.
+pub fn policy_sweep_to_json(curves: &[PolicyCurve]) -> Json {
+    Json::obj([(
+        "policies",
+        Json::arr(curves.iter().map(|c| {
+            Json::obj([
+                ("label", Json::str(c.policy.label)),
+                (
+                    "points",
+                    Json::arr(c.points.iter().map(|p| {
+                        Json::obj([
+                            ("offered_rps", Json::num(p.offered_rps)),
+                            ("achieved_rps", Json::num(p.achieved_rps)),
+                            ("goodput_rps", Json::num(p.goodput_rps)),
+                            ("decode_p99_us", Json::num(p.decode_p99_us)),
+                            ("decode_violations", Json::num(p.decode_violations as f64)),
+                            ("prefill_p99_us", Json::num(p.prefill_p99_us)),
+                            ("slo_violations", Json::num(p.slo_violations as f64)),
+                            ("mean_batch", Json::num(p.mean_batch)),
+                            ("preemptions", Json::num(p.preemptions as f64)),
+                            ("inflight_joins", Json::num(p.inflight_joins as f64)),
+                        ])
+                    })),
+                ),
+            ])
+        })),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(label: &str, loads: &[f64]) -> PolicyCurve {
+        let policy = policy_ladder()
+            .into_iter()
+            .find(|p| p.label == label)
+            .expect("known policy label");
+        policy_sweep(policy, 2, 64, loads, 300, 2026)
+    }
+
+    #[test]
+    fn edf_beats_fifo_decode_p99_under_pressure() {
+        // The smoke loads of the binary, scaled to a 2-array pod.
+        let loads = [40_000.0, 80_000.0];
+        let fifo = curve("fifo", &loads);
+        let cont = curve("cont", &loads);
+        assert!(
+            !decode_p99_wins(&cont, &fifo).is_empty(),
+            "continuous batching should beat FIFO decode p99 at some load: {:?} vs {:?}",
+            cont.points
+                .iter()
+                .map(|p| p.decode_p99_us)
+                .collect::<Vec<_>>(),
+            fifo.points
+                .iter()
+                .map(|p| p.decode_p99_us)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ladder_labels_are_unique() {
+        let ladder = policy_ladder();
+        for (i, a) in ladder.iter().enumerate() {
+            for b in &ladder[i + 1..] {
+                assert_ne!(a.label, b.label);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_json_is_parseable_shape() {
+        let loads = [40_000.0];
+        let j = policy_sweep_to_json(&[curve("fifo", &loads)]).to_string();
+        assert!(j.contains(r#""label":"fifo""#));
+        assert!(j.contains(r#""decode_p99_us""#));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,6 +1,6 @@
 //! Seeded request generation: workload mixes and arrival processes.
 
-use crate::request::{Request, RequestClass};
+use crate::request::{Request, RequestClass, SloBudgets};
 use crate::rng::ServeRng;
 use axon_workloads::GemmWorkload;
 
@@ -91,6 +91,9 @@ pub struct TrafficConfig {
     pub arrival: ArrivalProcess,
     /// Workload mix.
     pub mix: WorkloadMix,
+    /// Per-class deadline budgets; every issued request gets
+    /// `deadline = arrival + slo.budget(class)`.
+    pub slo: SloBudgets,
 }
 
 impl TrafficConfig {
@@ -103,6 +106,7 @@ impl TrafficConfig {
             num_clients: 16,
             arrival: ArrivalProcess::OpenLoop { mean_interarrival },
             mix: WorkloadMix::decode_heavy(),
+            slo: SloBudgets::serving_default(),
         }
     }
 
@@ -117,12 +121,19 @@ impl TrafficConfig {
                 think_cycles: think,
             },
             mix: WorkloadMix::decode_heavy(),
+            slo: SloBudgets::serving_default(),
         }
     }
 
     /// Builder-style mix override.
     pub fn with_mix(mut self, mix: WorkloadMix) -> Self {
         self.mix = mix;
+        self
+    }
+
+    /// Builder-style SLO-budget override.
+    pub fn with_slo(mut self, slo: SloBudgets) -> Self {
+        self.slo = slo;
         self
     }
 
@@ -140,6 +151,7 @@ pub struct RequestGenerator {
     rng: ServeRng,
     mix: WorkloadMix,
     catalogs: Vec<(RequestClass, Vec<GemmWorkload>)>,
+    slo: SloBudgets,
     budget: usize,
     next_id: usize,
 }
@@ -158,6 +170,7 @@ impl RequestGenerator {
             rng: ServeRng::new(cfg.seed),
             mix: cfg.mix.clone(),
             catalogs,
+            slo: cfg.slo,
             budget: cfg.num_requests,
             next_id: 0,
         }
@@ -191,6 +204,7 @@ impl RequestGenerator {
             class,
             workload,
             arrival,
+            deadline: arrival + self.slo.budget(class),
         })
     }
 
@@ -256,6 +270,7 @@ mod tests {
                 mean_interarrival: 10.0,
             },
             mix,
+            slo: SloBudgets::serving_default(),
         };
         let trace = RequestGenerator::new(&cfg).open_loop_trace(10.0, 4);
         let decode = trace

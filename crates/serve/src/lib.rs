@@ -12,15 +12,21 @@
 //!   from the `axon-workloads` definitions (transformer prefill/decode,
 //!   ResNet-50 and YOLOv3 conv-GEMMs, Fig. 14 GEMVs) under open-loop
 //!   (Poisson-like) or closed-loop arrival processes;
-//! * [`SchedulerPolicy`] dispatches FIFO or with GEMV coalescing — the
-//!   batching scheduler fuses compatible decode GEMVs into one GEMM
-//!   while preserving per-client FIFO order;
+//! * [`SchedulerPolicy`] configures the queue discipline — FIFO, GEMV
+//!   coalescing, earliest-deadline-first over per-request SLO classes,
+//!   vLLM-style continuous batching, or per-client weighted fair
+//!   queueing — all implementations of the [`SchedulingPolicy`] trait,
+//!   and all preserving per-client FIFO order (see
+//!   `docs/scheduling.md` for the policy guide);
 //! * [`simulate_pod`] runs the stream through a pod of `n` arrays
 //!   (Conventional or Axon, mixed allowed), billing each dispatch with
 //!   the analytical [`RuntimeSpec`](axon_core::runtime::RuntimeSpec)
 //!   model (exact-edge accounting), optionally sharding large kernels
-//!   across idle arrays via the scale-out partitioner and spot-checking
-//!   billed latencies cycle-for-cycle against
+//!   across idle arrays via the scale-out partitioner, checkpointing
+//!   running jobs at tile boundaries for urgent work
+//!   ([`PreemptionMode::TileBoundary`]), admitting late decode GEMVs
+//!   into in-flight batches ([`SchedulerPolicy::Continuous`]), and
+//!   spot-checking billed latencies cycle-for-cycle against
 //!   [`axon_sim::simulate_gemm`];
 //! * [`PodMetrics`] reports throughput, p50/p95/p99 queueing + service
 //!   latency, per-array utilization and per-request energy (array power
@@ -59,13 +65,16 @@ mod rng;
 mod scheduler;
 
 pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix};
-pub use metrics::{percentile, Completion, LatencySummary, PodMetrics};
+pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics};
 pub use pod::{
-    service_cycles, simulate_pod, ArrayConfig, MappingPolicy, PodConfig, ServingReport,
-    SpotCheckConfig,
+    service_cycles, simulate_pod, simulate_pod_with_policy, ArrayConfig, MappingPolicy, PodConfig,
+    PreemptionMode, ServingReport, SpotCheckConfig,
 };
 pub use request::{
     batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,
+    SloBudgets,
 };
 pub use rng::ServeRng;
-pub use scheduler::{Batch, SchedulerPolicy};
+pub use scheduler::{
+    Batch, CoalescingPolicy, EdfPolicy, FifoPolicy, SchedulerPolicy, SchedulingPolicy, WfqPolicy,
+};

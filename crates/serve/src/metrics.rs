@@ -70,6 +70,8 @@ pub struct Completion {
     pub shape: GemmShape,
     /// Arrival cycle.
     pub arrival: u64,
+    /// Absolute completion deadline (from the traffic's SLO budgets).
+    pub deadline: u64,
     /// Dispatch cycle (start of service).
     pub dispatch: u64,
     /// Completion cycle.
@@ -80,6 +82,11 @@ pub struct Completion {
     pub batch_size: usize,
     /// Arrays the dispatch was sharded over (1 = no sharding).
     pub sharded_over: usize,
+    /// Times the serving dispatch was preempted at a tile boundary.
+    pub preemptions: u32,
+    /// Whether this request joined an already-running batch (continuous
+    /// batching) instead of waiting for a fresh dispatch.
+    pub joined_inflight: bool,
     /// This request's share of the dispatch's array energy, microjoules.
     pub array_energy_uj: f64,
     /// This request's share of the dispatch's DRAM energy, millijoules.
@@ -100,6 +107,49 @@ impl Completion {
     /// Arrival-to-completion cycles.
     pub fn total_cycles(&self) -> u64 {
         self.completion - self.arrival
+    }
+
+    /// Whether the request completed by its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.completion <= self.deadline
+    }
+}
+
+/// Latency and SLO attainment of one request class within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// The request class.
+    pub class: RequestClass,
+    /// Requests of this class completed.
+    pub completed: usize,
+    /// Completions past their deadline.
+    pub slo_violations: usize,
+    /// End-to-end latency distribution of this class.
+    pub total: LatencySummary,
+}
+
+impl ClassMetrics {
+    /// Per-class breakdown of `completions`, in [`RequestClass::ALL`]
+    /// order, skipping classes with no traffic.
+    pub fn from_completions(completions: &[Completion]) -> Vec<ClassMetrics> {
+        RequestClass::ALL
+            .iter()
+            .filter_map(|&class| {
+                let of_class: Vec<&Completion> =
+                    completions.iter().filter(|c| c.class == class).collect();
+                if of_class.is_empty() {
+                    return None;
+                }
+                Some(ClassMetrics {
+                    class,
+                    completed: of_class.len(),
+                    slo_violations: of_class.iter().filter(|c| !c.met_deadline()).count(),
+                    total: LatencySummary::from_cycles(
+                        of_class.iter().map(|c| c.total_cycles()).collect(),
+                    ),
+                })
+            })
+            .collect()
     }
 }
 
@@ -126,6 +176,16 @@ pub struct PodMetrics {
     pub mean_batch_size: f64,
     /// Dispatches sharded over more than one array.
     pub sharded_batches: usize,
+    /// Tile-boundary preemptions of running dispatches.
+    pub preemptions: usize,
+    /// Requests admitted into an in-flight batch (continuous batching).
+    pub inflight_joins: usize,
+    /// Completions that met their deadline.
+    pub slo_met: usize,
+    /// Completions past their deadline.
+    pub slo_violations: usize,
+    /// Per-class latency/SLO breakdown (classes with traffic only).
+    pub per_class: Vec<ClassMetrics>,
     /// Total array (PE/SRAM) energy, microjoules.
     pub array_energy_uj: f64,
     /// Total DRAM transfer energy, millijoules.
@@ -154,6 +214,20 @@ impl PodMetrics {
             return 0.0;
         }
         self.completed as f64 / self.seconds(self.makespan_cycles)
+    }
+
+    /// Completed-in-SLO requests per second of simulated wall clock —
+    /// the goodput the policy sweeps compare.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.slo_met as f64 / self.seconds(self.makespan_cycles)
+    }
+
+    /// The breakdown for `class`, if it saw traffic.
+    pub fn class_metrics(&self, class: RequestClass) -> Option<&ClassMetrics> {
+        self.per_class.iter().find(|c| c.class == class)
     }
 
     /// Mean utilization over the pod's arrays.
@@ -188,11 +262,20 @@ impl fmt::Display for PodMetrics {
         writeln!(f, "  total   {}", self.total)?;
         writeln!(
             f,
-            "  {} dispatches (mean batch {:.2}, {} sharded), utilization {:.1}%",
+            "  {} dispatches (mean batch {:.2}, {} sharded, {} preempted, {} joins), utilization {:.1}%",
             self.batches,
             self.mean_batch_size,
             self.sharded_batches,
+            self.preemptions,
+            self.inflight_joins,
             100.0 * self.mean_utilization()
+        )?;
+        writeln!(
+            f,
+            "  SLO: {} met / {} violated ({:.1} goodput req/s)",
+            self.slo_met,
+            self.slo_violations,
+            self.goodput_rps()
         )?;
         write!(
             f,
@@ -239,16 +322,61 @@ mod tests {
             class: RequestClass::Decode,
             shape: GemmShape::new(1, 8, 8),
             arrival: 100,
+            deadline: 350,
             dispatch: 150,
             completion: 400,
             array: 0,
             batch_size: 2,
             sharded_over: 1,
+            preemptions: 0,
+            joined_inflight: false,
             array_energy_uj: 0.0,
             dram_energy_mj: 0.0,
         };
         assert_eq!(c.queue_cycles(), 50);
         assert_eq!(c.service_cycles(), 250);
         assert_eq!(c.total_cycles(), 300);
+        assert!(!c.met_deadline());
+        let met = Completion { deadline: 400, ..c };
+        assert!(met.met_deadline());
+    }
+
+    #[test]
+    fn class_metrics_partition_completions() {
+        let mk = |id: usize, class: RequestClass, completion: u64, deadline: u64| Completion {
+            id,
+            client: 0,
+            class,
+            shape: GemmShape::new(1, 8, 8),
+            arrival: 0,
+            deadline,
+            dispatch: 0,
+            completion,
+            array: 0,
+            batch_size: 1,
+            sharded_over: 1,
+            preemptions: 0,
+            joined_inflight: false,
+            array_energy_uj: 0.0,
+            dram_energy_mj: 0.0,
+        };
+        let cs = vec![
+            mk(0, RequestClass::Decode, 100, 200),
+            mk(1, RequestClass::Decode, 300, 200), // violated
+            mk(2, RequestClass::Prefill, 500, 900),
+        ];
+        let per = ClassMetrics::from_completions(&cs);
+        assert_eq!(per.len(), 2);
+        let decode = per
+            .iter()
+            .find(|c| c.class == RequestClass::Decode)
+            .unwrap();
+        assert_eq!(decode.completed, 2);
+        assert_eq!(decode.slo_violations, 1);
+        let prefill = per
+            .iter()
+            .find(|c| c.class == RequestClass::Prefill)
+            .unwrap();
+        assert_eq!(prefill.slo_violations, 0);
     }
 }

@@ -91,6 +91,70 @@ impl fmt::Display for RequestClass {
     }
 }
 
+/// Per-class completion-deadline budgets, in cycles from arrival.
+///
+/// These are the SLO classes the deadline-aware schedulers act on:
+/// decode is interactive (a user is watching tokens stream), prefill and
+/// the conv workloads are bulk work that tolerates far more latency.
+/// The defaults are calibrated for the 500 MHz serving pods: 300 us for
+/// decode, 2 ms for the recommender GEMVs, 4 ms for conv, 10 ms for
+/// prefill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloBudgets {
+    /// Decode (single-token GEMV) budget — the tight, interactive class.
+    pub decode: u64,
+    /// Prefill budget — bulk work, the loosest class.
+    pub prefill: u64,
+    /// Conv-GEMM (ResNet/YOLO) budget.
+    pub conv: u64,
+    /// Recommender-GEMV budget.
+    pub gemv: u64,
+}
+
+impl SloBudgets {
+    /// The serving defaults (see the struct docs).
+    pub fn serving_default() -> Self {
+        SloBudgets {
+            decode: 150_000,
+            prefill: 5_000_000,
+            conv: 2_000_000,
+            gemv: 1_000_000,
+        }
+    }
+
+    /// The same budget for every class (useful for tests).
+    pub fn uniform(cycles: u64) -> Self {
+        SloBudgets {
+            decode: cycles,
+            prefill: cycles,
+            conv: cycles,
+            gemv: cycles,
+        }
+    }
+
+    /// Builder-style decode-budget override.
+    pub fn with_decode(mut self, cycles: u64) -> Self {
+        self.decode = cycles;
+        self
+    }
+
+    /// The deadline budget of `class`, in cycles from arrival.
+    pub fn budget(&self, class: RequestClass) -> u64 {
+        match class {
+            RequestClass::Decode => self.decode,
+            RequestClass::Prefill => self.prefill,
+            RequestClass::ResNet50 | RequestClass::YoloV3 => self.conv,
+            RequestClass::Gemv => self.gemv,
+        }
+    }
+}
+
+impl Default for SloBudgets {
+    fn default() -> Self {
+        SloBudgets::serving_default()
+    }
+}
+
 /// One inference request: a kernel invocation in a client stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
@@ -104,6 +168,9 @@ pub struct Request {
     pub workload: GemmWorkload,
     /// Arrival cycle at the pod's queue.
     pub arrival: u64,
+    /// Absolute completion deadline (cycle), from the traffic's
+    /// [`SloBudgets`]: `arrival + budget(class)`.
+    pub deadline: u64,
 }
 
 /// Which GEMM dimension a batch of compatible requests concatenates
@@ -129,6 +196,12 @@ pub struct BatchKey {
 }
 
 impl Request {
+    /// Cycles of slack left before the deadline at time `now` (0 when the
+    /// deadline has passed).
+    pub fn slack(&self, now: u64) -> u64 {
+        self.deadline.saturating_sub(now)
+    }
+
     /// The batching key of this request, if it is a batchable GEMV.
     ///
     /// # Examples

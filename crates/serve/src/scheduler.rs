@@ -1,10 +1,46 @@
-//! Dispatch policies: FIFO and GEMV-coalescing batching.
+//! Dispatch policies: FIFO, GEMV-coalescing batching, earliest-deadline
+//! first, continuous batching and weighted fair queueing.
+//!
+//! The policy layer is split in two:
+//!
+//! * [`SchedulerPolicy`] is the *configuration* — a small `Copy` enum
+//!   that lives in [`PodConfig`](crate::PodConfig), serializes into
+//!   sweep labels and keeps pod specs comparable (`PartialEq`).
+//! * [`SchedulingPolicy`] is the *behavior* — the trait the pod
+//!   simulator actually dispatches through. [`SchedulerPolicy::build`]
+//!   instantiates the matching implementation ([`FifoPolicy`],
+//!   [`CoalescingPolicy`], [`EdfPolicy`], [`WfqPolicy`]); custom
+//!   policies can implement the trait directly and run through
+//!   [`simulate_pod_with_policy`](crate::simulate_pod_with_policy).
+//!
+//! Every built-in policy preserves **per-client FIFO**: a client's
+//! requests are never reordered against each other, no matter how the
+//! policy reorders *across* clients. See `docs/scheduling.md` for the
+//! full semantics of each policy.
+//!
+//! # Examples
+//!
+//! Swapping the policy on a pod is a builder call — the three lines that
+//! differ between a FIFO and an EDF experiment:
+//!
+//! ```
+//! use axon_core::runtime::Architecture;
+//! use axon_serve::{simulate_pod, PodConfig, SchedulerPolicy, TrafficConfig};
+//!
+//! let traffic = TrafficConfig::open_loop(1, 100, 2000.0);
+//! let base = PodConfig::homogeneous(2, Architecture::Axon, 64);
+//! let fifo = base.clone().with_scheduler(SchedulerPolicy::Fifo);
+//! let edf = base.with_scheduler(SchedulerPolicy::Edf { max_batch: 8 });
+//! let (f, e) = (simulate_pod(&fifo, &traffic), simulate_pod(&edf, &traffic));
+//! assert_eq!(f.metrics.completed, e.metrics.completed);
+//! ```
 
 use crate::request::{coalesced_shape, Request};
 use axon_core::GemmShape;
 use std::collections::{HashSet, VecDeque};
 
-/// How the pod picks work off the queue.
+/// How the pod picks work off the queue (the configuration half of the
+/// policy layer; [`SchedulerPolicy::build`] yields the behavior).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerPolicy {
     /// Strict arrival order, one request per dispatch.
@@ -16,6 +52,35 @@ pub enum SchedulerPolicy {
     /// an earlier, incompatible request from the same client is still
     /// queued ahead of it.
     Batching {
+        /// Maximum requests fused into one dispatch.
+        max_batch: usize,
+    },
+    /// Earliest-deadline-first with coalescing: the head is the eligible
+    /// request with the earliest [`Request::deadline`], which then fuses
+    /// compatible requests exactly like [`SchedulerPolicy::Batching`].
+    ///
+    /// Tight-deadline decode GEMVs overtake loose-deadline prefills
+    /// *across* clients — head-of-line blocking relief — while each
+    /// client's own stream stays in order.
+    Edf {
+        /// Maximum requests fused into one dispatch.
+        max_batch: usize,
+    },
+    /// EDF queue order plus vLLM-style continuous batching: the pod may
+    /// admit late-arriving compatible decode GEMVs into an in-flight
+    /// coalesced batch (up to `max_batch` total) instead of making them
+    /// wait for the next dispatch.
+    Continuous {
+        /// Maximum requests fused into one dispatch, in-flight joins
+        /// included.
+        max_batch: usize,
+    },
+    /// Per-client weighted fair queueing with coalescing: the head comes
+    /// from the eligible client with the least weight-normalized billed
+    /// service, so one chatty tenant cannot starve the others. Weights
+    /// come from [`PodConfig::client_weights`](crate::PodConfig)
+    /// (missing entries default to 1.0).
+    Wfq {
         /// Maximum requests fused into one dispatch.
         max_batch: usize,
     },
@@ -40,11 +105,252 @@ impl Batch {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// The earliest deadline across the batch's requests.
+    pub fn deadline(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| r.deadline)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// The behavioral interface of a queue discipline: the pod simulator
+/// calls [`next_batch`](SchedulingPolicy::next_batch) whenever an array
+/// goes idle and [`on_dispatch`](SchedulingPolicy::on_dispatch) with the
+/// billed cycles once the batch is placed (the feedback stateful
+/// policies like WFQ need).
+pub trait SchedulingPolicy {
+    /// Short label for reports and sweep output.
+    fn name(&self) -> &'static str;
+
+    /// Removes and returns the next dispatch unit from `queue` at time
+    /// `now`, or `None` if the queue is empty.
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, now: u64) -> Option<Batch>;
+
+    /// Feedback after dispatch: the batch was billed `service_cycles`.
+    fn on_dispatch(&mut self, _batch: &Batch, _service_cycles: u64) {}
+}
+
+/// Coalesces queued requests compatible with `head` (already removed
+/// from `queue`) into one batch of at most `max_batch` requests,
+/// preserving per-client FIFO: a client whose earlier incompatible
+/// request is still queued contributes nothing behind it.
+fn coalesce_with_head(head: Request, queue: &mut VecDeque<Request>, max_batch: usize) -> Batch {
+    let mut requests = vec![head];
+    let mut shape = head.workload.shape;
+    if let Some(key) = head.batch_key() {
+        let mut blocked: HashSet<usize> = HashSet::new();
+        let mut i = 0;
+        while i < queue.len() && requests.len() < max_batch {
+            let candidate = &queue[i];
+            if !blocked.contains(&candidate.client) && candidate.batch_key() == Some(key) {
+                let taken = queue.remove(i).expect("index in bounds");
+                requests.push(taken);
+            } else {
+                blocked.insert(candidate.client);
+                i += 1;
+            }
+        }
+        shape = coalesced_shape(key, requests.len());
+    }
+    Batch { requests, shape }
+}
+
+/// Indices of the *eligible* queue positions: for each client, only its
+/// oldest queued request may be dispatched next (per-client FIFO). The
+/// pod's urgency checks (resume vs dispatch, preemption) share this
+/// definition so the two layers can never disagree on eligibility.
+pub(crate) fn eligible_indices(queue: &VecDeque<Request>) -> Vec<usize> {
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut out = Vec::new();
+    for (i, r) in queue.iter().enumerate() {
+        if seen.insert(r.client) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Strict arrival order, one request per dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoPolicy;
+
+impl SchedulingPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head = queue.pop_front()?;
+        let shape = head.workload.shape;
+        Some(Batch {
+            requests: vec![head],
+            shape,
+        })
+    }
+}
+
+/// FIFO head with GEMV coalescing (the `Batching` policy).
+#[derive(Debug, Clone, Copy)]
+pub struct CoalescingPolicy {
+    /// Maximum requests fused into one dispatch.
+    pub max_batch: usize,
+}
+
+impl SchedulingPolicy for CoalescingPolicy {
+    fn name(&self) -> &'static str {
+        "coalescing"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head = queue.pop_front()?;
+        Some(coalesce_with_head(head, queue, self.max_batch))
+    }
+}
+
+/// Earliest-deadline-first head selection with coalescing.
+#[derive(Debug, Clone, Copy)]
+pub struct EdfPolicy {
+    /// Maximum requests fused into one dispatch.
+    pub max_batch: usize,
+}
+
+impl SchedulingPolicy for EdfPolicy {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head_idx = eligible_indices(queue)
+            .into_iter()
+            .min_by_key(|&i| (queue[i].deadline, queue[i].id))?;
+        let head = queue.remove(head_idx).expect("index in bounds");
+        Some(coalesce_with_head(head, queue, self.max_batch))
+    }
+}
+
+/// Per-client weighted fair queueing with coalescing.
+///
+/// Tracks the billed service cycles attributed to each client and always
+/// serves the eligible client with the least weight-normalized service
+/// so far (ties go to the lower client id, then arrival order). Billed
+/// work is fed back through [`SchedulingPolicy::on_dispatch`]; each
+/// request in a fused batch is attributed an equal share.
+#[derive(Debug, Clone)]
+pub struct WfqPolicy {
+    /// Maximum requests fused into one dispatch.
+    pub max_batch: usize,
+    weights: Vec<f64>,
+    served: Vec<f64>,
+}
+
+impl WfqPolicy {
+    /// Creates the policy with the given per-client weights (clients
+    /// beyond the slice get weight 1.0).
+    pub fn new(max_batch: usize, weights: &[f64]) -> Self {
+        assert!(
+            weights.iter().all(|&w| w > 0.0),
+            "WFQ weights must be positive"
+        );
+        WfqPolicy {
+            max_batch,
+            weights: weights.to_vec(),
+            served: Vec::new(),
+        }
+    }
+
+    fn weight(&self, client: usize) -> f64 {
+        self.weights.get(client).copied().unwrap_or(1.0)
+    }
+
+    fn served(&self, client: usize) -> f64 {
+        self.served.get(client).copied().unwrap_or(0.0)
+    }
+
+    fn credit(&mut self, client: usize, cycles: f64) {
+        if self.served.len() <= client {
+            self.served.resize(client + 1, 0.0);
+        }
+        self.served[client] += cycles;
+    }
+}
+
+impl SchedulingPolicy for WfqPolicy {
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head_idx = eligible_indices(queue).into_iter().min_by(|&a, &b| {
+            let fa = self.served(queue[a].client) / self.weight(queue[a].client);
+            let fb = self.served(queue[b].client) / self.weight(queue[b].client);
+            fa.total_cmp(&fb)
+                .then(queue[a].client.cmp(&queue[b].client))
+        })?;
+        let head = queue.remove(head_idx).expect("index in bounds");
+        Some(coalesce_with_head(head, queue, self.max_batch))
+    }
+
+    fn on_dispatch(&mut self, batch: &Batch, service_cycles: u64) {
+        let share = service_cycles as f64 / batch.len() as f64;
+        for r in &batch.requests {
+            self.credit(r.client, share);
+        }
+    }
 }
 
 impl SchedulerPolicy {
+    /// Short label for sweep output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::Batching { .. } => "coalescing",
+            SchedulerPolicy::Edf { .. } => "edf",
+            SchedulerPolicy::Continuous { .. } => "continuous",
+            SchedulerPolicy::Wfq { .. } => "wfq",
+        }
+    }
+
+    /// The coalescing limit (1 for FIFO).
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            SchedulerPolicy::Fifo => 1,
+            SchedulerPolicy::Batching { max_batch }
+            | SchedulerPolicy::Edf { max_batch }
+            | SchedulerPolicy::Continuous { max_batch }
+            | SchedulerPolicy::Wfq { max_batch } => max_batch,
+        }
+    }
+
+    /// Whether the pod may admit late-arriving compatible requests into
+    /// an in-flight batch (vLLM-style continuous batching).
+    pub fn admits_inflight_joins(&self) -> bool {
+        matches!(self, SchedulerPolicy::Continuous { .. })
+    }
+
+    /// Instantiates the behavioral policy. `client_weights` is only
+    /// consulted by [`SchedulerPolicy::Wfq`].
+    pub fn build(&self, client_weights: &[f64]) -> Box<dyn SchedulingPolicy> {
+        match *self {
+            SchedulerPolicy::Fifo => Box::new(FifoPolicy),
+            SchedulerPolicy::Batching { max_batch } => Box::new(CoalescingPolicy { max_batch }),
+            // Continuous batching uses EDF queue order; the in-flight
+            // join mechanism lives in the pod, gated on
+            // `admits_inflight_joins`.
+            SchedulerPolicy::Edf { max_batch } | SchedulerPolicy::Continuous { max_batch } => {
+                Box::new(EdfPolicy { max_batch })
+            }
+            SchedulerPolicy::Wfq { max_batch } => {
+                Box::new(WfqPolicy::new(max_batch, client_weights))
+            }
+        }
+    }
+
     /// Removes the next dispatch unit from `queue`, or `None` if the
-    /// queue is empty.
+    /// queue is empty. Convenience wrapper over [`SchedulerPolicy::build`]
+    /// for stateless use at `now = 0`.
     ///
     /// # Examples
     ///
@@ -63,30 +369,7 @@ impl SchedulerPolicy {
     /// assert_eq!(batch.shape.m, batch.len()); // decode fuses along M
     /// ```
     pub fn take_next(&self, queue: &mut VecDeque<Request>) -> Option<Batch> {
-        let head = queue.pop_front()?;
-        let mut requests = vec![head];
-        let mut shape = head.workload.shape;
-
-        if let (SchedulerPolicy::Batching { max_batch }, Some(key)) = (*self, head.batch_key()) {
-            // Clients with an earlier incompatible request still in the
-            // queue: taking a later request of theirs would reorder their
-            // stream.
-            let mut blocked: HashSet<usize> = HashSet::new();
-            let mut i = 0;
-            while i < queue.len() && requests.len() < max_batch {
-                let candidate = &queue[i];
-                if !blocked.contains(&candidate.client) && candidate.batch_key() == Some(key) {
-                    let taken = queue.remove(i).expect("index in bounds");
-                    requests.push(taken);
-                } else {
-                    blocked.insert(candidate.client);
-                    i += 1;
-                }
-            }
-            shape = coalesced_shape(key, requests.len());
-        }
-
-        Some(Batch { requests, shape })
+        self.build(&[]).next_batch(queue, 0)
     }
 }
 
@@ -107,6 +390,14 @@ mod tests {
                 kind: WorkloadKind::Gemv,
             },
             arrival: id as u64,
+            deadline: 1000 + id as u64,
+        }
+    }
+
+    fn req_deadline(id: usize, client: usize, deadline: u64) -> Request {
+        Request {
+            deadline,
+            ..req(id, client, 1, 8, 16)
         }
     }
 
@@ -182,5 +473,108 @@ mod tests {
     fn empty_queue_yields_none() {
         let mut q = VecDeque::new();
         assert!(SchedulerPolicy::Fifo.take_next(&mut q).is_none());
+        assert!(SchedulerPolicy::Edf { max_batch: 4 }
+            .take_next(&mut q)
+            .is_none());
+        assert!(SchedulerPolicy::Wfq { max_batch: 4 }
+            .take_next(&mut q)
+            .is_none());
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_across_clients() {
+        let mut q: VecDeque<_> = [
+            req_deadline(0, 0, 900), // arrived first, loose deadline
+            req_deadline(1, 1, 100), // tightest deadline: must go first
+            req_deadline(2, 2, 500),
+        ]
+        .into();
+        let b = SchedulerPolicy::Edf { max_batch: 1 }
+            .take_next(&mut q)
+            .unwrap();
+        assert_eq!(b.requests[0].id, 1);
+    }
+
+    #[test]
+    fn edf_respects_per_client_order() {
+        // Client 0's second request has the tightest deadline, but its
+        // first request is still queued: the first must go first.
+        let mut q: VecDeque<_> = [
+            req_deadline(0, 0, 900),
+            req_deadline(1, 0, 50),
+            req_deadline(2, 1, 400),
+        ]
+        .into();
+        let b = SchedulerPolicy::Edf { max_batch: 1 }
+            .take_next(&mut q)
+            .unwrap();
+        assert_eq!(b.requests[0].id, 2, "client 1's 400 beats client 0's 900");
+        let b = SchedulerPolicy::Edf { max_batch: 1 }
+            .take_next(&mut q)
+            .unwrap();
+        assert_eq!(b.requests[0].id, 0, "client 0 in order despite id 1's 50");
+    }
+
+    #[test]
+    fn edf_coalesces_after_head_selection() {
+        let mut q: VecDeque<_> = [
+            req(0, 0, 64, 8, 16), // incompatible prefill-like head by arrival
+            req(1, 1, 1, 8, 16),
+            req(2, 2, 1, 8, 16),
+        ]
+        .into();
+        // Deadlines: the GEMVs are tighter than the big kernel.
+        q[0].deadline = 10_000;
+        q[1].deadline = 100;
+        q[2].deadline = 120;
+        let b = SchedulerPolicy::Edf { max_batch: 8 }
+            .take_next(&mut q)
+            .unwrap();
+        let ids: Vec<_> = b.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2], "EDF head coalesces compatible peers");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn wfq_serves_starved_client_first() {
+        let mut p = WfqPolicy::new(4, &[1.0, 1.0]);
+        // Client 0 has been billed heavily; client 1 not at all.
+        p.credit(0, 1e6);
+        let mut q: VecDeque<_> = [req(0, 0, 4, 8, 16), req(1, 1, 4, 9, 16)].into();
+        let b = p.next_batch(&mut q, 0).unwrap();
+        assert_eq!(b.requests[0].client, 1);
+    }
+
+    #[test]
+    fn wfq_weights_scale_service() {
+        // Equal billed service, but client 1 has 4x the weight: its
+        // normalized service is lower, so it goes first.
+        let mut p = WfqPolicy::new(4, &[1.0, 4.0]);
+        p.credit(0, 1000.0);
+        p.credit(1, 1000.0);
+        let mut q: VecDeque<_> = [req(0, 0, 4, 8, 16), req(1, 1, 4, 9, 16)].into();
+        let b = p.next_batch(&mut q, 0).unwrap();
+        assert_eq!(b.requests[0].client, 1);
+    }
+
+    #[test]
+    fn wfq_on_dispatch_attributes_shares() {
+        let mut p = WfqPolicy::new(4, &[]);
+        let mut q: VecDeque<_> = [req(0, 0, 1, 8, 16), req(1, 1, 1, 8, 16)].into();
+        let b = p.next_batch(&mut q, 0).unwrap();
+        assert_eq!(b.len(), 2);
+        p.on_dispatch(&b, 1000);
+        assert_eq!(p.served(0), 500.0);
+        assert_eq!(p.served(1), 500.0);
+    }
+
+    #[test]
+    fn continuous_builds_edf_and_admits_joins() {
+        let policy = SchedulerPolicy::Continuous { max_batch: 8 };
+        assert!(policy.admits_inflight_joins());
+        assert!(!SchedulerPolicy::Edf { max_batch: 8 }.admits_inflight_joins());
+        assert_eq!(policy.build(&[]).name(), "edf");
+        assert_eq!(policy.name(), "continuous");
+        assert_eq!(policy.max_batch(), 8);
     }
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/*.md
+# resolves to an existing file or directory. External (http/https) and
+# anchor-only links are skipped. Exits non-zero listing any dead links.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract (target) parts of [text](target) links, one per line.
+    # `|| true` tolerates docs with no links (grep exits 1 on no match).
+    { grep -oE '\]\([^)]+\)' "$doc" || true; } | sed -E 's/^\]\(//; s/\)$//' | while read -r target; do
+        case "$target" in
+            http://*|https://*|\#*) continue ;;
+        esac
+        # Strip a trailing #anchor.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "DEAD LINK in $doc: $target"
+            exit 1
+        fi
+    done || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed"
+    exit 1
+fi
+echo "all relative links in README.md and docs/ resolve"
