@@ -1,0 +1,162 @@
+//! Shared-DRAM contention sweep: pod size x channel count on the
+//! decode-heavy mix, plus the PR 3 policy ladder re-validated under
+//! contention.
+//!
+//! ```sh
+//! cargo run --release -p axon-bench --bin contention_sweep
+//! cargo run --release -p axon-bench --bin contention_sweep -- --smoke
+//! cargo run --release -p axon-bench --bin contention_sweep -- --json out.json
+//! ```
+//!
+//! Computation in [`axon_bench::contention`]; model semantics in
+//! `docs/memory.md`. The binary asserts the two contention invariants
+//! on every measured pod size (shrinking channels never decreases p99
+//! service latency; a single-array pod matches private bandwidth
+//! exactly) and that EDF + continuous batching still beats FIFO decode
+//! p99 with contention enabled.
+
+use axon_bench::contention::{
+    assert_contention_invariants, contention_sweep_to_json, sweep_pod_size, PodSizeSweep,
+};
+use axon_bench::policy::{decode_p99_wins, policy_ladder, policy_sweep_with_memory, PolicyCurve};
+use axon_bench::series::json_path_from_args;
+use axon_serve::MemoryModel;
+
+const SEED: u64 = 2026;
+const SIDE: usize = 128;
+const PER_ARRAY_RPS: f64 = 25_000.0;
+const LADDER_ARRAYS: usize = 4;
+const LADDER_CHANNELS: usize = 2;
+
+fn print_sweep(s: &PodSizeSweep) {
+    println!(
+        "--- {} array(s), {:.0} req/s offered ---",
+        s.arrays, s.offered_rps
+    );
+    println!(
+        "{:>14}{:>12}{:>15}{:>14}{:>14}{:>8}{:>12}",
+        "memory", "achieved/s", "service p99us", "total p99us", "decode p99us", "util", "DRAM mJ"
+    );
+    for r in &s.rows {
+        println!(
+            "{:>14}{:>12.0}{:>15.1}{:>14.1}{:>14.1}{:>8.2}{:>12.2}",
+            r.label,
+            r.achieved_rps,
+            r.service_p99_us,
+            r.total_p99_us,
+            r.decode_p99_us,
+            r.utilization,
+            r.dram_energy_mj
+        );
+    }
+    println!();
+}
+
+fn print_ladder(c: &PolicyCurve) {
+    println!("--- {} (contended) ---", c.policy.label);
+    println!(
+        "{:>12}{:>12}{:>12}{:>13}{:>10}",
+        "offered/s", "achieved/s", "goodput/s", "decode p99us", "dec viol"
+    );
+    for p in &c.points {
+        println!(
+            "{:>12.0}{:>12.0}{:>12.0}{:>13.1}{:>10}",
+            p.offered_rps, p.achieved_rps, p.goodput_rps, p.decode_p99_us, p.decode_violations
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (pod_sizes, channels, requests, ladder_loads): (Vec<usize>, Vec<usize>, usize, Vec<f64>) =
+        if smoke {
+            (vec![1, 2, 4], vec![1, 2, 4], 400, vec![60_000.0, 120_000.0])
+        } else {
+            (
+                vec![1, 2, 4, 8],
+                vec![1, 2, 4, 8],
+                1200,
+                vec![60_000.0, 120_000.0, 200_000.0],
+            )
+        };
+
+    println!(
+        "Shared-DRAM contention sweep — {SIDE}x{SIDE} Axon arrays, decode-heavy mix \
+         (90% decode / 5% prefill / 5% gemv), {PER_ARRAY_RPS:.0} req/s per array, \
+         {requests} requests/point, seed {SEED}"
+    );
+    println!("(compute-only = the pre-contention billing; private = channels == arrays)\n");
+
+    let sweeps: Vec<PodSizeSweep> = pod_sizes
+        .iter()
+        .map(|&arrays| {
+            let s = sweep_pod_size(arrays, SIDE, &channels, PER_ARRAY_RPS, requests, SEED);
+            assert_contention_invariants(&s);
+            s
+        })
+        .collect();
+    for s in &sweeps {
+        print_sweep(s);
+    }
+
+    let largest = sweeps.last().expect("at least one pod size");
+    println!(
+        "honest scale-out penalty at {} arrays: most-starved channel config runs \
+         {:.2}x the private-bandwidth p99 service latency",
+        largest.arrays,
+        largest.starved_service_penalty()
+    );
+
+    // The PR 3 policy ladder, re-run with contention enabled.
+    println!(
+        "\nPolicy ladder under contention — {LADDER_ARRAYS}x {SIDE}x{SIDE} Axon pod, \
+         {LADDER_CHANNELS} shared channels, mixed SLO classes:\n"
+    );
+    let memory = MemoryModel::Shared {
+        channels: LADDER_CHANNELS,
+    };
+    let curves: Vec<PolicyCurve> = policy_ladder()
+        .into_iter()
+        .map(|p| {
+            policy_sweep_with_memory(
+                p,
+                LADDER_ARRAYS,
+                SIDE,
+                memory,
+                &ladder_loads,
+                requests,
+                SEED,
+            )
+        })
+        .collect();
+    for c in &curves {
+        print_ladder(c);
+    }
+    let fifo = curves
+        .iter()
+        .find(|c| c.policy.label == "fifo")
+        .expect("ladder contains fifo");
+    let cont = curves
+        .iter()
+        .find(|c| c.policy.label == "cont")
+        .expect("ladder contains cont");
+    let wins = decode_p99_wins(cont, fifo);
+    assert!(
+        !wins.is_empty(),
+        "EDF + continuous batching should still beat FIFO decode p99 under contention"
+    );
+    println!(
+        "EDF + continuous batching still beats FIFO decode p99 at {} of {} contended \
+         loads: {:?} req/s",
+        wins.len(),
+        ladder_loads.len(),
+        wins
+    );
+
+    if let Some(path) = json_path_from_args() {
+        let json = contention_sweep_to_json(&sweeps);
+        json.write_to_file(&path).expect("write --json output");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,289 @@
+//! Shared-DRAM contention sweep: pod size x channel count on the
+//! decode-heavy serving mix (the `contention_sweep` binary).
+//!
+//! The pre-contention pod billed every array against private,
+//! contention-free bandwidth, so scale-out sharding and dense decode
+//! batches never paid for fighting over the memory interface. This
+//! sweep quantifies the honest penalty: for each pod size it measures
+//! the same traffic under [`MemoryModel::Unconstrained`] (the old
+//! compute-only billing), under private bandwidth
+//! (`channels == arrays`, the uncontended roofline), and under
+//! progressively starved channel counts — then asserts the two model
+//! invariants end to end:
+//!
+//! * **Monotonicity**: shrinking the shared channel count never
+//!   decreases p99 service latency at fixed load.
+//! * **Private equivalence**: a single-array pod never contends, so
+//!   every channel count reproduces the private-bandwidth results
+//!   exactly (bit-identical metrics).
+//!
+//! See `docs/memory.md` for the allocation law and the measured table.
+
+use crate::series::Json;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, MappingPolicy, MemoryModel, PodConfig, PodMetrics, RequestClass, TrafficConfig,
+    WorkloadMix,
+};
+
+/// The decode-heavy contention mix: almost all memory-bound decode
+/// GEMVs, with a trickle of prefill to keep the compute side honest.
+pub fn contention_mix() -> WorkloadMix {
+    WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.90),
+        (RequestClass::Prefill, 0.05),
+        (RequestClass::Gemv, 0.05),
+    ])
+}
+
+/// The sweep pod: `arrays` square `side x side` Axon arrays under the
+/// paper's minimum-temporal mapping with `memory` installed (the
+/// serving-default batching scheduler, so the comparison isolates the
+/// memory model).
+pub fn contention_pod(arrays: usize, side: usize, memory: MemoryModel) -> PodConfig {
+    PodConfig::homogeneous(arrays, Architecture::Axon, side)
+        .with_mapping(MappingPolicy::MinTemporal)
+        .with_memory(memory)
+}
+
+/// One measured cell of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionPoint {
+    /// Arrays in the pod.
+    pub arrays: usize,
+    /// Memory-model label: `"compute-only"`, `"private"`, or `"<c>ch"`.
+    pub label: String,
+    /// Offered load (requests per second of the arrival process).
+    pub offered_rps: f64,
+    /// Achieved throughput (completions over makespan).
+    pub achieved_rps: f64,
+    /// Service-latency p99, microseconds.
+    pub service_p99_us: f64,
+    /// End-to-end p99, microseconds.
+    pub total_p99_us: f64,
+    /// Decode-class end-to-end p99, microseconds.
+    pub decode_p99_us: f64,
+    /// Mean array utilization.
+    pub utilization: f64,
+    /// Total DRAM transfer energy, millijoules.
+    pub dram_energy_mj: f64,
+}
+
+impl ContentionPoint {
+    fn from_metrics(arrays: usize, label: String, offered_rps: f64, m: &PodMetrics) -> Self {
+        ContentionPoint {
+            arrays,
+            label,
+            offered_rps,
+            achieved_rps: m.throughput_rps(),
+            service_p99_us: m.micros(m.service.p99),
+            total_p99_us: m.micros(m.total.p99),
+            decode_p99_us: m
+                .class_metrics(RequestClass::Decode)
+                .map_or(0.0, |c| m.micros(c.total.p99)),
+            utilization: m.mean_utilization(),
+            dram_energy_mj: m.dram_energy_mj,
+        }
+    }
+}
+
+/// All rows measured for one pod size at one offered load: the old
+/// compute-only billing, then each swept channel count (ascending, with
+/// `channels == arrays` labeled `"private"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PodSizeSweep {
+    /// Arrays in the pod.
+    pub arrays: usize,
+    /// Offered load the rows share.
+    pub offered_rps: f64,
+    /// The measured rows: `compute-only` first, then channel counts
+    /// ascending.
+    pub rows: Vec<ContentionPoint>,
+    /// The raw metrics per row (same order), for exact-equality checks.
+    pub metrics: Vec<PodMetrics>,
+}
+
+impl PodSizeSweep {
+    /// The private-bandwidth row (`channels == arrays`).
+    pub fn private_row(&self) -> &ContentionPoint {
+        self.rows
+            .iter()
+            .find(|r| r.label == "private")
+            .expect("sweep always measures channels == arrays")
+    }
+
+    /// p99 service latency of the most starved channel configuration
+    /// over the private one — the headline contention penalty.
+    pub fn starved_service_penalty(&self) -> f64 {
+        let starved = self
+            .rows
+            .iter()
+            .filter(|r| r.label != "compute-only")
+            .max_by(|a, b| a.service_p99_us.total_cmp(&b.service_p99_us))
+            .expect("at least one channel row");
+        starved.service_p99_us / self.private_row().service_p99_us
+    }
+}
+
+/// Measures one pod size at `per_array_rps * arrays` offered load:
+/// compute-only billing first, then every channel count in
+/// `channel_counts` (ascending; counts above `arrays` are skipped —
+/// they cannot contend — and `arrays` itself is always included as the
+/// `"private"` row).
+pub fn sweep_pod_size(
+    arrays: usize,
+    side: usize,
+    channel_counts: &[usize],
+    per_array_rps: f64,
+    requests: usize,
+    seed: u64,
+) -> PodSizeSweep {
+    let offered_rps = per_array_rps * arrays as f64;
+    let mut channels: Vec<usize> = channel_counts
+        .iter()
+        .copied()
+        .filter(|&c| c < arrays)
+        .collect();
+    channels.push(arrays);
+    channels.sort_unstable();
+    channels.dedup();
+
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    let mut measure = |label: String, memory: MemoryModel| {
+        let pod = contention_pod(arrays, side, memory);
+        let mean_interarrival = pod.clock_mhz * 1e6 / offered_rps;
+        let traffic =
+            TrafficConfig::open_loop(seed, requests, mean_interarrival).with_mix(contention_mix());
+        let report = simulate_pod(&pod, &traffic);
+        rows.push(ContentionPoint::from_metrics(
+            arrays,
+            label,
+            offered_rps,
+            &report.metrics,
+        ));
+        metrics.push(report.metrics);
+    };
+    measure("compute-only".into(), MemoryModel::Unconstrained);
+    for &c in &channels {
+        let label = if c == arrays {
+            "private".into()
+        } else {
+            format!("{c}ch")
+        };
+        measure(label, MemoryModel::Shared { channels: c });
+    }
+    PodSizeSweep {
+        arrays,
+        offered_rps,
+        rows,
+        metrics,
+    }
+}
+
+/// Asserts the two model invariants on a measured pod-size sweep;
+/// panics with a diagnostic on violation. Returns the sweep back for
+/// chaining.
+///
+/// * Channel rows are measured ascending, so p99 service latency must
+///   be non-increasing along them (shrinking channels never helps).
+/// * With one array nothing ever shares: every channel row's metrics
+///   must equal the private row's **exactly**.
+pub fn assert_contention_invariants(sweep: &PodSizeSweep) -> &PodSizeSweep {
+    let channel_rows: Vec<usize> = (0..sweep.rows.len())
+        .filter(|&i| sweep.rows[i].label != "compute-only")
+        .collect();
+    for w in channel_rows.windows(2) {
+        let (starved, fed) = (&sweep.rows[w[0]], &sweep.rows[w[1]]);
+        assert!(
+            starved.service_p99_us >= fed.service_p99_us,
+            "{} arrays: {} service p99 {:.1} us beats {} at {:.1} us — \
+             shrinking channels must never decrease p99 service latency",
+            sweep.arrays,
+            starved.label,
+            starved.service_p99_us,
+            fed.label,
+            fed.service_p99_us
+        );
+    }
+    if sweep.arrays == 1 {
+        let private = sweep
+            .rows
+            .iter()
+            .position(|r| r.label == "private")
+            .expect("private row present");
+        for &i in &channel_rows {
+            assert_eq!(
+                sweep.metrics[i], sweep.metrics[private],
+                "single-array pod: {} must match private bandwidth exactly",
+                sweep.rows[i].label
+            );
+        }
+    }
+    sweep
+}
+
+/// Machine-readable form of the grid.
+pub fn contention_sweep_to_json(sweeps: &[PodSizeSweep]) -> Json {
+    Json::obj([(
+        "pods",
+        Json::arr(sweeps.iter().map(|s| {
+            Json::obj([
+                ("arrays", Json::num(s.arrays as f64)),
+                ("offered_rps", Json::num(s.offered_rps)),
+                (
+                    "rows",
+                    Json::arr(s.rows.iter().map(|r| {
+                        Json::obj([
+                            ("memory", Json::str(r.label.clone())),
+                            ("achieved_rps", Json::num(r.achieved_rps)),
+                            ("service_p99_us", Json::num(r.service_p99_us)),
+                            ("total_p99_us", Json::num(r.total_p99_us)),
+                            ("decode_p99_us", Json::num(r.decode_p99_us)),
+                            ("utilization", Json::num(r.utilization)),
+                            ("dram_energy_mj", Json::num(r.dram_energy_mj)),
+                        ])
+                    })),
+                ),
+            ])
+        })),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariants_hold_on_a_small_grid() {
+        for arrays in [1usize, 2] {
+            let sweep = sweep_pod_size(arrays, 32, &[1, 2], 30_000.0, 120, 2026);
+            assert_contention_invariants(&sweep);
+            assert_eq!(sweep.rows[0].label, "compute-only");
+            assert_eq!(sweep.private_row().label, "private");
+            assert!(sweep.starved_service_penalty() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn contention_penalty_bites_on_starved_multi_array_pods() {
+        // 4 memory-bound arrays on 1 channel must be measurably slower
+        // than private bandwidth.
+        let sweep = sweep_pod_size(4, 64, &[1], 20_000.0, 200, 2026);
+        assert_contention_invariants(&sweep);
+        assert!(
+            sweep.starved_service_penalty() > 1.05,
+            "penalty {:.3}",
+            sweep.starved_service_penalty()
+        );
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let sweep = sweep_pod_size(1, 32, &[1], 20_000.0, 60, 7);
+        let j = contention_sweep_to_json(std::slice::from_ref(&sweep)).to_string();
+        assert!(j.contains(r#""memory":"private""#));
+        assert!(j.contains(r#""service_p99_us""#));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

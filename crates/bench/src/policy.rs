@@ -14,8 +14,8 @@
 use crate::series::Json;
 use axon_core::runtime::Architecture;
 use axon_serve::{
-    simulate_pod, MappingPolicy, PodConfig, PreemptionMode, RequestClass, SchedulerPolicy,
-    ServingReport, SloBudgets, TrafficConfig, WorkloadMix,
+    simulate_pod, MappingPolicy, MemoryModel, PodConfig, PreemptionMode, RequestClass,
+    SchedulerPolicy, ServingReport, SloBudgets, TrafficConfig, WorkloadMix,
 };
 
 /// A named scheduling configuration the sweep compares.
@@ -163,7 +163,31 @@ pub fn policy_sweep(
     requests: usize,
     seed: u64,
 ) -> PolicyCurve {
-    let pod = policy_pod(arrays, side, policy);
+    policy_sweep_with_memory(
+        policy,
+        arrays,
+        side,
+        MemoryModel::Unconstrained,
+        offered_rps,
+        requests,
+        seed,
+    )
+}
+
+/// [`policy_sweep`] with an explicit memory model — the hook the
+/// `contention_sweep` binary uses to re-validate the policy ladder
+/// under shared-DRAM contention.
+#[allow(clippy::too_many_arguments)]
+pub fn policy_sweep_with_memory(
+    policy: PolicyConfig,
+    arrays: usize,
+    side: usize,
+    memory: MemoryModel,
+    offered_rps: &[f64],
+    requests: usize,
+    seed: u64,
+) -> PolicyCurve {
+    let pod = policy_pod(arrays, side, policy).with_memory(memory);
     let points = offered_rps
         .iter()
         .map(|&rps| {

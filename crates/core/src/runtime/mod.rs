@@ -215,6 +215,126 @@ impl RuntimeSpec {
     }
 }
 
+/// One phase of an exact-edge tile walk: the tile's concrete extents,
+/// its billed compute cycles, and the DRAM traffic attributed to it.
+///
+/// The `dram_bytes` attribution lets a serving simulator convert the
+/// walk into per-tile demands on a shared memory system (see
+/// `axon-mem`'s `SharedDram`): a tile's wall-clock under contention is
+/// `max(cycles, transfer(dram_bytes) at the allocated bandwidth)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilePhase {
+    /// Row extent of the tile (the drain cost if execution stops after
+    /// it under overlapped drains).
+    pub rows: usize,
+    /// Column extent of the tile.
+    pub cols: usize,
+    /// Billed compute cycles: `fill + T` (+ `rows` under
+    /// [`DrainPolicy::PerTile`]).
+    pub cycles: u64,
+    /// DRAM bytes attributed to this tile (area-proportional slice of
+    /// the workload's total traffic; slices sum to the total exactly).
+    pub dram_bytes: u64,
+}
+
+/// The exact-edge tile walk of a GEMM on one array: per-tile cycles and
+/// DRAM traffic, plus the final drain billed once under
+/// [`DrainPolicy::Overlapped`].
+///
+/// [`TileSchedule::total_cycles`] equals
+/// [`RuntimeSpec::runtime`] under [`Accounting::ExactEdges`] for the
+/// same spec — the schedule *is* that accounting, phase by phase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TileSchedule {
+    /// The tile phases, in execution order (never empty).
+    pub tiles: Vec<TilePhase>,
+    /// Drain cycles billed after the last tile (`0` under
+    /// [`DrainPolicy::PerTile`], the last tile's rows under
+    /// [`DrainPolicy::Overlapped`]).
+    pub final_drain: u64,
+}
+
+impl TileSchedule {
+    /// Total billed cycles: the per-tile sum plus the final drain.
+    pub fn total_cycles(&self) -> u64 {
+        self.tiles.iter().map(|t| t.cycles).sum::<u64>() + self.final_drain
+    }
+
+    /// Total attributed DRAM bytes (equals the `total_dram_bytes` the
+    /// schedule was built with).
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.tiles.iter().map(|t| t.dram_bytes).sum()
+    }
+}
+
+impl RuntimeSpec {
+    /// Builds the exact-edge tile walk of `gemm` on `arch`, attributing
+    /// `total_dram_bytes` of DRAM traffic across the tiles
+    /// proportionally to their PE area (cumulative rounding, so the
+    /// slices sum to `total_dram_bytes` exactly).
+    ///
+    /// The walk follows the spec's dataflow, tiling and drain policy;
+    /// edge tiles are billed at their true extents
+    /// ([`Accounting::ExactEdges`] — the schedule is inherently
+    /// exact-edge, whatever the spec's `accounting` field says).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axon_core::runtime::{Accounting, Architecture, RuntimeSpec};
+    /// use axon_core::{ArrayShape, Dataflow, GemmShape};
+    ///
+    /// let spec = RuntimeSpec::new(ArrayShape::square(32), Dataflow::Os)
+    ///     .with_accounting(Accounting::ExactEdges);
+    /// let g = GemmShape::new(100, 16, 70);
+    /// let sched = spec.tile_schedule(Architecture::Axon, g, 10_000);
+    /// assert_eq!(sched.total_cycles(), spec.runtime(Architecture::Axon, g).cycles as u64);
+    /// assert_eq!(sched.total_dram_bytes(), 10_000);
+    /// ```
+    pub fn tile_schedule(
+        &self,
+        arch: Architecture,
+        gemm: GemmShape,
+        total_dram_bytes: u64,
+    ) -> TileSchedule {
+        let st = self.dataflow.map(gemm);
+        let (sr, sc) = self.tiling.effective_spatial(st);
+        let extents: Vec<(usize, usize)> = TileExtents::new(sr, sc, self.array).collect();
+        let total_area: u128 = extents.iter().map(|&(r, c)| (r * c) as u128).sum();
+
+        let mut tiles = Vec::with_capacity(extents.len());
+        let mut cum_area: u128 = 0;
+        let mut cum_bytes: u64 = 0;
+        let mut last_rows = 0usize;
+        for &(r, c) in &extents {
+            cum_area += (r * c) as u128;
+            // Largest-cumulative-floor rounding: per-tile slices differ
+            // from the exact proportion by < 1 byte and sum exactly.
+            let cum_target = (total_dram_bytes as u128 * cum_area / total_area.max(1)) as u64;
+            let dram_bytes = cum_target - cum_bytes;
+            cum_bytes = cum_target;
+
+            let fill = arch.tile_fill(r, c) as u64;
+            let mut cycles = fill + st.t as u64;
+            if matches!(self.drain, DrainPolicy::PerTile) {
+                cycles += r as u64;
+            }
+            tiles.push(TilePhase {
+                rows: r,
+                cols: c,
+                cycles,
+                dram_bytes,
+            });
+            last_rows = r;
+        }
+        let final_drain = match self.drain {
+            DrainPolicy::PerTile => 0,
+            DrainPolicy::Overlapped => last_rows as u64,
+        };
+        TileSchedule { tiles, final_drain }
+    }
+}
+
 /// Result of a runtime-model evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RuntimeReport {
@@ -435,6 +555,66 @@ mod tests {
         let mono = base.runtime(Architecture::Axon, g);
         let part = so.runtime(Architecture::Axon, g);
         assert!(part.cycles * 3 < mono.cycles);
+    }
+
+    #[test]
+    fn tile_schedule_matches_exact_edge_runtime() {
+        for shape in [
+            GemmShape::new(1, 512, 2048),
+            GemmShape::new(128, 512, 512),
+            GemmShape::new(8, 512, 8192),
+            GemmShape::new(4096, 4096, 1),
+            GemmShape::new(3, 3, 3),
+        ] {
+            for drain in [DrainPolicy::Overlapped, DrainPolicy::PerTile] {
+                for df in Dataflow::ALL {
+                    for arch in [Architecture::Conventional, Architecture::Axon] {
+                        let spec = RuntimeSpec::new(ArrayShape::square(32), df)
+                            .with_accounting(Accounting::ExactEdges)
+                            .with_drain(drain);
+                        let sched = spec.tile_schedule(arch, shape, 123_456);
+                        assert!(!sched.tiles.is_empty());
+                        assert_eq!(
+                            sched.total_cycles(),
+                            spec.runtime(arch, shape).cycles as u64,
+                            "{arch} {df} {drain:?} {shape}"
+                        );
+                        assert_eq!(sched.total_dram_bytes(), 123_456);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_schedule_bytes_are_area_proportional() {
+        let spec = RuntimeSpec::new(ArrayShape::square(16), Dataflow::Os);
+        // 40x16 under OS: sr = 40 -> tiles of 16, 16, 8 rows; equal cols.
+        let sched = spec.tile_schedule(Architecture::Axon, GemmShape::new(40, 8, 16), 1000);
+        assert_eq!(sched.tiles.len(), 3);
+        let bytes: Vec<u64> = sched.tiles.iter().map(|t| t.dram_bytes).collect();
+        assert_eq!(bytes.iter().sum::<u64>(), 1000);
+        // Full tiles carry equal slices; the half-height edge tile half.
+        assert_eq!(bytes[0], bytes[1]);
+        assert!(bytes[2] < bytes[0]);
+        // Zero traffic stays zero per tile.
+        let dry = spec.tile_schedule(Architecture::Axon, GemmShape::new(40, 8, 16), 0);
+        assert!(dry.tiles.iter().all(|t| t.dram_bytes == 0));
+    }
+
+    #[test]
+    fn tile_schedule_scale_out_slices() {
+        let g = GemmShape::new(1024, 64, 1024);
+        let base = spec64().with_accounting(Accounting::ExactEdges);
+        let so = base.with_tiling(Tiling::ScaleOut {
+            partitions_r: 2,
+            partitions_c: 2,
+        });
+        let sched = so.tile_schedule(Architecture::Axon, g, 4096);
+        assert_eq!(
+            sched.total_cycles(),
+            so.runtime(Architecture::Axon, g).cycles as u64
+        );
     }
 
     #[test]

@@ -38,8 +38,18 @@ impl BandwidthModel {
     /// Wall-clock seconds for one leg: `max(compute, memory)` with
     /// perfectly overlapped double buffering.
     pub fn leg_time_s(&self, leg: ExecutionLeg) -> f64 {
+        self.leg_time_at_fraction_s(leg, 1.0)
+    }
+
+    /// Wall-clock seconds for one leg when only `fraction` of the DRAM
+    /// interface's bandwidth is allocated to it — the hook a shared
+    /// arbiter ([`SharedDram`](crate::SharedDram)) uses to stretch the
+    /// memory leg under contention. `fraction = 1.0` is the private
+    /// interface, bit for bit (`x / 1.0 == x` in IEEE-754).
+    pub fn leg_time_at_fraction_s(&self, leg: ExecutionLeg, fraction: f64) -> f64 {
+        debug_assert!(fraction > 0.0, "allocated bandwidth must be positive");
         let compute = leg.compute_cycles as f64 / (self.accel_clock_mhz * 1e6);
-        let memory = self.dram.transfer_time_s(leg.dram_bytes);
+        let memory = self.dram.transfer_time_s(leg.dram_bytes) / fraction;
         compute.max(memory)
     }
 
@@ -110,6 +120,33 @@ mod tests {
             compute_cycles: 800_000_000,
             dram_bytes: 64,
         }));
+    }
+
+    #[test]
+    fn fraction_one_is_private_bit_for_bit() {
+        let m = BandwidthModel::default();
+        for (compute, bytes) in [(1000, 2_000_000_000), (800_000_000, 64), (0, 0)] {
+            let leg = ExecutionLeg {
+                compute_cycles: compute,
+                dram_bytes: bytes,
+            };
+            assert_eq!(
+                m.leg_time_s(leg).to_bits(),
+                m.leg_time_at_fraction_s(leg, 1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn halving_the_fraction_doubles_a_memory_bound_leg() {
+        let m = BandwidthModel::default();
+        let leg = ExecutionLeg {
+            compute_cycles: 1000,
+            dram_bytes: 6_400_000_000,
+        };
+        let full = m.leg_time_at_fraction_s(leg, 1.0);
+        let half = m.leg_time_at_fraction_s(leg, 0.5);
+        assert!((half / full - 2.0).abs() < 1e-12);
     }
 
     #[test]

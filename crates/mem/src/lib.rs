@@ -2,8 +2,10 @@
 //!
 //! Memory-system models for the Axon reproduction: capacity-tracked SRAM
 //! scratchpads, an LPDDR3 DRAM energy/bandwidth model (the paper's
-//! §5.2.1 abstraction: 120 pJ/byte, 32-bit @ 800 MHz, 6.4 GB/s), and a
-//! roofline-style bandwidth-limited runtime model.
+//! §5.2.1 abstraction: 120 pJ/byte, 32-bit @ 800 MHz, 6.4 GB/s), a
+//! roofline-style bandwidth-limited runtime model, and a pod-level
+//! shared-DRAM arbiter ([`SharedDram`]) that slices the channels fairly
+//! across co-running demands (see `docs/memory.md`).
 //!
 //! ## Example
 //!
@@ -22,10 +24,12 @@ mod bandwidth;
 mod double_buffer;
 mod dram;
 mod energy;
+mod shared;
 mod sram;
 
 pub use bandwidth::{BandwidthModel, ExecutionLeg};
 pub use double_buffer::{schedule_double_buffered, StreamSchedule, TileDemand};
 pub use dram::DramConfig;
 pub use energy::EnergyReport;
+pub use shared::SharedDram;
 pub use sram::{BufferKind, SramBuffer, SramStats};

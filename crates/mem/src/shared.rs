@@ -1,0 +1,243 @@
+//! Pod-level shared-DRAM arbiter: couples transfer time to co-running
+//! memory traffic.
+//!
+//! The private [`BandwidthModel`](crate::BandwidthModel) gives every
+//! array its own contention-free interface — fine for a single-array
+//! study, but it lets a pod simulator scale out for free: eight arrays
+//! streaming eight decode batches are billed as if each had the full
+//! 6.4 GB/s to itself. [`SharedDram`] models the honest alternative: the
+//! pod owns `channels` DRAM channels, each one [`DramConfig`] interface
+//! wide, and co-running demands slice them fairly.
+//!
+//! ## Allocation law
+//!
+//! A demand (one running job) has an integer *weight* — the number of
+//! arrays it occupies, since each array drives its own operand stream —
+//! and the pod has a total active weight `W` (the sum over running
+//! jobs). Fair slicing allocates each unit of weight
+//!
+//! ```text
+//! fraction(W) = min(1, channels / W)
+//! ```
+//!
+//! of one interface's bandwidth, so a weight-`w` demand streams at
+//! `w * fraction(W) * B` bytes/s. Two limits anchor the model:
+//!
+//! * **Uncontended** (`W <= channels`): every demand gets `fraction = 1`
+//!   — exactly the private [`BandwidthModel`](crate::BandwidthModel),
+//!   bit for bit (the division by `1.0` is exact in IEEE-754). This is
+//!   the property the `shared_prop` tests pin.
+//! * **Saturated** (`W > channels`): the pod moves `channels * B`
+//!   bytes/s in aggregate no matter how many demands pile on; each
+//!   demand's effective bandwidth shrinks as `1/W`.
+//!
+//! Shrinking `channels` at fixed demand never shortens any transfer, so
+//! service times are monotone in the channel count — the invariant the
+//! `contention_sweep` benchmark asserts end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use axon_mem::{DramConfig, ExecutionLeg, SharedDram};
+//!
+//! let shared = SharedDram::new(DramConfig::lpddr3(), 2);
+//! let leg = ExecutionLeg { compute_cycles: 1000, dram_bytes: 6_400_000 };
+//! // Alone (1 active weight <= 2 channels): the private roofline, 1 ms.
+//! let alone = shared.leg_time_s(800.0, leg, 1, 1);
+//! // Four co-running single-array jobs share 2 channels: 2x slower.
+//! let contended = shared.leg_time_s(800.0, leg, 1, 4);
+//! assert!((contended / alone - 2.0).abs() < 1e-12);
+//! ```
+
+use crate::bandwidth::ExecutionLeg;
+use crate::dram::DramConfig;
+use std::fmt;
+
+/// A pod's shared DRAM: `channels` channels of one [`DramConfig`]
+/// interface each, fair-share sliced across active demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedDram {
+    /// The per-channel interface (bandwidth, energy, width, clock).
+    pub dram: DramConfig,
+    /// Independent channels. A pod with `channels >= arrays` never
+    /// contends (each array can hold a private channel).
+    pub channels: usize,
+}
+
+impl SharedDram {
+    /// Creates the arbiter. Panics if `channels == 0`.
+    pub fn new(dram: DramConfig, channels: usize) -> Self {
+        assert!(channels > 0, "a shared DRAM needs at least one channel");
+        Self { dram, channels }
+    }
+
+    /// An effectively-private configuration: enough channels that no
+    /// realistic demand population ever contends.
+    pub fn private(dram: DramConfig) -> Self {
+        Self {
+            dram,
+            channels: usize::MAX,
+        }
+    }
+
+    /// The bandwidth fraction of one interface allocated to each unit of
+    /// weight when `total_weight` units are active: `min(1, C / W)`.
+    /// `total_weight == 0` (idle pod) yields `1.0`.
+    pub fn fraction(&self, total_weight: usize) -> f64 {
+        if total_weight <= self.channels {
+            1.0
+        } else {
+            self.channels as f64 / total_weight as f64
+        }
+    }
+
+    /// Bandwidth allocated to a weight-`weight` demand when
+    /// `total_weight` units are active pod-wide, in bytes/s.
+    pub fn allocated_bandwidth(&self, weight: usize, total_weight: usize) -> f64 {
+        weight as f64 * self.fraction(total_weight) * self.dram.bandwidth_bytes_per_s
+    }
+
+    /// Seconds to move `bytes` for a weight-`weight` demand under
+    /// `total_weight` active units. With `total_weight <= channels` this
+    /// equals `weight` private interfaces, bit for bit.
+    pub fn transfer_time_s(&self, bytes: usize, weight: usize, total_weight: usize) -> f64 {
+        debug_assert!(weight > 0, "a demand needs positive weight");
+        self.dram.transfer_time_s(bytes) / (weight as f64 * self.fraction(total_weight))
+    }
+
+    /// [`SharedDram::transfer_time_s`] expressed in cycles of an
+    /// accelerator clocked at `accel_clock_mhz`.
+    pub fn transfer_cycles(
+        &self,
+        bytes: usize,
+        accel_clock_mhz: f64,
+        weight: usize,
+        total_weight: usize,
+    ) -> f64 {
+        self.transfer_time_s(bytes, weight, total_weight) * accel_clock_mhz * 1e6
+    }
+
+    /// Roofline wall-clock seconds for one leg under contention:
+    /// `max(compute, shared-bandwidth transfer)` with perfectly
+    /// overlapped double buffering — the contended generalization of
+    /// [`BandwidthModel::leg_time_s`](crate::BandwidthModel::leg_time_s).
+    pub fn leg_time_s(
+        &self,
+        accel_clock_mhz: f64,
+        leg: ExecutionLeg,
+        weight: usize,
+        total_weight: usize,
+    ) -> f64 {
+        let compute = leg.compute_cycles as f64 / (accel_clock_mhz * 1e6);
+        compute.max(self.transfer_time_s(leg.dram_bytes, weight, total_weight))
+    }
+
+    /// Integer-cycle leg time at `accel_clock_mhz`: compute cycles, or
+    /// the contended transfer rounded *up* to whole cycles, whichever is
+    /// larger. This is the exact arithmetic the pod simulator bills
+    /// with, so its event edges stay integral and deterministic.
+    pub fn leg_cycles(
+        &self,
+        accel_clock_mhz: f64,
+        compute_cycles: u64,
+        dram_bytes: u64,
+        weight: usize,
+        total_weight: usize,
+    ) -> u64 {
+        if dram_bytes == 0 {
+            return compute_cycles;
+        }
+        let mem = self.transfer_cycles(dram_bytes as usize, accel_clock_mhz, weight, total_weight);
+        compute_cycles.max(mem.ceil() as u64)
+    }
+}
+
+impl fmt::Display for SharedDram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.channels == usize::MAX {
+            write!(f, "{} x private channels", self.dram)
+        } else {
+            write!(f, "{} x {} shared channels", self.dram, self.channels)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthModel;
+
+    #[test]
+    fn uncontended_equals_private_interface() {
+        let shared = SharedDram::new(DramConfig::lpddr3(), 4);
+        let private = BandwidthModel::new(800.0, DramConfig::lpddr3());
+        let leg = ExecutionLeg {
+            compute_cycles: 5000,
+            dram_bytes: 1_000_000,
+        };
+        for total in 1..=4 {
+            let t = shared.leg_time_s(800.0, leg, 1, total);
+            assert_eq!(t.to_bits(), private.leg_time_s(leg).to_bits());
+        }
+    }
+
+    #[test]
+    fn saturation_caps_aggregate_bandwidth() {
+        let shared = SharedDram::new(DramConfig::lpddr3(), 2);
+        // 8 single-weight demands over 2 channels: each at B/4, but the
+        // aggregate stays at 2 B.
+        let per = shared.allocated_bandwidth(1, 8);
+        assert!((per - shared.dram.bandwidth_bytes_per_s / 4.0).abs() < 1e-3);
+        assert!((8.0 * per - 2.0 * shared.dram.bandwidth_bytes_per_s).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fewer_channels_never_faster() {
+        let leg = ExecutionLeg {
+            compute_cycles: 100,
+            dram_bytes: 10_000_000,
+        };
+        let mut last = f64::INFINITY;
+        for channels in 1..=8 {
+            let shared = SharedDram::new(DramConfig::lpddr3(), channels);
+            let t = shared.leg_time_s(800.0, leg, 1, 6);
+            assert!(t <= last, "channels {channels}: {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn weight_scales_like_extra_interfaces() {
+        let shared = SharedDram::new(DramConfig::lpddr3(), 8);
+        // A 4-array sharded job under no contention streams 4x as fast.
+        let one = shared.transfer_time_s(1 << 20, 1, 4);
+        let four = shared.transfer_time_s(1 << 20, 4, 4);
+        assert!((one / four - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leg_cycles_rounds_memory_up_and_is_compute_floored() {
+        let shared = SharedDram::new(DramConfig::lpddr3(), 1);
+        // 6400 bytes at 6.4 GB/s = 1 us = 800 cycles at 800 MHz.
+        assert_eq!(shared.leg_cycles(800.0, 100, 6400, 1, 1), 800);
+        // Contended 2x: 1600 cycles.
+        assert_eq!(shared.leg_cycles(800.0, 100, 6400, 1, 2), 1600);
+        // Compute-bound leg: the memory term vanishes.
+        assert_eq!(shared.leg_cycles(800.0, 10_000, 6400, 1, 2), 10_000);
+        // Zero bytes short-circuits.
+        assert_eq!(shared.leg_cycles(800.0, 7, 0, 1, 100), 7);
+    }
+
+    #[test]
+    fn private_never_contends() {
+        let p = SharedDram::private(DramConfig::lpddr3());
+        assert_eq!(p.fraction(1_000_000), 1.0);
+        assert!(p.to_string().contains("private"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        SharedDram::new(DramConfig::lpddr3(), 0);
+    }
+}

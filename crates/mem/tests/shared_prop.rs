@@ -1,0 +1,114 @@
+//! Shared-vs-private equivalence properties: whenever nothing actually
+//! shares (one active demand, or `total_weight <= channels` so every
+//! demand holds a private channel), the [`SharedDram`] arbiter must
+//! reproduce the private [`BandwidthModel`] roofline **bit for bit** —
+//! the float operations are required to be the identical expressions,
+//! not merely approximately equal. Under real sharing the times must be
+//! monotone: more co-runners or fewer channels never speed a leg up.
+
+use axon_mem::{BandwidthModel, DramConfig, ExecutionLeg, SharedDram};
+use proptest::prelude::*;
+
+fn lpddr3_leg(compute_cycles: usize, dram_bytes: usize) -> ExecutionLeg {
+    ExecutionLeg {
+        compute_cycles,
+        dram_bytes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// One active demand of weight 1: private times, bit for bit.
+    #[test]
+    fn single_demand_matches_private_bit_for_bit(
+        compute in 0usize..5_000_000,
+        bytes in 0usize..4_000_000_000,
+        channels in 1usize..17,
+        clock in 100.0f64..2000.0,
+    ) {
+        let dram = DramConfig::lpddr3();
+        let shared = SharedDram::new(dram, channels);
+        let private = BandwidthModel::new(clock, dram);
+        let leg = lpddr3_leg(compute, bytes);
+        prop_assert_eq!(
+            shared.leg_time_s(clock, leg, 1, 1).to_bits(),
+            private.leg_time_s(leg).to_bits(),
+            "channels={} clock={}", channels, clock
+        );
+    }
+
+    /// `total_weight <= channels`: every unit holds a private channel,
+    /// so weight-1 demands see private times bit for bit, and the
+    /// fraction-generalized `BandwidthModel` agrees at fraction 1.
+    #[test]
+    fn uncontended_pod_matches_private_bit_for_bit(
+        compute in 0usize..5_000_000,
+        bytes in 0usize..4_000_000_000,
+        channels in 1usize..17,
+        total in 1usize..17,
+        clock in 100.0f64..2000.0,
+    ) {
+        prop_assume!(total <= channels);
+        let dram = DramConfig::lpddr3();
+        let shared = SharedDram::new(dram, channels);
+        let private = BandwidthModel::new(clock, dram);
+        let leg = lpddr3_leg(compute, bytes);
+        let t = shared.leg_time_s(clock, leg, 1, total);
+        prop_assert_eq!(t.to_bits(), private.leg_time_s(leg).to_bits());
+        prop_assert_eq!(
+            t.to_bits(),
+            private.leg_time_at_fraction_s(leg, shared.fraction(total)).to_bits()
+        );
+        // Integer-cycle billing agrees with the ceiled private roofline.
+        let cycles = shared.leg_cycles(clock, compute as u64, bytes as u64, 1, total);
+        let expected = if bytes == 0 {
+            compute as u64
+        } else {
+            (compute as u64).max((dram.transfer_cycles(bytes, clock)).ceil() as u64)
+        };
+        prop_assert_eq!(cycles, expected);
+    }
+
+    /// Monotonicity: adding co-runners never speeds a leg up, and
+    /// shrinking the channel count never speeds a leg up.
+    #[test]
+    fn contention_is_monotone(
+        compute in 0usize..5_000_000,
+        bytes in 1usize..4_000_000_000,
+        channels in 1usize..9,
+        total in 1usize..33,
+        clock in 100.0f64..2000.0,
+    ) {
+        let dram = DramConfig::lpddr3();
+        let shared = SharedDram::new(dram, channels);
+        let leg = lpddr3_leg(compute, bytes);
+        let t = shared.leg_time_s(clock, leg, 1, total);
+        let more_runners = shared.leg_time_s(clock, leg, 1, total + 1);
+        prop_assert!(more_runners >= t);
+        if channels > 1 {
+            let fewer_channels = SharedDram::new(dram, channels - 1).leg_time_s(clock, leg, 1, total);
+            prop_assert!(fewer_channels >= t);
+        }
+        // The integer-cycle form is monotone too (ceil preserves order).
+        let c = shared.leg_cycles(clock, compute as u64, bytes as u64, 1, total);
+        let c_more = shared.leg_cycles(clock, compute as u64, bytes as u64, 1, total + 1);
+        prop_assert!(c_more >= c);
+    }
+
+    /// A weight-`w` demand under no contention equals `w` private
+    /// interfaces: exactly `w` times faster on the memory leg.
+    #[test]
+    fn weight_is_extra_private_interfaces_when_uncontended(
+        bytes in 1usize..4_000_000_000,
+        weight in 1usize..9,
+        channels in 8usize..17,
+        clock in 100.0f64..2000.0,
+    ) {
+        let dram = DramConfig::lpddr3();
+        let shared = SharedDram::new(dram, channels);
+        let one = shared.transfer_time_s(bytes, 1, weight);
+        let w = shared.transfer_time_s(bytes, weight, weight);
+        prop_assert!((one / w - weight as f64).abs() < 1e-9);
+    }
+}

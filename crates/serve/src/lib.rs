@@ -28,9 +28,15 @@
 //!   into in-flight batches ([`SchedulerPolicy::Continuous`]), and
 //!   spot-checking billed latencies cycle-for-cycle against
 //!   [`axon_sim::simulate_gemm`];
+//! * [`MemoryModel`] selects how service time couples to the memory
+//!   system: the default compute-only billing, or a shared-DRAM pod
+//!   ([`axon_mem::SharedDram`]) whose channels are fair-share sliced
+//!   across co-running jobs so scale-out pays an honest bandwidth
+//!   penalty (see `docs/memory.md`);
 //! * [`PodMetrics`] reports throughput, p50/p95/p99 queueing + service
 //!   latency, per-array utilization and per-request energy (array power
-//!   from `axon-hw`, DRAM transfer energy from `axon-mem`).
+//!   from `axon-hw`, DRAM transfer energy from `axon-mem`, checkpoint
+//!   spill/refill traffic included).
 //!
 //! ## Example
 //!
@@ -67,8 +73,8 @@ mod scheduler;
 pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix};
 pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics};
 pub use pod::{
-    service_cycles, simulate_pod, simulate_pod_with_policy, ArrayConfig, MappingPolicy, PodConfig,
-    PreemptionMode, ServingReport, SpotCheckConfig,
+    service_cycles, simulate_pod, simulate_pod_with_policy, ArrayConfig, MappingPolicy,
+    MemoryModel, PodConfig, PreemptionMode, ServingReport, SpotCheckConfig,
 };
 pub use request::{
     batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,

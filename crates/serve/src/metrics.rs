@@ -188,8 +188,12 @@ pub struct PodMetrics {
     pub per_class: Vec<ClassMetrics>,
     /// Total array (PE/SRAM) energy, microjoules.
     pub array_energy_uj: f64,
-    /// Total DRAM transfer energy, millijoules.
+    /// Total DRAM transfer energy, millijoules (checkpoint spill/refill
+    /// traffic included).
     pub dram_energy_mj: f64,
+    /// The checkpoint spill/refill share of `dram_energy_mj` — the DRAM
+    /// cost of tile-boundary preemptions (0 when nothing preempts).
+    pub checkpoint_dram_mj: f64,
     /// Cycle-accurate spot checks run.
     pub spot_checks: usize,
     /// Spot checks whose simulated cycles diverged from the billed
@@ -279,10 +283,12 @@ impl fmt::Display for PodMetrics {
         )?;
         write!(
             f,
-            "  energy {:.3} mJ/request ({:.1} uJ array + {:.3} mJ DRAM total)",
+            "  energy {:.3} mJ/request ({:.1} uJ array + {:.3} mJ DRAM total, \
+             {:.3} mJ of it checkpoint spill/refill)",
             self.energy_per_request_mj(),
             self.array_energy_uj,
-            self.dram_energy_mj
+            self.dram_energy_mj,
+            self.checkpoint_dram_mj
         )
     }
 }

@@ -29,18 +29,33 @@
 //! * **Scale-out sharding**: unchanged from the FIFO engine; sharded
 //!   jobs are neither preemptible nor joinable.
 //!
+//! ## Memory model
+//!
+//! Under the default [`MemoryModel::Unconstrained`] a job's service
+//! time is its compute-cycle schedule alone. Under
+//! [`MemoryModel::Shared`] the pod owns a fixed number of DRAM channels
+//! ([`axon_mem::SharedDram`]) and every tile of a job's walk becomes a
+//! demand on them: a tile takes `max(compute, transfer at the allocated
+//! bandwidth)` cycles, and all completion edges are re-timed whenever
+//! the co-running set changes — job start, finish, in-flight join or
+//! checkpoint. Checkpoint spill/refill traffic is billed in time (when
+//! shared) and always in DRAM energy. See `docs/memory.md`.
+//!
 //! # Examples
 //!
 //! Swapping the scheduling policy is a 3-line change to the pod spec:
 //!
 //! ```
 //! use axon_core::runtime::Architecture;
-//! use axon_serve::{simulate_pod, PodConfig, PreemptionMode, SchedulerPolicy, TrafficConfig};
+//! use axon_serve::{
+//!     simulate_pod, MemoryModel, PodConfig, PreemptionMode, SchedulerPolicy, TrafficConfig,
+//! };
 //!
 //! let traffic = TrafficConfig::open_loop(3, 120, 1500.0);
 //! let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
 //!     .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
-//!     .with_preemption(PreemptionMode::TileBoundary);
+//!     .with_preemption(PreemptionMode::TileBoundary)
+//!     .with_memory(MemoryModel::Shared { channels: 1 });
 //! let report = simulate_pod(&pod, &traffic);
 //! assert_eq!(report.metrics.completed, 120);
 //! ```
@@ -49,14 +64,19 @@ use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
 use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
 use crate::request::{coalesced_shape, BatchKey, Request};
 use crate::scheduler::{eligible_indices, Batch, SchedulerPolicy, SchedulingPolicy};
-use axon_core::runtime::{Accounting, Architecture, DrainPolicy, RuntimeSpec};
-use axon_core::tile::TileExtents;
+use axon_core::runtime::{
+    Accounting, Architecture, DrainPolicy, RuntimeSpec, TilePhase, TileSchedule,
+};
 use axon_core::{ArrayShape, Dataflow, GemmShape, Tiling};
 use axon_hw::{execution_energy, ArrayDesign, ComponentLibrary, TechNode};
-use axon_mem::DramConfig;
+use axon_mem::{DramConfig, SharedDram};
 use axon_sim::{random_matrix, simulate_gemm, SimConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Bytes per spilled/refilled accumulator value at a checkpoint (int32
+/// partials, vs the 1 byte/element of the int8 operand streams).
+const CHECKPOINT_BYTES_PER_PARTIAL: u64 = 4;
 
 /// How a dispatch chooses its dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +90,33 @@ pub enum MappingPolicy {
     /// Evaluate all three dataflows per dispatch and take the fastest —
     /// the runtime agility Axon's unified PE provides (paper §4.3).
     BestPerRequest,
+}
+
+/// How the pod's DRAM interface is shared between co-running jobs.
+///
+/// The memory model decides what a dispatched job's *service time* owes
+/// to the memory system; DRAM transfer *energy* is billed the same way
+/// under both variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Service time is the compute-cycle model alone: every array
+    /// behaves as if operand streaming were free, which is how the
+    /// pre-contention pod billed (and remains the default so existing
+    /// results reproduce bit for bit).
+    #[default]
+    Unconstrained,
+    /// The pod owns `channels` DRAM channels (one
+    /// [`DramConfig`] interface each), fair-share sliced across running
+    /// jobs by [`SharedDram`]: each tile of a job's walk takes
+    /// `max(compute, transfer(dram_bytes) at the allocated bandwidth)`
+    /// cycles, and every job's completion edge is re-timed whenever the
+    /// set of co-running jobs changes (start/finish/join/preempt).
+    /// With `channels >= arrays` no job ever contends — each array
+    /// holds a private channel, the honest scale-up roofline.
+    Shared {
+        /// Independent DRAM channels in the pod.
+        channels: usize,
+    },
 }
 
 /// Whether running jobs may be checkpointed for urgent work.
@@ -122,6 +169,11 @@ pub struct PodConfig {
     /// Per-client weights for [`SchedulerPolicy::Wfq`] (clients beyond
     /// the vector get weight 1.0; empty = all equal).
     pub client_weights: Vec<f64>,
+    /// The pod's DRAM interface (energy per byte and per-channel
+    /// bandwidth). Defaults to the paper's LPDDR3.
+    pub dram: DramConfig,
+    /// How service time couples to the memory system.
+    pub memory: MemoryModel,
     /// Shard a dispatch across idle identical arrays (via the scale-out
     /// partitioner) once its MAC count reaches this threshold.
     pub shard_min_macs: Option<usize>,
@@ -150,6 +202,8 @@ impl PodConfig {
             drain: DrainPolicy::Overlapped,
             preemption: PreemptionMode::Disabled,
             client_weights: Vec::new(),
+            dram: DramConfig::lpddr3(),
+            memory: MemoryModel::Unconstrained,
             shard_min_macs: Some(64 << 20),
             spot_check: None,
         }
@@ -176,6 +230,20 @@ impl PodConfig {
     /// Builder-style WFQ client-weight override.
     pub fn with_client_weights(mut self, weights: Vec<f64>) -> Self {
         self.client_weights = weights;
+        self
+    }
+
+    /// Builder-style DRAM-interface override (the default is LPDDR3).
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Builder-style memory-model override. Pass
+    /// [`MemoryModel::Shared`] to couple service time to co-running
+    /// memory traffic (see `docs/memory.md`).
+    pub fn with_memory(mut self, memory: MemoryModel) -> Self {
+        self.memory = memory;
         self
     }
 
@@ -296,46 +364,115 @@ fn plan_sharding(
     best
 }
 
-/// One tile of a job's schedule: its row extent (the drain cost if a
-/// checkpoint lands after it) and its billed cycles.
-#[derive(Debug, Clone, Copy)]
-struct TileCost {
-    rows: usize,
-    cycles: u64,
+/// The DRAM traffic of one dispatched GEMM at 1 byte/element (int8
+/// serving): under a `pr x pc` scale-out grid each A slice is delivered
+/// to every grid column and each B slice to every grid row (no
+/// multicast modeled), so A moves `pc` times and B `pr` times; the
+/// output assembles once.
+fn dispatch_dram_bytes(shape: GemmShape, pr: usize, pc: usize) -> u64 {
+    (shape.m * shape.k * pc + shape.k * shape.n * pr + shape.m * shape.n) as u64
 }
 
 /// The exact-edge tile walk of `shape` on one array: per-tile cycles
-/// under `drain`, plus the final drain billed once under `Overlapped`.
-/// The total (`sum of tiles + final_drain`) equals
+/// and area-proportional DRAM bytes under `drain`, plus the final drain
+/// billed once under `Overlapped`. The cycle total equals
 /// [`service_cycles`] for the same spec — asserted at dispatch.
 fn plan_tiles(
     cfg: &ArrayConfig,
     drain: DrainPolicy,
     df: Dataflow,
     shape: GemmShape,
-) -> (Vec<TileCost>, u64) {
-    let st = df.map(shape);
-    let (sr, sc) = Tiling::ScaleUp.effective_spatial(st);
-    let mut tiles = Vec::new();
-    let mut last_rows = 0usize;
-    for (r, c) in TileExtents::new(sr, sc, cfg.array) {
-        let fill = cfg.arch.tile_fill(r, c) as u64;
-        let mut cycles = fill + st.t as u64;
-        if matches!(drain, DrainPolicy::PerTile) {
-            cycles += r as u64;
+) -> TileSchedule {
+    RuntimeSpec::new(cfg.array, df)
+        .with_accounting(Accounting::ExactEdges)
+        .with_drain(drain)
+        .with_tiling(Tiling::ScaleUp)
+        .tile_schedule(cfg.arch, shape, dispatch_dram_bytes(shape, 1, 1))
+}
+
+/// The pod's timing law: how many cycles a tile phase occupies its
+/// array, given the memory model and the co-running demand.
+///
+/// Under [`MemoryModel::Unconstrained`] a phase takes exactly its
+/// compute cycles — the pre-contention billing, untouched. Under
+/// [`MemoryModel::Shared`] a phase takes the integer roofline
+/// `max(compute, ceil(transfer at the allocated bandwidth))` from
+/// [`SharedDram::leg_cycles`], where a weight-`w` job (one unit per
+/// occupied array) among `total_weight` active units is allocated
+/// `w * min(1, channels / total_weight)` of one interface.
+#[derive(Debug, Clone, Copy)]
+struct MemTiming {
+    /// `None` = unconstrained (compute cycles only).
+    shared: Option<SharedDram>,
+    clock_mhz: f64,
+}
+
+impl MemTiming {
+    fn new(pod: &PodConfig) -> Self {
+        let shared = match pod.memory {
+            MemoryModel::Unconstrained => None,
+            MemoryModel::Shared { channels } => Some(SharedDram::new(pod.dram, channels)),
+        };
+        MemTiming {
+            shared,
+            clock_mhz: pod.clock_mhz,
         }
-        tiles.push(TileCost { rows: r, cycles });
-        last_rows = r;
     }
-    let final_drain = match drain {
-        DrainPolicy::PerTile => 0,
-        DrainPolicy::Overlapped => last_rows as u64,
-    };
-    (tiles, final_drain)
+
+    fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Cycles the phase occupies its array under `total_weight` active
+    /// demand units pod-wide.
+    fn tile_time(&self, tile: &TilePhase, weight: usize, total_weight: usize) -> u64 {
+        match self.shared {
+            None => tile.cycles,
+            Some(s) => s.leg_cycles(
+                self.clock_mhz,
+                tile.cycles,
+                tile.dram_bytes,
+                weight,
+                total_weight.max(weight),
+            ),
+        }
+    }
+
+    /// Cycles to move `bytes` with no compute to hide behind (checkpoint
+    /// spills). Free under the unconstrained model — that model never
+    /// charges time for traffic.
+    fn transfer_time(&self, bytes: u64, weight: usize, total_weight: usize) -> u64 {
+        match self.shared {
+            None => 0,
+            Some(s) => s
+                .transfer_cycles(
+                    bytes as usize,
+                    self.clock_mhz,
+                    weight,
+                    total_weight.max(weight),
+                )
+                .ceil() as u64,
+        }
+    }
+}
+
+/// `ceil(a * b / d)` in u128 so phase rescaling never overflows.
+fn ceil_mul_div(a: u64, b: u64, d: u64) -> u64 {
+    debug_assert!(d > 0);
+    ((a as u128 * b as u128).div_ceil(d as u128)) as u64
 }
 
 /// A dispatched batch occupying one or more arrays, with its remaining
-/// tile schedule.
+/// tile schedule and in-phase progress.
+///
+/// Progress is tracked as `(next_tile, cur_consumed / cur_scheduled)`:
+/// the job is `cur_consumed` cycles into its current phase, whose full
+/// duration `cur_scheduled` was computed under `timed_total_weight`
+/// active demand units (`next_tile == tiles.len()` is the final-drain
+/// phase). Under the unconstrained model phase durations never change,
+/// so the state is written once at dispatch; under the shared model
+/// `retime` advances and re-projects every job whenever concurrency
+/// changes.
 #[derive(Debug, Clone)]
 struct RunningJob {
     seq: usize,
@@ -351,20 +488,35 @@ struct RunningJob {
     used: Vec<usize>,
     pr: usize,
     pc: usize,
-    tiles: Vec<TileCost>,
+    tiles: Vec<TilePhase>,
     final_drain: u64,
-    /// First tile of the current segment (tiles before it completed in
-    /// earlier segments).
+    /// The phase in progress: tiles before it are done (this or earlier
+    /// segments); `tiles.len()` means the final drain.
     next_tile: usize,
+    /// Cycles consumed of the current phase, against `cur_scheduled`.
+    cur_consumed: u64,
+    /// Full duration of the current phase under the timing epoch.
+    cur_scheduled: u64,
+    /// Absolute cycle the progress state was last advanced to.
+    last_update: u64,
+    /// Total active weight the current phase durations were computed
+    /// under (the timing epoch; meaningless while unconstrained).
+    timed_total_weight: usize,
     segment_start: u64,
     /// Absolute cycle the current segment ends: completion, or the
     /// checkpoint point when `suspend_after` is set.
     end: u64,
     /// `Some(j)`: at `end` the job suspends, tiles `next_tile..=j` done.
+    /// A suspending job's `end` is frozen at its decision-time
+    /// bandwidth; it keeps its demand weight until the checkpoint
+    /// completes.
     suspend_after: Option<usize>,
-    /// Cycles billed in finished segments.
+    /// Cycles billed in finished segments (array-occupied wall cycles).
     billed: u64,
     preemptions: u32,
+    /// Checkpoint spill + refill DRAM bytes accumulated by preemptions
+    /// (billed into DRAM energy at completion).
+    checkpoint_dram_bytes: u64,
 }
 
 impl RunningJob {
@@ -372,23 +524,98 @@ impl RunningJob {
         self.batch.deadline()
     }
 
+    /// Demand units this job places on the shared DRAM: one per
+    /// occupied array (each array drives its own operand stream).
+    fn weight(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Remaining compute cycles (contention-free): the provisional
+    /// projection written at dispatch/resume, exact under the
+    /// unconstrained model and immediately re-timed under the shared
+    /// one.
     fn remaining_cycles(&self) -> u64 {
-        self.tiles[self.next_tile..]
+        self.tiles[self.next_tile.min(self.tiles.len())..]
             .iter()
             .map(|t| t.cycles)
             .sum::<u64>()
             + self.final_drain
     }
 
+    /// Duration of phase `idx` under `total_weight` active units
+    /// (`idx == tiles.len()` is the share-independent final drain).
+    fn phase_time(&self, idx: usize, timing: &MemTiming, total_weight: usize) -> u64 {
+        if idx < self.tiles.len() {
+            timing.tile_time(&self.tiles[idx], self.weight(), total_weight)
+        } else {
+            self.final_drain
+        }
+    }
+
+    /// Consumes the wall time since `last_update` against the phase
+    /// durations of the current timing epoch, crossing phase boundaries
+    /// as needed. Only called while `now <= end`, so the walk never
+    /// runs past the final phase.
+    fn advance_to(&mut self, now: u64, timing: &MemTiming) {
+        let mut elapsed = now - self.last_update;
+        self.last_update = now;
+        loop {
+            let rem = self.cur_scheduled - self.cur_consumed;
+            if rem > elapsed {
+                self.cur_consumed += elapsed;
+                return;
+            }
+            elapsed -= rem;
+            if self.next_tile >= self.tiles.len() {
+                // Final drain fully consumed: `end == now`; the job
+                // finalizes this event.
+                self.cur_consumed = self.cur_scheduled;
+                return;
+            }
+            self.next_tile += 1;
+            self.cur_consumed = 0;
+            self.cur_scheduled = self.phase_time(self.next_tile, timing, self.timed_total_weight);
+        }
+    }
+
+    /// Re-times the job under `total_weight` active units: rescales the
+    /// current phase's remaining fraction to its new duration (integer
+    /// ceiling, so remaining work is never rounded away) and re-projects
+    /// `end` over the later phases. A no-op when the epoch's durations
+    /// are unchanged.
+    fn reproject(&mut self, timing: &MemTiming, total_weight: usize) {
+        let t_new = self.phase_time(self.next_tile, timing, total_weight);
+        let rem_old = self.cur_scheduled - self.cur_consumed;
+        let rem_new = if rem_old == 0 || t_new == self.cur_scheduled {
+            rem_old.min(t_new)
+        } else {
+            ceil_mul_div(t_new, rem_old, self.cur_scheduled)
+        };
+        self.cur_scheduled = t_new;
+        self.cur_consumed = t_new - rem_new;
+        let mut remaining = rem_new;
+        for idx in self.next_tile + 1..=self.tiles.len() {
+            remaining += self.phase_time(idx, timing, total_weight);
+        }
+        self.timed_total_weight = total_weight;
+        self.end = self.last_update + remaining;
+    }
+
     /// The next tile boundary strictly after `now` that still leaves at
-    /// least one tile to resume, as `(last_done_tile, boundary_cycle)`.
-    fn next_boundary(&self, now: u64) -> Option<(usize, u64)> {
+    /// least one tile to resume, as `(last_done_tile, boundary_cycle)`,
+    /// under the current timing epoch.
+    fn next_boundary(&self, now: u64, timing: &MemTiming) -> Option<(usize, u64)> {
         if self.suspend_after.is_some() || self.used.len() != 1 {
             return None;
         }
-        let mut t = self.segment_start;
+        if self.next_tile >= self.tiles.len() {
+            return None; // already in the final drain
+        }
+        let mut t = self.last_update + (self.cur_scheduled - self.cur_consumed);
         for j in self.next_tile..self.tiles.len().saturating_sub(1) {
-            t += self.tiles[j].cycles;
+            if j > self.next_tile {
+                t += self.phase_time(j, timing, self.timed_total_weight);
+            }
             if t > now {
                 return Some((j, t));
             }
@@ -403,6 +630,31 @@ impl RunningJob {
         match drain {
             DrainPolicy::PerTile => 0,
             DrainPolicy::Overlapped => self.tiles[j].rows as u64,
+        }
+    }
+
+    /// DRAM bytes to spill tile `j`'s accumulated context (one int32
+    /// partial per PE of the tile); the refill on resume moves the same
+    /// amount back.
+    fn checkpoint_context_bytes(&self, j: usize) -> u64 {
+        CHECKPOINT_BYTES_PER_PARTIAL * (self.tiles[j].rows * self.tiles[j].cols) as u64
+    }
+}
+
+/// Advances every non-suspending job to `now` and re-times it under the
+/// current total demand, syncing `free_at` with the moved completion
+/// edges. The single point where concurrency changes (job start,
+/// finish, join, checkpoint completion) propagate into service time.
+fn retime(running: &mut [RunningJob], now: u64, timing: &MemTiming, free_at: &mut [u64]) {
+    let total_weight: usize = running.iter().map(|j| j.weight()).sum();
+    for job in running.iter_mut() {
+        if job.suspend_after.is_some() {
+            continue; // frozen checkpoint segment
+        }
+        job.advance_to(now, timing);
+        job.reproject(timing, total_weight);
+        for &i in &job.used {
+            free_at[i] = job.end;
         }
     }
 }
@@ -470,7 +722,8 @@ pub fn simulate_pod_with_policy(
 
     let lib = ComponentLibrary::calibrated_7nm();
     let node = TechNode::asap7();
-    let dram = DramConfig::lpddr3();
+    let dram = pod.dram;
+    let timing = MemTiming::new(pod);
 
     let n_arrays = pod.arrays.len();
     let mut free_at = vec![0u64; n_arrays];
@@ -487,6 +740,7 @@ pub fn simulate_pod_with_policy(
     let mut inflight_joins = 0usize;
     let mut array_energy_uj = 0.0f64;
     let mut dram_energy_mj = 0.0f64;
+    let mut checkpoint_dram_mj = 0.0f64;
     let mut spot_checks = 0usize;
     let mut spot_check_mismatches = 0usize;
 
@@ -515,6 +769,7 @@ pub fn simulate_pod_with_policy(
                 keep.push(job);
             }
         }
+        let mut dirty = !finalized.is_empty();
         finalized.sort_by_key(|j| (j.end, j.seq));
         running = keep;
         for mut job in finalized {
@@ -524,8 +779,15 @@ pub fn simulate_pod_with_policy(
                 busy[i] += segment;
             }
             if let Some(j) = job.suspend_after.take() {
-                // Checkpoint: remaining tiles resume later.
+                // Checkpoint: remaining tiles resume later. The context
+                // spill (billed into this segment's tail) is matched by
+                // a refill charged to the first resumed tile's demand.
+                let ctx = job.checkpoint_context_bytes(j);
+                job.checkpoint_dram_bytes += 2 * ctx;
                 job.next_tile = j + 1;
+                job.tiles[job.next_tile].dram_bytes += ctx;
+                job.cur_consumed = 0;
+                job.cur_scheduled = 0; // rewritten at resume
                 job.preemptions += 1;
                 preemptions += 1;
                 suspended.push(job);
@@ -545,16 +807,14 @@ pub fn simulate_pod_with_policy(
             )
             .energy_uj();
             let job_array_uj = per_array * (job.pr * job.pc) as f64;
-            // DRAM traffic is 1 byte/element (int8 serving); under a
-            // `pr x pc` scale-out grid each A slice is delivered to every
-            // grid column and each B slice to every grid row (no multicast
-            // modeled), so A moves `pc` times and B `pr` times; the output
-            // assembles once.
-            let (m, k, n) = (job.batch.shape.m, job.batch.shape.k, job.batch.shape.n);
-            let bytes = m * k * job.pc + k * n * job.pr + m * n;
-            let job_dram_mj = dram.transfer_energy_mj(bytes);
+            // DRAM traffic of the dispatch (see `dispatch_dram_bytes`)
+            // plus any checkpoint spill/refill the job accumulated.
+            let bytes = dispatch_dram_bytes(job.batch.shape, job.pr, job.pc);
+            let ckpt_mj = dram.transfer_energy_mj(job.checkpoint_dram_bytes as usize);
+            let job_dram_mj = dram.transfer_energy_mj(bytes as usize) + ckpt_mj;
             array_energy_uj += job_array_uj;
             dram_energy_mj += job_dram_mj;
+            checkpoint_dram_mj += ckpt_mj;
 
             let share = job.batch.requests.len() as f64;
             for (ri, r) in job.batch.requests.iter().enumerate() {
@@ -621,9 +881,17 @@ pub fn simulate_pod_with_policy(
                     .expect("resume_pick requires a matching idle array");
                 job.used = vec![ai];
                 job.segment_start = now;
+                job.last_update = now;
+                job.cur_consumed = 0;
+                job.cur_scheduled = job.tiles[job.next_tile].cycles;
+                job.timed_total_weight = 0;
+                // Provisional compute-only projection; exact under the
+                // unconstrained model, re-timed this same event under
+                // the shared one.
                 job.end = now + job.remaining_cycles();
                 free_at[ai] = job.end;
                 running.push(job);
+                dirty = true;
                 continue;
             }
             if queue.is_empty() {
@@ -658,20 +926,23 @@ pub fn simulate_pod_with_policy(
 
             // The tile schedule: exact-edge walk for scale-up jobs (the
             // preemptable representation); sharded jobs are one opaque
-            // segment, never preempted.
+            // segment, never preempted, carrying the grid's full
+            // (duplicated) operand traffic.
             let (tiles, final_drain) = if used.len() == 1 {
-                let (tiles, final_drain) = plan_tiles(&cfg, pod.drain, df, batch.shape);
+                let sched = plan_tiles(&cfg, pod.drain, df, batch.shape);
                 debug_assert_eq!(
-                    tiles.iter().map(|t| t.cycles).sum::<u64>() + final_drain,
+                    sched.total_cycles(),
                     cycles as u64,
                     "tile plan disagrees with the runtime model"
                 );
-                (tiles, final_drain)
+                (sched.tiles, sched.final_drain)
             } else {
                 (
-                    vec![TileCost {
+                    vec![TilePhase {
                         rows: 0,
+                        cols: 0,
                         cycles: cycles as u64,
+                        dram_bytes: dispatch_dram_bytes(batch.shape, pr, pc),
                     }],
                     0,
                 )
@@ -711,6 +982,7 @@ pub fn simulate_pod_with_policy(
             }
             let n_reqs = batch.requests.len();
             let key = batch.requests[0].batch_key();
+            let cur_scheduled = tiles[0].cycles;
             running.push(RunningJob {
                 seq,
                 batch,
@@ -725,13 +997,19 @@ pub fn simulate_pod_with_policy(
                 tiles,
                 final_drain,
                 next_tile: 0,
+                cur_consumed: 0,
+                cur_scheduled,
+                last_update: now,
+                timed_total_weight: 0,
                 segment_start: now,
                 end: completion,
                 suspend_after: None,
                 billed: 0,
                 preemptions: 0,
+                checkpoint_dram_bytes: 0,
             });
             seq += 1;
+            dirty = true;
         }
 
         // Continuous batching: queued requests whose batch key matches a
@@ -758,41 +1036,61 @@ pub fn simulate_pod_with_policy(
                             && j.key == Some(key)
                             && j.batch.requests.len() < max_batch
                             && j.end > now
+                            && j.next_tile < j.tiles.len()
                     })
                     .min_by_key(|j| j.seq);
                 let Some(job) = target else {
                     qi += 1;
                     continue;
                 };
-                // Bill the join as the cycle delta between the old and
-                // new fused shapes under the job's fixed mapping.
+                // Bill the join as the cycle (and traffic) delta between
+                // the old and new fused shapes under the job's fixed
+                // mapping, appended to its last tile.
                 let old_shape = job.batch.shape;
                 let new_shape = coalesced_shape(key, job.batch.requests.len() + 1);
-                let (old_tiles, old_fd) = plan_tiles(&job.cfg, pod.drain, job.dataflow, old_shape);
-                let (new_tiles, new_fd) = plan_tiles(&job.cfg, pod.drain, job.dataflow, new_shape);
-                let old_total: u64 = old_tiles.iter().map(|t| t.cycles).sum::<u64>() + old_fd;
-                let new_total: u64 = new_tiles.iter().map(|t| t.cycles).sum::<u64>() + new_fd;
+                let old_total =
+                    plan_tiles(&job.cfg, pod.drain, job.dataflow, old_shape).total_cycles();
+                let new_total =
+                    plan_tiles(&job.cfg, pod.drain, job.dataflow, new_shape).total_cycles();
                 let delta = new_total.saturating_sub(old_total);
+                let delta_bytes = dispatch_dram_bytes(new_shape, 1, 1)
+                    .saturating_sub(dispatch_dram_bytes(old_shape, 1, 1));
                 job.batch.shape = new_shape;
                 job.batch.requests.push(cand);
                 job.dispatch_times.push(now);
                 job.joined.push(true);
-                if let Some(last) = job.tiles.last_mut() {
-                    last.cycles += delta;
+                let last_idx = job.tiles.len() - 1;
+                let old_t = job.phase_time(last_idx, &timing, job.timed_total_weight);
+                job.tiles[last_idx].cycles += delta;
+                job.tiles[last_idx].dram_bytes += delta_bytes;
+                let new_t = job.phase_time(last_idx, &timing, job.timed_total_weight);
+                let dt = new_t.saturating_sub(old_t);
+                if job.next_tile == last_idx {
+                    job.cur_scheduled += dt;
                 }
-                job.end += delta;
+                job.end += dt;
                 let ai = job.used[0];
                 free_at[ai] = job.end;
                 inflight_joins += 1;
+                dirty = true;
                 queue.remove(qi).expect("index in bounds");
                 // Do not advance qi: the next request shifted into place.
             }
+        }
+
+        // Concurrency changed (job started, finished, checkpointed or
+        // grew by a join): under the shared memory model every running
+        // job's service-time edge moves, so re-time them all before any
+        // decision reads `free_at` or a tile boundary.
+        if dirty && timing.is_shared() {
+            retime(&mut running, now, &timing, &mut free_at);
         }
 
         // Tile-granular preemption: if the most urgent queued request
         // cannot be served before its deadline, checkpoint the
         // least-urgent preemptible job at its next tile boundary.
         if pod.preemption == PreemptionMode::TileBoundary && !queue.is_empty() {
+            let total_weight: usize = running.iter().map(|j| j.weight()).sum();
             while let Some(urgent) = eligible_min_deadline(&queue) {
                 let min_free = free_at.iter().copied().min().unwrap_or(0);
                 if urgent >= min_free {
@@ -800,23 +1098,27 @@ pub fn simulate_pod_with_policy(
                 }
                 // Victim: the preemptible job with the loosest deadline
                 // strictly looser than the urgent request's, whose
-                // checkpoint frees an array both earlier than any natural
-                // completion and early enough that the urgent deadline is
-                // still achievable (otherwise preempting is pure churn).
+                // checkpoint (boundary + drain + context spill) frees an
+                // array both earlier than any natural completion and
+                // early enough that the urgent deadline is still
+                // achievable (otherwise preempting is pure churn).
                 let victim = running
                     .iter_mut()
                     .filter(|j| j.deadline() > urgent)
                     .filter_map(|j| {
-                        let (jt, b) = j.next_boundary(now)?;
+                        let (jt, b) = j.next_boundary(now, &timing)?;
                         let drain = j.checkpoint_drain(jt, pod.drain);
-                        (b + drain < min_free && b + drain < urgent).then_some((j, jt, b, drain))
+                        let spill =
+                            timing.transfer_time(j.checkpoint_context_bytes(jt), 1, total_weight);
+                        let tail = drain + spill;
+                        (b + tail < min_free && b + tail < urgent).then_some((j, jt, b, tail))
                     })
                     .max_by_key(|(j, _, _, _)| (j.deadline(), j.seq));
-                let Some((job, jt, boundary, drain)) = victim else {
+                let Some((job, jt, boundary, tail)) = victim else {
                     break;
                 };
                 job.suspend_after = Some(jt);
-                job.end = boundary + drain;
+                job.end = boundary + tail;
                 let ai = job.used[0];
                 free_at[ai] = job.end;
             }
@@ -871,6 +1173,7 @@ pub fn simulate_pod_with_policy(
         per_class: ClassMetrics::from_completions(&completions),
         array_energy_uj,
         dram_energy_mj,
+        checkpoint_dram_mj,
         spot_checks,
         spot_check_mismatches,
     };
@@ -1044,12 +1347,19 @@ mod tests {
         ] {
             for drain in [DrainPolicy::Overlapped, DrainPolicy::PerTile] {
                 for df in Dataflow::ALL {
-                    let (tiles, fd) = plan_tiles(&cfg, drain, df, shape);
-                    let total: u64 = tiles.iter().map(|t| t.cycles).sum::<u64>() + fd;
+                    let sched = plan_tiles(&cfg, drain, df, shape);
                     let spec = RuntimeSpec::new(cfg.array, df)
                         .with_accounting(Accounting::ExactEdges)
                         .with_drain(drain);
-                    assert_eq!(total, spec.runtime(cfg.arch, shape).cycles as u64);
+                    assert_eq!(
+                        sched.total_cycles(),
+                        spec.runtime(cfg.arch, shape).cycles as u64
+                    );
+                    assert_eq!(
+                        sched.total_dram_bytes(),
+                        dispatch_dram_bytes(shape, 1, 1),
+                        "tile walk must carry the dispatch's full traffic"
+                    );
                 }
             }
         }
@@ -1157,6 +1467,129 @@ mod tests {
             skew > ratio,
             "weighting must skew service beyond the even baseline: {skew} vs {ratio}"
         );
+    }
+
+    /// Decode GEMVs are memory-bound: starving the pod of channels must
+    /// stretch service latency, monotonically in the channel count.
+    #[test]
+    fn fewer_channels_stretch_memory_bound_service() {
+        let traffic = TrafficConfig::open_loop(11, 120, 400.0)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let run = |channels: usize| {
+            simulate_pod(
+                &PodConfig::homogeneous(4, Architecture::Axon, 64)
+                    .with_memory(MemoryModel::Shared { channels }),
+                &traffic,
+            )
+        };
+        let mut last_p99 = u64::MAX;
+        let mut last_makespan = u64::MAX;
+        for channels in [1usize, 2, 4] {
+            let r = run(channels);
+            assert_eq!(r.metrics.completed, 120);
+            assert!(
+                r.metrics.service.p99 <= last_p99,
+                "{channels} channels: p99 {} vs {last_p99}",
+                r.metrics.service.p99
+            );
+            assert!(r.metrics.makespan_cycles <= last_makespan);
+            last_p99 = r.metrics.service.p99;
+            last_makespan = r.metrics.makespan_cycles;
+        }
+        // The starved pod must be strictly slower than the private one.
+        assert!(run(1).metrics.service.p99 > run(4).metrics.service.p99);
+    }
+
+    /// `channels >= arrays` can never contend (active weight is capped
+    /// by the array count), so any such channel count yields the
+    /// bit-identical report.
+    #[test]
+    fn channels_at_or_above_arrays_never_contend() {
+        let traffic = TrafficConfig::open_loop(5, 100, 900.0);
+        let run = |channels: usize| {
+            simulate_pod(
+                &PodConfig::homogeneous(3, Architecture::Axon, 32)
+                    .with_memory(MemoryModel::Shared { channels }),
+                &traffic,
+            )
+        };
+        let private = run(3);
+        for channels in [4, 8, 1 << 20] {
+            let r = run(channels);
+            assert_eq!(r.completions, private.completions);
+            assert_eq!(r.metrics, private.metrics);
+        }
+        // A single-array pod never contends at any channel count.
+        let one = |channels: usize| {
+            simulate_pod(
+                &PodConfig::homogeneous(1, Architecture::Axon, 32)
+                    .with_memory(MemoryModel::Shared { channels }),
+                &traffic,
+            )
+        };
+        assert_eq!(one(1).completions, one(64).completions);
+        assert_eq!(one(1).metrics, one(64).metrics);
+    }
+
+    /// The shared model composes with every pod mechanism on a mixed
+    /// run (joins, preemption, sharding, closed loop) and completes.
+    #[test]
+    fn shared_model_composes_with_all_mechanisms() {
+        let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
+            .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+            .with_preemption(PreemptionMode::TileBoundary)
+            .with_memory(MemoryModel::Shared { channels: 1 })
+            .with_shard_min_macs(Some(1 << 20));
+        let traffic = TrafficConfig::open_loop(21, 150, 400.0).with_mix(WorkloadMix::new(vec![
+            (RequestClass::Prefill, 0.2),
+            (RequestClass::Decode, 0.8),
+        ]));
+        let r = simulate_pod(&pod, &traffic);
+        assert_eq!(r.metrics.completed, 150);
+        let closed = TrafficConfig::closed_loop(4, 60, 8, 0)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let rc = simulate_pod(&pod, &closed);
+        assert_eq!(rc.metrics.completed, 60);
+    }
+
+    /// Checkpoint spill/refill traffic lands in the DRAM energy totals
+    /// (per request and pod-wide), under both memory models.
+    #[test]
+    fn checkpoint_traffic_billed_into_dram_energy() {
+        let traffic = TrafficConfig::open_loop(21, 60, 150_000.0)
+            .with_mix(WorkloadMix::new(vec![
+                (RequestClass::Prefill, 0.2),
+                (RequestClass::Decode, 0.8),
+            ]))
+            .with_slo(SloBudgets::serving_default().with_decode(70_000));
+        for memory in [
+            MemoryModel::Unconstrained,
+            MemoryModel::Shared { channels: 1 },
+        ] {
+            let pod = PodConfig::homogeneous(1, Architecture::Axon, 64)
+                .with_scheduler(SchedulerPolicy::Edf { max_batch: 8 })
+                .with_shard_min_macs(None)
+                .with_preemption(PreemptionMode::TileBoundary)
+                .with_memory(memory);
+            let r = simulate_pod(&pod, &traffic);
+            assert!(r.metrics.preemptions > 0, "{memory:?}: no preemption");
+            assert!(
+                r.metrics.checkpoint_dram_mj > 0.0,
+                "{memory:?}: spill/refill energy missing"
+            );
+            assert!(r.metrics.dram_energy_mj > r.metrics.checkpoint_dram_mj);
+            // The per-request records carry their checkpoint share: the
+            // preempted requests' energy sums to more than the same
+            // shapes would cost un-preempted.
+            let total: f64 = r.completions.iter().map(|c| c.dram_energy_mj).sum();
+            assert!((total - r.metrics.dram_energy_mj).abs() < 1e-9);
+            // And a run that never preempts bills zero checkpoint DRAM.
+            let calm = simulate_pod(
+                &pod.clone().with_preemption(PreemptionMode::Disabled),
+                &traffic,
+            );
+            assert_eq!(calm.metrics.checkpoint_dram_mj, 0.0);
+        }
     }
 
     #[test]

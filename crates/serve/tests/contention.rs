@@ -1,0 +1,219 @@
+//! Shared-DRAM contention guarantees: the scheduling-policy invariants
+//! of `tests/policies.rs` re-pinned with the contended memory model
+//! enabled, plus the contention-specific ones — bit determinism,
+//! channel monotonicity, and exact equivalence to private bandwidth
+//! when nothing shares.
+
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, MemoryModel, PodConfig, PreemptionMode, RequestClass, SchedulerPolicy,
+    ServingReport, TrafficConfig, WorkloadMix,
+};
+
+/// Two channels on a four-array pod: every saturated instant contends.
+const CONTENDED: MemoryModel = MemoryModel::Shared { channels: 2 };
+
+fn contended_pod(scheduler: SchedulerPolicy, preemption: PreemptionMode) -> PodConfig {
+    PodConfig::homogeneous(4, Architecture::Axon, 64)
+        .with_scheduler(scheduler)
+        .with_preemption(preemption)
+        .with_memory(CONTENDED)
+}
+
+fn mixed_traffic(seed: u64, requests: usize, mean_interarrival: f64) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, requests, mean_interarrival).with_mix(WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.80),
+        (RequestClass::Prefill, 0.15),
+        (RequestClass::Gemv, 0.05),
+    ]))
+}
+
+fn all_policies() -> Vec<(SchedulerPolicy, PreemptionMode)> {
+    vec![
+        (SchedulerPolicy::Fifo, PreemptionMode::Disabled),
+        (
+            SchedulerPolicy::Batching { max_batch: 8 },
+            PreemptionMode::Disabled,
+        ),
+        (
+            SchedulerPolicy::Edf { max_batch: 8 },
+            PreemptionMode::Disabled,
+        ),
+        (
+            SchedulerPolicy::Edf { max_batch: 8 },
+            PreemptionMode::TileBoundary,
+        ),
+        (
+            SchedulerPolicy::Continuous { max_batch: 8 },
+            PreemptionMode::TileBoundary,
+        ),
+        (
+            SchedulerPolicy::Wfq { max_batch: 8 },
+            PreemptionMode::Disabled,
+        ),
+    ]
+}
+
+/// Every policy stays bit-deterministic with contention enabled: the
+/// same `(pod, traffic)` pair produces the identical report.
+#[test]
+fn every_policy_is_bit_deterministic_under_contention() {
+    let traffic = mixed_traffic(909, 300, 900.0);
+    for (scheduler, preemption) in all_policies() {
+        let pod = contended_pod(scheduler, preemption);
+        let a = simulate_pod(&pod, &traffic);
+        let b = simulate_pod(&pod, &traffic);
+        assert_eq!(a.trace, b.trace, "{scheduler:?}");
+        assert_eq!(a.completions, b.completions, "{scheduler:?}");
+        assert_eq!(a.metrics, b.metrics, "{scheduler:?}");
+        assert_eq!(a.metrics.completed, 300, "{scheduler:?}");
+    }
+}
+
+/// Per-client FIFO survives contention: under every policy, a client's
+/// own requests are dispatched in arrival (= id) order even as the
+/// shared-DRAM retiming reshuffles completion edges.
+#[test]
+fn per_client_fifo_holds_under_contention() {
+    let traffic = mixed_traffic(4242, 400, 700.0).with_clients(5);
+    for (scheduler, preemption) in all_policies() {
+        let r = simulate_pod(&contended_pod(scheduler, preemption), &traffic);
+        for client in 0..5 {
+            let mut cs: Vec<_> = r
+                .completions
+                .iter()
+                .filter(|c| c.client == client)
+                .collect();
+            cs.sort_by_key(|c| c.id);
+            for w in cs.windows(2) {
+                assert!(
+                    w[1].dispatch >= w[0].dispatch,
+                    "{scheduler:?}: client {client} reordered: \
+                     #{} dispatched {} before #{} at {}",
+                    w[1].id,
+                    w[1].dispatch,
+                    w[0].id,
+                    w[0].dispatch
+                );
+            }
+        }
+    }
+}
+
+/// Decode request ids that completed within their SLO deadline.
+fn decode_slo_met(report: &ServingReport) -> Vec<usize> {
+    report
+        .completions
+        .iter()
+        .filter(|c| c.class == RequestClass::Decode && c.met_deadline())
+        .map(|c| c.id)
+        .collect()
+}
+
+/// The EDF-vs-FIFO decode-SLO guard, re-pinned under contention: at
+/// every swept load, EDF meets at least as many decode SLOs as FIFO on
+/// the identical contended pod.
+#[test]
+fn edf_never_meets_fewer_decode_slos_than_fifo_under_contention() {
+    for mean_interarrival in [8000.0, 4000.0, 2500.0] {
+        let traffic = mixed_traffic(77, 500, mean_interarrival);
+        let fifo = simulate_pod(
+            &contended_pod(SchedulerPolicy::Fifo, PreemptionMode::Disabled),
+            &traffic,
+        );
+        let edf = simulate_pod(
+            &contended_pod(
+                SchedulerPolicy::Edf { max_batch: 8 },
+                PreemptionMode::Disabled,
+            ),
+            &traffic,
+        );
+        let fifo_met = decode_slo_met(&fifo).len();
+        let edf_met = decode_slo_met(&edf).len();
+        assert!(
+            edf_met >= fifo_met,
+            "at mean interarrival {mean_interarrival} under contention: \
+             EDF met {edf_met} decode SLOs but FIFO met {fifo_met}"
+        );
+    }
+}
+
+/// Nothing-shares equivalence, end to end: with `channels >= arrays`
+/// every array holds a private channel, so any such channel count —
+/// including absurdly large ones — produces the bit-identical report.
+#[test]
+fn private_channels_match_regardless_of_surplus() {
+    let traffic = mixed_traffic(31, 250, 1200.0);
+    let run = |channels: usize| {
+        simulate_pod(
+            &PodConfig::homogeneous(4, Architecture::Axon, 64)
+                .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+                .with_preemption(PreemptionMode::TileBoundary)
+                .with_memory(MemoryModel::Shared { channels }),
+            &traffic,
+        )
+    };
+    let base = run(4);
+    for channels in [5, 16, usize::MAX / 2] {
+        let r = run(channels);
+        assert_eq!(r.completions, base.completions, "channels {channels}");
+        assert_eq!(r.metrics, base.metrics, "channels {channels}");
+    }
+}
+
+/// Shrinking the channel count never improves the tail: p99 service
+/// latency is monotone non-increasing in channels at fixed load.
+#[test]
+fn channel_count_is_monotone_in_service_tail() {
+    let traffic = mixed_traffic(55, 300, 700.0);
+    let mut last = u64::MAX;
+    for channels in [1usize, 2, 4] {
+        let r = simulate_pod(
+            &PodConfig::homogeneous(4, Architecture::Axon, 64)
+                .with_memory(MemoryModel::Shared { channels }),
+            &traffic,
+        );
+        assert_eq!(r.metrics.completed, 300);
+        assert!(
+            r.metrics.service.p99 <= last,
+            "{channels} channels: service p99 {} > {last}",
+            r.metrics.service.p99
+        );
+        last = r.metrics.service.p99;
+    }
+}
+
+/// Contention only ever delays completions relative to the
+/// unconstrained billing: per request, the contended completion time is
+/// never earlier than the compute-only one on the same FIFO schedule.
+#[test]
+fn contended_completions_never_beat_compute_only_billing() {
+    // FIFO, no sharding: both runs make identical dispatch decisions in
+    // identical order at light load, so per-request comparison is fair.
+    let traffic = mixed_traffic(7, 150, 20_000.0);
+    let base = PodConfig::homogeneous(2, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Fifo)
+        .with_shard_min_macs(None);
+    let unconstrained = simulate_pod(&base, &traffic);
+    let contended = simulate_pod(
+        &base
+            .clone()
+            .with_memory(MemoryModel::Shared { channels: 1 }),
+        &traffic,
+    );
+    assert_eq!(unconstrained.metrics.completed, contended.metrics.completed);
+    let mut by_id: Vec<_> = contended.completions.clone();
+    by_id.sort_by_key(|c| c.id);
+    let mut base_by_id: Vec<_> = unconstrained.completions.clone();
+    base_by_id.sort_by_key(|c| c.id);
+    for (c, u) in by_id.iter().zip(&base_by_id) {
+        assert_eq!(c.id, u.id);
+        assert!(
+            c.completion >= u.completion,
+            "request {} finished at {} contended but {} unconstrained",
+            c.id,
+            c.completion,
+            u.completion
+        );
+    }
+}

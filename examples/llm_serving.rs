@@ -9,8 +9,8 @@
 
 use axon::core::runtime::Architecture;
 use axon::serve::{
-    simulate_pod, MappingPolicy, PodConfig, PreemptionMode, RequestClass, SchedulerPolicy,
-    ServingReport, TrafficConfig, WorkloadMix,
+    simulate_pod, MappingPolicy, MemoryModel, PodConfig, PreemptionMode, RequestClass,
+    SchedulerPolicy, ServingReport, TrafficConfig, WorkloadMix,
 };
 
 const ARRAYS: usize = 4;
@@ -137,6 +137,39 @@ fn main() {
             m.inflight_joins
         );
     }
+    // Shared-DRAM contention: the same Axon pod, but with service time
+    // coupled to the memory system. Decode streams ~1 MB of weights per
+    // request, so bandwidth — not compute — is the honest capacity
+    // limit, and starving the channels stretches the tail monotonically.
+    println!("\nshared-DRAM contention on the Axon pod (continuous batching):");
+    println!(
+        "{:<26}{:>10}{:>14}{:>14}",
+        "memory model", "req/s", "service p99us", "decode p99us"
+    );
+    for (label, memory) in [
+        ("compute-only (old)", MemoryModel::Unconstrained),
+        ("4 channels (private)", MemoryModel::Shared { channels: 4 }),
+        ("2 channels", MemoryModel::Shared { channels: 2 }),
+        ("1 channel", MemoryModel::Shared { channels: 1 }),
+    ] {
+        let r = simulate_pod(
+            &pod(Architecture::Axon, mt)
+                .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+                .with_memory(memory),
+            &mixed,
+        );
+        let m = &r.metrics;
+        let decode = m
+            .class_metrics(RequestClass::Decode)
+            .expect("decode traffic present");
+        println!(
+            "{label:<26}{:>10.0}{:>14.1}{:>14.1}",
+            m.throughput_rps(),
+            m.micros(m.service.p99),
+            m.micros(decode.total.p99)
+        );
+    }
+
     println!("\nsee docs/scheduling.md for the full policy guide (and");
-    println!("`policy_sweep` for the load sweep across all five policies).");
+    println!("docs/memory.md for the shared-DRAM model and `contention_sweep`).");
 }
