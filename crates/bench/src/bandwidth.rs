@@ -1,0 +1,258 @@
+//! Bandwidth-aware vs compute-only dispatch under starved→surplus DRAM
+//! channels (the `bandwidth_sweep` binary).
+//!
+//! PR 4's shared-DRAM arbiter made scale-out pay an honest bandwidth
+//! penalty, but the sharding planner kept scoring candidate grids in
+//! compute cycles — so a starved pod would still shard a big prefill
+//! over four arrays, quadruple its demand weight, duplicate its operand
+//! traffic, and sink every co-running decode. This sweep walks the
+//! channel count from starved (1 channel for the whole pod) to surplus
+//! (more channels than arrays) and, at each point, runs the identical
+//! traffic under both planners ([`ShardPlanner::ComputeOnly`] vs
+//! [`ShardPlanner::BandwidthAware`]):
+//!
+//! * When channels are **scarce** (`channels < arrays`) the
+//!   bandwidth-aware planner must achieve a decode p99 no worse than
+//!   the oblivious one at every point, and strictly better at the most
+//!   starved point — asserted by [`assert_bandwidth_invariants`].
+//! * Under [`MemoryModel::Unconstrained`] the planners must be
+//!   indistinguishable: completions and metrics **bit-identical** —
+//!   asserted by [`assert_planner_invariant_unconstrained`].
+//!
+//! See `docs/memory.md` for the measured table and
+//! `docs/architecture.md` for where the planner sits in the stack.
+
+use crate::series::Json;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, MappingPolicy, MemoryModel, PodConfig, PodMetrics, RequestClass, ShardPlanner,
+    TrafficConfig, WorkloadMix,
+};
+
+/// The sweep mix: decode-dominated traffic with a prefill fraction
+/// heavy enough that shardable kernels regularly meet idle arrays.
+pub fn bandwidth_mix() -> WorkloadMix {
+    WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.75),
+        (RequestClass::Prefill, 0.20),
+        (RequestClass::Gemv, 0.05),
+    ])
+}
+
+/// The sweep pod: `arrays` square `side x side` Axon arrays, the
+/// paper's minimum-temporal mapping, `memory` and `planner` installed
+/// (serving-default batching scheduler, so the comparison isolates the
+/// sharding planner).
+pub fn bandwidth_pod(
+    arrays: usize,
+    side: usize,
+    memory: MemoryModel,
+    planner: ShardPlanner,
+) -> PodConfig {
+    PodConfig::homogeneous(arrays, Architecture::Axon, side)
+        .with_mapping(MappingPolicy::MinTemporal)
+        .with_memory(memory)
+        .with_planner(planner)
+}
+
+/// One planner's measured row at one channel count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerRow {
+    /// Planner label (`"oblivious"` or `"bandwidth-aware"`).
+    pub planner: &'static str,
+    /// Achieved throughput (completions over makespan).
+    pub achieved_rps: f64,
+    /// Decode-class end-to-end p99, microseconds.
+    pub decode_p99_us: f64,
+    /// All-class end-to-end p99, microseconds.
+    pub total_p99_us: f64,
+    /// Dispatches sharded over more than one array.
+    pub sharded_batches: usize,
+    /// Scale-out grids refused by the bandwidth-aware planner.
+    pub sharding_refused: usize,
+    /// Pod-wide bandwidth-stall time, milliseconds.
+    pub stall_ms: f64,
+}
+
+impl PlannerRow {
+    fn from_metrics(planner: &'static str, m: &PodMetrics) -> Self {
+        PlannerRow {
+            planner,
+            achieved_rps: m.throughput_rps(),
+            decode_p99_us: m
+                .class_metrics(RequestClass::Decode)
+                .map_or(0.0, |c| m.micros(c.total.p99)),
+            total_p99_us: m.micros(m.total.p99),
+            sharded_batches: m.sharded_batches,
+            sharding_refused: m.sharding_refused,
+            stall_ms: m.micros(m.bandwidth_stall_cycles) / 1e3,
+        }
+    }
+}
+
+/// Both planners measured at one channel count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthPoint {
+    /// Shared channels in the pod.
+    pub channels: usize,
+    /// Whether `channels < arrays` (the regime the planner exists for).
+    pub starved: bool,
+    /// The compute-only planner's row.
+    pub oblivious: PlannerRow,
+    /// The bandwidth-aware planner's row.
+    pub aware: PlannerRow,
+}
+
+/// Measures both planners at every channel count in `channel_counts`
+/// (deduplicated, ascending) on identical traffic: `per_array_rps *
+/// arrays` offered load, `requests` requests, one shared `seed`.
+pub fn bandwidth_sweep(
+    arrays: usize,
+    side: usize,
+    channel_counts: &[usize],
+    per_array_rps: f64,
+    requests: usize,
+    seed: u64,
+) -> Vec<BandwidthPoint> {
+    let mut channels: Vec<usize> = channel_counts.to_vec();
+    channels.sort_unstable();
+    channels.dedup();
+    let offered_rps = per_array_rps * arrays as f64;
+    channels
+        .into_iter()
+        .map(|c| {
+            let memory = MemoryModel::Shared { channels: c };
+            let measure = |planner: ShardPlanner, label: &'static str| {
+                let pod = bandwidth_pod(arrays, side, memory, planner);
+                let mean_interarrival = pod.clock_mhz * 1e6 / offered_rps;
+                let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+                    .with_mix(bandwidth_mix());
+                PlannerRow::from_metrics(label, &simulate_pod(&pod, &traffic).metrics)
+            };
+            BandwidthPoint {
+                channels: c,
+                starved: c < arrays,
+                oblivious: measure(ShardPlanner::ComputeOnly, "oblivious"),
+                aware: measure(ShardPlanner::BandwidthAware, "bandwidth-aware"),
+            }
+        })
+        .collect()
+}
+
+/// Asserts the planner's headline guarantee over a measured sweep:
+/// wherever channels are scarce the bandwidth-aware planner's decode
+/// p99 is no worse than the oblivious planner's, and at the most
+/// starved point it is strictly better (and actually refused grids).
+/// Panics with a diagnostic on violation; returns the points back for
+/// chaining.
+pub fn assert_bandwidth_invariants(points: &[BandwidthPoint]) -> &[BandwidthPoint] {
+    let starved: Vec<&BandwidthPoint> = points.iter().filter(|p| p.starved).collect();
+    assert!(
+        !starved.is_empty(),
+        "sweep must include at least one starved channel count"
+    );
+    for p in &starved {
+        assert!(
+            p.aware.decode_p99_us <= p.oblivious.decode_p99_us,
+            "{} channels: bandwidth-aware decode p99 {:.1} us exceeds oblivious {:.1} us",
+            p.channels,
+            p.aware.decode_p99_us,
+            p.oblivious.decode_p99_us
+        );
+    }
+    let most_starved = starved
+        .iter()
+        .min_by_key(|p| p.channels)
+        .expect("non-empty");
+    assert!(
+        most_starved.aware.decode_p99_us < most_starved.oblivious.decode_p99_us,
+        "{} channels (most starved): decode p99 must strictly improve, got {:.1} vs {:.1} us",
+        most_starved.channels,
+        most_starved.aware.decode_p99_us,
+        most_starved.oblivious.decode_p99_us
+    );
+    assert!(
+        most_starved.aware.sharding_refused > 0,
+        "most starved point should refuse at least one scale-out grid"
+    );
+    points
+}
+
+/// Asserts that the two planners are bit-identical under
+/// [`MemoryModel::Unconstrained`] (there is no bandwidth to be aware
+/// of, so the pre-contention results reproduce exactly under either).
+pub fn assert_planner_invariant_unconstrained(
+    arrays: usize,
+    side: usize,
+    per_array_rps: f64,
+    requests: usize,
+    seed: u64,
+) {
+    let offered_rps = per_array_rps * arrays as f64;
+    let run = |planner: ShardPlanner| {
+        let pod = bandwidth_pod(arrays, side, MemoryModel::Unconstrained, planner);
+        let mean_interarrival = pod.clock_mhz * 1e6 / offered_rps;
+        let traffic =
+            TrafficConfig::open_loop(seed, requests, mean_interarrival).with_mix(bandwidth_mix());
+        simulate_pod(&pod, &traffic)
+    };
+    let oblivious = run(ShardPlanner::ComputeOnly);
+    let aware = run(ShardPlanner::BandwidthAware);
+    assert_eq!(
+        oblivious.completions, aware.completions,
+        "unconstrained completions must be planner-invariant"
+    );
+    assert_eq!(
+        oblivious.metrics, aware.metrics,
+        "unconstrained metrics must be planner-invariant"
+    );
+    assert_eq!(aware.metrics.sharding_refused, 0);
+    assert_eq!(aware.metrics.bandwidth_stall_cycles, 0);
+}
+
+/// Machine-readable form of the sweep.
+pub fn bandwidth_sweep_to_json(arrays: usize, points: &[BandwidthPoint]) -> Json {
+    let row = |r: &PlannerRow| {
+        Json::obj([
+            ("achieved_rps", Json::num(r.achieved_rps)),
+            ("decode_p99_us", Json::num(r.decode_p99_us)),
+            ("total_p99_us", Json::num(r.total_p99_us)),
+            ("sharded_batches", Json::num(r.sharded_batches as f64)),
+            ("sharding_refused", Json::num(r.sharding_refused as f64)),
+            ("stall_ms", Json::num(r.stall_ms)),
+        ])
+    };
+    Json::obj([
+        ("arrays", Json::num(arrays as f64)),
+        (
+            "points",
+            Json::arr(points.iter().map(|p| {
+                Json::obj([
+                    ("channels", Json::num(p.channels as f64)),
+                    ("starved", Json::num(if p.starved { 1.0 } else { 0.0 })),
+                    ("oblivious", row(&p.oblivious)),
+                    ("bandwidth_aware", row(&p.aware)),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_is_planner_invariant() {
+        assert_planner_invariant_unconstrained(4, 32, 20_000.0, 120, 2026);
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let points = bandwidth_sweep(2, 32, &[1, 2], 20_000.0, 80, 2026);
+        let j = bandwidth_sweep_to_json(2, &points).to_string();
+        assert!(j.contains(r#""channels":1"#));
+        assert!(j.contains(r#""bandwidth_aware""#));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

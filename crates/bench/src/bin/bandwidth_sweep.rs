@@ -1,0 +1,89 @@
+//! Bandwidth-aware vs compute-only sharding under starved→surplus
+//! DRAM channels.
+//!
+//! ```sh
+//! cargo run --release -p axon-bench --bin bandwidth_sweep
+//! cargo run --release -p axon-bench --bin bandwidth_sweep -- --smoke
+//! cargo run --release -p axon-bench --bin bandwidth_sweep -- --json out.json
+//! ```
+//!
+//! Computation in [`axon_bench::bandwidth`]; planner semantics in
+//! `docs/memory.md` and `docs/architecture.md`. The binary asserts the
+//! planner's guarantee — bandwidth-aware decode p99 no worse than the
+//! oblivious planner's at every starved channel count, strictly better
+//! at the most starved point — and that the two planners are
+//! bit-identical under `MemoryModel::Unconstrained`.
+
+use axon_bench::bandwidth::{
+    assert_bandwidth_invariants, assert_planner_invariant_unconstrained, bandwidth_sweep,
+    bandwidth_sweep_to_json, BandwidthPoint,
+};
+use axon_bench::series::json_path_from_args;
+
+const SEED: u64 = 2026;
+const ARRAYS: usize = 4;
+const SIDE: usize = 128;
+const PER_ARRAY_RPS: f64 = 300.0;
+
+fn print_points(points: &[BandwidthPoint]) {
+    println!(
+        "{:>12}{:>17}{:>14}{:>13}{:>9}{:>9}{:>11}",
+        "channels", "planner", "achieved/s", "decode p99", "sharded", "refused", "stall ms"
+    );
+    for p in points {
+        let tag = if p.starved { " (starved)" } else { "" };
+        for r in [&p.oblivious, &p.aware] {
+            println!(
+                "{:>12}{:>17}{:>14.0}{:>11.1}us{:>9}{:>9}{:>11.1}",
+                format!("{}{tag}", p.channels),
+                r.planner,
+                r.achieved_rps,
+                r.decode_p99_us,
+                r.sharded_batches,
+                r.sharding_refused,
+                r.stall_ms
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (channels, requests): (Vec<usize>, usize) = if smoke {
+        (vec![1, 2, 4, 8], 300)
+    } else {
+        (vec![1, 2, 3, 4, 8], 900)
+    };
+
+    println!(
+        "Bandwidth-aware dispatch sweep — {ARRAYS}x {SIDE}x{SIDE} Axon arrays, \
+         75% decode / 20% prefill / 5% gemv, {PER_ARRAY_RPS:.0} req/s per array, \
+         {requests} requests/point, seed {SEED}"
+    );
+    println!("(starved = fewer channels than arrays; surplus channel counts never contend)\n");
+
+    let points = bandwidth_sweep(ARRAYS, SIDE, &channels, PER_ARRAY_RPS, requests, SEED);
+    print_points(&points);
+    assert_bandwidth_invariants(&points);
+
+    let most_starved = points.iter().find(|p| p.starved).expect("starved point");
+    println!(
+        "at {} channel(s) the bandwidth-aware planner refuses {} scale-out grid(s) and \
+         cuts decode p99 {:.2}x ({:.1} -> {:.1} us)",
+        most_starved.channels,
+        most_starved.aware.sharding_refused,
+        most_starved.oblivious.decode_p99_us / most_starved.aware.decode_p99_us,
+        most_starved.oblivious.decode_p99_us,
+        most_starved.aware.decode_p99_us
+    );
+
+    assert_planner_invariant_unconstrained(ARRAYS, SIDE, PER_ARRAY_RPS, requests, SEED);
+    println!("unconstrained runs are planner-invariant (bit-identical completions and metrics)");
+
+    if let Some(path) = json_path_from_args() {
+        let json = bandwidth_sweep_to_json(ARRAYS, &points);
+        json.write_to_file(&path).expect("write --json output");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bandwidth;
 pub mod contention;
 pub mod fig12;
 pub mod fig13;

@@ -150,6 +150,49 @@ impl SharedDram {
         let mem = self.transfer_cycles(dram_bytes as usize, accel_clock_mhz, weight, total_weight);
         compute_cycles.max(mem.ceil() as u64)
     }
+
+    /// Cheap contended estimate of a whole walk: [`SharedDram::leg_cycles`]
+    /// summed over `(compute_cycles, dram_bytes)` legs at one fixed
+    /// allocation — the query a *scheduler* consults before committing to
+    /// a plan, as opposed to the event-driven re-timing the pod simulator
+    /// bills with afterwards.
+    ///
+    /// The estimate is exact when the co-running set stays fixed for the
+    /// walk's duration; otherwise it can err in either direction —
+    /// under-estimating if demand grows mid-walk, over-estimating if
+    /// co-runners finish and the fair-share denominator shrinks (the
+    /// event-driven re-timing in the pod simulator then bills less than
+    /// estimated). It costs one multiply-compare per leg, so a planner
+    /// can afford to score every candidate plan.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axon_mem::{DramConfig, SharedDram};
+    ///
+    /// let shared = SharedDram::new(DramConfig::lpddr3(), 1);
+    /// let legs = [(100u64, 6400u64), (800, 6400)];
+    /// // Alone: max(100, 800) + max(800, 800) cycles at 800 MHz.
+    /// assert_eq!(shared.schedule_cycles(800.0, legs, 1, 1), 1600);
+    /// // Two co-runners halve the bandwidth: both legs go memory-bound.
+    /// assert_eq!(shared.schedule_cycles(800.0, legs, 1, 2), 3200);
+    /// ```
+    pub fn schedule_cycles<I>(
+        &self,
+        accel_clock_mhz: f64,
+        legs: I,
+        weight: usize,
+        total_weight: usize,
+    ) -> u64
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        legs.into_iter()
+            .map(|(compute, bytes)| {
+                self.leg_cycles(accel_clock_mhz, compute, bytes, weight, total_weight)
+            })
+            .sum()
+    }
 }
 
 impl fmt::Display for SharedDram {
@@ -226,6 +269,26 @@ mod tests {
         assert_eq!(shared.leg_cycles(800.0, 10_000, 6400, 1, 2), 10_000);
         // Zero bytes short-circuits.
         assert_eq!(shared.leg_cycles(800.0, 7, 0, 1, 100), 7);
+    }
+
+    #[test]
+    fn schedule_estimate_matches_leg_sum_and_is_monotone_in_demand() {
+        let shared = SharedDram::new(DramConfig::lpddr3(), 2);
+        let legs = [(500u64, 100_000u64), (2000, 0), (10, 1 << 20)];
+        let by_hand: u64 = legs
+            .iter()
+            .map(|&(c, b)| shared.leg_cycles(800.0, c, b, 1, 5))
+            .sum();
+        assert_eq!(shared.schedule_cycles(800.0, legs, 1, 5), by_hand);
+        // More co-running demand never shortens the estimate.
+        let mut last = 0;
+        for total in 1..=8 {
+            let t = shared.schedule_cycles(800.0, legs, 1, total);
+            assert!(t >= last, "total {total}: {t} < {last}");
+            last = t;
+        }
+        // Empty walk estimates to zero.
+        assert_eq!(shared.schedule_cycles(800.0, [], 1, 1), 0);
     }
 
     #[test]

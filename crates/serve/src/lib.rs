@@ -74,7 +74,7 @@ pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix
 pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics};
 pub use pod::{
     service_cycles, simulate_pod, simulate_pod_with_policy, ArrayConfig, MappingPolicy,
-    MemoryModel, PodConfig, PreemptionMode, ServingReport, SpotCheckConfig,
+    MemoryModel, PodConfig, PreemptionMode, ServingReport, ShardPlanner, SpotCheckConfig,
 };
 pub use request::{
     batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,

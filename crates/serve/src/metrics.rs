@@ -87,6 +87,11 @@ pub struct Completion {
     /// Whether this request joined an already-running batch (continuous
     /// batching) instead of waiting for a fresh dispatch.
     pub joined_inflight: bool,
+    /// This request's share of the dispatch's bandwidth-stall cycles:
+    /// service time billed beyond the compute-only schedule because the
+    /// shared DRAM could not feed the tile walk (0 under
+    /// [`MemoryModel::Unconstrained`](crate::MemoryModel)).
+    pub bandwidth_stall_cycles: u64,
     /// This request's share of the dispatch's array energy, microjoules.
     pub array_energy_uj: f64,
     /// This request's share of the dispatch's DRAM energy, millijoules.
@@ -126,6 +131,10 @@ pub struct ClassMetrics {
     pub slo_violations: usize,
     /// End-to-end latency distribution of this class.
     pub total: LatencySummary,
+    /// Bandwidth-stall cycles attributed to this class: service time
+    /// billed beyond the compute-only schedule under the shared memory
+    /// model (0 when memory is unconstrained).
+    pub bandwidth_stall_cycles: u64,
 }
 
 impl ClassMetrics {
@@ -147,6 +156,7 @@ impl ClassMetrics {
                     total: LatencySummary::from_cycles(
                         of_class.iter().map(|c| c.total_cycles()).collect(),
                     ),
+                    bandwidth_stall_cycles: of_class.iter().map(|c| c.bandwidth_stall_cycles).sum(),
                 })
             })
             .collect()
@@ -176,6 +186,17 @@ pub struct PodMetrics {
     pub mean_batch_size: f64,
     /// Dispatches sharded over more than one array.
     pub sharded_batches: usize,
+    /// Dispatches where the bandwidth-aware planner refused a scale-out
+    /// grid the compute-only planner would have taken (the pod's
+    /// channels could not feed the duplicated operand streams). Always 0
+    /// under [`MemoryModel::Unconstrained`](crate::MemoryModel) or
+    /// [`ShardPlanner::ComputeOnly`](crate::ShardPlanner).
+    pub sharding_refused: usize,
+    /// Total service cycles billed beyond the compute-only schedule
+    /// because the shared DRAM could not feed the tile walks (the
+    /// pod-wide sum of per-class stalls; 0 when memory is
+    /// unconstrained).
+    pub bandwidth_stall_cycles: u64,
     /// Tile-boundary preemptions of running dispatches.
     pub preemptions: usize,
     /// Requests admitted into an in-flight batch (continuous batching).
@@ -266,14 +287,24 @@ impl fmt::Display for PodMetrics {
         writeln!(f, "  total   {}", self.total)?;
         writeln!(
             f,
-            "  {} dispatches (mean batch {:.2}, {} sharded, {} preempted, {} joins), utilization {:.1}%",
+            "  {} dispatches (mean batch {:.2}, {} sharded, {} shards refused, {} preempted, \
+             {} joins), utilization {:.1}%",
             self.batches,
             self.mean_batch_size,
             self.sharded_batches,
+            self.sharding_refused,
             self.preemptions,
             self.inflight_joins,
             100.0 * self.mean_utilization()
         )?;
+        if self.bandwidth_stall_cycles > 0 {
+            writeln!(
+                f,
+                "  bandwidth stall {} cycles ({:.1} us)",
+                self.bandwidth_stall_cycles,
+                self.micros(self.bandwidth_stall_cycles)
+            )?;
+        }
         writeln!(
             f,
             "  SLO: {} met / {} violated ({:.1} goodput req/s)",
@@ -336,6 +367,7 @@ mod tests {
             sharded_over: 1,
             preemptions: 0,
             joined_inflight: false,
+            bandwidth_stall_cycles: 0,
             array_energy_uj: 0.0,
             dram_energy_mj: 0.0,
         };
@@ -363,6 +395,7 @@ mod tests {
             sharded_over: 1,
             preemptions: 0,
             joined_inflight: false,
+            bandwidth_stall_cycles: 0,
             array_energy_uj: 0.0,
             dram_energy_mj: 0.0,
         };

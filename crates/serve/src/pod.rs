@@ -97,6 +97,27 @@ pub enum MappingPolicy {
 /// The memory model decides what a dispatched job's *service time* owes
 /// to the memory system; DRAM transfer *energy* is billed the same way
 /// under both variants.
+///
+/// # Examples
+///
+/// Moving an experiment from free operand streaming to a shared-DRAM
+/// pod is the 3-line builder swap below — and because scale-out now
+/// costs bandwidth, the starved run can never finish sooner:
+///
+/// ```
+/// use axon_core::runtime::Architecture;
+/// use axon_serve::{simulate_pod, MemoryModel, PodConfig, TrafficConfig};
+///
+/// let traffic = TrafficConfig::open_loop(3, 60, 2000.0);
+/// let free = PodConfig::homogeneous(2, Architecture::Axon, 32);
+/// let starved = free
+///     .clone()
+///     .with_memory(MemoryModel::Shared { channels: 1 });
+/// let (f, s) = (simulate_pod(&free, &traffic), simulate_pod(&starved, &traffic));
+/// assert_eq!(f.metrics.completed, s.metrics.completed);
+/// assert!(s.metrics.makespan_cycles >= f.metrics.makespan_cycles);
+/// assert_eq!(f.metrics.bandwidth_stall_cycles, 0); // streaming was free
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MemoryModel {
     /// Service time is the compute-cycle model alone: every array
@@ -119,7 +140,59 @@ pub enum MemoryModel {
     },
 }
 
+/// How the sharding planner scores candidate scale-out grids.
+///
+/// Sharding a large kernel over `pr x pc` arrays divides its compute
+/// but *multiplies* its DRAM traffic (each A slice is delivered to every
+/// grid column, each B slice to every grid row) and adds `pr * pc - 1`
+/// demand units to the shared memory system. Whether that trade pays
+/// depends on how starved the pod's channels are — which is exactly
+/// what the two planners disagree about.
+///
+/// Under [`MemoryModel::Unconstrained`] the planners are
+/// indistinguishable (there is no bandwidth to be aware of), so every
+/// pre-contention result reproduces bit for bit under either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlanner {
+    /// Score candidate grids by compute cycles alone — the
+    /// pre-contention planner, which happily shards a memory-bound
+    /// kernel onto a starved pod and makes everything slower.
+    ComputeOnly,
+    /// Score candidate grids by their *contended* finish estimate
+    /// ([`SharedDram::schedule_cycles`] under the fair-share allocation
+    /// the plan would actually run at, co-running demand included) and
+    /// refuse scale-out that a starved pod cannot feed. Falls back to
+    /// compute-cycle scoring under [`MemoryModel::Unconstrained`].
+    /// Refusals are surfaced as
+    /// [`PodMetrics::sharding_refused`](crate::PodMetrics).
+    #[default]
+    BandwidthAware,
+}
+
 /// Whether running jobs may be checkpointed for urgent work.
+///
+/// # Examples
+///
+/// Preemption is another 3-line builder swap; with uniformly loose
+/// deadlines nothing is ever urgent, so the two modes reproduce the
+/// identical report (the anti-churn guarantee):
+///
+/// ```
+/// use axon_core::runtime::Architecture;
+/// use axon_serve::{
+///     simulate_pod, PodConfig, PreemptionMode, SchedulerPolicy, SloBudgets, TrafficConfig,
+/// };
+///
+/// let traffic = TrafficConfig::open_loop(9, 40, 900.0).with_slo(SloBudgets::uniform(u64::MAX / 2));
+/// let calm = PodConfig::homogeneous(2, Architecture::Axon, 32)
+///     .with_scheduler(SchedulerPolicy::Edf { max_batch: 8 });
+/// let eager = calm
+///     .clone()
+///     .with_preemption(PreemptionMode::TileBoundary);
+/// let (c, e) = (simulate_pod(&calm, &traffic), simulate_pod(&eager, &traffic));
+/// assert_eq!(c.metrics, e.metrics);
+/// assert_eq!(e.metrics.preemptions, 0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PreemptionMode {
     /// Jobs run to completion once dispatched.
@@ -177,6 +250,9 @@ pub struct PodConfig {
     /// Shard a dispatch across idle identical arrays (via the scale-out
     /// partitioner) once its MAC count reaches this threshold.
     pub shard_min_macs: Option<usize>,
+    /// How candidate scale-out grids are scored (compute-only, or
+    /// contended finish time under the shared memory model).
+    pub planner: ShardPlanner,
     /// Cycle-accurate spot-check configuration.
     pub spot_check: Option<SpotCheckConfig>,
 }
@@ -205,6 +281,7 @@ impl PodConfig {
             dram: DramConfig::lpddr3(),
             memory: MemoryModel::Unconstrained,
             shard_min_macs: Some(64 << 20),
+            planner: ShardPlanner::BandwidthAware,
             spot_check: None,
         }
     }
@@ -234,6 +311,30 @@ impl PodConfig {
     }
 
     /// Builder-style DRAM-interface override (the default is LPDDR3).
+    ///
+    /// # Examples
+    ///
+    /// [`PodConfig::dram`] feeds both the energy billing and the
+    /// shared-channel arbiter, so swapping the interface is how a
+    /// faster memory system enters a contention experiment — a wider
+    /// interface can only shrink the makespan of a starved pod:
+    ///
+    /// ```
+    /// use axon_core::runtime::Architecture;
+    /// use axon_mem::DramConfig;
+    /// use axon_serve::{simulate_pod, MemoryModel, PodConfig, TrafficConfig};
+    ///
+    /// let traffic = TrafficConfig::open_loop(5, 40, 2500.0);
+    /// let slow = PodConfig::homogeneous(2, Architecture::Axon, 32)
+    ///     .with_memory(MemoryModel::Shared { channels: 1 });
+    /// assert_eq!(slow.dram, DramConfig::lpddr3());
+    /// let fast = slow.clone().with_dram(DramConfig {
+    ///     bandwidth_bytes_per_s: 4.0 * 6.4e9, // four LPDDR3 interfaces wide
+    ///     ..DramConfig::lpddr3()
+    /// });
+    /// let (s, f) = (simulate_pod(&slow, &traffic), simulate_pod(&fast, &traffic));
+    /// assert!(f.metrics.makespan_cycles <= s.metrics.makespan_cycles);
+    /// ```
     pub fn with_dram(mut self, dram: DramConfig) -> Self {
         self.dram = dram;
         self
@@ -256,6 +357,14 @@ impl PodConfig {
     /// Builder-style sharding-threshold override (`None` disables).
     pub fn with_shard_min_macs(mut self, macs: Option<usize>) -> Self {
         self.shard_min_macs = macs;
+        self
+    }
+
+    /// Builder-style sharding-planner override. Pass
+    /// [`ShardPlanner::ComputeOnly`] to reproduce the pre-contention
+    /// planner (the `bandwidth_sweep` baseline).
+    pub fn with_planner(mut self, planner: ShardPlanner) -> Self {
+        self.planner = planner;
         self
     }
 }
@@ -329,6 +438,22 @@ pub fn service_cycles(
     }
 }
 
+/// The candidate scale-out grids for `free_peers` idle identical
+/// arrays: every `pr x pc` using 2..=free_peers arrays, 4-way cap per
+/// dimension, in deterministic `(pr, pc)` order. Both planners score
+/// exactly this set, so their disagreement (the `sharding_refused`
+/// counter) always reflects a real divergence in scoring, never in
+/// candidates.
+fn shard_grids(free_peers: usize) -> impl Iterator<Item = (usize, usize)> {
+    let cap = free_peers.min(4);
+    (1..=cap).flat_map(move |pr| {
+        (1..=cap).filter_map(move |pc| {
+            let arrays = pr * pc;
+            (2..=free_peers).contains(&arrays).then_some((pr, pc))
+        })
+    })
+}
+
 /// Picks the scale-out grid (and resulting cycles) for `shape` given
 /// `free_peers` idle identical arrays. Returns `(pr, pc, dataflow,
 /// cycles)`; `(1, 1, ..)` means no sharding pays off.
@@ -343,25 +468,87 @@ fn plan_sharding(
         let (df, cycles) = service_cycles(cfg, mapping, drain, Tiling::ScaleUp, shape);
         (1usize, 1usize, df, cycles)
     };
-    for pr in 1..=free_peers.min(4) {
-        for pc in 1..=free_peers.min(4) {
-            let arrays = pr * pc;
-            if arrays < 2 || arrays > free_peers {
-                continue;
-            }
-            let tiling = Tiling::ScaleOut {
-                partitions_r: pr,
-                partitions_c: pc,
-            };
-            let (df, cycles) = service_cycles(cfg, mapping, drain, tiling, shape);
-            // Strict improvement required: idle arrays are better spent on
-            // the next queued batch than on marginal sharding gains.
-            if cycles < best.3 {
-                best = (pr, pc, df, cycles);
-            }
+    for (pr, pc) in shard_grids(free_peers) {
+        let tiling = Tiling::ScaleOut {
+            partitions_r: pr,
+            partitions_c: pc,
+        };
+        let (df, cycles) = service_cycles(cfg, mapping, drain, tiling, shape);
+        // Strict improvement required: idle arrays are better spent on
+        // the next queued batch than on marginal sharding gains.
+        if cycles < best.3 {
+            best = (pr, pc, df, cycles);
         }
     }
     best
+}
+
+/// Picks the scale-out grid by *contended* finish time: every candidate
+/// grid (the `1x1` no-shard plan included) is scored by the shared-DRAM
+/// fair-share estimate of its service time with the plan's own demand
+/// added to `co_running_weight` — exactly the arithmetic the pod bills
+/// with afterwards, evaluated under a frozen co-running set. A grid is
+/// taken only on strict improvement, so a starved pod that cannot feed
+/// the duplicated operand streams of a scale-out grid keeps the kernel
+/// on one array.
+///
+/// Returns `(pr, pc, dataflow, compute_cycles, refused)`; `refused` is
+/// true when the compute-only planner ([`plan_sharding`]) would have
+/// sharded wider than the contended choice — the event counted by
+/// [`PodMetrics::sharding_refused`](crate::PodMetrics).
+#[allow(clippy::too_many_arguments)]
+fn plan_sharding_contended(
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    shape: GemmShape,
+    free_peers: usize,
+    shared: &SharedDram,
+    clock_mhz: f64,
+    co_running_weight: usize,
+) -> (usize, usize, Dataflow, usize, bool) {
+    // The no-shard candidate is billed as its per-tile walk, so estimate
+    // it the same way (final drain is bandwidth-independent).
+    let (df1, cycles1) = service_cycles(cfg, mapping, drain, Tiling::ScaleUp, shape);
+    let est1 = {
+        let sched = plan_tiles(cfg, drain, df1, shape);
+        shared.schedule_cycles(
+            clock_mhz,
+            sched.tiles.iter().map(|t| (t.cycles, t.dram_bytes)),
+            1,
+            co_running_weight + 1,
+        ) + sched.final_drain
+    };
+    let mut best = (1usize, 1usize, df1, cycles1);
+    let mut best_est = est1;
+    let mut best_compute = (1usize, cycles1);
+    for (pr, pc) in shard_grids(free_peers) {
+        let arrays = pr * pc;
+        let tiling = Tiling::ScaleOut {
+            partitions_r: pr,
+            partitions_c: pc,
+        };
+        let (df, cycles) = service_cycles(cfg, mapping, drain, tiling, shape);
+        // A sharded job is billed as one opaque leg carrying the
+        // grid's full (duplicated) traffic at grid weight: the
+        // estimate is that exact roofline.
+        let est = shared.leg_cycles(
+            clock_mhz,
+            cycles as u64,
+            dispatch_dram_bytes(shape, pr, pc),
+            arrays,
+            co_running_weight + arrays,
+        );
+        if est < best_est {
+            best = (pr, pc, df, cycles);
+            best_est = est;
+        }
+        if cycles < best_compute.1 {
+            best_compute = (arrays, cycles);
+        }
+    }
+    let refused = best_compute.0 > best.0 * best.1;
+    (best.0, best.1, best.2, best.3, refused)
 }
 
 /// The DRAM traffic of one dispatched GEMM at 1 byte/element (int8
@@ -507,12 +694,24 @@ struct RunningJob {
     /// checkpoint point when `suspend_after` is set.
     end: u64,
     /// `Some(j)`: at `end` the job suspends, tiles `next_tile..=j` done.
-    /// A suspending job's `end` is frozen at its decision-time
-    /// bandwidth; it keeps its demand weight until the checkpoint
-    /// completes.
+    /// The checkpoint tail (drain + context spill) is walked as two
+    /// extra phases after tile `j`, so a suspending job re-times with
+    /// the bandwidth epoch like any other — its `end` is *not* frozen at
+    /// decision-time bandwidth — and it keeps its demand weight until
+    /// the checkpoint completes.
     suspend_after: Option<usize>,
+    /// Checkpoint-drain cycles of the scheduled suspension (phase
+    /// `j + 1`; 0 unless `suspend_after` is set).
+    ckpt_drain: u64,
+    /// Context bytes of the scheduled suspension's spill transfer (phase
+    /// `j + 2`; 0 unless `suspend_after` is set).
+    spill_bytes: u64,
     /// Cycles billed in finished segments (array-occupied wall cycles).
     billed: u64,
+    /// What `billed` would be under [`MemoryModel::Unconstrained`]: the
+    /// compute-cycle schedule plus join deltas and checkpoint drains.
+    /// `billed - baseline_cycles` is the job's bandwidth-stall time.
+    baseline_cycles: u64,
     preemptions: u32,
     /// Checkpoint spill + refill DRAM bytes accumulated by preemptions
     /// (billed into DRAM energy at completion).
@@ -542,13 +741,35 @@ impl RunningJob {
             + self.final_drain
     }
 
-    /// Duration of phase `idx` under `total_weight` active units
-    /// (`idx == tiles.len()` is the share-independent final drain).
+    /// Duration of phase `idx` under `total_weight` active units. The
+    /// phase sequence is the tile walk, then either the share-independent
+    /// final drain (`idx == tiles.len()`, running to completion) or —
+    /// when a checkpoint is scheduled after tile `j` — the checkpoint
+    /// drain (`j + 1`) and the context-spill transfer (`j + 2`), whose
+    /// duration tracks the *current* bandwidth epoch.
     fn phase_time(&self, idx: usize, timing: &MemTiming, total_weight: usize) -> u64 {
+        if let Some(j) = self.suspend_after {
+            if idx > j {
+                return if idx == j + 1 {
+                    self.ckpt_drain
+                } else {
+                    timing.transfer_time(self.spill_bytes, self.weight(), total_weight)
+                };
+            }
+        }
         if idx < self.tiles.len() {
             timing.tile_time(&self.tiles[idx], self.weight(), total_weight)
         } else {
             self.final_drain
+        }
+    }
+
+    /// Index of the terminal phase: the context spill when a checkpoint
+    /// is scheduled, the final drain otherwise.
+    fn last_phase(&self) -> usize {
+        match self.suspend_after {
+            Some(j) => j + 2,
+            None => self.tiles.len(),
         }
     }
 
@@ -566,8 +787,8 @@ impl RunningJob {
                 return;
             }
             elapsed -= rem;
-            if self.next_tile >= self.tiles.len() {
-                // Final drain fully consumed: `end == now`; the job
+            if self.next_tile >= self.last_phase() {
+                // Terminal phase fully consumed: `end == now`; the job
                 // finalizes this event.
                 self.cur_consumed = self.cur_scheduled;
                 return;
@@ -594,7 +815,7 @@ impl RunningJob {
         self.cur_scheduled = t_new;
         self.cur_consumed = t_new - rem_new;
         let mut remaining = rem_new;
-        for idx in self.next_tile + 1..=self.tiles.len() {
+        for idx in self.next_tile + 1..=self.last_phase() {
             remaining += self.phase_time(idx, timing, total_weight);
         }
         self.timed_total_weight = total_weight;
@@ -641,16 +862,17 @@ impl RunningJob {
     }
 }
 
-/// Advances every non-suspending job to `now` and re-times it under the
+/// Advances every running job to `now` and re-times it under the
 /// current total demand, syncing `free_at` with the moved completion
 /// edges. The single point where concurrency changes (job start,
 /// finish, join, checkpoint completion) propagate into service time.
+/// Suspending jobs re-time too: their checkpoint tail (drain + context
+/// spill) is part of their phase walk, so a spill scheduled under heavy
+/// contention speeds up when co-runners finish — checkpoints track the
+/// bandwidth epoch instead of freezing at decision-time bandwidth.
 fn retime(running: &mut [RunningJob], now: u64, timing: &MemTiming, free_at: &mut [u64]) {
     let total_weight: usize = running.iter().map(|j| j.weight()).sum();
     for job in running.iter_mut() {
-        if job.suspend_after.is_some() {
-            continue; // frozen checkpoint segment
-        }
         job.advance_to(now, timing);
         job.reproject(timing, total_weight);
         for &i in &job.used {
@@ -736,6 +958,8 @@ pub fn simulate_pod_with_policy(
     let mut seq = 0usize;
     let mut batches = 0usize;
     let mut sharded_batches = 0usize;
+    let mut sharding_refused = 0usize;
+    let mut bandwidth_stall_cycles = 0u64;
     let mut preemptions = 0usize;
     let mut inflight_joins = 0usize;
     let mut array_energy_uj = 0.0f64;
@@ -751,6 +975,14 @@ pub fn simulate_pod_with_policy(
             .into_iter()
             .map(|i| queue[i].deadline)
             .min()
+    };
+    // The queue position of the most urgent eligible request (ties by
+    // id, so the pick is deterministic) — the request the preemption
+    // achievability guard sizes its contended service estimate for.
+    let eligible_most_urgent = |queue: &VecDeque<Request>| -> Option<usize> {
+        eligible_indices(queue)
+            .into_iter()
+            .min_by_key(|&i| (queue[i].deadline, queue[i].id))
     };
 
     loop {
@@ -784,6 +1016,11 @@ pub fn simulate_pod_with_policy(
                 // a refill charged to the first resumed tile's demand.
                 let ctx = job.checkpoint_context_bytes(j);
                 job.checkpoint_dram_bytes += 2 * ctx;
+                // The drain is compute-side work the unconstrained model
+                // bills too; the spill transfer is pure bandwidth stall.
+                job.baseline_cycles += job.ckpt_drain;
+                job.ckpt_drain = 0;
+                job.spill_bytes = 0;
                 job.next_tile = j + 1;
                 job.tiles[job.next_tile].dram_bytes += ctx;
                 job.cur_consumed = 0;
@@ -816,7 +1053,15 @@ pub fn simulate_pod_with_policy(
             dram_energy_mj += job_dram_mj;
             checkpoint_dram_mj += ckpt_mj;
 
+            // Bandwidth stall: billed wall cycles beyond what the
+            // compute-only schedule (joins and drains included) owes —
+            // zero under the unconstrained model by construction.
+            let job_stall = job.billed.saturating_sub(job.baseline_cycles);
+            bandwidth_stall_cycles += job_stall;
+
             let share = job.batch.requests.len() as f64;
+            let stall_share = job_stall / job.batch.requests.len() as u64;
+            let stall_rem = job_stall % job.batch.requests.len() as u64;
             for (ri, r) in job.batch.requests.iter().enumerate() {
                 completions.push(Completion {
                     id: r.id,
@@ -832,6 +1077,7 @@ pub fn simulate_pod_with_policy(
                     sharded_over: job.pr * job.pc,
                     preemptions: job.preemptions,
                     joined_inflight: job.joined[ri],
+                    bandwidth_stall_cycles: stall_share + if ri == 0 { stall_rem } else { 0 },
                     array_energy_uj: job_array_uj / share,
                     dram_energy_mj: job_dram_mj / share,
                 });
@@ -914,7 +1160,31 @@ pub fn simulate_pod_with_policy(
                 .shard_min_macs
                 .is_some_and(|min| batch.shape.macs() >= min);
             let (pr, pc, df, cycles) = if want_shard && peers.len() > 1 {
-                plan_sharding(&cfg, pod.mapping, pod.drain, batch.shape, peers.len())
+                match (&timing.shared, pod.planner) {
+                    // Bandwidth-aware: score grids by contended finish
+                    // time under the co-running demand and refuse
+                    // scale-out a starved pod cannot feed.
+                    (Some(shared), ShardPlanner::BandwidthAware) => {
+                        let co_running: usize = running.iter().map(|j| j.weight()).sum();
+                        let (pr, pc, df, cycles, refused) = plan_sharding_contended(
+                            &cfg,
+                            pod.mapping,
+                            pod.drain,
+                            batch.shape,
+                            peers.len(),
+                            shared,
+                            pod.clock_mhz,
+                            co_running,
+                        );
+                        if refused {
+                            sharding_refused += 1;
+                        }
+                        (pr, pc, df, cycles)
+                    }
+                    // Compute-only scoring: the pre-contention planner
+                    // (and the only sensible one when streaming is free).
+                    _ => plan_sharding(&cfg, pod.mapping, pod.drain, batch.shape, peers.len()),
+                }
             } else {
                 let (df, cycles) =
                     service_cycles(&cfg, pod.mapping, pod.drain, Tiling::ScaleUp, batch.shape);
@@ -1004,7 +1274,10 @@ pub fn simulate_pod_with_policy(
                 segment_start: now,
                 end: completion,
                 suspend_after: None,
+                ckpt_drain: 0,
+                spill_bytes: 0,
                 billed: 0,
+                baseline_cycles: cycles as u64,
                 preemptions: 0,
                 checkpoint_dram_bytes: 0,
             });
@@ -1063,6 +1336,7 @@ pub fn simulate_pod_with_policy(
                 let old_t = job.phase_time(last_idx, &timing, job.timed_total_weight);
                 job.tiles[last_idx].cycles += delta;
                 job.tiles[last_idx].dram_bytes += delta_bytes;
+                job.baseline_cycles += delta;
                 let new_t = job.phase_time(last_idx, &timing, job.timed_total_weight);
                 let dt = new_t.saturating_sub(old_t);
                 if job.next_tile == last_idx {
@@ -1091,36 +1365,96 @@ pub fn simulate_pod_with_policy(
         // least-urgent preemptible job at its next tile boundary.
         if pod.preemption == PreemptionMode::TileBoundary && !queue.is_empty() {
             let total_weight: usize = running.iter().map(|j| j.weight()).sum();
-            while let Some(urgent) = eligible_min_deadline(&queue) {
-                let min_free = free_at.iter().copied().min().unwrap_or(0);
-                if urgent >= min_free {
-                    break;
+            // The queue never changes inside this loop (only `free_at`
+            // moves as victims are scheduled to checkpoint), so the most
+            // urgent eligible request — and everything derived from it —
+            // is loop-invariant.
+            if let Some(ui) = eligible_most_urgent(&queue) {
+                let urgent = queue[ui].deadline;
+                let urgent_shape = queue[ui].workload.shape;
+                let mut urgent_ests: Vec<(ArrayConfig, u64)> = Vec::new();
+                let mut ests_built = !timing.is_shared();
+                loop {
+                    let min_free = free_at.iter().copied().min().unwrap_or(0);
+                    if urgent >= min_free {
+                        break;
+                    }
+                    // Victim: the preemptible job with the loosest
+                    // deadline strictly looser than the urgent
+                    // request's, whose checkpoint (boundary + drain +
+                    // context spill) frees an array both earlier than
+                    // any natural completion and early enough that the
+                    // urgent deadline is still achievable (otherwise
+                    // preempting is pure churn). The boundary and spill
+                    // estimates come from the current bandwidth epoch;
+                    // under the shared model achievability additionally
+                    // requires the urgent request's *contended* service
+                    // estimate to fit before the deadline — freeing an
+                    // array for a dispatch that starved bandwidth would
+                    // sink anyway rescues nothing. The estimate depends
+                    // only on the serving array's configuration, so it
+                    // is computed once per distinct config — lazily,
+                    // the first time the urgency gate actually fires.
+                    if !ests_built {
+                        if let Some(s) = &timing.shared {
+                            for job in &running {
+                                if urgent_ests.iter().any(|(c, _)| *c == job.cfg) {
+                                    continue;
+                                }
+                                let (_, cycles) = service_cycles(
+                                    &job.cfg,
+                                    pod.mapping,
+                                    pod.drain,
+                                    Tiling::ScaleUp,
+                                    urgent_shape,
+                                );
+                                let est = s.leg_cycles(
+                                    pod.clock_mhz,
+                                    cycles as u64,
+                                    dispatch_dram_bytes(urgent_shape, 1, 1),
+                                    1,
+                                    total_weight.max(1),
+                                );
+                                urgent_ests.push((job.cfg, est));
+                            }
+                        }
+                        ests_built = true;
+                    }
+                    let victim = running
+                        .iter_mut()
+                        .filter(|j| j.deadline() > urgent)
+                        .filter_map(|j| {
+                            let (jt, b) = j.next_boundary(now, &timing)?;
+                            let drain = j.checkpoint_drain(jt, pod.drain);
+                            let spill = timing.transfer_time(
+                                j.checkpoint_context_bytes(jt),
+                                1,
+                                total_weight,
+                            );
+                            let tail = drain + spill;
+                            let achievable = if timing.is_shared() {
+                                let est = urgent_ests
+                                    .iter()
+                                    .find(|(c, _)| *c == j.cfg)
+                                    .map(|&(_, e)| e)
+                                    .expect("estimate precomputed for every running config");
+                                (b + tail).saturating_add(est) <= urgent
+                            } else {
+                                b + tail < urgent
+                            };
+                            (b + tail < min_free && achievable).then_some((j, jt, b, drain, spill))
+                        })
+                        .max_by_key(|(j, ..)| (j.deadline(), j.seq));
+                    let Some((job, jt, boundary, drain, spill)) = victim else {
+                        break;
+                    };
+                    job.suspend_after = Some(jt);
+                    job.ckpt_drain = drain;
+                    job.spill_bytes = job.checkpoint_context_bytes(jt);
+                    job.end = boundary + drain + spill;
+                    let ai = job.used[0];
+                    free_at[ai] = job.end;
                 }
-                // Victim: the preemptible job with the loosest deadline
-                // strictly looser than the urgent request's, whose
-                // checkpoint (boundary + drain + context spill) frees an
-                // array both earlier than any natural completion and
-                // early enough that the urgent deadline is still
-                // achievable (otherwise preempting is pure churn).
-                let victim = running
-                    .iter_mut()
-                    .filter(|j| j.deadline() > urgent)
-                    .filter_map(|j| {
-                        let (jt, b) = j.next_boundary(now, &timing)?;
-                        let drain = j.checkpoint_drain(jt, pod.drain);
-                        let spill =
-                            timing.transfer_time(j.checkpoint_context_bytes(jt), 1, total_weight);
-                        let tail = drain + spill;
-                        (b + tail < min_free && b + tail < urgent).then_some((j, jt, b, tail))
-                    })
-                    .max_by_key(|(j, _, _, _)| (j.deadline(), j.seq));
-                let Some((job, jt, boundary, tail)) = victim else {
-                    break;
-                };
-                job.suspend_after = Some(jt);
-                job.end = boundary + tail;
-                let ai = job.used[0];
-                free_at[ai] = job.end;
             }
         }
 
@@ -1166,6 +1500,8 @@ pub fn simulate_pod_with_policy(
             completions.len() as f64 / batches as f64
         },
         sharded_batches,
+        sharding_refused,
+        bandwidth_stall_cycles,
         preemptions,
         inflight_joins,
         slo_met,
@@ -1590,6 +1926,155 @@ mod tests {
             );
             assert_eq!(calm.metrics.checkpoint_dram_mj, 0.0);
         }
+    }
+
+    /// Builds a runnable scale-up job over a real tile schedule for the
+    /// re-timing unit tests.
+    fn tile_job(cfg: ArrayConfig, shape: GemmShape, now: u64) -> RunningJob {
+        use axon_workloads::{GemmWorkload, WorkloadKind};
+        let (df, cycles) = service_cycles(
+            &cfg,
+            MappingPolicy::BestPerRequest,
+            DrainPolicy::Overlapped,
+            Tiling::ScaleUp,
+            shape,
+        );
+        let sched = plan_tiles(&cfg, DrainPolicy::Overlapped, df, shape);
+        let req = crate::request::Request {
+            id: 0,
+            client: 0,
+            class: RequestClass::Decode,
+            workload: GemmWorkload {
+                name: "t",
+                shape,
+                kind: WorkloadKind::Gemm,
+            },
+            arrival: 0,
+            deadline: u64::MAX,
+        };
+        let cur_scheduled = sched.tiles[0].cycles;
+        RunningJob {
+            seq: 0,
+            batch: Batch {
+                requests: vec![req],
+                shape,
+            },
+            dispatch_times: vec![now],
+            joined: vec![false],
+            key: None,
+            cfg,
+            dataflow: df,
+            used: vec![0],
+            pr: 1,
+            pc: 1,
+            tiles: sched.tiles,
+            final_drain: sched.final_drain,
+            next_tile: 0,
+            cur_consumed: 0,
+            cur_scheduled,
+            last_update: now,
+            timed_total_weight: 0,
+            segment_start: now,
+            end: now + cycles as u64,
+            suspend_after: None,
+            ckpt_drain: 0,
+            spill_bytes: 0,
+            billed: 0,
+            baseline_cycles: cycles as u64,
+            preemptions: 0,
+            checkpoint_dram_bytes: 0,
+        }
+    }
+
+    /// A job suspended under contention and resumed when the pod has
+    /// drained must re-time to the *private* roofline exactly: the
+    /// decision-time bandwidth leaves no residue in the resumed walk.
+    #[test]
+    fn resumed_job_retimes_to_private_roofline_exactly() {
+        let pod = PodConfig::homogeneous(1, Architecture::Axon, 32)
+            .with_memory(MemoryModel::Shared { channels: 1 });
+        let timing = MemTiming::new(&pod);
+        let cfg = pod.arrays[0];
+        let now = 10_000u64;
+        let mut job = tile_job(cfg, GemmShape::new(256, 256, 256), now);
+        assert!(job.tiles.len() > 2, "need a multi-tile walk");
+        // Pretend tile 0 completed before a (heavily contended)
+        // suspension; the resume path writes a provisional
+        // compute-only projection and lets `retime` fix it.
+        job.next_tile = 1;
+        job.preemptions = 1;
+        job.cur_consumed = 0;
+        job.cur_scheduled = job.tiles[1].cycles;
+        job.timed_total_weight = 0;
+        job.end = now + job.remaining_cycles();
+        let tiles = job.tiles.clone();
+        let final_drain = job.final_drain;
+
+        let mut running = vec![job];
+        let mut free_at = vec![0u64];
+        retime(&mut running, now, &timing, &mut free_at);
+
+        let shared = SharedDram::new(pod.dram, 1);
+        let private: u64 = tiles[1..]
+            .iter()
+            .map(|t| shared.leg_cycles(pod.clock_mhz, t.cycles, t.dram_bytes, 1, 1))
+            .sum::<u64>()
+            + final_drain;
+        assert_eq!(running[0].end, now + private);
+        assert_eq!(free_at[0], running[0].end);
+        // Sanity: had the job stayed at 4-way decision-time bandwidth,
+        // the memory-bound walk would project strictly later.
+        let contended: u64 = tiles[1..]
+            .iter()
+            .map(|t| shared.leg_cycles(pod.clock_mhz, t.cycles, t.dram_bytes, 1, 4))
+            .sum::<u64>()
+            + final_drain;
+        assert!(contended > private, "test shape must be memory-bound");
+    }
+
+    /// A scheduled checkpoint's tail (drain + context spill) re-times
+    /// with the bandwidth epoch: when the co-runners that starved the
+    /// spill finish, the suspension completes at the private transfer
+    /// rate instead of the frozen decision-time one.
+    #[test]
+    fn suspending_checkpoint_spill_retimes_with_the_epoch() {
+        let pod = PodConfig::homogeneous(1, Architecture::Axon, 32)
+            .with_memory(MemoryModel::Shared { channels: 1 });
+        let timing = MemTiming::new(&pod);
+        let cfg = pod.arrays[0];
+        let now = 5_000u64;
+        let mut job = tile_job(cfg, GemmShape::new(256, 256, 256), now);
+        let j = 0usize; // suspend after the first tile
+        let decision_weight = 4usize;
+        job.suspend_after = Some(j);
+        job.ckpt_drain = job.checkpoint_drain(j, DrainPolicy::Overlapped);
+        job.spill_bytes = job.checkpoint_context_bytes(j);
+        // Decision-time projection under 4 active units.
+        job.timed_total_weight = decision_weight;
+        job.cur_scheduled = job.phase_time(0, &timing, decision_weight);
+        job.end = now
+            + job.cur_scheduled
+            + job.ckpt_drain
+            + timing.transfer_time(job.spill_bytes, 1, decision_weight);
+        let frozen_end = job.end;
+        let expect_drain = job.ckpt_drain;
+        let expect_spill = timing.transfer_time(job.spill_bytes, 1, 1);
+        let expect_tile = timing.tile_time(&job.tiles[0], 1, 1);
+
+        // The co-runners finish: re-time alone.
+        let mut running = vec![job];
+        let mut free_at = vec![0u64];
+        retime(&mut running, now, &timing, &mut free_at);
+        assert_eq!(
+            running[0].end,
+            now + expect_tile + expect_drain + expect_spill,
+            "checkpoint tail must re-time to the private rates"
+        );
+        assert!(
+            running[0].end < frozen_end,
+            "re-timing must beat the frozen decision-time projection"
+        );
+        assert_eq!(running[0].suspend_after, Some(j));
     }
 
     #[test]

@@ -99,6 +99,29 @@ impl fmt::Display for RequestClass {
 /// The defaults are calibrated for the 500 MHz serving pods: 300 us for
 /// decode, 2 ms for the recommender GEMVs, 4 ms for conv, 10 ms for
 /// prefill.
+///
+/// # Examples
+///
+/// Budgets ride on [`TrafficConfig`](crate::TrafficConfig) and become
+/// absolute per-request deadlines (`arrival + budget(class)`) — the
+/// signal the EDF/preemption machinery acts on. Tightening one class is
+/// a 3-line change to an experiment:
+///
+/// ```
+/// use axon_serve::{RequestClass, SloBudgets, TrafficConfig};
+///
+/// let tight = SloBudgets::serving_default().with_decode(75_000);
+/// assert_eq!(tight.budget(RequestClass::Decode), 75_000); // 150 us at 500 MHz
+/// assert_eq!(
+///     tight.budget(RequestClass::Prefill),
+///     SloBudgets::default().prefill
+/// );
+/// let traffic = TrafficConfig::open_loop(1, 8, 1000.0).with_slo(tight);
+/// let trace = axon_serve::RequestGenerator::new(&traffic).open_loop_trace(1000.0, 2);
+/// for r in trace.iter().filter(|r| r.class == RequestClass::Decode) {
+///     assert_eq!(r.deadline, r.arrival + 75_000);
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SloBudgets {
     /// Decode (single-token GEMV) budget — the tight, interactive class.

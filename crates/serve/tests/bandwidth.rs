@@ -1,0 +1,146 @@
+//! End-to-end tests of bandwidth-aware dispatch: the sharding planner's
+//! refusal path, planner invariance when memory is unconstrained, and
+//! the bandwidth-stall accounting surfaced through [`PodMetrics`].
+
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, MemoryModel, PodConfig, PreemptionMode, RequestClass, SchedulerPolicy,
+    ServingReport, ShardPlanner, SloBudgets, TrafficConfig, WorkloadMix,
+};
+
+/// Decode-dominated traffic with enough shardable prefill that the two
+/// planners regularly disagree, at a load light enough that arrays are
+/// often idle together (the precondition for sharding at all).
+fn shardy_traffic(seed: u64, requests: usize) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, requests, 420_000.0).with_mix(WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.75),
+        (RequestClass::Prefill, 0.20),
+        (RequestClass::Gemv, 0.05),
+    ]))
+}
+
+fn starved_pod(planner: ShardPlanner) -> PodConfig {
+    PodConfig::homogeneous(4, Architecture::Axon, 128)
+        .with_memory(MemoryModel::Shared { channels: 1 })
+        .with_planner(planner)
+}
+
+/// The refusal path: on a starved pod the bandwidth-aware planner must
+/// decline scale-out grids the compute-only planner takes — and end no
+/// slower for it, with a decode tail no worse.
+#[test]
+fn starved_pod_refuses_sharding_and_ends_no_slower() {
+    let traffic = shardy_traffic(2026, 150);
+    let oblivious = simulate_pod(&starved_pod(ShardPlanner::ComputeOnly), &traffic);
+    let aware = simulate_pod(&starved_pod(ShardPlanner::BandwidthAware), &traffic);
+
+    assert!(
+        oblivious.metrics.sharded_batches > 0,
+        "scenario must make the oblivious planner shard"
+    );
+    assert_eq!(oblivious.metrics.sharding_refused, 0);
+    assert!(
+        aware.metrics.sharding_refused > 0,
+        "starved pod must refuse at least one grid the oblivious planner took"
+    );
+    assert!(
+        aware.metrics.makespan_cycles <= oblivious.metrics.makespan_cycles,
+        "refusing unfeedable scale-out must not slow the run: {} vs {}",
+        aware.metrics.makespan_cycles,
+        oblivious.metrics.makespan_cycles
+    );
+    let decode_p99 = |r: &ServingReport| {
+        r.metrics
+            .class_metrics(RequestClass::Decode)
+            .expect("decode traffic present")
+            .total
+            .p99
+    };
+    assert!(
+        decode_p99(&aware) <= decode_p99(&oblivious),
+        "bandwidth-aware decode p99 {} must not exceed oblivious {}",
+        decode_p99(&aware),
+        decode_p99(&oblivious)
+    );
+}
+
+/// Without a shared memory model there is no bandwidth to be aware of:
+/// the two planners must produce bit-identical reports (the PR 4
+/// results reproduce exactly under either).
+#[test]
+fn planners_identical_when_memory_unconstrained() {
+    let traffic = shardy_traffic(7, 120);
+    let run = |planner: ShardPlanner| {
+        simulate_pod(
+            &PodConfig::homogeneous(4, Architecture::Axon, 128).with_planner(planner),
+            &traffic,
+        )
+    };
+    let oblivious = run(ShardPlanner::ComputeOnly);
+    let aware = run(ShardPlanner::BandwidthAware);
+    assert_eq!(oblivious.completions, aware.completions);
+    assert_eq!(oblivious.metrics, aware.metrics);
+    assert_eq!(aware.metrics.sharding_refused, 0);
+    assert_eq!(aware.metrics.bandwidth_stall_cycles, 0);
+}
+
+/// Stall accounting: starved pods report positive bandwidth-stall time
+/// that decomposes exactly over completions and classes; unconstrained
+/// pods report none.
+#[test]
+fn bandwidth_stall_accounting_is_consistent() {
+    let traffic = shardy_traffic(11, 120);
+    let starved = simulate_pod(&starved_pod(ShardPlanner::BandwidthAware), &traffic);
+    assert!(
+        starved.metrics.bandwidth_stall_cycles > 0,
+        "a 4-array pod on 1 channel must stall on bandwidth"
+    );
+    let from_completions: u64 = starved
+        .completions
+        .iter()
+        .map(|c| c.bandwidth_stall_cycles)
+        .sum();
+    assert_eq!(from_completions, starved.metrics.bandwidth_stall_cycles);
+    let from_classes: u64 = starved
+        .metrics
+        .per_class
+        .iter()
+        .map(|c| c.bandwidth_stall_cycles)
+        .sum();
+    assert_eq!(from_classes, starved.metrics.bandwidth_stall_cycles);
+
+    let free = simulate_pod(
+        &PodConfig::homogeneous(4, Architecture::Axon, 128),
+        &traffic,
+    );
+    assert_eq!(free.metrics.bandwidth_stall_cycles, 0);
+    assert!(free
+        .completions
+        .iter()
+        .all(|c| c.bandwidth_stall_cycles == 0));
+}
+
+/// Preemption under the shared model composes with the planner and the
+/// epoch-tracking checkpoint tail: everything completes, preempted jobs
+/// carry their counts, and determinism holds bit for bit.
+#[test]
+fn preemption_under_contention_is_deterministic_and_complete() {
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Edf { max_batch: 8 })
+        .with_preemption(PreemptionMode::TileBoundary)
+        .with_memory(MemoryModel::Shared { channels: 1 })
+        .with_shard_min_macs(None);
+    let traffic = TrafficConfig::open_loop(21, 80, 100_000.0)
+        .with_mix(WorkloadMix::new(vec![
+            (RequestClass::Prefill, 0.2),
+            (RequestClass::Decode, 0.8),
+        ]))
+        .with_slo(SloBudgets::serving_default().with_decode(150_000));
+    let a = simulate_pod(&pod, &traffic);
+    let b = simulate_pod(&pod, &traffic);
+    assert_eq!(a.metrics.completed, 80);
+    assert!(a.metrics.preemptions > 0, "scenario must preempt");
+    assert!(a.completions.iter().any(|c| c.preemptions > 0));
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.metrics, b.metrics);
+}

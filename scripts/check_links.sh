@@ -1,10 +1,32 @@
 #!/usr/bin/env bash
 # Verifies that every relative markdown link in README.md and docs/*.md
-# resolves to an existing file or directory. External (http/https) and
-# anchor-only links are skipped. Exits non-zero listing any dead links.
+# resolves to an existing file or directory, and that every `#anchor`
+# fragment pointing at a markdown file (the linking document itself for
+# bare `#anchor` links) matches an actual heading in that file, using
+# GitHub's slugification (lowercase; drop everything but alphanumerics,
+# spaces, hyphens and underscores; spaces become hyphens; duplicate
+# slugs get -1, -2, ... suffixes). External (http/https) links are
+# skipped. Exits non-zero listing any dead links or anchors.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Emit the GitHub anchor slug of every markdown heading in $1, one per
+# line (fenced code blocks excluded so `# comments` in examples don't
+# register as headings).
+slugs_of() {
+    awk '
+        /^(```|~~~)/ { fence = !fence; next }
+        fence { next }
+        /^#+ / {
+            sub(/^#+ +/, "")
+            print
+        }
+    ' "$1" \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g' \
+        | awk '{ n = seen[$0]++; if (n) print $0 "-" n; else print $0 }'
+}
 
 fail=0
 for doc in README.md docs/*.md; do
@@ -14,14 +36,34 @@ for doc in README.md docs/*.md; do
     # `|| true` tolerates docs with no links (grep exits 1 on no match).
     { grep -oE '\]\([^)]+\)' "$doc" || true; } | sed -E 's/^\]\(//; s/\)$//' | while read -r target; do
         case "$target" in
-            http://*|https://*|\#*) continue ;;
+            http://*|https://*) continue ;;
         esac
-        # Strip a trailing #anchor.
         path="${target%%#*}"
-        [ -n "$path" ] || continue
-        if [ ! -e "$dir/$path" ]; then
+        frag=""
+        case "$target" in
+            *'#'*) frag="${target#*#}" ;;
+        esac
+        if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
             echo "DEAD LINK in $doc: $target"
             exit 1
+        fi
+        # Validate the fragment against the target's headings. Bare
+        # `#anchor` links point into the current document; fragments on
+        # non-markdown targets (source line anchors etc.) are skipped.
+        if [ -n "$frag" ]; then
+            if [ -n "$path" ]; then
+                anchor_file="$dir/$path"
+            else
+                anchor_file="$doc"
+            fi
+            case "$anchor_file" in
+                *.md) ;;
+                *) continue ;;
+            esac
+            if ! slugs_of "$anchor_file" | grep -qxF "$frag"; then
+                echo "DEAD ANCHOR in $doc: $target (no heading slugs to '$frag' in $anchor_file)"
+                exit 1
+            fi
         fi
     done || fail=1
 done
@@ -30,4 +72,4 @@ if [ "$fail" -ne 0 ]; then
     echo "link check failed"
     exit 1
 fi
-echo "all relative links in README.md and docs/ resolve"
+echo "all relative links and #anchors in README.md and docs/ resolve"
