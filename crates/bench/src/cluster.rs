@@ -1,0 +1,219 @@
+//! Cluster routing-policy sweep: decode tail latency and goodput for
+//! the router ladder — round-robin, random, join-shortest-queue,
+//! power-of-two-choices, SLO-class-aware, prefill/decode
+//! disaggregation — on an identical heterogeneous fleet under
+//! identical traffic (the `cluster_sweep` binary).
+//!
+//! Every router drives the *same hardware*: two Axon pods (tagged
+//! [`PodRole::Decode`]) and two Conventional pods (tagged
+//! [`PodRole::Prefill`]), all running the coalescing per-pod scheduler
+//! so prefill head-of-line blocking is present and placement matters.
+//! Only the disaggregated router reads the role tags; for every other
+//! policy they are inert labels, which is what makes the comparison an
+//! equal-hardware one. The headline result the binary asserts: at
+//! every swept load, join-shortest-queue and disaggregation achieve
+//! decode p99 no worse than round-robin. See `docs/cluster.md`.
+
+use crate::series::Json;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_cluster, simulate_pod, ClusterConfig, ClusterPodConfig, ClusterReport, PodConfig,
+    PodRole, RequestClass, RouterPolicy, SchedulerPolicy, TrafficConfig, WorkloadMix,
+};
+
+/// The traffic scenario: decode-dominated with enough prefill that a
+/// badly placed prefill blocks a whole pod's decode stream.
+pub fn cluster_mix() -> WorkloadMix {
+    WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.80),
+        (RequestClass::Prefill, 0.15),
+        (RequestClass::Gemv, 0.05),
+    ])
+}
+
+/// The sweep fleet: 2x Axon decode-specialist pods + 2x Conventional
+/// prefill-specialist pods, each `arrays` square `side x side` arrays
+/// under the coalescing scheduler. Identical across every router.
+pub fn sweep_fleet(arrays: usize, side: usize) -> Vec<ClusterPodConfig> {
+    let scheduler = SchedulerPolicy::Batching { max_batch: 8 };
+    let axon = PodConfig::homogeneous(arrays, Architecture::Axon, side).with_scheduler(scheduler);
+    let conv =
+        PodConfig::homogeneous(arrays, Architecture::Conventional, side).with_scheduler(scheduler);
+    vec![
+        ClusterPodConfig::new(axon.clone()).with_role(PodRole::Decode),
+        ClusterPodConfig::new(axon).with_role(PodRole::Decode),
+        ClusterPodConfig::new(conv.clone()).with_role(PodRole::Prefill),
+        ClusterPodConfig::new(conv).with_role(PodRole::Prefill),
+    ]
+}
+
+/// One measured operating point of a router under offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPoint {
+    /// Offered load (requests per second of the arrival process).
+    pub offered_rps: f64,
+    /// Achieved throughput (completions over makespan).
+    pub achieved_rps: f64,
+    /// In-SLO completions over makespan.
+    pub goodput_rps: f64,
+    /// Decode end-to-end p99, microseconds.
+    pub decode_p99_us: f64,
+    /// Prefill end-to-end p99, microseconds.
+    pub prefill_p99_us: f64,
+    /// All-class SLO violations.
+    pub slo_violations: usize,
+    /// Requests routed to each pod, declaration order.
+    pub routed_per_pod: Vec<usize>,
+}
+
+impl ClusterPoint {
+    fn from_report(offered_rps: f64, r: &ClusterReport) -> Self {
+        let m = &r.metrics;
+        let class_p99 = |class| {
+            m.class_metrics(class)
+                .map_or(0.0, |c| m.micros(c.total.p99))
+        };
+        ClusterPoint {
+            offered_rps,
+            achieved_rps: m.throughput_rps(),
+            goodput_rps: m.goodput_rps(),
+            decode_p99_us: class_p99(RequestClass::Decode),
+            prefill_p99_us: class_p99(RequestClass::Prefill),
+            slo_violations: m.slo_violations,
+            routed_per_pod: m.routed_per_pod.clone(),
+        }
+    }
+}
+
+/// A router's full load curve over the sweep fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterCurve {
+    /// The swept router.
+    pub router: RouterPolicy,
+    /// Points in offered-load order.
+    pub points: Vec<ClusterPoint>,
+}
+
+/// Sweeps `offered_rps` through the fleet under `router`. Every router
+/// and load reuses `seed`, so all curves see the bit-identical global
+/// arrival trace at each load point.
+pub fn cluster_sweep(
+    router: RouterPolicy,
+    arrays: usize,
+    side: usize,
+    offered_rps: &[f64],
+    requests: usize,
+    seed: u64,
+) -> ClusterCurve {
+    let fleet = sweep_fleet(arrays, side);
+    let clock_mhz = fleet[0].pod.clock_mhz;
+    let cluster = ClusterConfig::new(fleet, router);
+    let points = offered_rps
+        .iter()
+        .map(|&rps| {
+            let mean_interarrival = clock_mhz * 1e6 / rps;
+            // Enough clients that session placement keeps happening
+            // throughout the run (new sessions see current fleet load),
+            // not just in the first instants.
+            let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+                .with_mix(cluster_mix())
+                .with_clients(64);
+            let report = simulate_cluster(&cluster, &traffic);
+            ClusterPoint::from_report(rps, &report)
+        })
+        .collect();
+    ClusterCurve { router, points }
+}
+
+/// The load points where `a`'s decode p99 exceeds `b`'s — empty means
+/// `a` is no worse than `b` at every swept load. Both curves must
+/// cover the same loads.
+pub fn decode_p99_regressions(a: &ClusterCurve, b: &ClusterCurve) -> Vec<f64> {
+    a.points
+        .iter()
+        .zip(&b.points)
+        .filter(|(pa, pb)| {
+            debug_assert_eq!(pa.offered_rps, pb.offered_rps);
+            pa.decode_p99_us > pb.decode_p99_us
+        })
+        .map(|(pa, _)| pa.offered_rps)
+        .collect()
+}
+
+/// The single-pod-equivalence pin, bench-side: a 1-pod cluster under
+/// `router` must be bit-identical to [`simulate_pod`] on the same pod
+/// and traffic. Panics (with the router's name) if the cluster layer
+/// has drifted from the single-pod path.
+pub fn assert_one_pod_equivalence(router: RouterPolicy, seed: u64) {
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Batching { max_batch: 8 });
+    let traffic = TrafficConfig::open_loop(seed, 150, 2000.0).with_mix(cluster_mix());
+    let single = simulate_pod(&pod, &traffic);
+    let cluster = ClusterConfig::new(vec![ClusterPodConfig::new(pod)], router);
+    let fleet = simulate_cluster(&cluster, &traffic);
+    assert_eq!(
+        fleet.per_pod[0].completions,
+        single.completions,
+        "{}: 1-pod cluster diverged from simulate_pod",
+        router.name()
+    );
+    assert_eq!(
+        fleet.per_pod[0].metrics,
+        single.metrics,
+        "{}: 1-pod cluster metrics diverged from simulate_pod",
+        router.name()
+    );
+}
+
+/// Machine-readable form of the sweep.
+pub fn cluster_sweep_to_json(curves: &[ClusterCurve]) -> Json {
+    Json::obj([(
+        "routers",
+        Json::arr(curves.iter().map(|c| {
+            Json::obj([
+                ("label", Json::str(c.router.name())),
+                (
+                    "points",
+                    Json::arr(c.points.iter().map(|p| {
+                        Json::obj([
+                            ("offered_rps", Json::num(p.offered_rps)),
+                            ("achieved_rps", Json::num(p.achieved_rps)),
+                            ("goodput_rps", Json::num(p.goodput_rps)),
+                            ("decode_p99_us", Json::num(p.decode_p99_us)),
+                            ("prefill_p99_us", Json::num(p.prefill_p99_us)),
+                            ("slo_violations", Json::num(p.slo_violations as f64)),
+                            (
+                                "routed_per_pod",
+                                Json::arr(p.routed_per_pod.iter().map(|&n| Json::num(n as f64))),
+                            ),
+                        ])
+                    })),
+                ),
+            ])
+        })),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_complete() {
+        let loads = [40_000.0, 80_000.0];
+        let a = cluster_sweep(RouterPolicy::JoinShortestQueue, 2, 64, &loads, 120, 7);
+        let b = cluster_sweep(RouterPolicy::JoinShortestQueue, 2, 64, &loads, 120, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.points.len(), 2);
+        for p in &a.points {
+            assert_eq!(p.routed_per_pod.iter().sum::<usize>(), 120);
+        }
+    }
+
+    #[test]
+    fn one_pod_equivalence_pin_holds_for_every_router() {
+        for router in RouterPolicy::ALL {
+            assert_one_pod_equivalence(router, 13);
+        }
+    }
+}

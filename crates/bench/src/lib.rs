@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod cluster;
 pub mod contention;
 pub mod fig12;
 pub mod fig13;

@@ -1,0 +1,830 @@
+//! Cluster-scale serving: a fleet of heterogeneous pods behind a
+//! pluggable routing layer.
+//!
+//! The paper's efficiency claims only matter at fleet scale —
+//! "millions of users" is a cluster of pods, not one — so this module
+//! lifts the single-pod simulator to a multi-pod fleet while re-pinning
+//! every single-pod invariant at cluster scope:
+//!
+//! * **One global clock, exact per-pod replay.** The engine routes the
+//!   global arrival trace online under a deterministic router-side load
+//!   estimator (the approximate counters a real L7 balancer keeps),
+//!   then replays each pod's routed sub-trace through the *exact*
+//!   single-pod event loop ([`simulate_pod_trace`]). Pods share no
+//!   cross-pod resource (each owns its DRAM channels), so the replays
+//!   compose into the coupled fleet timeline exactly.
+//! * **Purity.** The whole run is a pure function of
+//!   `(traffic.seed, ClusterConfig, TrafficConfig)`: the estimator is
+//!   integer arithmetic, the sampling routers draw from a
+//!   [`ServeRng`](crate::ServeRng) seeded by the traffic seed, and all
+//!   router state lives in ordered maps.
+//! * **Single-pod equivalence.** A 1-pod cluster under the trivial
+//!   router is bit-identical to [`simulate_pod`](crate::simulate_pod)
+//!   (the routed sub-trace *is* the generated trace), pinned in
+//!   `crates/serve/tests/cluster.rs`.
+//! * **Per-client FIFO.** Routing is session-sticky (per client, or per
+//!   `(client, class)` for specialist routers), so the pod-level
+//!   invariant lifts to the fleet — see [`crate::router`].
+//!
+//! Failure injection ([`ClusterPodConfig::fail_at`]) kills a pod
+//! mid-run: completions it finished before the failure survive, its
+//! unfinished requests are re-routed (and re-run from scratch) at the
+//! failure cycle, and no request is lost or double-completed.
+//! Deterministic autoscaling ([`AutoscaleConfig`]) activates spare pods
+//! under load with a warm-up cost billed through the ordinary
+//! queue-latency metrics ([`PodConfig::available_from`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use axon_core::runtime::Architecture;
+//! use axon_serve::{
+//!     simulate_cluster, ClusterConfig, ClusterPodConfig, PodConfig, RouterPolicy, TrafficConfig,
+//! };
+//!
+//! let pods = vec![
+//!     ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Axon, 32)),
+//!     ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Conventional, 32)),
+//! ];
+//! let cluster = ClusterConfig::new(pods, RouterPolicy::JoinShortestQueue);
+//! let traffic = TrafficConfig::open_loop(7, 60, 2000.0);
+//! let report = simulate_cluster(&cluster, &traffic);
+//! assert_eq!(report.metrics.completed, 60);
+//! assert_eq!(report.metrics.routed_per_pod.iter().sum::<usize>(), 60);
+//! ```
+
+use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
+use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
+use crate::pod::{service_cycles, simulate_pod_trace, PodConfig, ServingReport};
+use crate::request::{Request, RequestClass};
+use crate::router::{PodRole, PodView, RouterPolicy, RoutingPolicy};
+use axon_core::runtime::Architecture;
+use axon_core::Tiling;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One pod in the fleet: its full single-pod specification plus the
+/// cluster-level attributes (specialist role, failure schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPodConfig {
+    /// The pod itself (arrays, scheduler, memory model, ...).
+    pub pod: PodConfig,
+    /// Disaggregation role (only [`RouterPolicy::Disaggregated`] reads
+    /// it).
+    pub role: PodRole,
+    /// Failure injection: the pod dies at this cycle. Completions it
+    /// finished strictly before then survive; everything else is
+    /// re-routed at the failure cycle and re-run from scratch.
+    pub fail_at: Option<u64>,
+}
+
+impl ClusterPodConfig {
+    /// A general-role, never-failing pod.
+    pub fn new(pod: PodConfig) -> Self {
+        ClusterPodConfig {
+            pod,
+            role: PodRole::General,
+            fail_at: None,
+        }
+    }
+
+    /// Builder-style role override.
+    pub fn with_role(mut self, role: PodRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Builder-style failure injection.
+    pub fn with_fail_at(mut self, cycle: u64) -> Self {
+        self.fail_at = Some(cycle);
+        self
+    }
+}
+
+/// Deterministic autoscaling: spare pods activate under load and drain
+/// when it subsides, entirely from the router-side load estimate (no
+/// randomness, no wall clock).
+///
+/// Pods `0..initial_pods` start active; the rest are cold spares. When
+/// the fleet's estimated outstanding work exceeds `high_watermark` per
+/// active pod, the next spare activates and becomes routable
+/// immediately — but its arrays only come online `warmup_cycles` later
+/// ([`PodConfig::available_from`]), so requests routed during spin-up
+/// queue and the warm-up cost is billed through the ordinary
+/// queue-latency and SLO metrics. When outstanding work falls below
+/// `low_watermark` per remaining pod, the most recently activated spare
+/// drains: it stops accepting new clients but keeps serving (and stays
+/// bound to) its existing ones, and re-opens warm if load returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscaleConfig {
+    /// Pods active at cycle 0 (at least 1 is enforced).
+    pub initial_pods: usize,
+    /// Estimated outstanding requests per active pod that trigger a
+    /// scale-up.
+    pub high_watermark: usize,
+    /// Estimated outstanding requests per active pod below which the
+    /// most recent dynamic pod drains. Must be below `high_watermark`.
+    pub low_watermark: usize,
+    /// Cycles between a spare's activation and its arrays coming
+    /// online.
+    pub warmup_cycles: u64,
+}
+
+impl AutoscaleConfig {
+    /// Builds a validated autoscale policy.
+    pub fn new(initial_pods: usize, high: usize, low: usize, warmup_cycles: u64) -> Self {
+        assert!(low < high, "low watermark must be below the high one");
+        AutoscaleConfig {
+            initial_pods,
+            high_watermark: high,
+            low_watermark: low,
+            warmup_cycles,
+        }
+    }
+}
+
+/// Full cluster specification: the fleet, the router, and (optionally)
+/// the autoscaler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// The fleet, declaration order (round-robin deals in this order;
+    /// every other router is declaration-order insensitive).
+    pub pods: Vec<ClusterPodConfig>,
+    /// How new clients are assigned to pods.
+    pub router: RouterPolicy,
+    /// Deterministic autoscaling; `None` keeps every pod active.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl ClusterConfig {
+    /// A cluster with every pod active and no autoscaling.
+    pub fn new(pods: Vec<ClusterPodConfig>, router: RouterPolicy) -> Self {
+        ClusterConfig {
+            pods,
+            router,
+            autoscale: None,
+        }
+    }
+
+    /// Builder-style autoscale override.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+}
+
+/// One completion with the pod that served it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCompletion {
+    /// Declaration index of the serving pod.
+    pub pod: usize,
+    /// The pod-level completion record.
+    pub completion: Completion,
+}
+
+/// Fleet-wide aggregate metrics: the cluster analogue of
+/// [`PodMetrics`], recomputed from the union of all pods' completion
+/// records so the fleet numbers decompose exactly over the pods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMetrics {
+    /// Requests completed fleet-wide.
+    pub completed: usize,
+    /// Requests routed to each pod, declaration order (re-routes count
+    /// at the pod that finally served them; a request lost to a failure
+    /// counts at both its dead and its rescue pod).
+    pub routed_per_pod: Vec<usize>,
+    /// Requests re-routed off a failed pod.
+    pub rerouted: usize,
+    /// Pods that failed mid-run.
+    pub failed_pods: usize,
+    /// Autoscale activations (cold spares plus warm re-opens).
+    pub scale_ups: usize,
+    /// Autoscale drains.
+    pub scale_downs: usize,
+    /// Last completion cycle fleet-wide (the global clock's span).
+    pub makespan_cycles: u64,
+    /// Common pod clock in MHz.
+    pub clock_mhz: f64,
+    /// Fleet queueing-latency distribution.
+    pub queue: LatencySummary,
+    /// Fleet service-latency distribution.
+    pub service: LatencySummary,
+    /// Fleet end-to-end latency distribution.
+    pub total: LatencySummary,
+    /// Completions that met their deadline.
+    pub slo_met: usize,
+    /// Completions past their deadline.
+    pub slo_violations: usize,
+    /// Fleet-wide per-class breakdown.
+    pub per_class: Vec<ClassMetrics>,
+    /// Each pod's own metrics, declaration order. A failed pod's entry
+    /// covers only its surviving completions (completion-derived fields
+    /// recomputed over them; engine counters zeroed).
+    pub per_pod: Vec<PodMetrics>,
+    /// Fleet array energy (sum over pods), microjoules.
+    pub array_energy_uj: f64,
+    /// Fleet DRAM energy (sum over pods), millijoules.
+    pub dram_energy_mj: f64,
+}
+
+impl ClusterMetrics {
+    /// Seconds represented by `cycles` at the cluster clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Microseconds represented by `cycles` at the cluster clock.
+    pub fn micros(&self, cycles: u64) -> f64 {
+        self.seconds(cycles) * 1e6
+    }
+
+    /// Completed requests per second of simulated wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.seconds(self.makespan_cycles)
+    }
+
+    /// Completed-in-SLO requests per second of simulated wall clock.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.slo_met as f64 / self.seconds(self.makespan_cycles)
+    }
+
+    /// The fleet-wide breakdown for `class`, if it saw traffic.
+    pub fn class_metrics(&self, class: RequestClass) -> Option<&ClassMetrics> {
+        self.per_class.iter().find(|c| c.class == class)
+    }
+}
+
+impl fmt::Display for ClusterMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} requests over {} pods in {} cycles ({:.1} req/s at {:.0} MHz)",
+            self.completed,
+            self.per_pod.len(),
+            self.makespan_cycles,
+            self.throughput_rps(),
+            self.clock_mhz
+        )?;
+        writeln!(f, "  queue   {}", self.queue)?;
+        writeln!(f, "  service {}", self.service)?;
+        writeln!(f, "  total   {}", self.total)?;
+        writeln!(
+            f,
+            "  routed {:?} ({} rerouted, {} pods failed, {} scale-ups, {} scale-downs)",
+            self.routed_per_pod, self.rerouted, self.failed_pods, self.scale_ups, self.scale_downs
+        )?;
+        write!(
+            f,
+            "  SLO: {} met / {} violated ({:.1} goodput req/s), \
+             energy {:.1} uJ array + {:.3} mJ DRAM",
+            self.slo_met,
+            self.slo_violations,
+            self.goodput_rps(),
+            self.array_energy_uj,
+            self.dram_energy_mj
+        )
+    }
+}
+
+/// Everything a cluster run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Each pod's full single-pod report, declaration order. A failed
+    /// pod's `trace` is everything routed to it; its `completions` are
+    /// only what it finished before dying.
+    pub per_pod: Vec<ServingReport>,
+    /// The union of all completions, sorted by `(completion, pod, id)`.
+    pub completions: Vec<ClusterCompletion>,
+    /// Cycle each pod's arrays came (or would come) online: 0 for
+    /// initially-active warm pods, the activation + warm-up edge for
+    /// autoscaled spares.
+    pub ready_at: Vec<u64>,
+    /// Fleet-wide aggregates.
+    pub metrics: ClusterMetrics,
+}
+
+/// The router-side estimator state of one pod.
+#[derive(Debug, Clone)]
+struct PodState {
+    key: String,
+    role: PodRole,
+    alive: bool,
+    active: bool,
+    draining: bool,
+    /// Activated by the autoscaler (only dynamic pods drain).
+    dynamic: bool,
+    ready_at: u64,
+    /// Estimated next-free cycle per array.
+    server_free: Vec<u64>,
+    /// `(estimated completion, id)` of routed, not-yet-finished work.
+    outstanding: Vec<(u64, usize)>,
+    assigned: Vec<Request>,
+    routed: usize,
+}
+
+impl PodState {
+    fn prune(&mut self, now: u64) {
+        self.outstanding.retain(|&(t, _)| t > now);
+    }
+
+    /// Books `req` onto the estimator: the least-loaded server slot,
+    /// starting no earlier than arrival and the pod's ready edge.
+    fn book(&mut self, req: Request, now: u64, est_service: u64) {
+        let s = self
+            .server_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &f)| (f, i))
+            .map(|(i, _)| i)
+            .expect("pods have at least one array");
+        let start = now.max(self.server_free[s]).max(self.ready_at);
+        let done = start + est_service;
+        self.server_free[s] = done;
+        self.outstanding.push((done, req.id));
+        self.assigned.push(req);
+        self.routed += 1;
+    }
+}
+
+/// Stable affinity-scope code for a class (the `(client, class)` key of
+/// class-scoped routers).
+fn class_code(class: RequestClass) -> u8 {
+    match class {
+        RequestClass::Prefill => 0,
+        RequestClass::Decode => 1,
+        RequestClass::ResNet50 => 2,
+        RequestClass::YoloV3 => 3,
+        RequestClass::Gemv => 4,
+    }
+}
+
+/// The pod configuration a (possibly autoscaled) pod actually runs
+/// with: its own spec, arrays gated until the activation ready edge.
+fn effective_pod(cfg: &ClusterPodConfig, ready_at: u64) -> PodConfig {
+    let mut pod = cfg.pod.clone();
+    pod.available_from = pod.available_from.max(ready_at);
+    pod
+}
+
+type EstCache = BTreeMap<(usize, (usize, usize, usize)), u64>;
+
+/// Routes one request: sticky affinity first, the policy on a miss,
+/// then books the estimator.
+fn route_one(
+    req: Request,
+    now: u64,
+    pods: &[ClusterPodConfig],
+    states: &mut [PodState],
+    router: &mut dyn RoutingPolicy,
+    affinity: &mut BTreeMap<(usize, u8), usize>,
+    cache: &mut EstCache,
+) {
+    for s in states.iter_mut() {
+        if s.alive {
+            s.prune(now);
+        }
+    }
+    let scope = if router.class_scoped() {
+        class_code(req.class)
+    } else {
+        0
+    };
+    let akey = (req.client, scope);
+    let target = match affinity.get(&akey) {
+        Some(&p) if states[p].alive => p,
+        _ => {
+            let mut eligible: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive && s.active && !s.draining)
+                .map(|(i, _)| i)
+                .collect();
+            if eligible.is_empty() {
+                // Every active pod is draining or dead: fall back to
+                // anything still alive.
+                eligible = states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.alive)
+                    .map(|(i, _)| i)
+                    .collect();
+            }
+            assert!(!eligible.is_empty(), "no alive pod left to route to");
+            let views: Vec<PodView> = states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| PodView {
+                    index: i,
+                    key: &s.key,
+                    arrays: pods[i].pod.arrays.len(),
+                    axon_arrays: pods[i]
+                        .pod
+                        .arrays
+                        .iter()
+                        .filter(|a| a.arch == Architecture::Axon)
+                        .count(),
+                    role: s.role,
+                    outstanding: s.outstanding.len(),
+                    ready_at: s.ready_at,
+                })
+                .collect();
+            let p = router.route(&req, now, &views, &eligible);
+            debug_assert!(eligible.contains(&p), "router returned an ineligible pod");
+            affinity.insert(akey, p);
+            p
+        }
+    };
+    let shape = req.workload.shape;
+    let est = *cache
+        .entry((target, (shape.m, shape.k, shape.n)))
+        .or_insert_with(|| {
+            // Router-side service estimate: the scale-up latency on the
+            // pod's first array — deliberately approximate (real
+            // balancers estimate too); the replay bills exactly.
+            let p = &pods[target].pod;
+            service_cycles(&p.arrays[0], p.mapping, p.drain, Tiling::ScaleUp, shape).1 as u64
+        });
+    states[target].book(req, now, est);
+}
+
+/// Recomputes a failed pod's report over the completions it finished by
+/// `cutoff`: completion-derived metrics are recomputed, engine counters
+/// (batches, preemptions, utilization, ...) are zeroed — the surviving
+/// prefix cannot attribute them.
+fn truncate_report(mut report: ServingReport, cutoff: u64, arrays: usize) -> ServingReport {
+    report.completions.retain(|c| c.completion <= cutoff);
+    let cs = &report.completions;
+    let slo_met = cs.iter().filter(|c| c.met_deadline()).count();
+    let metrics = PodMetrics {
+        completed: cs.len(),
+        makespan_cycles: cs.iter().map(|c| c.completion).max().unwrap_or(0),
+        clock_mhz: report.metrics.clock_mhz,
+        queue: LatencySummary::from_cycles(cs.iter().map(|c| c.queue_cycles()).collect()),
+        service: LatencySummary::from_cycles(cs.iter().map(|c| c.service_cycles()).collect()),
+        total: LatencySummary::from_cycles(cs.iter().map(|c| c.total_cycles()).collect()),
+        per_array_utilization: vec![0.0; arrays],
+        batches: 0,
+        mean_batch_size: 0.0,
+        sharded_batches: 0,
+        sharding_refused: 0,
+        bandwidth_stall_cycles: cs.iter().map(|c| c.bandwidth_stall_cycles).sum(),
+        preemptions: 0,
+        inflight_joins: 0,
+        slo_met,
+        slo_violations: cs.len() - slo_met,
+        per_class: ClassMetrics::from_completions(cs),
+        array_energy_uj: cs.iter().map(|c| c.array_energy_uj).sum(),
+        dram_energy_mj: cs.iter().map(|c| c.dram_energy_mj).sum(),
+        checkpoint_dram_mj: 0.0,
+        spot_checks: 0,
+        spot_check_mismatches: 0,
+    };
+    report.metrics = metrics;
+    report
+}
+
+/// Autoscale step at `now`: one activation or one drain per event, so
+/// the fleet scales gradually and deterministically.
+fn autoscale_step(
+    a: &AutoscaleConfig,
+    now: u64,
+    states: &mut [PodState],
+    scale_ups: &mut usize,
+    scale_downs: &mut usize,
+) {
+    for s in states.iter_mut() {
+        if s.alive {
+            s.prune(now);
+        }
+    }
+    let total: usize = states
+        .iter()
+        .filter(|s| s.alive)
+        .map(|s| s.outstanding.len())
+        .sum();
+    let active_n = states
+        .iter()
+        .filter(|s| s.alive && s.active && !s.draining)
+        .count();
+    if active_n == 0 {
+        return; // routing falls back to any alive pod
+    }
+    if total > a.high_watermark.saturating_mul(active_n) {
+        // Prefer re-opening a draining pod: it is already warm.
+        if let Some(s) = states
+            .iter_mut()
+            .filter(|s| s.alive && s.active && s.draining)
+            .last()
+        {
+            s.draining = false;
+            *scale_ups += 1;
+        } else if let Some(s) = states.iter_mut().find(|s| s.alive && !s.active) {
+            s.active = true;
+            s.dynamic = true;
+            s.ready_at = s.ready_at.max(now + a.warmup_cycles);
+            for f in s.server_free.iter_mut() {
+                *f = (*f).max(s.ready_at);
+            }
+            *scale_ups += 1;
+        }
+    } else if active_n > 1 && total < a.low_watermark.saturating_mul(active_n - 1) {
+        if let Some(s) = states
+            .iter_mut()
+            .filter(|s| s.alive && s.active && !s.draining && s.dynamic)
+            .last()
+        {
+            s.draining = true;
+            *scale_downs += 1;
+        }
+    }
+}
+
+/// Kills pod `pi` at cycle `f`: replays its routed sub-trace, keeps
+/// completions it finished by `f`, drops its affinities and re-routes
+/// its unfinished requests (arrival bumped to `f`, original deadlines
+/// kept — a failure does not extend an SLO).
+#[allow(clippy::too_many_arguments)]
+fn process_failure(
+    f: u64,
+    pi: usize,
+    pods: &[ClusterPodConfig],
+    states: &mut [PodState],
+    router: &mut dyn RoutingPolicy,
+    affinity: &mut BTreeMap<(usize, u8), usize>,
+    cache: &mut EstCache,
+    reports: &mut [Option<ServingReport>],
+    rerouted: &mut usize,
+) {
+    states[pi].alive = false;
+    states[pi].active = false;
+    let cfg = effective_pod(&pods[pi], states[pi].ready_at);
+    let full = simulate_pod_trace(&cfg, &states[pi].assigned);
+    let report = truncate_report(full, f, cfg.arrays.len());
+    let kept: BTreeSet<usize> = report.completions.iter().map(|c| c.id).collect();
+    let unfinished: Vec<Request> = states[pi]
+        .assigned
+        .iter()
+        .filter(|r| !kept.contains(&r.id))
+        .copied()
+        .collect();
+    reports[pi] = Some(report);
+    affinity.retain(|_, &mut p| p != pi);
+    for mut r in unfinished {
+        r.arrival = r.arrival.max(f);
+        *rerouted += 1;
+        route_one(r, f, pods, states, router, affinity, cache);
+    }
+}
+
+/// Runs `traffic` through the fleet: online routing over the global
+/// arrival trace, then an exact single-pod replay of each routed
+/// sub-trace. Open-loop traffic only (closed-loop feedback is a
+/// per-pod construct; use [`simulate_pod`](crate::simulate_pod)).
+///
+/// Deterministic: the same `(cluster, traffic)` pair always produces
+/// the identical report.
+pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> ClusterReport {
+    assert!(!cluster.pods.is_empty(), "a cluster needs at least one pod");
+    let clock_mhz = cluster.pods[0].pod.clock_mhz;
+    assert!(
+        cluster.pods.iter().all(|p| p.pod.clock_mhz == clock_mhz),
+        "cluster pods must share one clock"
+    );
+    let ArrivalProcess::OpenLoop { mean_interarrival } = traffic.arrival else {
+        panic!("cluster simulation is open-loop only");
+    };
+    let trace =
+        RequestGenerator::new(traffic).open_loop_trace(mean_interarrival, traffic.num_clients);
+
+    let n = cluster.pods.len();
+    let initial_active = match cluster.autoscale {
+        None => n,
+        Some(a) => a.initial_pods.clamp(1, n),
+    };
+    let mut states: Vec<PodState> = cluster
+        .pods
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PodState {
+            key: format!("{:?}|{:?}", p.pod, p.role),
+            role: p.role,
+            alive: true,
+            active: i < initial_active,
+            draining: false,
+            dynamic: false,
+            ready_at: p.pod.available_from,
+            server_free: vec![p.pod.available_from; p.pod.arrays.len()],
+            outstanding: Vec::new(),
+            assigned: Vec::new(),
+            routed: 0,
+        })
+        .collect();
+    let mut router = cluster.router.build(traffic.seed);
+    let mut affinity: BTreeMap<(usize, u8), usize> = BTreeMap::new();
+    let mut cache: EstCache = BTreeMap::new();
+    let mut reports: Vec<Option<ServingReport>> = vec![None; n];
+    let mut rerouted = 0usize;
+    let (mut scale_ups, mut scale_downs) = (0usize, 0usize);
+
+    // Failure events in time order; a failure at cycle t happens before
+    // any arrival at t (the dying pod cannot accept same-cycle work).
+    let mut fails: Vec<(u64, usize)> = cluster
+        .pods
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.fail_at.map(|f| (f, i)))
+        .collect();
+    fails.sort_unstable();
+    let mut fi = 0usize;
+
+    for req in &trace {
+        while fi < fails.len() && fails[fi].0 <= req.arrival {
+            let (f, pi) = fails[fi];
+            process_failure(
+                f,
+                pi,
+                &cluster.pods,
+                &mut states,
+                router.as_mut(),
+                &mut affinity,
+                &mut cache,
+                &mut reports,
+                &mut rerouted,
+            );
+            fi += 1;
+        }
+        if let Some(a) = &cluster.autoscale {
+            autoscale_step(
+                a,
+                req.arrival,
+                &mut states,
+                &mut scale_ups,
+                &mut scale_downs,
+            );
+        }
+        route_one(
+            *req,
+            req.arrival,
+            &cluster.pods,
+            &mut states,
+            router.as_mut(),
+            &mut affinity,
+            &mut cache,
+        );
+    }
+    while fi < fails.len() {
+        let (f, pi) = fails[fi];
+        process_failure(
+            f,
+            pi,
+            &cluster.pods,
+            &mut states,
+            router.as_mut(),
+            &mut affinity,
+            &mut cache,
+            &mut reports,
+            &mut rerouted,
+        );
+        fi += 1;
+    }
+
+    // Exact replay of every surviving pod's sub-trace.
+    for (i, st) in states.iter().enumerate() {
+        if reports[i].is_none() {
+            let cfg = effective_pod(&cluster.pods[i], st.ready_at);
+            reports[i] = Some(simulate_pod_trace(&cfg, &st.assigned));
+        }
+    }
+    let per_pod: Vec<ServingReport> = reports
+        .into_iter()
+        .map(|r| r.expect("every pod reported"))
+        .collect();
+
+    let mut completions: Vec<ClusterCompletion> = per_pod
+        .iter()
+        .enumerate()
+        .flat_map(|(i, r)| {
+            r.completions.iter().map(move |&c| ClusterCompletion {
+                pod: i,
+                completion: c,
+            })
+        })
+        .collect();
+    completions.sort_by_key(|c| (c.completion.completion, c.pod, c.completion.id));
+    let all: Vec<Completion> = completions.iter().map(|c| c.completion).collect();
+    let slo_met = all.iter().filter(|c| c.met_deadline()).count();
+    let metrics = ClusterMetrics {
+        completed: all.len(),
+        routed_per_pod: states.iter().map(|s| s.routed).collect(),
+        rerouted,
+        failed_pods: states.iter().filter(|s| !s.alive).count(),
+        scale_ups,
+        scale_downs,
+        makespan_cycles: all.iter().map(|c| c.completion).max().unwrap_or(0),
+        clock_mhz,
+        queue: LatencySummary::from_cycles(all.iter().map(|c| c.queue_cycles()).collect()),
+        service: LatencySummary::from_cycles(all.iter().map(|c| c.service_cycles()).collect()),
+        total: LatencySummary::from_cycles(all.iter().map(|c| c.total_cycles()).collect()),
+        slo_met,
+        slo_violations: all.len() - slo_met,
+        per_class: ClassMetrics::from_completions(&all),
+        per_pod: per_pod.iter().map(|r| r.metrics.clone()).collect(),
+        array_energy_uj: per_pod.iter().map(|r| r.metrics.array_energy_uj).sum(),
+        dram_energy_mj: per_pod.iter().map(|r| r.metrics.dram_energy_mj).sum(),
+    };
+
+    ClusterReport {
+        per_pod,
+        completions,
+        ready_at: states.iter().map(|s| s.ready_at).collect(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<ClusterPodConfig> {
+        (0..n)
+            .map(|_| ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Axon, 32)))
+            .collect()
+    }
+
+    fn light_traffic(seed: u64, requests: usize) -> TrafficConfig {
+        TrafficConfig::open_loop(seed, requests, 1500.0)
+    }
+
+    #[test]
+    fn every_router_completes_everything() {
+        let traffic = light_traffic(11, 80);
+        for router in RouterPolicy::ALL {
+            let cluster = ClusterConfig::new(fleet(3), router);
+            let r = simulate_cluster(&cluster, &traffic);
+            assert_eq!(r.metrics.completed, 80, "{}", router.name());
+            assert_eq!(r.metrics.routed_per_pod.iter().sum::<usize>(), 80);
+            assert_eq!(r.metrics.rerouted, 0);
+            assert_eq!(r.metrics.failed_pods, 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_clients() {
+        let cluster = ClusterConfig::new(fleet(3), RouterPolicy::RoundRobin);
+        let r = simulate_cluster(&cluster, &light_traffic(3, 120));
+        for (i, &routed) in r.metrics.routed_per_pod.iter().enumerate() {
+            assert!(routed > 0, "pod {i} got nothing");
+        }
+    }
+
+    #[test]
+    fn estimator_books_and_prunes() {
+        let mut s = PodState {
+            key: String::new(),
+            role: PodRole::General,
+            alive: true,
+            active: true,
+            draining: false,
+            dynamic: false,
+            ready_at: 100,
+            server_free: vec![100, 100],
+            outstanding: Vec::new(),
+            assigned: Vec::new(),
+            routed: 0,
+        };
+        let traffic = light_traffic(1, 2);
+        let trace = RequestGenerator::new(&traffic).open_loop_trace(10.0, 2);
+        // Booked before the ready edge: service starts at ready.
+        s.book(trace[0], 0, 50);
+        assert_eq!(s.server_free, vec![150, 100]);
+        s.book(trace[1], 0, 50);
+        assert_eq!(s.server_free, vec![150, 150]);
+        assert_eq!(s.outstanding.len(), 2);
+        s.prune(150);
+        assert!(s.outstanding.is_empty());
+        assert_eq!(s.routed, 2);
+    }
+
+    #[test]
+    fn cluster_rejects_closed_loop() {
+        let cluster = ClusterConfig::new(fleet(2), RouterPolicy::RoundRobin);
+        let closed = TrafficConfig::closed_loop(1, 10, 2, 100);
+        let err = std::panic::catch_unwind(|| simulate_cluster(&cluster, &closed));
+        assert!(err.is_err(), "closed-loop must be rejected");
+    }
+
+    #[test]
+    fn mismatched_clocks_are_rejected() {
+        let mut pods = fleet(2);
+        pods[1].pod.clock_mhz = 750.0;
+        let cluster = ClusterConfig::new(pods, RouterPolicy::RoundRobin);
+        let err = std::panic::catch_unwind(|| simulate_cluster(&cluster, &light_traffic(1, 4)));
+        assert!(err.is_err(), "mixed clocks must be rejected");
+    }
+}

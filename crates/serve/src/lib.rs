@@ -36,7 +36,14 @@
 //! * [`PodMetrics`] reports throughput, p50/p95/p99 queueing + service
 //!   latency, per-array utilization and per-request energy (array power
 //!   from `axon-hw`, DRAM transfer energy from `axon-mem`, checkpoint
-//!   spill/refill traffic included).
+//!   spill/refill traffic included);
+//! * [`simulate_cluster`] lifts all of the above to a fleet of
+//!   heterogeneous pods behind a pluggable router ([`RouterPolicy`]:
+//!   round-robin, random, join-shortest-queue, power-of-two-choices,
+//!   SLO-class-aware, prefill/decode disaggregation), with
+//!   deterministic autoscaling ([`AutoscaleConfig`]), failure
+//!   injection, and fleet-wide [`ClusterMetrics`] — every single-pod
+//!   invariant re-pinned at cluster scope (see `docs/cluster.md`).
 //!
 //! ## Example
 //!
@@ -63,24 +70,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod generator;
 mod metrics;
 mod pod;
 mod request;
 mod rng;
+mod router;
 mod scheduler;
 
+pub use cluster::{
+    simulate_cluster, AutoscaleConfig, ClusterCompletion, ClusterConfig, ClusterMetrics,
+    ClusterPodConfig, ClusterReport,
+};
 pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix};
 pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics};
 pub use pod::{
-    service_cycles, simulate_pod, simulate_pod_with_policy, ArrayConfig, MappingPolicy,
-    MemoryModel, PodConfig, PreemptionMode, ServingReport, ShardPlanner, SpotCheckConfig,
+    service_cycles, simulate_pod, simulate_pod_trace, simulate_pod_trace_with_policy,
+    simulate_pod_with_policy, ArrayConfig, MappingPolicy, MemoryModel, PodConfig, PreemptionMode,
+    ServingReport, ShardPlanner, SpotCheckConfig,
 };
 pub use request::{
     batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,
     SloBudgets,
 };
 pub use rng::ServeRng;
+pub use router::{
+    DisaggregatedRouter, JsqRouter, PodRole, PodView, PowerOfTwoRouter, RandomRouter,
+    RoundRobinRouter, RouterPolicy, RoutingPolicy, SloAwareRouter,
+};
 pub use scheduler::{
     Batch, CoalescingPolicy, EdfPolicy, FifoPolicy, SchedulerPolicy, SchedulingPolicy, WfqPolicy,
 };

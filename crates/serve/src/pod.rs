@@ -255,6 +255,14 @@ pub struct PodConfig {
     pub planner: ShardPlanner,
     /// Cycle-accurate spot-check configuration.
     pub spot_check: Option<SpotCheckConfig>,
+    /// First cycle the pod's arrays accept dispatches. `0` (the
+    /// default) reproduces every earlier result bit for bit; a later
+    /// value models a pod still warming up — requests routed to it
+    /// queue until the arrays come online, so the warm-up cost lands
+    /// in the ordinary queue-latency and SLO metrics. This is how the
+    /// cluster layer bills autoscale spin-up (see
+    /// [`AutoscaleConfig`](crate::AutoscaleConfig)).
+    pub available_from: u64,
 }
 
 impl PodConfig {
@@ -283,6 +291,7 @@ impl PodConfig {
             shard_min_macs: Some(64 << 20),
             planner: ShardPlanner::BandwidthAware,
             spot_check: None,
+            available_from: 0,
         }
     }
 
@@ -365,6 +374,15 @@ impl PodConfig {
     /// planner (the `bandwidth_sweep` baseline).
     pub fn with_planner(mut self, planner: ShardPlanner) -> Self {
         self.planner = planner;
+        self
+    }
+
+    /// Builder-style warm-up override: the pod's arrays accept no
+    /// dispatch before `cycle`. Requests that arrive earlier queue,
+    /// so a warming pod's spin-up cost is billed through the ordinary
+    /// queue-latency and SLO metrics.
+    pub fn with_available_from(mut self, cycle: u64) -> Self {
+        self.available_from = cycle;
         self
     }
 }
@@ -915,32 +933,80 @@ pub fn simulate_pod_with_policy(
     traffic: &TrafficConfig,
     policy: &mut dyn SchedulingPolicy,
 ) -> ServingReport {
-    assert!(!pod.arrays.is_empty(), "a pod needs at least one array");
     let mut gen = RequestGenerator::new(traffic);
-    let mut pending: BinaryHeap<Reverse<PendingReq>> = BinaryHeap::new();
-    let mut trace: Vec<Request> = Vec::new();
-    let think_cycles = match traffic.arrival {
+    match traffic.arrival {
         ArrivalProcess::OpenLoop { mean_interarrival } => {
-            for r in gen.open_loop_trace(mean_interarrival, traffic.num_clients) {
-                trace.push(r);
-                pending.push(Reverse(PendingReq(r)));
-            }
-            0
+            let trace = gen.open_loop_trace(mean_interarrival, traffic.num_clients);
+            run_pod_loop(pod, policy, trace, None)
         }
         ArrivalProcess::ClosedLoop { think_cycles } => {
+            let mut trace = Vec::new();
             for client in 0..traffic.num_clients {
                 match gen.next_request(client, 0) {
-                    Some(r) => {
-                        trace.push(r);
-                        pending.push(Reverse(PendingReq(r)));
-                    }
+                    Some(r) => trace.push(r),
                     None => break,
                 }
             }
-            think_cycles
+            run_pod_loop(pod, policy, trace, Some((&mut gen, think_cycles)))
         }
-    };
-    let closed_loop = matches!(traffic.arrival, ArrivalProcess::ClosedLoop { .. });
+    }
+}
+
+/// Runs an explicit, already-generated request trace through `pod`
+/// with the pod's configured scheduler — the entry point the cluster
+/// layer uses to replay each pod's routed sub-trace. Runs the exact
+/// event loop behind [`simulate_pod`]: a trace equal to the one
+/// [`TrafficConfig`] would generate produces the bit-identical report
+/// (the single-pod-equivalence pin in `crates/serve/tests/cluster.rs`).
+///
+/// The trace must be sorted by request id with non-decreasing arrivals
+/// per client (any generator output or routed subset of one qualifies).
+///
+/// # Examples
+///
+/// ```
+/// use axon_core::runtime::Architecture;
+/// use axon_serve::{
+///     simulate_pod, simulate_pod_trace, PodConfig, RequestGenerator, TrafficConfig,
+/// };
+///
+/// let pod = PodConfig::homogeneous(2, Architecture::Axon, 64);
+/// let traffic = TrafficConfig::open_loop(7, 64, 4000.0);
+/// let trace = RequestGenerator::new(&traffic).open_loop_trace(4000.0, traffic.num_clients);
+/// let (a, b) = (simulate_pod_trace(&pod, &trace), simulate_pod(&pod, &traffic));
+/// assert_eq!(a, b);
+/// ```
+pub fn simulate_pod_trace(pod: &PodConfig, trace: &[Request]) -> ServingReport {
+    let mut policy = pod.scheduler.build(&pod.client_weights);
+    simulate_pod_trace_with_policy(pod, trace, policy.as_mut())
+}
+
+/// [`simulate_pod_trace`] with an externally supplied queue discipline
+/// (the trace-level analogue of [`simulate_pod_with_policy`]).
+pub fn simulate_pod_trace_with_policy(
+    pod: &PodConfig,
+    trace: &[Request],
+    policy: &mut dyn SchedulingPolicy,
+) -> ServingReport {
+    run_pod_loop(pod, policy, trace.to_vec(), None)
+}
+
+/// The event loop shared by the traffic-driven and trace-driven entry
+/// points: `trace` seeds the pending heap; `reissue` (closed loop
+/// only) appends each completing client's next request after its think
+/// time.
+fn run_pod_loop(
+    pod: &PodConfig,
+    policy: &mut dyn SchedulingPolicy,
+    trace: Vec<Request>,
+    mut reissue: Option<(&mut RequestGenerator, u64)>,
+) -> ServingReport {
+    assert!(!pod.arrays.is_empty(), "a pod needs at least one array");
+    let mut trace = trace;
+    let mut pending: BinaryHeap<Reverse<PendingReq>> = BinaryHeap::new();
+    for r in &trace {
+        pending.push(Reverse(PendingReq(*r)));
+    }
 
     let lib = ComponentLibrary::calibrated_7nm();
     let node = TechNode::asap7();
@@ -948,7 +1014,8 @@ pub fn simulate_pod_with_policy(
     let timing = MemTiming::new(pod);
 
     let n_arrays = pod.arrays.len();
-    let mut free_at = vec![0u64; n_arrays];
+    // Arrays are busy until the pod comes online (0 = always ready).
+    let mut free_at = vec![pod.available_from; n_arrays];
     let mut busy = vec![0u64; n_arrays];
     let mut queue: VecDeque<Request> = VecDeque::new();
     let mut running: Vec<RunningJob> = Vec::new();
@@ -1058,6 +1125,7 @@ pub fn simulate_pod_with_policy(
             // zero under the unconstrained model by construction.
             let job_stall = job.billed.saturating_sub(job.baseline_cycles);
             bandwidth_stall_cycles += job_stall;
+            policy.on_complete(&job.batch, job.billed, job.baseline_cycles);
 
             let share = job.batch.requests.len() as f64;
             let stall_share = job_stall / job.batch.requests.len() as u64;
@@ -1081,8 +1149,8 @@ pub fn simulate_pod_with_policy(
                     array_energy_uj: job_array_uj / share,
                     dram_energy_mj: job_dram_mj / share,
                 });
-                if closed_loop {
-                    if let Some(next) = gen.next_request(r.client, job.end + think_cycles) {
+                if let Some((gen, think_cycles)) = reissue.as_mut() {
+                    if let Some(next) = gen.next_request(r.client, job.end + *think_cycles) {
                         trace.push(next);
                         pending.push(Reverse(PendingReq(next)));
                     }
@@ -1463,10 +1531,18 @@ pub fn simulate_pod_with_policy(
             break;
         }
 
-        // Advance to the next event: an arrival, or a job segment ending.
+        // Advance to the next event: an arrival, a job segment ending,
+        // or — when work is queued on a pod still warming up — the
+        // first array coming online (`free_at` beyond `now` is either a
+        // running job's end, already covered, or `available_from`).
         let mut next = pending.peek().map_or(u64::MAX, |Reverse(p)| p.0.arrival);
         if let Some(e) = running.iter().map(|j| j.end).min() {
             next = next.min(e);
+        }
+        if !queue.is_empty() {
+            if let Some(f) = free_at.iter().copied().filter(|&f| f > now).min() {
+                next = next.min(f);
+            }
         }
         debug_assert!(next != u64::MAX && next > now, "simulation stalled");
         now = next;

@@ -1,0 +1,475 @@
+//! Request routing across a fleet of pods: the cluster-level analogue
+//! of the single-pod scheduler split.
+//!
+//! The layer repeats the trait-extraction move the scheduler made
+//! (`SchedulerPolicy` enum / `SchedulingPolicy` trait) one level up:
+//!
+//! * [`RouterPolicy`] is the *configuration* — a small `Copy` enum that
+//!   lives in [`ClusterConfig`](crate::ClusterConfig), serializes into
+//!   sweep labels and keeps cluster specs comparable.
+//! * [`RoutingPolicy`] is the *behavior* — the trait the cluster engine
+//!   consults on each client's first request (routing is
+//!   session-sticky; see below). [`RouterPolicy::build`] instantiates
+//!   the matching implementation; custom routers can implement the
+//!   trait directly.
+//!
+//! ## Session affinity and per-client FIFO
+//!
+//! Every built-in router is **sticky**: a client is routed once (on its
+//! first request) and its later requests follow, so each client's
+//! stream lands on one pod and the single-pod per-client FIFO invariant
+//! lifts to the fleet unchanged. Class-aware routers
+//! ([`RouterPolicy::SloAware`], [`RouterPolicy::Disaggregated`]) are
+//! sticky per `(client, class)` — a client's decode stream and its
+//! prefill stream may land on different specialist pods, so FIFO is
+//! pinned per `(client, class)` there (cross-class reordering is the
+//! point of disaggregation). Affinity is re-established only when the
+//! bound pod dies (see
+//! [`ClusterPodConfig::fail_at`](crate::ClusterPodConfig)).
+//!
+//! ## Declaration-order invariance
+//!
+//! Order-insensitive routers break ties by a canonical pod key derived
+//! from the pod's configuration, never by declaration position alone,
+//! so permuting [`ClusterConfig::pods`](crate::ClusterConfig) permutes
+//! the assignment without changing any request's service (pinned by the
+//! routing-invariance property test). [`RouterPolicy::RoundRobin`] is
+//! the deliberate exception: it deals clients in declaration order.
+
+use crate::request::{Request, RequestClass};
+use crate::rng::ServeRng;
+
+/// What a pod specializes in under disaggregated routing
+/// ([`RouterPolicy::Disaggregated`]); every other router ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PodRole {
+    /// Accepts any class (the fallback pool).
+    #[default]
+    General,
+    /// Prefill/conv specialist: compute-heavy, loose-deadline classes.
+    Prefill,
+    /// Decode/GEMV specialist: latency-bound classes.
+    Decode,
+}
+
+/// The router-side view of one pod at a routing decision: the
+/// deterministic load estimate the cluster engine maintains (an L7
+/// balancer's approximate counters, not the pod's exact event state).
+#[derive(Debug, Clone)]
+pub struct PodView<'a> {
+    /// Declaration index in [`ClusterConfig::pods`](crate::ClusterConfig).
+    pub index: usize,
+    /// Canonical key derived from the pod's configuration — the
+    /// declaration-order-free tie-breaker.
+    pub key: &'a str,
+    /// Arrays in the pod (the JSQ load normalizer).
+    pub arrays: usize,
+    /// How many of those arrays are Axon (architecture-aware routing).
+    pub axon_arrays: usize,
+    /// The pod's disaggregation role.
+    pub role: PodRole,
+    /// Estimated requests routed but not yet estimated complete.
+    pub outstanding: usize,
+    /// Cycle the pod's arrays come online (autoscale warm-up; 0 when
+    /// already warm).
+    pub ready_at: u64,
+}
+
+impl PodView<'_> {
+    /// Whether the pod is majority-Axon (the fast-fill specialist the
+    /// SLO-aware router steers latency-bound classes toward).
+    pub fn majority_axon(&self) -> bool {
+        2 * self.axon_arrays > self.arrays
+    }
+}
+
+/// The behavioral interface of a routing discipline: called once per
+/// new `(client)` — or `(client, class)` when
+/// [`class_scoped`](RoutingPolicy::class_scoped) — with the fleet views
+/// and the routable pod indices, in declaration order. Must return one
+/// of `eligible`.
+pub trait RoutingPolicy {
+    /// Short label for reports and sweep output.
+    fn name(&self) -> &'static str;
+
+    /// Whether affinity is per `(client, class)` instead of per client
+    /// (specialist routers that deliberately split a client's classes).
+    fn class_scoped(&self) -> bool {
+        false
+    }
+
+    /// Picks the pod for `req` at cycle `now`. `eligible` lists the
+    /// routable pods (alive, active, not draining) in declaration
+    /// order; `views` covers every pod, indexed by declaration.
+    fn route(&mut self, req: &Request, now: u64, views: &[PodView], eligible: &[usize]) -> usize;
+}
+
+/// `eligible` re-sorted canonically: by pod key, then declaration
+/// index. Distinct configurations order by configuration alone;
+/// identical pods (interchangeable by symmetry) fall back to
+/// declaration order, which permutes harmlessly.
+fn canonical(views: &[PodView], eligible: &[usize]) -> Vec<usize> {
+    let mut order = eligible.to_vec();
+    order.sort_by(|&a, &b| views[a].key.cmp(views[b].key).then(a.cmp(&b)));
+    order
+}
+
+/// Strictly-less comparison of per-array load (integer cross-multiply,
+/// so no float enters a routing decision).
+fn less_loaded(a: &PodView, b: &PodView) -> bool {
+    (a.outstanding as u64) * (b.arrays as u64) < (b.outstanding as u64) * (a.arrays as u64)
+}
+
+/// The least-loaded pod of `order` (canonical order assumed): ties go
+/// to the earliest canonical position.
+fn pick_least_loaded(views: &[PodView], order: &[usize]) -> usize {
+    let mut best = order[0];
+    for &i in &order[1..] {
+        if less_loaded(&views[i], &views[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Whether `class` is latency-bound (tight SLO budget): the classes
+/// the SLO-aware router steers toward fast-fill pods and the
+/// disaggregated router onto decode specialists.
+fn latency_bound(class: RequestClass) -> bool {
+    matches!(class, RequestClass::Decode | RequestClass::Gemv)
+}
+
+/// How the cluster picks a pod for each new client (the configuration
+/// half; [`RouterPolicy::build`] yields the behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Deal new clients across pods in declaration order. The only
+    /// declaration-order-sensitive router (by construction), and the
+    /// hardware-oblivious baseline the sweeps beat.
+    RoundRobin,
+    /// Uniform random pod per new client (seeded from the traffic
+    /// seed, so runs stay pure functions of `(seed, config)`).
+    Random,
+    /// Join-shortest-queue: the pod with the least estimated
+    /// outstanding work per array.
+    JoinShortestQueue,
+    /// Power-of-two-choices: sample two pods, take the less loaded —
+    /// near-JSQ balance from O(1) state probes.
+    PowerOfTwoChoices,
+    /// SLO-class-aware: latency-bound classes (decode, GEMV) prefer
+    /// majority-Axon pods (halved operand-fill latency), loose classes
+    /// prefer the rest; JSQ within the preferred set. Sticky per
+    /// `(client, class)`.
+    SloAware,
+    /// Prefill/decode disaggregation: classes are routed to pods whose
+    /// [`PodRole`] matches (decode/GEMV to [`PodRole::Decode`], the
+    /// rest to [`PodRole::Prefill`]), falling back to
+    /// [`PodRole::General`] pods, then to any; JSQ within the matching
+    /// set. Sticky per `(client, class)`.
+    Disaggregated,
+}
+
+impl RouterPolicy {
+    /// Every built-in router, baseline first (sweep-ladder order).
+    pub const ALL: [RouterPolicy; 6] = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::Random,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::PowerOfTwoChoices,
+        RouterPolicy::SloAware,
+        RouterPolicy::Disaggregated,
+    ];
+
+    /// Short label for sweep output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::Random => "random",
+            RouterPolicy::JoinShortestQueue => "jsq",
+            RouterPolicy::PowerOfTwoChoices => "po2c",
+            RouterPolicy::SloAware => "slo-aware",
+            RouterPolicy::Disaggregated => "disaggregated",
+        }
+    }
+
+    /// Instantiates the behavioral router. `seed` feeds the sampling
+    /// routers ([`Random`](RouterPolicy::Random),
+    /// [`PowerOfTwoChoices`](RouterPolicy::PowerOfTwoChoices)); the
+    /// cluster engine passes the traffic seed.
+    pub fn build(&self, seed: u64) -> Box<dyn RoutingPolicy> {
+        match self {
+            RouterPolicy::RoundRobin => Box::new(RoundRobinRouter { next: 0 }),
+            RouterPolicy::Random => Box::new(RandomRouter {
+                rng: ServeRng::new(seed),
+            }),
+            RouterPolicy::JoinShortestQueue => Box::new(JsqRouter),
+            RouterPolicy::PowerOfTwoChoices => Box::new(PowerOfTwoRouter {
+                rng: ServeRng::new(seed),
+            }),
+            RouterPolicy::SloAware => Box::new(SloAwareRouter),
+            RouterPolicy::Disaggregated => Box::new(DisaggregatedRouter),
+        }
+    }
+}
+
+/// Declaration-order dealing (see [`RouterPolicy::RoundRobin`]).
+#[derive(Debug, Clone)]
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobinRouter {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(
+        &mut self,
+        _req: &Request,
+        _now: u64,
+        _views: &[PodView],
+        eligible: &[usize],
+    ) -> usize {
+        let pick = eligible[self.next % eligible.len()];
+        self.next = self.next.wrapping_add(1);
+        pick
+    }
+}
+
+/// Seeded uniform choice (see [`RouterPolicy::Random`]).
+#[derive(Debug, Clone)]
+pub struct RandomRouter {
+    rng: ServeRng,
+}
+
+impl RoutingPolicy for RandomRouter {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn route(&mut self, _req: &Request, _now: u64, views: &[PodView], eligible: &[usize]) -> usize {
+        let order = canonical(views, eligible);
+        order[self.rng.below(order.len())]
+    }
+}
+
+/// Least estimated outstanding per array (see
+/// [`RouterPolicy::JoinShortestQueue`]).
+#[derive(Debug, Clone, Copy)]
+pub struct JsqRouter;
+
+impl RoutingPolicy for JsqRouter {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn route(&mut self, _req: &Request, _now: u64, views: &[PodView], eligible: &[usize]) -> usize {
+        let order = canonical(views, eligible);
+        pick_least_loaded(views, &order)
+    }
+}
+
+/// Two samples, keep the less loaded (see
+/// [`RouterPolicy::PowerOfTwoChoices`]).
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoRouter {
+    rng: ServeRng,
+}
+
+impl RoutingPolicy for PowerOfTwoRouter {
+    fn name(&self) -> &'static str {
+        "po2c"
+    }
+
+    fn route(&mut self, _req: &Request, _now: u64, views: &[PodView], eligible: &[usize]) -> usize {
+        let order = canonical(views, eligible);
+        if order.len() == 1 {
+            return order[0];
+        }
+        let a = self.rng.below(order.len());
+        // Second draw over the remaining slots so the pair is distinct.
+        let mut b = self.rng.below(order.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (a, b) = (order[a], order[b]);
+        if less_loaded(&views[b], &views[a]) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Architecture-aware class steering (see [`RouterPolicy::SloAware`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SloAwareRouter;
+
+impl RoutingPolicy for SloAwareRouter {
+    fn name(&self) -> &'static str {
+        "slo-aware"
+    }
+
+    fn class_scoped(&self) -> bool {
+        true
+    }
+
+    fn route(&mut self, req: &Request, _now: u64, views: &[PodView], eligible: &[usize]) -> usize {
+        let order = canonical(views, eligible);
+        let tight = latency_bound(req.class);
+        let preferred: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| views[i].majority_axon() == tight)
+            .collect();
+        pick_least_loaded(
+            views,
+            if preferred.is_empty() {
+                &order
+            } else {
+                &preferred
+            },
+        )
+    }
+}
+
+/// Role-matched specialist routing (see
+/// [`RouterPolicy::Disaggregated`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DisaggregatedRouter;
+
+impl RoutingPolicy for DisaggregatedRouter {
+    fn name(&self) -> &'static str {
+        "disaggregated"
+    }
+
+    fn class_scoped(&self) -> bool {
+        true
+    }
+
+    fn route(&mut self, req: &Request, _now: u64, views: &[PodView], eligible: &[usize]) -> usize {
+        let order = canonical(views, eligible);
+        let want = if latency_bound(req.class) {
+            PodRole::Decode
+        } else {
+            PodRole::Prefill
+        };
+        for role in [want, PodRole::General] {
+            let matched: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| views[i].role == role)
+                .collect();
+            if !matched.is_empty() {
+                return pick_least_loaded(views, &matched);
+            }
+        }
+        pick_least_loaded(views, &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axon_core::GemmShape;
+    use axon_workloads::{GemmWorkload, WorkloadKind};
+
+    fn req(class: RequestClass) -> Request {
+        Request {
+            id: 0,
+            client: 0,
+            class,
+            workload: GemmWorkload {
+                name: "t",
+                shape: GemmShape::new(1, 8, 16),
+                kind: WorkloadKind::Gemv,
+            },
+            arrival: 0,
+            deadline: 1000,
+        }
+    }
+
+    fn view(index: usize, key: &str, arrays: usize, axon: usize, out: usize) -> PodView<'_> {
+        PodView {
+            index,
+            key,
+            arrays,
+            axon_arrays: axon,
+            role: PodRole::General,
+            outstanding: out,
+            ready_at: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_deals_in_declaration_order() {
+        let mut r = RouterPolicy::RoundRobin.build(0);
+        let views = [view(0, "b", 1, 0, 0), view(1, "a", 1, 0, 0)];
+        let eligible = [0, 1];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| r.route(&req(RequestClass::Decode), 0, &views, &eligible))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn jsq_normalizes_by_array_count() {
+        let mut r = RouterPolicy::JoinShortestQueue.build(0);
+        // 4 outstanding over 4 arrays (1/array) beats 2 over 1 array.
+        let views = [view(0, "a", 1, 0, 2), view(1, "b", 4, 0, 4)];
+        assert_eq!(r.route(&req(RequestClass::Decode), 0, &views, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn jsq_ties_break_by_key_not_declaration() {
+        let mut r = RouterPolicy::JoinShortestQueue.build(0);
+        let views = [view(0, "zzz", 2, 0, 1), view(1, "aaa", 2, 0, 1)];
+        assert_eq!(
+            r.route(&req(RequestClass::Decode), 0, &views, &[0, 1]),
+            1,
+            "equal load must break ties by canonical key"
+        );
+    }
+
+    #[test]
+    fn po2c_picks_the_less_loaded_of_its_pair() {
+        let mut r = RouterPolicy::PowerOfTwoChoices.build(7);
+        let views = [view(0, "a", 1, 0, 100), view(1, "b", 1, 0, 0)];
+        // Only two pods: the pair is always {0, 1}, so every pick must
+        // be the unloaded pod.
+        for _ in 0..8 {
+            assert_eq!(r.route(&req(RequestClass::Decode), 0, &views, &[0, 1]), 1);
+        }
+    }
+
+    #[test]
+    fn slo_aware_steers_decode_to_axon_majority() {
+        let mut r = RouterPolicy::SloAware.build(0);
+        let views = [view(0, "conv", 2, 0, 0), view(1, "axon", 2, 2, 50)];
+        // Decode goes to the Axon pod even though it is busier...
+        assert_eq!(r.route(&req(RequestClass::Decode), 0, &views, &[0, 1]), 1);
+        // ...and prefill to the conventional pod.
+        assert_eq!(r.route(&req(RequestClass::Prefill), 0, &views, &[0, 1]), 0);
+        assert!(r.class_scoped());
+    }
+
+    #[test]
+    fn disaggregated_matches_roles_with_fallback() {
+        let mut r = RouterPolicy::Disaggregated.build(0);
+        let mut views = [view(0, "a", 2, 0, 0), view(1, "b", 2, 0, 0)];
+        views[0].role = PodRole::Prefill;
+        views[1].role = PodRole::Decode;
+        assert_eq!(r.route(&req(RequestClass::Decode), 0, &views, &[0, 1]), 1);
+        assert_eq!(r.route(&req(RequestClass::Prefill), 0, &views, &[0, 1]), 0);
+        assert_eq!(r.route(&req(RequestClass::Gemv), 0, &views, &[0, 1]), 1);
+        // With the decode specialist ineligible, decode falls back.
+        assert_eq!(r.route(&req(RequestClass::Decode), 0, &views, &[0]), 0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        for p in RouterPolicy::ALL {
+            assert_eq!(p.build(0).name(), p.name());
+        }
+    }
+}

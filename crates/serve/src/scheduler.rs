@@ -131,6 +131,16 @@ pub trait SchedulingPolicy {
 
     /// Feedback after dispatch: the batch was billed `service_cycles`.
     fn on_dispatch(&mut self, _batch: &Batch, _service_cycles: u64) {}
+
+    /// Feedback at completion: the batch finished after `billed_cycles`
+    /// of *contended* service against a compute-only schedule of
+    /// `baseline_cycles`. The difference is the bandwidth stall the
+    /// batch actually occupied the machine for — fairness policies that
+    /// only bill compute at dispatch time can charge the remainder
+    /// here. Under [`MemoryModel::Unconstrained`](crate::MemoryModel)
+    /// the two are equal, so implementations that credit the delta are
+    /// exact no-ops there.
+    fn on_complete(&mut self, _batch: &Batch, _billed_cycles: u64, _baseline_cycles: u64) {}
 }
 
 /// Coalesces queued requests compatible with `head` (already removed
@@ -295,6 +305,22 @@ impl SchedulingPolicy for WfqPolicy {
 
     fn on_dispatch(&mut self, batch: &Batch, service_cycles: u64) {
         let share = service_cycles as f64 / batch.len() as f64;
+        for r in &batch.requests {
+            self.credit(r.client, share);
+        }
+    }
+
+    /// Contention-true accounting: the compute schedule was credited at
+    /// dispatch; the bandwidth stall (billed minus compute baseline) is
+    /// only known at completion and is credited here, so a memory-hog
+    /// tenant pays for the bandwidth it occupies, not just its MACs.
+    /// Zero — bit for bit — under `MemoryModel::Unconstrained`.
+    fn on_complete(&mut self, batch: &Batch, billed_cycles: u64, baseline_cycles: u64) {
+        let stall = billed_cycles.saturating_sub(baseline_cycles);
+        if stall == 0 {
+            return;
+        }
+        let share = stall as f64 / batch.len() as f64;
         for r in &batch.requests {
             self.credit(r.client, share);
         }

@@ -1,0 +1,243 @@
+//! Cluster-scope re-pins of the single-pod invariants: bit determinism
+//! per router, fleet-wide per-client FIFO, single-pod equivalence,
+//! failure injection without loss or double-completion, autoscale
+//! warm-up billing, and declaration-order invariance of the
+//! order-insensitive routers.
+
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_cluster, simulate_pod, AutoscaleConfig, ClusterConfig, ClusterPodConfig, PodConfig,
+    PodRole, RouterPolicy, ServeRng, TrafficConfig, WorkloadMix,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A deliberately lopsided fleet: mixed array counts, mixed
+/// architectures, mixed array sizes, and disaggregation roles.
+fn hetero_fleet() -> Vec<ClusterPodConfig> {
+    vec![
+        ClusterPodConfig::new(PodConfig::homogeneous(4, Architecture::Axon, 32))
+            .with_role(PodRole::Decode),
+        ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Conventional, 32))
+            .with_role(PodRole::Prefill),
+        ClusterPodConfig::new(PodConfig::homogeneous(3, Architecture::Axon, 64)),
+    ]
+}
+
+fn mixed_traffic(seed: u64, requests: usize, mean: f64) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, requests, mean)
+        .with_mix(WorkloadMix::balanced())
+        .with_clients(8)
+}
+
+#[test]
+fn every_router_is_bit_deterministic() {
+    let traffic = mixed_traffic(42, 150, 800.0);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(hetero_fleet(), router);
+        let a = simulate_cluster(&cluster, &traffic);
+        let b = simulate_cluster(&cluster, &traffic);
+        // The full report — per-pod traces, every completion record,
+        // and all derived metrics, f64 fields included — must match
+        // exactly across identical runs.
+        assert_eq!(a, b, "{} is not bit-deterministic", router.name());
+        assert_eq!(a.metrics.completed, 150, "{} lost requests", router.name());
+    }
+}
+
+/// Sticky session affinity lifts the pod-level per-client FIFO
+/// invariant to the fleet: within a client (or within a `(client,
+/// class)` pair for the class-scoped specialist routers, which reorder
+/// across classes by design), dispatch order follows issue order.
+#[test]
+fn fleet_preserves_per_client_fifo() {
+    let traffic = mixed_traffic(17, 250, 120.0);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(hetero_fleet(), router);
+        let class_scoped = router.build(0).class_scoped();
+        let r = simulate_cluster(&cluster, &traffic);
+        assert_eq!(r.metrics.completed, 250);
+        let mut by_group: BTreeMap<(usize, String), Vec<(usize, u64)>> = BTreeMap::new();
+        for c in &r.completions {
+            let scope = if class_scoped {
+                format!("{:?}", c.completion.class)
+            } else {
+                String::new()
+            };
+            by_group
+                .entry((c.completion.client, scope))
+                .or_default()
+                .push((c.completion.id, c.completion.dispatch));
+        }
+        for ((client, scope), mut reqs) in by_group {
+            reqs.sort_unstable();
+            for w in reqs.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1,
+                    "{}: client {client} {scope}: request {} (dispatch {}) \
+                     overtook {} (dispatch {})",
+                    router.name(),
+                    w[1].0,
+                    w[1].1,
+                    w[0].0,
+                    w[0].1
+                );
+            }
+        }
+    }
+}
+
+/// The cluster layer collapses exactly onto the single-pod simulator:
+/// a 1-pod fleet is bit-identical to `simulate_pod` under every router
+/// (with one pod, every router is the trivial router).
+#[test]
+fn one_pod_cluster_matches_simulate_pod_bit_for_bit() {
+    let pod = PodConfig::homogeneous(3, Architecture::Axon, 32);
+    let traffic = mixed_traffic(99, 200, 600.0);
+    let single = simulate_pod(&pod, &traffic);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(vec![ClusterPodConfig::new(pod.clone())], router);
+        let r = simulate_cluster(&cluster, &traffic);
+        assert_eq!(r.per_pod.len(), 1);
+        assert_eq!(r.per_pod[0].trace, single.trace, "{}", router.name());
+        assert_eq!(
+            r.per_pod[0].completions,
+            single.completions,
+            "{}",
+            router.name()
+        );
+        assert_eq!(r.per_pod[0].metrics, single.metrics, "{}", router.name());
+        assert_eq!(r.metrics.completed, single.metrics.completed);
+        assert_eq!(r.metrics.makespan_cycles, single.metrics.makespan_cycles);
+    }
+}
+
+/// Kill a pod mid-run: its survivors stand, its unfinished work is
+/// re-routed, and the fleet neither loses nor double-completes a
+/// single request. The fleet metrics decompose exactly over the pods.
+#[test]
+fn pod_failure_reroutes_without_loss_or_duplication() {
+    let requests = 200;
+    let mut pods = hetero_fleet();
+    let fail_at = 40_000;
+    pods[1] = pods[1].clone().with_fail_at(fail_at);
+    let cluster = ClusterConfig::new(pods, RouterPolicy::JoinShortestQueue);
+    let r = simulate_cluster(&cluster, &mixed_traffic(7, requests, 400.0));
+
+    assert_eq!(r.metrics.failed_pods, 1);
+    assert!(r.metrics.rerouted > 0, "the dead pod had no queued work");
+
+    // No request lost, none double-completed.
+    let ids: Vec<usize> = r.completions.iter().map(|c| c.completion.id).collect();
+    let unique: BTreeSet<usize> = ids.iter().copied().collect();
+    assert_eq!(
+        ids.len(),
+        requests,
+        "lost {} requests",
+        requests - ids.len()
+    );
+    assert_eq!(unique.len(), ids.len(), "double-completed a request");
+    assert_eq!(unique, (0..requests).collect::<BTreeSet<_>>());
+
+    // The dead pod stopped at the failure edge; its survivors are
+    // exactly the completions it finished by then.
+    for c in &r.per_pod[1].completions {
+        assert!(c.completion <= fail_at, "completion after the failure");
+    }
+
+    // Fleet metrics decompose exactly over the pods.
+    let pod_sum: usize = r.metrics.per_pod.iter().map(|m| m.completed).sum();
+    assert_eq!(pod_sum, r.metrics.completed);
+    let routed: usize = r.metrics.routed_per_pod.iter().sum();
+    assert_eq!(routed, requests + r.metrics.rerouted);
+    let array_uj: f64 = r.metrics.per_pod.iter().map(|m| m.array_energy_uj).sum();
+    assert!((array_uj - r.metrics.array_energy_uj).abs() < 1e-9);
+}
+
+#[test]
+fn autoscale_activates_under_load_and_bills_warmup() {
+    let warmup = 25_000;
+    let auto = AutoscaleConfig::new(1, 3, 1, warmup);
+    let fleet: Vec<ClusterPodConfig> = (0..3)
+        .map(|_| ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Axon, 32)))
+        .collect();
+
+    // Heavy load: the single initial pod saturates, spares come online.
+    let cluster =
+        ClusterConfig::new(fleet.clone(), RouterPolicy::JoinShortestQueue).with_autoscale(auto);
+    let heavy = simulate_cluster(&cluster, &mixed_traffic(3, 200, 150.0));
+    assert!(heavy.metrics.scale_ups > 0, "heavy load never scaled up");
+    assert_eq!(heavy.metrics.completed, 200);
+    // Warm-up is billed through the clock: nothing dispatches on an
+    // autoscaled pod before its ready edge.
+    for (i, report) in heavy.per_pod.iter().enumerate() {
+        for c in &report.completions {
+            assert!(
+                c.dispatch >= heavy.ready_at[i],
+                "pod {i} dispatched at {} before its ready edge {}",
+                c.dispatch,
+                heavy.ready_at[i]
+            );
+        }
+    }
+
+    // Light load (slow decode trickle): the initial pod suffices, the
+    // spares never activate.
+    let trickle = TrafficConfig::open_loop(3, 60, 150_000.0)
+        .with_mix(WorkloadMix::decode_heavy())
+        .with_clients(8);
+    let light = simulate_cluster(&cluster, &trickle);
+    assert_eq!(light.metrics.scale_ups, 0, "light load scaled up");
+    assert_eq!(light.metrics.routed_per_pod[1], 0);
+    assert_eq!(light.metrics.routed_per_pod[2], 0);
+    assert_eq!(light.metrics.completed, 60);
+}
+
+/// Fisher–Yates permutation of `0..n` drawn from a seeded generator.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = ServeRng::new(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Declaration order is presentation, not behavior: for the
+    /// order-insensitive routers, shuffling the fleet's pod list leaves
+    /// the completion count and every request's timing untouched.
+    /// (Round-robin is excluded by construction — it deals in
+    /// declaration order on purpose.)
+    #[test]
+    fn routing_is_invariant_under_pod_declaration_order(
+        seed in 0u64..500,
+        perm_seed in 0u64..10_000,
+        mean in 200.0f64..2000.0,
+    ) {
+        // Two identical pods (indices 0 and 3) make the permutation
+        // exercise the symmetric-pod case, not just relabeling.
+        let mut base = hetero_fleet();
+        base.push(base[0].clone());
+        let traffic = mixed_traffic(seed, 120, mean);
+        let perm = permutation(base.len(), perm_seed);
+        let shuffled: Vec<ClusterPodConfig> =
+            perm.iter().map(|&i| base[i].clone()).collect();
+
+        for router in [RouterPolicy::JoinShortestQueue, RouterPolicy::PowerOfTwoChoices] {
+            let a = simulate_cluster(&ClusterConfig::new(base.clone(), router), &traffic);
+            let b = simulate_cluster(&ClusterConfig::new(shuffled.clone(), router), &traffic);
+            prop_assert_eq!(a.metrics.completed, b.metrics.completed);
+            let timing = |r: &axon_serve::ClusterReport| -> BTreeMap<usize, (u64, u64)> {
+                r.completions
+                    .iter()
+                    .map(|c| (c.completion.id, (c.completion.dispatch, c.completion.completion)))
+                    .collect()
+            };
+            prop_assert_eq!(timing(&a), timing(&b));
+        }
+    }
+}

@@ -2,10 +2,14 @@
 //! regression guard and bit-identical determinism for every policy.
 
 use axon_core::runtime::Architecture;
+use axon_core::GemmShape;
 use axon_serve::{
-    simulate_pod, PodConfig, PreemptionMode, RequestClass, SchedulerPolicy, ServingReport,
-    TrafficConfig, WorkloadMix,
+    simulate_pod, simulate_pod_trace_with_policy, Batch, LatencySummary, MemoryModel, PodConfig,
+    PreemptionMode, Request, RequestClass, SchedulerPolicy, SchedulingPolicy, ServingReport,
+    TrafficConfig, WfqPolicy, WorkloadMix,
 };
+use axon_workloads::{GemmWorkload, WorkloadKind};
+use std::collections::VecDeque;
 
 fn policy_pod(scheduler: SchedulerPolicy, preemption: PreemptionMode) -> PodConfig {
     PodConfig::homogeneous(2, Architecture::Axon, 64)
@@ -242,4 +246,119 @@ fn preemption_keeps_reports_consistent() {
     // A preempted completion's service spans its suspension, so it is
     // strictly longer than any unpreempted completion of the same shape.
     assert!(r.completions.iter().any(|c| c.preemptions > 0));
+}
+
+/// WFQ billed on compute cycles alone — the pre-fix behavior, kept
+/// here as the regression baseline for the fairness blind spot.
+struct ComputeBilledWfq(WfqPolicy);
+
+impl SchedulingPolicy for ComputeBilledWfq {
+    fn name(&self) -> &'static str {
+        "wfq-compute-billed"
+    }
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, now: u64) -> Option<Batch> {
+        self.0.next_batch(queue, now)
+    }
+    fn on_dispatch(&mut self, batch: &Batch, service_cycles: u64) {
+        self.0.on_dispatch(batch, service_cycles);
+    }
+    // on_complete deliberately NOT forwarded: memory stalls go unbilled.
+}
+
+fn tenant_request(id: usize, client: usize, shape: GemmShape, kind: WorkloadKind) -> Request {
+    Request {
+        id,
+        client,
+        class: if client == 0 {
+            RequestClass::ResNet50
+        } else {
+            RequestClass::Gemv
+        },
+        workload: GemmWorkload {
+            name: "tenant",
+            shape,
+            kind,
+        },
+        arrival: 0,
+        deadline: u64::MAX / 2,
+    }
+}
+
+/// Both tenants fully backlogged at cycle 0: client 0 is the
+/// well-behaved compute-bound tenant (40 small GEMMs), client 1 a deep
+/// queue of 200 `co_shape` jobs that outlasts the victim's work.
+fn two_tenant_trace(co_shape: GemmShape, co_kind: WorkloadKind) -> Vec<Request> {
+    let mut trace = Vec::new();
+    for id in 0..40 {
+        trace.push(tenant_request(
+            id,
+            0,
+            GemmShape::new(256, 256, 256),
+            WorkloadKind::Gemm,
+        ));
+    }
+    for id in 40..240 {
+        trace.push(tenant_request(id, 1, co_shape, co_kind));
+    }
+    trace
+}
+
+fn victim_p99(report: &ServingReport) -> u64 {
+    let cycles: Vec<u64> = report
+        .completions
+        .iter()
+        .filter(|c| c.client == 0)
+        .map(|c| c.total_cycles())
+        .collect();
+    assert!(!cycles.is_empty(), "victim completed nothing");
+    LatencySummary::from_cycles(cycles).p99
+}
+
+/// The WFQ fairness blind spot, closed: billing *contended* service
+/// (compute + memory stalls) instead of compute cycles alone keeps a
+/// well-behaved tenant's p99 bounded under a memory-hog co-tenant.
+///
+/// The hog issues weight-streaming GEMVs whose contended service runs
+/// ~9x their compute cycles on the pod's single DRAM channel:
+/// compute-only billing thinks they are cheap, keeps granting them
+/// array time, and the victim's share of the pod collapses. Billing
+/// the contended time charges the hog what it actually occupied.
+#[test]
+fn wfq_contended_billing_isolates_victim_from_memory_hog() {
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Wfq { max_batch: 1 })
+        .with_memory(MemoryModel::Shared { channels: 1 })
+        .with_shard_min_macs(None);
+    let trace = two_tenant_trace(GemmShape::new(1, 2048, 2048), WorkloadKind::Gemv);
+
+    let mut contended = WfqPolicy::new(1, &[1.0, 1.0]);
+    let fixed = simulate_pod_trace_with_policy(&pod, &trace, &mut contended);
+    let mut compute_only = ComputeBilledWfq(WfqPolicy::new(1, &[1.0, 1.0]));
+    let blind = simulate_pod_trace_with_policy(&pod, &trace, &mut compute_only);
+
+    assert_eq!(fixed.metrics.completed, trace.len());
+    assert_eq!(blind.metrics.completed, trace.len());
+    // The hog really does stall the pod.
+    assert!(fixed.metrics.bandwidth_stall_cycles > 0);
+
+    // Closing the blind spot must strictly improve the victim's tail.
+    let (p99_fixed, p99_blind) = (victim_p99(&fixed), victim_p99(&blind));
+    assert!(
+        p99_fixed < p99_blind,
+        "contended billing should cut the victim's p99: {p99_fixed} vs {p99_blind}"
+    );
+
+    // Isolation bound: against the hog, the victim's p99 stays within a
+    // small constant of its p99 next to a *well-behaved* co-tenant (a
+    // second compute-bound stream), instead of degrading unboundedly
+    // with the hog's memory traffic.
+    let benign = two_tenant_trace(GemmShape::new(256, 256, 256), WorkloadKind::Gemm);
+    let mut wfq = WfqPolicy::new(1, &[1.0, 1.0]);
+    let fair_share = simulate_pod_trace_with_policy(&pod, &benign, &mut wfq);
+    let p99_benign = victim_p99(&fair_share);
+    assert!(
+        p99_fixed <= 2 * p99_benign,
+        "victim p99 under the hog ({p99_fixed}) blew past 2x its \
+         well-behaved-co-tenant p99 ({p99_benign})"
+    );
 }
