@@ -1,0 +1,90 @@
+//! Simulator self-benchmark: measures requests-simulated-per-wall-second
+//! on the pinned perf scenario and gates against the committed
+//! `BENCH_<n>.json` trajectory (>20% throughput loss fails).
+//!
+//! ```sh
+//! cargo run --release -p axon-bench --bin perf_baseline
+//! cargo run --release -p axon-bench --bin perf_baseline -- --smoke
+//! cargo run --release -p axon-bench --bin perf_baseline -- --smoke --json out.json
+//! cargo run --release -p axon-bench --bin perf_baseline -- --baseline BENCH_7.json
+//! ```
+//!
+//! Measurement and gate live in [`axon_bench::perf`]; the schema is
+//! documented in `docs/observability.md`. Without `--baseline`, the
+//! gate compares against the highest-index `BENCH_<n>.json` in the
+//! current directory and **skips gracefully** when none exists (the
+//! first run of a fresh checkout has nothing to regress against).
+//! Exits non-zero only on a confirmed regression.
+
+use axon_bench::perf::{find_baseline, measure, regression_vs, PerfReport, MAX_SLOWDOWN};
+use axon_bench::series::json_path_from_args;
+use std::path::PathBuf;
+
+fn baseline_flag() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (requests, reps) = if smoke { (300, 3) } else { (1200, 5) };
+
+    println!(
+        "Simulator self-benchmark — pinned perf scenario, {requests} requests, best of {reps} reps"
+    );
+    let current = measure(requests, reps);
+    println!(
+        "  {:>10.0} requests/wall-second  ({} requests in {:.3}s)",
+        current.requests_per_wall_s, current.requests, current.wall_s
+    );
+    println!(
+        "  {:>10} events, {} dispatches, {} retime passes ({:.1} jobs/pass)",
+        current.events, current.dispatches, current.retime_passes, current.mean_jobs_per_retime
+    );
+
+    if let Some(path) = json_path_from_args() {
+        current
+            .to_json()
+            .write_to_file(&path)
+            .expect("write --json output");
+        println!("wrote {}", path.display());
+    }
+
+    let baseline = match baseline_flag() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            let report = PerfReport::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+            Some((path, report))
+        }
+        None => find_baseline(&std::env::current_dir().expect("cwd")),
+    };
+    let Some((path, baseline)) = baseline else {
+        println!("no committed BENCH_<n>.json baseline found — skipping the regression gate");
+        return;
+    };
+
+    println!(
+        "baseline {} (BENCH_{}): {:.0} requests/wall-second, gate at -{:.0}%",
+        path.display(),
+        baseline.bench_index,
+        baseline.requests_per_wall_s,
+        MAX_SLOWDOWN * 100.0
+    );
+    match regression_vs(&current, &baseline) {
+        Ok(warnings) => {
+            for w in &warnings {
+                println!("  note: {w}");
+            }
+            println!("perf gate passed");
+        }
+        Err(e) => {
+            eprintln!("perf gate FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

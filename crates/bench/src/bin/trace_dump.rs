@@ -1,0 +1,137 @@
+//! Request-lifecycle trace dump: runs a cluster scenario with a
+//! recording [`TraceSink`](axon_serve::TraceSink) attached and writes
+//! the Chrome trace-event JSON (open it at <https://ui.perfetto.dev>
+//! or `chrome://tracing`), plus an aggregated text summary.
+//!
+//! ```sh
+//! cargo run --release -p axon-bench --bin trace_dump
+//! cargo run --release -p axon-bench --bin trace_dump -- --smoke
+//! cargo run --release -p axon-bench --bin trace_dump -- --json axon.trace.json
+//! ```
+//!
+//! The canned scenario exercises nearly the whole event taxonomy (see
+//! `docs/observability.md`): a heterogeneous fleet with shared-DRAM
+//! pods (retimes, bandwidth epochs), continuous batching (in-flight
+//! joins), tile-boundary preemption (preempt/drain/resume), a mid-run
+//! pod failure (reroutes) and a deterministic autoscaler (scale-ups).
+//! (`ShardPlanned` needs idle peer arrays, which an overloaded fleet
+//! never has; the sharding events are covered by the serve tests.)
+//! The binary asserts the tracing contract: the traced run is
+//! bit-identical to the untraced one, and the event stream satisfies
+//! the lifecycle conservation laws.
+
+use axon_bench::series::json_path_from_args;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    check_conservation, chrome_trace_json, simulate_cluster, simulate_cluster_traced,
+    AggregatingSink, AutoscaleConfig, ClusterConfig, ClusterPodConfig, MemoryModel, PodConfig,
+    PreemptionMode, RecordingSink, RequestClass, RouterPolicy, SchedulerPolicy, SloBudgets,
+    TrafficConfig, WorkloadMix,
+};
+use std::path::PathBuf;
+
+const SEED: u64 = 2026;
+
+fn scenario_cluster() -> ClusterConfig {
+    // Few large arrays + long prefills + tight decode SLOs: the recipe
+    // that makes tile-boundary preemption actually fire (see the
+    // preemption tests in crates/serve/tests/policies.rs).
+    let hot = PodConfig::homogeneous(2, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+        .with_memory(MemoryModel::Shared { channels: 1 })
+        .with_preemption(PreemptionMode::TileBoundary);
+    let cold = PodConfig::homogeneous(2, Architecture::Conventional, 64)
+        .with_scheduler(SchedulerPolicy::Batching { max_batch: 8 });
+    let pods = vec![
+        ClusterPodConfig::new(hot.clone()),
+        // Dies mid-run: finished work survives, the rest re-routes.
+        ClusterPodConfig::new(hot).with_fail_at(2_000_000),
+        ClusterPodConfig::new(cold.clone()),
+        // Spare: activated by the autoscaler once the fleet backs up.
+        ClusterPodConfig::new(cold),
+    ];
+    ClusterConfig::new(pods, RouterPolicy::JoinShortestQueue)
+        .with_autoscale(AutoscaleConfig::new(2, 2, 1, 100_000))
+}
+
+fn scenario_traffic(requests: usize) -> TrafficConfig {
+    TrafficConfig::open_loop(SEED, requests, 150_000.0)
+        .with_mix(WorkloadMix::new(vec![
+            (RequestClass::Decode, 0.80),
+            (RequestClass::Prefill, 0.15),
+            (RequestClass::Gemv, 0.05),
+        ]))
+        .with_clients(24)
+        .with_slo(SloBudgets::serving_default().with_decode(70_000))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = if smoke { 150 } else { 500 };
+    let cluster = scenario_cluster();
+    let traffic = scenario_traffic(requests);
+    let clock_mhz = cluster.pods[0].pod.clock_mhz;
+
+    println!(
+        "Trace dump — 2x Axon shared-DRAM pods (one fails mid-run) + 2x Conventional pods \
+         (one autoscaled), JSQ router, seed {SEED}, {requests} requests"
+    );
+
+    let mut rec = RecordingSink::default();
+    let traced = simulate_cluster_traced(&cluster, &traffic, &mut rec);
+
+    // The tracing contract: the sink observes, never perturbs.
+    let untraced = simulate_cluster(&cluster, &traffic);
+    assert_eq!(traced, untraced, "tracing must not change the simulation");
+    println!("observer neutrality: traced == untraced, bit for bit");
+
+    check_conservation(&rec.events).expect("lifecycle conservation");
+    println!(
+        "conservation: every Arrived reached exactly one terminal event \
+         ({} events total)\n",
+        rec.events.len()
+    );
+
+    let mut agg = AggregatingSink::default();
+    agg.replay(&rec.events);
+    println!("event counts:");
+    for (name, count) in &agg.event_counts {
+        println!("  {name:<20}{count:>8}");
+    }
+    println!(
+        "\npeak queue depth {} requests, peak {} busy arrays",
+        agg.max_queue_depth(),
+        agg.max_busy_arrays()
+    );
+    println!(
+        "phase means over {} completions: queue {:.0} cycles, service {:.0} cycles, \
+         bandwidth stall {:.0} cycles",
+        agg.queue_hist.count,
+        agg.queue_hist.mean(),
+        agg.service_hist.mean(),
+        agg.stall_hist.mean()
+    );
+    let m = &traced.metrics;
+    println!(
+        "fleet: {} completed, {} rerouted off {} failed pod(s), {} scale-up(s), \
+         {} scale-down(s)",
+        m.completed, m.rerouted, m.failed_pods, m.scale_ups, m.scale_downs
+    );
+    assert!(
+        m.failed_pods >= 1,
+        "scenario must exercise the failure path"
+    );
+    assert!(
+        m.rerouted >= 1,
+        "scenario must reroute work off the dead pod"
+    );
+
+    let path = json_path_from_args().unwrap_or_else(|| PathBuf::from("axon.trace.json"));
+    let json = chrome_trace_json(&rec.events, clock_mhz);
+    std::fs::write(&path, &json).expect("write trace JSON");
+    println!(
+        "\nwrote {} ({} bytes) — load it at https://ui.perfetto.dev",
+        path.display(),
+        json.len()
+    );
+}

@@ -1,0 +1,350 @@
+//! Simulator self-benchmark: the perf trajectory behind `BENCH_*.json`
+//! and the CI regression gate (the `perf_baseline` binary).
+//!
+//! The subject under test is the *event engine itself*, not the
+//! modeled hardware: a pinned smoke scenario (shared-DRAM Axon pod,
+//! continuous batching, tile-boundary preemption — every hot path the
+//! engine has) runs with an [`axon_serve::SimProfile`] sink attached,
+//! and the headline number is **requests simulated per wall-clock
+//! second**. Alongside it ride the deterministic workload counters
+//! (events, dispatches, retime passes, jobs touched per retime) that
+//! explain *why* the wall clock moved: a slowdown with identical
+//! counters is an engine regression; a slowdown with more retime work
+//! is a model change.
+//!
+//! The schema (`axon-perf-v1`) is documented in
+//! `docs/observability.md`. The committed trajectory lives in
+//! `BENCH_<n>.json` files at the repo root, one per growth PR that
+//! re-baselines; [`find_baseline`] picks the highest index and
+//! [`regression_vs`] gates on >20% throughput loss against it.
+
+use crate::series::Json;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod_traced, MemoryModel, PodConfig, PreemptionMode, SchedulerPolicy, ServingReport,
+    SimProfile, TrafficConfig, WorkloadMix,
+};
+use std::path::{Path, PathBuf};
+
+/// Schema tag written into every perf JSON.
+pub const PERF_SCHEMA: &str = "axon-perf-v1";
+
+/// This PR's index in the `BENCH_<n>.json` trajectory.
+pub const BENCH_INDEX: u64 = 7;
+
+/// The regression gate: fail when throughput drops below
+/// `1 - MAX_SLOWDOWN` of the committed baseline.
+pub const MAX_SLOWDOWN: f64 = 0.20;
+
+/// The pinned benchmark seed (never change it: the trajectory is only
+/// comparable across PRs because the workload is frozen).
+pub const PERF_SEED: u64 = 7027;
+
+/// The pinned smoke pod: 4 Axon 32x32 arrays over 2 shared DRAM
+/// channels (so retime passes fire), continuous batching (in-flight
+/// joins) and tile-boundary preemption — the engine's full feature
+/// surface in one configuration.
+pub fn perf_pod() -> PodConfig {
+    PodConfig::homogeneous(4, Architecture::Axon, 32)
+        .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+        .with_memory(MemoryModel::Shared { channels: 2 })
+        .with_preemption(PreemptionMode::TileBoundary)
+}
+
+/// The pinned traffic: `requests` decode-heavy arrivals at a rate that
+/// keeps the pod saturated enough to batch, preempt and stall.
+pub fn perf_traffic(requests: usize) -> TrafficConfig {
+    TrafficConfig::open_loop(PERF_SEED, requests, 900.0)
+        .with_mix(WorkloadMix::new(vec![
+            (axon_serve::RequestClass::Decode, 0.80),
+            (axon_serve::RequestClass::Prefill, 0.15),
+            (axon_serve::RequestClass::Gemv, 0.05),
+        ]))
+        .with_clients(16)
+}
+
+/// One measured point of the perf trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Schema tag ([`PERF_SCHEMA`]).
+    pub schema: String,
+    /// Which `BENCH_<n>` entry produced the measurement.
+    pub bench_index: u64,
+    /// Requests simulated per repetition.
+    pub requests: u64,
+    /// Wall-clock seconds of the best repetition.
+    pub wall_s: f64,
+    /// The headline: requests simulated per wall-second (best of
+    /// [`measure`]'s repetitions).
+    pub requests_per_wall_s: f64,
+    /// Trace events the run emitted (deterministic).
+    pub events: u64,
+    /// Dispatches issued (deterministic).
+    pub dispatches: u64,
+    /// Shared-memory retime passes (deterministic).
+    pub retime_passes: u64,
+    /// Total jobs touched across retime passes (deterministic).
+    pub retime_jobs_touched: u64,
+    /// Mean jobs touched per retime pass.
+    pub mean_jobs_per_retime: f64,
+    /// Timed repetitions behind the best-of pick.
+    pub reps: u64,
+}
+
+impl PerfReport {
+    /// Serializes to the `axon-perf-v1` JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(self.schema.clone())),
+            ("bench_index", Json::num(self.bench_index as f64)),
+            ("requests", Json::num(self.requests as f64)),
+            ("wall_s", Json::num(self.wall_s)),
+            ("requests_per_wall_s", Json::num(self.requests_per_wall_s)),
+            ("events", Json::num(self.events as f64)),
+            ("dispatches", Json::num(self.dispatches as f64)),
+            ("retime_passes", Json::num(self.retime_passes as f64)),
+            (
+                "retime_jobs_touched",
+                Json::num(self.retime_jobs_touched as f64),
+            ),
+            ("mean_jobs_per_retime", Json::num(self.mean_jobs_per_retime)),
+            ("reps", Json::num(self.reps as f64)),
+        ])
+    }
+
+    /// Parses an `axon-perf-v1` JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, a wrong `schema` tag, or missing fields.
+    pub fn from_json_str(text: &str) -> Result<PerfReport, String> {
+        let j = Json::parse(text)?;
+        let schema = j
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing `schema`")?;
+        if schema != PERF_SCHEMA {
+            return Err(format!(
+                "unsupported schema `{schema}` (want {PERF_SCHEMA})"
+            ));
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing numeric `{key}`"))
+        };
+        Ok(PerfReport {
+            schema: schema.to_string(),
+            bench_index: num("bench_index")? as u64,
+            requests: num("requests")? as u64,
+            wall_s: num("wall_s")?,
+            requests_per_wall_s: num("requests_per_wall_s")?,
+            events: num("events")? as u64,
+            dispatches: num("dispatches")? as u64,
+            retime_passes: num("retime_passes")? as u64,
+            retime_jobs_touched: num("retime_jobs_touched")? as u64,
+            mean_jobs_per_retime: num("mean_jobs_per_retime")?,
+            reps: num("reps")? as u64,
+        })
+    }
+}
+
+/// Runs the pinned scenario `reps` times and reports the *best*
+/// repetition's wall clock (the standard defense against scheduler
+/// noise on shared CI runners). The simulated results must be
+/// bit-identical across repetitions — asserted here — so the
+/// deterministic counters come from the first repetition.
+pub fn measure(requests: usize, reps: usize) -> PerfReport {
+    assert!(reps >= 1, "need at least one repetition");
+    let pod = perf_pod();
+    let traffic = perf_traffic(requests);
+    let mut best: Option<(f64, f64)> = None; // (wall_s, req/s)
+    let mut first: Option<(ServingReport, SimProfile)> = None;
+    for _ in 0..reps {
+        let mut profile = SimProfile::new();
+        let report = simulate_pod_traced(&pod, &traffic, &mut profile);
+        let p = profile.finish();
+        if best.is_none_or(|(w, _)| p.wall_s < w) {
+            best = Some((p.wall_s, p.requests_per_wall_s));
+        }
+        match &first {
+            None => first = Some((report, profile)),
+            Some((r0, _)) => assert_eq!(
+                r0, &report,
+                "perf scenario must be deterministic across repetitions"
+            ),
+        }
+    }
+    let (wall_s, requests_per_wall_s) = best.expect("reps >= 1");
+    let (report, profile) = first.expect("reps >= 1");
+    let p = profile.finish();
+    PerfReport {
+        schema: PERF_SCHEMA.to_string(),
+        bench_index: BENCH_INDEX,
+        requests: report.metrics.completed as u64,
+        wall_s,
+        requests_per_wall_s,
+        events: p.events,
+        dispatches: p.dispatches,
+        retime_passes: p.retime_passes,
+        retime_jobs_touched: p.retime_jobs_touched,
+        mean_jobs_per_retime: p.mean_jobs_per_retime,
+        reps: reps as u64,
+    }
+}
+
+/// Gates `current` against `baseline`: an `Err` means the throughput
+/// regressed more than [`MAX_SLOWDOWN`]; `Ok` carries informational
+/// warnings (counter drift is expected when the engine's *model*
+/// changes between PRs, and only worth a look — wall-clock noise is
+/// what the 20% margin absorbs).
+///
+/// # Errors
+///
+/// Returns the regression description when throughput falls below
+/// `1 - MAX_SLOWDOWN` of the baseline.
+pub fn regression_vs(current: &PerfReport, baseline: &PerfReport) -> Result<Vec<String>, String> {
+    let floor = baseline.requests_per_wall_s * (1.0 - MAX_SLOWDOWN);
+    if current.requests_per_wall_s < floor {
+        return Err(format!(
+            "throughput regression: {:.0} req/s vs baseline {:.0} req/s \
+             (floor {:.0}, BENCH_{} -> BENCH_{})",
+            current.requests_per_wall_s,
+            baseline.requests_per_wall_s,
+            floor,
+            baseline.bench_index,
+            current.bench_index
+        ));
+    }
+    let mut warnings = Vec::new();
+    if current.requests != baseline.requests {
+        warnings.push(format!(
+            "request count changed: {} -> {} (different smoke size?)",
+            baseline.requests, current.requests
+        ));
+    }
+    for (name, b, c) in [
+        ("events", baseline.events, current.events),
+        ("dispatches", baseline.dispatches, current.dispatches),
+        (
+            "retime_passes",
+            baseline.retime_passes,
+            current.retime_passes,
+        ),
+    ] {
+        if b != c {
+            warnings.push(format!("{name} drifted: {b} -> {c} (model change?)"));
+        }
+    }
+    Ok(warnings)
+}
+
+/// Finds the committed baseline: the `BENCH_<n>.json` with the highest
+/// `n` in `dir` that parses as `axon-perf-v1` (earlier growth PRs
+/// committed none, so `None` is a normal first-run answer).
+pub fn find_baseline(dir: &Path) -> Option<(PathBuf, PerfReport)> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        let Some(idx) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("BENCH_"))
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|&(b, _)| idx > b) {
+            best = Some((idx, path));
+        }
+    }
+    let (_, path) = best?;
+    let text = std::fs::read_to_string(&path).ok()?;
+    let report = PerfReport::from_json_str(&text).ok()?;
+    Some((path, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rps: f64) -> PerfReport {
+        PerfReport {
+            schema: PERF_SCHEMA.to_string(),
+            bench_index: BENCH_INDEX,
+            requests: 100,
+            wall_s: 0.5,
+            requests_per_wall_s: rps,
+            events: 1000,
+            dispatches: 40,
+            retime_passes: 30,
+            retime_jobs_touched: 90,
+            mean_jobs_per_retime: 3.0,
+            reps: 3,
+        }
+    }
+
+    #[test]
+    fn perf_json_round_trips() {
+        let r = report(1234.5);
+        let parsed = PerfReport::from_json_str(&r.to_json().to_string()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let mut bad = report(1.0);
+        bad.schema = "axon-perf-v0".to_string();
+        let err = PerfReport::from_json_str(&bad.to_json().to_string()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_only_past_the_margin() {
+        let base = report(1000.0);
+        // 19% slower: inside the margin, warnings only.
+        assert!(regression_vs(&report(810.0), &base).is_ok());
+        // 21% slower: regression.
+        let err = regression_vs(&report(790.0), &base).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        // Counter drift warns but does not fail.
+        let mut drifted = report(1000.0);
+        drifted.events = 999;
+        let warnings = regression_vs(&drifted, &base).unwrap();
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn measure_is_deterministic_and_counts_work() {
+        let a = measure(40, 1);
+        let b = measure(40, 2);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.dispatches, b.dispatches);
+        assert_eq!(a.retime_passes, b.retime_passes);
+        assert!(a.events > 0 && a.dispatches > 0);
+        // The pinned scenario must exercise the shared-memory hot path.
+        assert!(a.retime_passes > 0, "perf pod should retime");
+    }
+
+    #[test]
+    fn baseline_discovery_picks_highest_index() {
+        let dir = std::env::temp_dir().join("axon_perf_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        report(100.0)
+            .to_json()
+            .write_to_file(&dir.join("BENCH_3.json"))
+            .unwrap();
+        let mut hi = report(200.0);
+        hi.bench_index = 9;
+        hi.to_json()
+            .write_to_file(&dir.join("BENCH_9.json"))
+            .unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        let (path, found) = find_baseline(&dir).unwrap();
+        assert!(path.ends_with("BENCH_9.json"));
+        assert_eq!(found.bench_index, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

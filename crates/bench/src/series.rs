@@ -119,6 +119,209 @@ impl Json {
     pub fn write_to_file(&self, path: &Path) -> io::Result<()> {
         fs::write(path, format!("{self}\n"))
     }
+
+    /// Parses a JSON document (strict enough for everything this
+    /// workspace writes: the figure exports, `BENCH_*.json`, Chrome
+    /// traces). Numbers parse as `f64`; `\uXXXX` escapes decode,
+    /// surrogate pairs included.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax
+    /// error, or of trailing non-whitespace.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object (`None` for missing keys or
+    /// non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                entries.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex4 = |p: usize| -> Result<u32, String> {
+                            let s = b
+                                .get(p..p + 4)
+                                .and_then(|s| std::str::from_utf8(s).ok())
+                                .ok_or("truncated \\u escape")?;
+                            u32::from_str_radix(s, 16).map_err(|e| e.to_string())
+                        };
+                        let mut code = hex4(*pos)?;
+                        *pos += 4;
+                        // Surrogate pair: a high surrogate must be
+                        // followed by `\uDC00..\uDFFF`.
+                        if (0xD800..0xDC00).contains(&code) {
+                            expect(b, pos, "\\u")?;
+                            let low = hex4(*pos)?;
+                            *pos += 4;
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    c => return Err(format!("invalid escape `\\{}`", c as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unmodified).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && b[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid UTF-8 in string")?,
+                );
+            }
+        }
+    }
 }
 
 fn escape_into(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
@@ -300,6 +503,50 @@ mod tests {
         assert_eq!(json_path_from(&args), Some(PathBuf::from("out.json")));
         let none: Vec<String> = vec!["bin".to_string(), "--json".to_string()];
         assert_eq!(json_path_from(&none), None);
+    }
+
+    #[test]
+    fn json_parse_round_trips() {
+        let src = Json::obj([
+            ("name", Json::str("tr\u{e4}ce \"x\"\n")),
+            ("n", Json::num(-12.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "arr",
+                Json::arr([Json::num(1.0), Json::obj([("k", Json::num(2.0))])]),
+            ),
+        ]);
+        let parsed = Json::parse(&src.to_string()).unwrap();
+        assert_eq!(parsed, src);
+        assert_eq!(parsed.get("n").and_then(Json::as_f64), Some(-12.5));
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("tr\u{e4}ce \"x\"\n")
+        );
+        assert_eq!(
+            parsed.get("arr").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn json_parse_handles_escapes_and_rejects_garbage() {
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::Str("\u{1F600}".to_string())
+        );
+        assert_eq!(
+            Json::parse(" [ 1 , 2 ] ")
+                .unwrap()
+                .as_arr()
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("").is_err());
     }
 
     #[test]

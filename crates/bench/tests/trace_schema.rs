@@ -1,0 +1,122 @@
+//! Schema checks on the Chrome trace-event export: the JSON
+//! `trace_dump` writes must parse, carry the top-level keys Perfetto
+//! expects, stamp every event with the phase-appropriate fields, and
+//! pair every async-span begin with exactly one end. Also pins the
+//! committed `BENCH_7.json` perf baseline to the `axon-perf-v1` schema.
+
+use axon_bench::perf::{PerfReport, PERF_SCHEMA};
+use axon_bench::series::Json;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    chrome_trace_json, simulate_pod_traced, MemoryModel, PodConfig, PreemptionMode, RecordingSink,
+    RequestClass, SchedulerPolicy, SloBudgets, TrafficConfig, WorkloadMix,
+};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A small single-pod run that still produces every slice kind the
+/// exporter has: exec slices, queue slices, async request spans,
+/// preempt instants, and retime/bandwidth counters.
+fn traced_events() -> (Vec<(usize, axon_serve::TraceEvent)>, f64) {
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+        .with_memory(MemoryModel::Shared { channels: 1 })
+        .with_preemption(PreemptionMode::TileBoundary);
+    let traffic = TrafficConfig::open_loop(9, 80, 150_000.0)
+        .with_mix(WorkloadMix::new(vec![
+            (RequestClass::Prefill, 0.2),
+            (RequestClass::Decode, 0.8),
+        ]))
+        .with_slo(SloBudgets::serving_default().with_decode(70_000));
+    let mut rec = RecordingSink::default();
+    let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+    assert_eq!(r.metrics.completed, 80);
+    (rec.events, pod.clock_mhz)
+}
+
+fn field<'a>(event: &'a Json, key: &str) -> &'a Json {
+    event
+        .get(key)
+        .unwrap_or_else(|| panic!("event missing {key:?}: {event:?}"))
+}
+
+#[test]
+fn chrome_trace_export_satisfies_the_trace_event_schema() {
+    let (events, clock_mhz) = traced_events();
+    let text = chrome_trace_json(&events, clock_mhz);
+    let doc = Json::parse(&text).expect("export must be valid JSON");
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+
+    let mut spans: BTreeMap<i64, (usize, usize)> = BTreeMap::new();
+    for e in trace_events {
+        let ph = field(e, "ph").as_str().expect("ph is a string").to_string();
+        assert!(field(e, "name").as_str().is_some(), "name is a string");
+        let pid = field(e, "pid").as_f64().expect("pid is a number");
+        assert!(pid >= 0.0 && pid.fract() == 0.0, "pid is an index");
+        match ph.as_str() {
+            "M" => {
+                // Metadata names a process or thread track.
+                let args = field(e, "args");
+                assert!(args.get("name").and_then(Json::as_str).is_some());
+            }
+            "X" => {
+                // Complete slices carry a track, a start and a duration.
+                assert!(field(e, "tid").as_f64().is_some());
+                let ts = field(e, "ts").as_f64().unwrap();
+                let dur = field(e, "dur").as_f64().unwrap();
+                assert!(ts >= 0.0 && dur >= 0.0, "ts {ts} dur {dur}");
+                assert!(field(e, "cat").as_str().is_some());
+            }
+            "b" | "e" => {
+                let id = field(e, "id").as_f64().expect("async span id") as i64;
+                assert!(field(e, "ts").as_f64().is_some());
+                let entry = spans.entry(id).or_default();
+                if ph == "b" {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+            "i" => {
+                // Instants carry a scope.
+                let s = field(e, "s").as_str().expect("instant scope");
+                assert!(matches!(s, "g" | "p" | "t"), "scope {s:?}");
+            }
+            "C" => {
+                // Counters carry a numeric series in args.
+                let Json::Obj(series) = field(e, "args") else {
+                    panic!("counter args must be an object");
+                };
+                assert!(!series.is_empty());
+                assert!(series.iter().all(|(_, v)| v.as_f64().is_some()));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+
+    assert!(!spans.is_empty(), "export must contain async request spans");
+    for (id, (begins, ends)) in spans {
+        assert_eq!(begins, 1, "request {id}: exactly one span begin");
+        assert_eq!(ends, 1, "request {id}: exactly one span end");
+    }
+}
+
+#[test]
+fn committed_perf_baseline_parses_under_the_current_schema() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let report = PerfReport::from_json_str(&text).expect("baseline must parse");
+    assert_eq!(report.schema, PERF_SCHEMA);
+    assert!(report.requests_per_wall_s > 0.0);
+    assert!(report.requests > 0 && report.reps > 0);
+}

@@ -55,9 +55,12 @@
 
 use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
 use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
-use crate::pod::{service_cycles, simulate_pod_trace, PodConfig, ServingReport};
+use crate::pod::{
+    service_cycles, simulate_pod_trace, simulate_pod_trace_traced_at, PodConfig, ServingReport,
+};
 use crate::request::{Request, RequestClass};
 use crate::router::{PodRole, PodView, RouterPolicy, RoutingPolicy};
+use crate::trace::{NullSink, RecordingSink, TraceEvent, TraceSink};
 use axon_core::runtime::Architecture;
 use axon_core::Tiling;
 use std::collections::{BTreeMap, BTreeSet};
@@ -375,7 +378,7 @@ fn effective_pod(cfg: &ClusterPodConfig, ready_at: u64) -> PodConfig {
 type EstCache = BTreeMap<(usize, (usize, usize, usize)), u64>;
 
 /// Routes one request: sticky affinity first, the policy on a miss,
-/// then books the estimator.
+/// then books the estimator. Returns the chosen pod.
 fn route_one(
     req: Request,
     now: u64,
@@ -384,7 +387,7 @@ fn route_one(
     router: &mut dyn RoutingPolicy,
     affinity: &mut BTreeMap<(usize, u8), usize>,
     cache: &mut EstCache,
-) {
+) -> usize {
     for s in states.iter_mut() {
         if s.alive {
             s.prune(now);
@@ -451,6 +454,7 @@ fn route_one(
             service_cycles(&p.arrays[0], p.mapping, p.drain, Tiling::ScaleUp, shape).1 as u64
         });
     states[target].book(req, now, est);
+    target
 }
 
 /// Recomputes a failed pod's report over the completions it finished by
@@ -497,6 +501,7 @@ fn autoscale_step(
     states: &mut [PodState],
     scale_ups: &mut usize,
     scale_downs: &mut usize,
+    sink: &mut dyn TraceSink,
 ) {
     for s in states.iter_mut() {
         if s.alive {
@@ -517,14 +522,29 @@ fn autoscale_step(
     }
     if total > a.high_watermark.saturating_mul(active_n) {
         // Prefer re-opening a draining pod: it is already warm.
-        if let Some(s) = states
+        if let Some((i, s)) = states
             .iter_mut()
-            .filter(|s| s.alive && s.active && s.draining)
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.active && s.draining)
             .last()
         {
             s.draining = false;
             *scale_ups += 1;
-        } else if let Some(s) = states.iter_mut().find(|s| s.alive && !s.active) {
+            if sink.enabled() {
+                sink.record(
+                    i,
+                    TraceEvent::ScaleUp {
+                        pod: i,
+                        ready_at: s.ready_at,
+                        cycle: now,
+                    },
+                );
+            }
+        } else if let Some((i, s)) = states
+            .iter_mut()
+            .enumerate()
+            .find(|(_, s)| s.alive && !s.active)
+        {
             s.active = true;
             s.dynamic = true;
             s.ready_at = s.ready_at.max(now + a.warmup_cycles);
@@ -532,15 +552,29 @@ fn autoscale_step(
                 *f = (*f).max(s.ready_at);
             }
             *scale_ups += 1;
+            if sink.enabled() {
+                sink.record(
+                    i,
+                    TraceEvent::ScaleUp {
+                        pod: i,
+                        ready_at: s.ready_at,
+                        cycle: now,
+                    },
+                );
+            }
         }
     } else if active_n > 1 && total < a.low_watermark.saturating_mul(active_n - 1) {
-        if let Some(s) = states
+        if let Some((i, s)) = states
             .iter_mut()
-            .filter(|s| s.alive && s.active && !s.draining && s.dynamic)
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.active && !s.draining && s.dynamic)
             .last()
         {
             s.draining = true;
             *scale_downs += 1;
+            if sink.enabled() {
+                sink.record(i, TraceEvent::ScaleDown { pod: i, cycle: now });
+            }
         }
     }
 }
@@ -560,13 +594,60 @@ fn process_failure(
     cache: &mut EstCache,
     reports: &mut [Option<ServingReport>],
     rerouted: &mut usize,
+    sink: &mut dyn TraceSink,
 ) {
     states[pi].alive = false;
     states[pi].active = false;
     let cfg = effective_pod(&pods[pi], states[pi].ready_at);
-    let full = simulate_pod_trace(&cfg, &states[pi].assigned);
+    // When tracing, record the dead pod's replay so the events of
+    // completions that survive the cut can be forwarded.
+    let mut rec = RecordingSink::default();
+    let full = if sink.enabled() {
+        simulate_pod_trace_traced_at(&cfg, &states[pi].assigned, &mut rec, pi)
+    } else {
+        simulate_pod_trace(&cfg, &states[pi].assigned)
+    };
     let report = truncate_report(full, f, cfg.arrays.len());
     let kept: BTreeSet<usize> = report.completions.iter().map(|c| c.id).collect();
+    if sink.enabled() {
+        sink.record(pi, TraceEvent::PodFailed { pod: pi, cycle: f });
+        // Forward only the surviving prefix: events of requests (and
+        // the jobs that served them) that completed by the failure. A
+        // fused batch completes atomically, so a job's events are kept
+        // or dropped as a unit and the preempt/drain/resume balance is
+        // preserved. Dropped requests re-arrive at their rescue pod.
+        let kept_seqs: BTreeSet<usize> = rec
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o)
+                    if o.completion <= f && kept.contains(&o.id) =>
+                {
+                    Some(o.seq)
+                }
+                _ => None,
+            })
+            .collect();
+        for (p, e) in rec.events {
+            let keep = match &e {
+                TraceEvent::Arrived { id, .. } | TraceEvent::Enqueued { id, .. } => {
+                    kept.contains(id)
+                }
+                TraceEvent::BatchJoined { id, .. } => kept.contains(id),
+                TraceEvent::Dispatched { seq, .. }
+                | TraceEvent::ShardPlanned { seq, .. }
+                | TraceEvent::ShardRefused { seq, .. }
+                | TraceEvent::Preempted { seq, .. }
+                | TraceEvent::CheckpointDrained { seq, .. }
+                | TraceEvent::Resumed { seq, .. } => kept_seqs.contains(seq),
+                TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => kept.contains(&o.id),
+                _ => e.cycle() <= f,
+            };
+            if keep {
+                sink.record(p, e);
+            }
+        }
+    }
     let unfinished: Vec<Request> = states[pi]
         .assigned
         .iter()
@@ -578,7 +659,18 @@ fn process_failure(
     for mut r in unfinished {
         r.arrival = r.arrival.max(f);
         *rerouted += 1;
-        route_one(r, f, pods, states, router, affinity, cache);
+        let to = route_one(r, f, pods, states, router, affinity, cache);
+        if sink.enabled() {
+            sink.record(
+                pi,
+                TraceEvent::Rerouted {
+                    id: r.id,
+                    from_pod: pi,
+                    to_pod: to,
+                    cycle: f,
+                },
+            );
+        }
     }
 }
 
@@ -590,6 +682,22 @@ fn process_failure(
 /// Deterministic: the same `(cluster, traffic)` pair always produces
 /// the identical report.
 pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> ClusterReport {
+    simulate_cluster_traced(cluster, traffic, &mut NullSink)
+}
+
+/// [`simulate_cluster`] with a [`TraceSink`] attached: routing,
+/// autoscale, failure and per-pod lifecycle events are delivered to
+/// `sink`, each stamped with the serving pod's declaration index. The
+/// sink only observes — the report is bit-identical to
+/// [`simulate_cluster`]'s (asserted per router in
+/// `crates/serve/tests/trace.rs`). A failed pod contributes only the
+/// events of completions that survive the cut; its unfinished requests
+/// re-arrive (and re-trace) at their rescue pods.
+pub fn simulate_cluster_traced(
+    cluster: &ClusterConfig,
+    traffic: &TrafficConfig,
+    sink: &mut dyn TraceSink,
+) -> ClusterReport {
     assert!(!cluster.pods.is_empty(), "a cluster needs at least one pod");
     let clock_mhz = cluster.pods[0].pod.clock_mhz;
     assert!(
@@ -656,6 +764,7 @@ pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> Clu
                 &mut cache,
                 &mut reports,
                 &mut rerouted,
+                sink,
             );
             fi += 1;
         }
@@ -666,9 +775,10 @@ pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> Clu
                 &mut states,
                 &mut scale_ups,
                 &mut scale_downs,
+                sink,
             );
         }
-        route_one(
+        let target = route_one(
             *req,
             req.arrival,
             &cluster.pods,
@@ -677,6 +787,17 @@ pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> Clu
             &mut affinity,
             &mut cache,
         );
+        if sink.enabled() {
+            sink.record(
+                target,
+                TraceEvent::Routed {
+                    id: req.id,
+                    client: req.client,
+                    pod: target,
+                    cycle: req.arrival,
+                },
+            );
+        }
     }
     while fi < fails.len() {
         let (f, pi) = fails[fi];
@@ -690,6 +811,7 @@ pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> Clu
             &mut cache,
             &mut reports,
             &mut rerouted,
+            sink,
         );
         fi += 1;
     }
@@ -698,7 +820,7 @@ pub fn simulate_cluster(cluster: &ClusterConfig, traffic: &TrafficConfig) -> Clu
     for (i, st) in states.iter().enumerate() {
         if reports[i].is_none() {
             let cfg = effective_pod(&cluster.pods[i], st.ready_at);
-            reports[i] = Some(simulate_pod_trace(&cfg, &st.assigned));
+            reports[i] = Some(simulate_pod_trace_traced_at(&cfg, &st.assigned, sink, i));
         }
     }
     let per_pod: Vec<ServingReport> = reports

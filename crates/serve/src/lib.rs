@@ -78,17 +78,19 @@ mod request;
 mod rng;
 mod router;
 mod scheduler;
+mod trace;
 
 pub use cluster::{
-    simulate_cluster, AutoscaleConfig, ClusterCompletion, ClusterConfig, ClusterMetrics,
-    ClusterPodConfig, ClusterReport,
+    simulate_cluster, simulate_cluster_traced, AutoscaleConfig, ClusterCompletion, ClusterConfig,
+    ClusterMetrics, ClusterPodConfig, ClusterReport,
 };
 pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix};
 pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics};
 pub use pod::{
-    service_cycles, simulate_pod, simulate_pod_trace, simulate_pod_trace_with_policy,
-    simulate_pod_with_policy, ArrayConfig, MappingPolicy, MemoryModel, PodConfig, PreemptionMode,
-    ServingReport, ShardPlanner, SpotCheckConfig,
+    service_cycles, simulate_pod, simulate_pod_trace, simulate_pod_trace_traced,
+    simulate_pod_trace_with_policy, simulate_pod_traced, simulate_pod_with_policy, ArrayConfig,
+    MappingPolicy, MemoryModel, PodConfig, PreemptionMode, ServingReport, ShardPlanner,
+    SpotCheckConfig,
 };
 pub use request::{
     batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,
@@ -101,4 +103,8 @@ pub use router::{
 };
 pub use scheduler::{
     Batch, CoalescingPolicy, EdfPolicy, FifoPolicy, SchedulerPolicy, SchedulingPolicy, WfqPolicy,
+};
+pub use trace::{
+    check_conservation, chrome_trace_json, AggregatingSink, Histogram, NullSink, ProfileReport,
+    RecordingSink, RequestOutcome, SimProfile, TraceEvent, TraceSink,
 };

@@ -64,6 +64,7 @@ use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
 use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
 use crate::request::{coalesced_shape, BatchKey, Request};
 use crate::scheduler::{eligible_indices, Batch, SchedulerPolicy, SchedulingPolicy};
+use crate::trace::{NullSink, RequestOutcome, TraceEvent, TraceSink};
 use axon_core::runtime::{
     Accounting, Architecture, DrainPolicy, RuntimeSpec, TilePhase, TileSchedule,
 };
@@ -918,8 +919,21 @@ fn retime(running: &mut [RunningJob], now: u64, timing: &MemTiming, free_at: &mu
 /// assert!(report.metrics.throughput_rps() > 0.0);
 /// ```
 pub fn simulate_pod(pod: &PodConfig, traffic: &TrafficConfig) -> ServingReport {
+    simulate_pod_traced(pod, traffic, &mut NullSink)
+}
+
+/// [`simulate_pod`] with a [`TraceSink`] attached: every request
+/// lifecycle event (arrival, dispatch, preemption, retime, completion,
+/// ...) is delivered to `sink` as it happens. The sink only observes —
+/// the report is bit-identical to [`simulate_pod`]'s (asserted per
+/// policy in `crates/serve/tests/trace.rs`).
+pub fn simulate_pod_traced(
+    pod: &PodConfig,
+    traffic: &TrafficConfig,
+    sink: &mut dyn TraceSink,
+) -> ServingReport {
     let mut policy = pod.scheduler.build(&pod.client_weights);
-    simulate_pod_with_policy(pod, traffic, policy.as_mut())
+    simulate_pod_with_policy_traced(pod, traffic, policy.as_mut(), sink)
 }
 
 /// [`simulate_pod`] with an externally supplied queue discipline — the
@@ -933,11 +947,20 @@ pub fn simulate_pod_with_policy(
     traffic: &TrafficConfig,
     policy: &mut dyn SchedulingPolicy,
 ) -> ServingReport {
+    simulate_pod_with_policy_traced(pod, traffic, policy, &mut NullSink)
+}
+
+fn simulate_pod_with_policy_traced(
+    pod: &PodConfig,
+    traffic: &TrafficConfig,
+    policy: &mut dyn SchedulingPolicy,
+    sink: &mut dyn TraceSink,
+) -> ServingReport {
     let mut gen = RequestGenerator::new(traffic);
     match traffic.arrival {
         ArrivalProcess::OpenLoop { mean_interarrival } => {
             let trace = gen.open_loop_trace(mean_interarrival, traffic.num_clients);
-            run_pod_loop(pod, policy, trace, None)
+            run_pod_loop(pod, policy, trace, None, sink, 0)
         }
         ArrivalProcess::ClosedLoop { think_cycles } => {
             let mut trace = Vec::new();
@@ -947,7 +970,7 @@ pub fn simulate_pod_with_policy(
                     None => break,
                 }
             }
-            run_pod_loop(pod, policy, trace, Some((&mut gen, think_cycles)))
+            run_pod_loop(pod, policy, trace, Some((&mut gen, think_cycles)), sink, 0)
         }
     }
 }
@@ -977,8 +1000,30 @@ pub fn simulate_pod_with_policy(
 /// assert_eq!(a, b);
 /// ```
 pub fn simulate_pod_trace(pod: &PodConfig, trace: &[Request]) -> ServingReport {
+    simulate_pod_trace_traced(pod, trace, &mut NullSink)
+}
+
+/// [`simulate_pod_trace`] with a [`TraceSink`] attached (the
+/// trace-level analogue of [`simulate_pod_traced`]). Events carry pod
+/// id 0; the cluster layer re-tags replays with the real pod index.
+pub fn simulate_pod_trace_traced(
+    pod: &PodConfig,
+    trace: &[Request],
+    sink: &mut dyn TraceSink,
+) -> ServingReport {
+    simulate_pod_trace_traced_at(pod, trace, sink, 0)
+}
+
+/// The cluster replay hook: like [`simulate_pod_trace_traced`] but
+/// stamps every event with the pod's fleet declaration index.
+pub(crate) fn simulate_pod_trace_traced_at(
+    pod: &PodConfig,
+    trace: &[Request],
+    sink: &mut dyn TraceSink,
+    pod_id: usize,
+) -> ServingReport {
     let mut policy = pod.scheduler.build(&pod.client_weights);
-    simulate_pod_trace_with_policy(pod, trace, policy.as_mut())
+    run_pod_loop(pod, policy.as_mut(), trace.to_vec(), None, sink, pod_id)
 }
 
 /// [`simulate_pod_trace`] with an externally supplied queue discipline
@@ -988,7 +1033,7 @@ pub fn simulate_pod_trace_with_policy(
     trace: &[Request],
     policy: &mut dyn SchedulingPolicy,
 ) -> ServingReport {
-    run_pod_loop(pod, policy, trace.to_vec(), None)
+    run_pod_loop(pod, policy, trace.to_vec(), None, &mut NullSink, 0)
 }
 
 /// The event loop shared by the traffic-driven and trace-driven entry
@@ -1000,6 +1045,8 @@ fn run_pod_loop(
     policy: &mut dyn SchedulingPolicy,
     trace: Vec<Request>,
     mut reissue: Option<(&mut RequestGenerator, u64)>,
+    sink: &mut dyn TraceSink,
+    pod_id: usize,
 ) -> ServingReport {
     assert!(!pod.arrays.is_empty(), "a pod needs at least one array");
     let mut trace = trace;
@@ -1094,6 +1141,15 @@ fn run_pod_loop(
                 job.cur_scheduled = 0; // rewritten at resume
                 job.preemptions += 1;
                 preemptions += 1;
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::CheckpointDrained {
+                            seq: job.seq,
+                            cycle: job.end,
+                        },
+                    );
+                }
                 suspended.push(job);
                 continue;
             }
@@ -1149,6 +1205,30 @@ fn run_pod_loop(
                     array_energy_uj: job_array_uj / share,
                     dram_energy_mj: job_dram_mj / share,
                 });
+                if sink.enabled() {
+                    let outcome = RequestOutcome {
+                        id: r.id,
+                        client: r.client,
+                        class: r.class,
+                        seq: job.seq,
+                        array: job.used[0],
+                        arrival: r.arrival,
+                        dispatch: job.dispatch_times[ri],
+                        completion: job.end,
+                        deadline: r.deadline,
+                        batch_size: job.batch.requests.len(),
+                        sharded_over: job.pr * job.pc,
+                        stall_cycles: stall_share + if ri == 0 { stall_rem } else { 0 },
+                    };
+                    sink.record(
+                        pod_id,
+                        if job.end <= r.deadline {
+                            TraceEvent::Completed(outcome)
+                        } else {
+                            TraceEvent::DeadlineMissed(outcome)
+                        },
+                    );
+                }
                 if let Some((gen, think_cycles)) = reissue.as_mut() {
                     if let Some(next) = gen.next_request(r.client, job.end + *think_cycles) {
                         trace.push(next);
@@ -1165,6 +1245,25 @@ fn run_pod_loop(
                 break;
             }
             let Reverse(p) = pending.pop().expect("peeked");
+            if sink.enabled() {
+                sink.record(
+                    pod_id,
+                    TraceEvent::Arrived {
+                        id: p.0.id,
+                        client: p.0.client,
+                        class: p.0.class,
+                        cycle: p.0.arrival,
+                    },
+                );
+                sink.record(
+                    pod_id,
+                    TraceEvent::Enqueued {
+                        id: p.0.id,
+                        client: p.0.client,
+                        cycle: now,
+                    },
+                );
+            }
             queue.push_back(p.0);
         }
 
@@ -1204,6 +1303,16 @@ fn run_pod_loop(
                 // the shared one.
                 job.end = now + job.remaining_cycles();
                 free_at[ai] = job.end;
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::Resumed {
+                            seq: job.seq,
+                            array: ai,
+                            cycle: now,
+                        },
+                    );
+                }
                 running.push(job);
                 dirty = true;
                 continue;
@@ -1246,6 +1355,9 @@ fn run_pod_loop(
                         );
                         if refused {
                             sharding_refused += 1;
+                            if sink.enabled() {
+                                sink.record(pod_id, TraceEvent::ShardRefused { seq, cycle: now });
+                            }
                         }
                         (pr, pc, df, cycles)
                     }
@@ -1321,6 +1433,29 @@ fn run_pod_loop(
             let n_reqs = batch.requests.len();
             let key = batch.requests[0].batch_key();
             let cur_scheduled = tiles[0].cycles;
+            if sink.enabled() {
+                sink.record(
+                    pod_id,
+                    TraceEvent::Dispatched {
+                        seq,
+                        ids: batch.requests.iter().map(|r| r.id).collect(),
+                        array: used[0],
+                        arrays: used.len(),
+                        cycle: now,
+                    },
+                );
+                if used.len() > 1 {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::ShardPlanned {
+                            seq,
+                            pr,
+                            pc,
+                            cycle: now,
+                        },
+                    );
+                }
+            }
             running.push(RunningJob {
                 seq,
                 batch,
@@ -1414,6 +1549,16 @@ fn run_pod_loop(
                 let ai = job.used[0];
                 free_at[ai] = job.end;
                 inflight_joins += 1;
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::BatchJoined {
+                            seq: job.seq,
+                            id: cand.id,
+                            cycle: now,
+                        },
+                    );
+                }
                 dirty = true;
                 queue.remove(qi).expect("index in bounds");
                 // Do not advance qi: the next request shifted into place.
@@ -1426,6 +1571,23 @@ fn run_pod_loop(
         // decision reads `free_at` or a tile boundary.
         if dirty && timing.is_shared() {
             retime(&mut running, now, &timing, &mut free_at);
+            if sink.enabled() {
+                sink.record(
+                    pod_id,
+                    TraceEvent::Retimed {
+                        jobs: running.len(),
+                        cycle: now,
+                    },
+                );
+                let total_weight: usize = running.iter().map(|j| j.weight()).sum();
+                sink.record(
+                    pod_id,
+                    TraceEvent::BandwidthEpoch {
+                        total_weight,
+                        cycle: now,
+                    },
+                );
+            }
         }
 
         // Tile-granular preemption: if the most urgent queued request
@@ -1522,6 +1684,15 @@ fn run_pod_loop(
                     job.end = boundary + drain + spill;
                     let ai = job.used[0];
                     free_at[ai] = job.end;
+                    if sink.enabled() {
+                        sink.record(
+                            pod_id,
+                            TraceEvent::Preempted {
+                                seq: job.seq,
+                                cycle: now,
+                            },
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,1176 @@
+//! Request-lifecycle event tracing: typed, cycle-stamped events emitted
+//! by the pod engine and the cluster router into a pluggable
+//! [`TraceSink`].
+//!
+//! The serving stack is a pure function of its configuration, and the
+//! tracing layer is built so that *stays true*: a sink observes the
+//! simulation but can never influence it. Every emission site is guarded
+//! by [`TraceSink::enabled`], the default [`NullSink`] reports disabled
+//! (so the hot path pays one virtual call per site and skips all
+//! payload construction), and sinks receive events by value — there is
+//! no channel back into the engine. Attaching *any* sink therefore
+//! yields the bit-identical [`ServingReport`](crate::ServingReport) /
+//! [`ClusterReport`](crate::ClusterReport), asserted per scheduling
+//! policy and per router in `crates/serve/tests/trace.rs`.
+//!
+//! Three concrete sinks ship with the crate:
+//!
+//! * [`RecordingSink`] — keeps every `(pod, event)` pair; feed it to
+//!   [`chrome_trace_json`] for a Chrome trace-event export (loads in
+//!   Perfetto / `chrome://tracing`) or to [`check_conservation`] for
+//!   the lifecycle-accounting invariant.
+//! * [`AggregatingSink`] — queue-depth / busy-array / stall time
+//!   series plus per-phase latency [`Histogram`]s (time-in-queue vs
+//!   time-in-service vs bandwidth stall) and the per-request
+//!   [`RequestOutcome`] records that let tests pin the decomposition
+//!   exactly.
+//! * [`SimProfile`] — a self-profiler for the simulator itself:
+//!   wall-clock requests simulated per second, events processed, retime
+//!   passes and jobs touched per retime. The `perf_baseline` binary
+//!   turns its [`ProfileReport`] into the committed `BENCH_*.json` perf
+//!   trajectory (see `docs/observability.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use axon_core::runtime::Architecture;
+//! use axon_serve::{
+//!     check_conservation, chrome_trace_json, simulate_pod, simulate_pod_traced, PodConfig,
+//!     RecordingSink, TrafficConfig,
+//! };
+//!
+//! let pod = PodConfig::homogeneous(2, Architecture::Axon, 32);
+//! let traffic = TrafficConfig::open_loop(7, 40, 2000.0);
+//! let mut sink = RecordingSink::default();
+//! let traced = simulate_pod_traced(&pod, &traffic, &mut sink);
+//! // Observer neutrality: the traced run is bit-identical to the plain one.
+//! assert_eq!(traced, simulate_pod(&pod, &traffic));
+//! // Every request's lifecycle balances.
+//! check_conservation(&sink.events).unwrap();
+//! // And the recording exports as Chrome trace-event JSON.
+//! let json = chrome_trace_json(&sink.events, pod.clock_mhz);
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+use crate::request::RequestClass;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// Terminal payload shared by [`TraceEvent::Completed`] and
+/// [`TraceEvent::DeadlineMissed`]: everything needed to decompose one
+/// request's end-to-end latency into queue, service and stall phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Request id (issue order, unique fleet-wide).
+    pub id: usize,
+    /// Client stream.
+    pub client: usize,
+    /// Workload family.
+    pub class: RequestClass,
+    /// Dispatch sequence number of the serving job (pod-scoped).
+    pub seq: usize,
+    /// Index of the (first) array that served it.
+    pub array: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Dispatch (or in-flight join) cycle.
+    pub dispatch: u64,
+    /// Completion cycle.
+    pub completion: u64,
+    /// Absolute completion deadline.
+    pub deadline: u64,
+    /// Requests fused into the serving dispatch.
+    pub batch_size: usize,
+    /// Arrays the dispatch was sharded over (1 = no sharding).
+    pub sharded_over: usize,
+    /// This request's share of the dispatch's bandwidth-stall cycles.
+    pub stall_cycles: u64,
+}
+
+impl RequestOutcome {
+    /// Cycles spent queued before service.
+    pub fn queue_cycles(&self) -> u64 {
+        self.dispatch - self.arrival
+    }
+
+    /// Cycles in service.
+    pub fn service_cycles(&self) -> u64 {
+        self.completion - self.dispatch
+    }
+
+    /// Arrival-to-completion cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.completion - self.arrival
+    }
+}
+
+/// One typed, cycle-stamped lifecycle event. Every variant carries the
+/// absolute cycle it happened at (see [`TraceEvent::cycle`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the system (cycle = its arrival cycle).
+    Arrived {
+        /// Request id.
+        id: usize,
+        /// Client stream.
+        client: usize,
+        /// Workload family.
+        class: RequestClass,
+        /// Arrival cycle.
+        cycle: u64,
+    },
+    /// The cluster router assigned a request to a pod.
+    Routed {
+        /// Request id.
+        id: usize,
+        /// Client stream.
+        client: usize,
+        /// Declaration index of the chosen pod.
+        pod: usize,
+        /// Routing cycle.
+        cycle: u64,
+    },
+    /// A request was admitted into a pod's scheduler queue.
+    Enqueued {
+        /// Request id.
+        id: usize,
+        /// Client stream.
+        client: usize,
+        /// Admission cycle.
+        cycle: u64,
+    },
+    /// A batch was dispatched onto one or more arrays.
+    Dispatched {
+        /// Dispatch sequence number (pod-scoped).
+        seq: usize,
+        /// Ids of the requests fused into the dispatch.
+        ids: Vec<usize>,
+        /// Index of the (first) serving array.
+        array: usize,
+        /// Arrays occupied (>1 = sharded).
+        arrays: usize,
+        /// Dispatch cycle.
+        cycle: u64,
+    },
+    /// The sharding planner chose a scale-out grid for a dispatch.
+    ShardPlanned {
+        /// Dispatch sequence number.
+        seq: usize,
+        /// Grid rows.
+        pr: usize,
+        /// Grid columns.
+        pc: usize,
+        /// Decision cycle.
+        cycle: u64,
+    },
+    /// The bandwidth-aware planner refused a scale-out grid the
+    /// compute-only planner would have taken.
+    ShardRefused {
+        /// Sequence number the dispatch was issued under.
+        seq: usize,
+        /// Decision cycle.
+        cycle: u64,
+    },
+    /// A queued request joined a running batch in flight (continuous
+    /// batching).
+    BatchJoined {
+        /// Sequence number of the joined job.
+        seq: usize,
+        /// Id of the joining request.
+        id: usize,
+        /// Join cycle.
+        cycle: u64,
+    },
+    /// The shared-memory model re-timed every running job after a
+    /// concurrency change.
+    Retimed {
+        /// Running jobs touched by the pass.
+        jobs: usize,
+        /// Retime cycle.
+        cycle: u64,
+    },
+    /// The pod-wide active demand changed: the bandwidth epoch every
+    /// running job's tile walk is now timed under.
+    BandwidthEpoch {
+        /// Total active demand units (one per occupied array).
+        total_weight: usize,
+        /// Epoch cycle.
+        cycle: u64,
+    },
+    /// A running job was scheduled for a tile-boundary checkpoint to
+    /// make room for urgent work.
+    Preempted {
+        /// Sequence number of the victim job.
+        seq: usize,
+        /// Decision cycle.
+        cycle: u64,
+    },
+    /// A scheduled checkpoint completed: the victim's partials drained
+    /// and spilled, its array freed.
+    CheckpointDrained {
+        /// Sequence number of the suspended job.
+        seq: usize,
+        /// Cycle the checkpoint (drain + context spill) completed.
+        cycle: u64,
+    },
+    /// A suspended job resumed on an idle compatible array.
+    Resumed {
+        /// Sequence number of the resumed job.
+        seq: usize,
+        /// Array it resumed on.
+        array: usize,
+        /// Resume cycle.
+        cycle: u64,
+    },
+    /// A failed pod's unfinished request was re-routed to a survivor.
+    Rerouted {
+        /// Request id.
+        id: usize,
+        /// Declaration index of the dead pod.
+        from_pod: usize,
+        /// Declaration index of the rescue pod.
+        to_pod: usize,
+        /// Failure cycle.
+        cycle: u64,
+    },
+    /// The autoscaler activated a spare pod (or re-opened a draining
+    /// one).
+    ScaleUp {
+        /// Declaration index of the activated pod.
+        pod: usize,
+        /// Cycle its arrays come online.
+        ready_at: u64,
+        /// Activation cycle.
+        cycle: u64,
+    },
+    /// The autoscaler started draining the most recent dynamic pod.
+    ScaleDown {
+        /// Declaration index of the draining pod.
+        pod: usize,
+        /// Drain cycle.
+        cycle: u64,
+    },
+    /// A pod died (failure injection).
+    PodFailed {
+        /// Declaration index of the dead pod.
+        pod: usize,
+        /// Failure cycle.
+        cycle: u64,
+    },
+    /// A request completed within its deadline (terminal).
+    Completed(RequestOutcome),
+    /// A request completed past its deadline (terminal).
+    DeadlineMissed(RequestOutcome),
+}
+
+impl TraceEvent {
+    /// The absolute cycle the event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Arrived { cycle, .. }
+            | TraceEvent::Routed { cycle, .. }
+            | TraceEvent::Enqueued { cycle, .. }
+            | TraceEvent::Dispatched { cycle, .. }
+            | TraceEvent::ShardPlanned { cycle, .. }
+            | TraceEvent::ShardRefused { cycle, .. }
+            | TraceEvent::BatchJoined { cycle, .. }
+            | TraceEvent::Retimed { cycle, .. }
+            | TraceEvent::BandwidthEpoch { cycle, .. }
+            | TraceEvent::Preempted { cycle, .. }
+            | TraceEvent::CheckpointDrained { cycle, .. }
+            | TraceEvent::Resumed { cycle, .. }
+            | TraceEvent::Rerouted { cycle, .. }
+            | TraceEvent::ScaleUp { cycle, .. }
+            | TraceEvent::ScaleDown { cycle, .. }
+            | TraceEvent::PodFailed { cycle, .. } => *cycle,
+            TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => o.completion,
+        }
+    }
+
+    /// Short stable name of the event kind (taxonomy key in
+    /// `docs/observability.md`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrived { .. } => "arrived",
+            TraceEvent::Routed { .. } => "routed",
+            TraceEvent::Enqueued { .. } => "enqueued",
+            TraceEvent::Dispatched { .. } => "dispatched",
+            TraceEvent::ShardPlanned { .. } => "shard_planned",
+            TraceEvent::ShardRefused { .. } => "shard_refused",
+            TraceEvent::BatchJoined { .. } => "batch_joined",
+            TraceEvent::Retimed { .. } => "retimed",
+            TraceEvent::BandwidthEpoch { .. } => "bandwidth_epoch",
+            TraceEvent::Preempted { .. } => "preempted",
+            TraceEvent::CheckpointDrained { .. } => "checkpoint_drained",
+            TraceEvent::Resumed { .. } => "resumed",
+            TraceEvent::Rerouted { .. } => "rerouted",
+            TraceEvent::ScaleUp { .. } => "scale_up",
+            TraceEvent::ScaleDown { .. } => "scale_down",
+            TraceEvent::PodFailed { .. } => "pod_failed",
+            TraceEvent::Completed(_) => "completed",
+            TraceEvent::DeadlineMissed(_) => "deadline_missed",
+        }
+    }
+
+    /// Whether this is a terminal lifecycle event (exactly one per
+    /// completed request — the conservation law).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Completed(_) | TraceEvent::DeadlineMissed(_)
+        )
+    }
+}
+
+/// Where the engines send lifecycle events.
+///
+/// Implementations observe; they can never mutate simulation state —
+/// [`record`](TraceSink::record) receives events by value and nothing
+/// flows back. Emission sites are guarded by
+/// [`enabled`](TraceSink::enabled), so a disabled sink costs one
+/// virtual call per site and no payload construction.
+pub trait TraceSink {
+    /// Whether the engine should construct and deliver events at all.
+    /// Defaults to `true`; [`NullSink`] overrides to `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event from pod `pod` (declaration index; 0 for
+    /// single-pod runs).
+    fn record(&mut self, pod: usize, event: TraceEvent);
+}
+
+/// The disabled sink: reports `enabled() == false`, so the engines skip
+/// event construction entirely. Every untraced entry point
+/// ([`simulate_pod`](crate::simulate_pod),
+/// [`simulate_cluster`](crate::simulate_cluster), ...) runs with it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _pod: usize, _event: TraceEvent) {}
+}
+
+/// Keeps every `(pod, event)` pair in emission order — the raw material
+/// for [`chrome_trace_json`], [`check_conservation`] and
+/// [`AggregatingSink::replay`].
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<(usize, TraceEvent)>,
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&mut self, pod: usize, event: TraceEvent) {
+        self.events.push((pod, event));
+    }
+}
+
+/// A log2-bucketed latency histogram (bucket `i` counts values `v` with
+/// `2^(i-1) <= v < 2^i`; bucket 0 counts zeros).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Count per log2 bucket (index = number of significant bits).
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()) as usize;
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregates the event stream into fleet-wide time series and
+/// per-phase latency histograms.
+///
+/// The series are step functions recorded as `(cycle, value)` pairs,
+/// one point per change: queue depth (`Enqueued` up; `Dispatched` /
+/// `BatchJoined` down) and busy arrays (`Dispatched` / `Resumed` up;
+/// `CheckpointDrained` and job completion down). The histograms
+/// decompose every terminal request's end-to-end latency into
+/// time-in-queue, time-in-service and the bandwidth-stall share of
+/// service — and because the raw [`RequestOutcome`] records are kept,
+/// the decomposition is testable exactly:
+/// `queue_cycles + service_cycles == total_cycles` per request.
+#[derive(Debug, Clone, Default)]
+pub struct AggregatingSink {
+    /// Fleet-wide queued-request count, one `(cycle, depth)` point per
+    /// change.
+    pub queue_depth: Vec<(u64, u64)>,
+    /// Fleet-wide busy-array count, one `(cycle, busy)` point per
+    /// change.
+    pub busy_arrays: Vec<(u64, u64)>,
+    /// Cumulative bandwidth-stall cycles, one `(cycle, total)` point
+    /// per completion that carried stall.
+    pub stall_series: Vec<(u64, u64)>,
+    /// Time-in-queue histogram (dispatch - arrival).
+    pub queue_hist: Histogram,
+    /// Time-in-service histogram (completion - dispatch).
+    pub service_hist: Histogram,
+    /// Bandwidth-stall histogram (the stall share of service).
+    pub stall_hist: Histogram,
+    /// Every terminal outcome, in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Count of every event kind seen, keyed by [`TraceEvent::name`].
+    pub event_counts: BTreeMap<&'static str, u64>,
+    depth: u64,
+    busy: u64,
+    stall_total: u64,
+    /// `(pod, seq) -> arrays` for jobs whose completion has not yet
+    /// freed its arrays.
+    open_jobs: BTreeMap<(usize, usize), u64>,
+}
+
+impl AggregatingSink {
+    /// Feeds a pre-recorded event stream (e.g. a
+    /// [`RecordingSink`]'s) through the aggregator.
+    pub fn replay(&mut self, events: &[(usize, TraceEvent)]) {
+        for (pod, e) in events {
+            self.record(*pod, e.clone());
+        }
+    }
+
+    /// Peak queue depth over the run.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Peak concurrently busy arrays over the run.
+    pub fn max_busy_arrays(&self) -> u64 {
+        self.busy_arrays.iter().map(|&(_, b)| b).max().unwrap_or(0)
+    }
+
+    fn step_queue(&mut self, cycle: u64, up: bool, by: u64) {
+        self.depth = if up {
+            self.depth + by
+        } else {
+            self.depth.saturating_sub(by)
+        };
+        self.queue_depth.push((cycle, self.depth));
+    }
+
+    fn step_busy(&mut self, cycle: u64, up: bool, by: u64) {
+        self.busy = if up {
+            self.busy + by
+        } else {
+            self.busy.saturating_sub(by)
+        };
+        self.busy_arrays.push((cycle, self.busy));
+    }
+}
+
+impl TraceSink for AggregatingSink {
+    fn record(&mut self, pod: usize, event: TraceEvent) {
+        *self.event_counts.entry(event.name()).or_insert(0) += 1;
+        match &event {
+            TraceEvent::Enqueued { cycle, .. } => self.step_queue(*cycle, true, 1),
+            TraceEvent::Dispatched {
+                seq,
+                ids,
+                arrays,
+                cycle,
+                ..
+            } => {
+                self.step_queue(*cycle, false, ids.len() as u64);
+                self.step_busy(*cycle, true, *arrays as u64);
+                self.open_jobs.insert((pod, *seq), *arrays as u64);
+            }
+            TraceEvent::BatchJoined { cycle, .. } => self.step_queue(*cycle, false, 1),
+            TraceEvent::CheckpointDrained { seq, cycle } => {
+                let freed = self.open_jobs.get(&(pod, *seq)).copied().unwrap_or(1);
+                self.step_busy(*cycle, false, freed);
+            }
+            TraceEvent::Resumed { seq, cycle, .. } => {
+                self.step_busy(*cycle, true, 1);
+                self.open_jobs.insert((pod, *seq), 1);
+            }
+            TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => {
+                // The first terminal of a job frees its arrays; the
+                // rest of a fused batch completes at the same cycle.
+                if let Some(freed) = self.open_jobs.remove(&(pod, o.seq)) {
+                    self.step_busy(o.completion, false, freed);
+                }
+                self.queue_hist.record(o.queue_cycles());
+                self.service_hist.record(o.service_cycles());
+                self.stall_hist.record(o.stall_cycles);
+                if o.stall_cycles > 0 {
+                    self.stall_total += o.stall_cycles;
+                    self.stall_series.push((o.completion, self.stall_total));
+                }
+                self.outcomes.push(*o);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Self-profiles the simulator: how fast the event engine itself runs.
+///
+/// The wall clock starts at construction ([`SimProfile::new`]) and
+/// [`finish`](SimProfile::finish) snapshots it into a
+/// [`ProfileReport`] — requests simulated per wall-second, events
+/// processed, retime passes and jobs touched per retime. This is the
+/// sink behind the `perf_baseline` binary and the committed
+/// `BENCH_*.json` trajectory.
+#[derive(Debug, Clone)]
+pub struct SimProfile {
+    start: Instant,
+    /// Events delivered to the sink.
+    pub events: u64,
+    /// Requests that reached a terminal event.
+    pub completed: u64,
+    /// Retime passes observed ([`TraceEvent::Retimed`]).
+    pub retime_passes: u64,
+    /// Total running jobs touched across all retime passes.
+    pub retime_jobs_touched: u64,
+    /// Dispatches observed.
+    pub dispatches: u64,
+}
+
+impl SimProfile {
+    /// Starts the wall clock.
+    pub fn new() -> Self {
+        SimProfile {
+            start: Instant::now(),
+            events: 0,
+            completed: 0,
+            retime_passes: 0,
+            retime_jobs_touched: 0,
+            dispatches: 0,
+        }
+    }
+
+    /// Snapshots the profile into a report (the wall clock keeps
+    /// running; `finish` may be called repeatedly).
+    pub fn finish(&self) -> ProfileReport {
+        let wall_s = self.start.elapsed().as_secs_f64();
+        ProfileReport {
+            wall_s,
+            requests: self.completed,
+            requests_per_wall_s: if wall_s > 0.0 {
+                self.completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            events: self.events,
+            dispatches: self.dispatches,
+            retime_passes: self.retime_passes,
+            retime_jobs_touched: self.retime_jobs_touched,
+            mean_jobs_per_retime: if self.retime_passes == 0 {
+                0.0
+            } else {
+                self.retime_jobs_touched as f64 / self.retime_passes as f64
+            },
+        }
+    }
+}
+
+impl Default for SimProfile {
+    fn default() -> Self {
+        SimProfile::new()
+    }
+}
+
+impl TraceSink for SimProfile {
+    fn record(&mut self, _pod: usize, event: TraceEvent) {
+        self.events += 1;
+        match event {
+            TraceEvent::Retimed { jobs, .. } => {
+                self.retime_passes += 1;
+                self.retime_jobs_touched += jobs as u64;
+            }
+            TraceEvent::Dispatched { .. } => self.dispatches += 1,
+            TraceEvent::Completed(_) | TraceEvent::DeadlineMissed(_) => self.completed += 1,
+            _ => {}
+        }
+    }
+}
+
+/// What [`SimProfile::finish`] reports: the simulator's own speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileReport {
+    /// Wall-clock seconds profiled.
+    pub wall_s: f64,
+    /// Requests that reached a terminal event.
+    pub requests: u64,
+    /// Requests simulated per wall-clock second — the headline
+    /// trajectory number the CI regression gate watches.
+    pub requests_per_wall_s: f64,
+    /// Trace events processed.
+    pub events: u64,
+    /// Dispatches issued.
+    pub dispatches: u64,
+    /// Retime passes run by the shared-memory model.
+    pub retime_passes: u64,
+    /// Total running jobs touched across all retime passes.
+    pub retime_jobs_touched: u64,
+    /// Mean jobs touched per retime pass.
+    pub mean_jobs_per_retime: f64,
+}
+
+/// Checks the lifecycle-conservation laws over a recorded event stream:
+///
+/// * every request with an [`Arrived`](TraceEvent::Arrived) event has
+///   exactly one `Arrived`, exactly one
+///   [`Enqueued`](TraceEvent::Enqueued) and exactly one terminal event
+///   ([`Completed`](TraceEvent::Completed) /
+///   [`DeadlineMissed`](TraceEvent::DeadlineMissed));
+/// * every [`Rerouted`](TraceEvent::Rerouted) request still reaches a
+///   terminal event (at its rescue pod);
+/// * per job, [`Preempted`](TraceEvent::Preempted) /
+///   [`CheckpointDrained`](TraceEvent::CheckpointDrained) /
+///   [`Resumed`](TraceEvent::Resumed) counts balance exactly;
+/// * every terminal event's job was actually
+///   [`Dispatched`](TraceEvent::Dispatched).
+///
+/// # Errors
+///
+/// Returns a description of the first violated law.
+pub fn check_conservation(events: &[(usize, TraceEvent)]) -> Result<(), String> {
+    let mut arrived: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut enqueued: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut terminal: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut rerouted: BTreeSet<usize> = BTreeSet::new();
+    // (pod, seq) -> (preempted, drained, resumed)
+    let mut jobs: BTreeMap<(usize, usize), (u64, u64, u64)> = BTreeMap::new();
+    let mut dispatched: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut terminal_seqs: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    for (pod, e) in events {
+        match e {
+            TraceEvent::Arrived { id, .. } => *arrived.entry(*id).or_insert(0) += 1,
+            TraceEvent::Enqueued { id, .. } => *enqueued.entry(*id).or_insert(0) += 1,
+            TraceEvent::Rerouted { id, .. } => {
+                rerouted.insert(*id);
+            }
+            TraceEvent::Dispatched { seq, .. } => {
+                dispatched.insert((*pod, *seq));
+            }
+            TraceEvent::Preempted { seq, .. } => jobs.entry((*pod, *seq)).or_default().0 += 1,
+            TraceEvent::CheckpointDrained { seq, .. } => {
+                jobs.entry((*pod, *seq)).or_default().1 += 1
+            }
+            TraceEvent::Resumed { seq, .. } => jobs.entry((*pod, *seq)).or_default().2 += 1,
+            TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => {
+                *terminal.entry(o.id).or_insert(0) += 1;
+                terminal_seqs.insert((*pod, o.seq));
+            }
+            _ => {}
+        }
+    }
+
+    for (&id, &n) in &arrived {
+        if n != 1 {
+            return Err(format!("request {id}: {n} Arrived events (want 1)"));
+        }
+        if enqueued.get(&id).copied().unwrap_or(0) != 1 {
+            return Err(format!(
+                "request {id}: Arrived but not Enqueued exactly once"
+            ));
+        }
+        match terminal.get(&id).copied().unwrap_or(0) {
+            1 => {}
+            n => return Err(format!("request {id}: {n} terminal events (want 1)")),
+        }
+    }
+    for &id in terminal.keys() {
+        if !arrived.contains_key(&id) {
+            return Err(format!("request {id}: terminal event without Arrived"));
+        }
+    }
+    for &id in &rerouted {
+        if terminal.get(&id).copied().unwrap_or(0) != 1 {
+            return Err(format!(
+                "request {id}: Rerouted but never reached a terminal"
+            ));
+        }
+    }
+    for (&(pod, seq), &(p, d, r)) in &jobs {
+        if p != d || d != r {
+            return Err(format!(
+                "pod {pod} job {seq}: preempted {p} / drained {d} / resumed {r} unbalanced"
+            ));
+        }
+    }
+    for &(pod, seq) in &terminal_seqs {
+        if !dispatched.contains(&(pod, seq)) {
+            return Err(format!("pod {pod} job {seq}: terminal without Dispatched"));
+        }
+    }
+    Ok(())
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Exports a recorded event stream as Chrome trace-event JSON — the
+/// format `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+/// load directly.
+///
+/// Layout: one *process* per pod; one *thread track per array* carrying
+/// `"X"` (complete) execution slices — dispatch-to-checkpoint and
+/// resume-to-completion segments — plus one *thread track per client*
+/// carrying its requests' queueing slices; and one `"b"`/`"e"` *async
+/// span per request* from arrival to its terminal event. Preemptions,
+/// refused shards, failures and autoscale actions appear as instant
+/// events; retime passes and bandwidth epochs as `"C"` counter tracks.
+/// Timestamps are microseconds (`cycle / clock_mhz`).
+pub fn chrome_trace_json(events: &[(usize, TraceEvent)], clock_mhz: f64) -> String {
+    let ts = |cycle: u64| cycle as f64 / clock_mhz;
+    let mut parts: Vec<String> = Vec::new();
+
+    // Discover the track universe.
+    let mut pods: BTreeSet<usize> = BTreeSet::new();
+    let mut arrays: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut clients: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (pod, e) in events {
+        pods.insert(*pod);
+        match e {
+            TraceEvent::Dispatched { array, .. } | TraceEvent::Resumed { array, .. } => {
+                arrays.insert((*pod, *array));
+            }
+            TraceEvent::Enqueued { client, .. } | TraceEvent::Arrived { client, .. } => {
+                clients.insert((*pod, *client));
+            }
+            TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => {
+                arrays.insert((*pod, o.array));
+                clients.insert((*pod, o.client));
+            }
+            _ => {}
+        }
+    }
+    /// Client tracks sit above the array tracks in each process.
+    const CLIENT_TID_BASE: usize = 10_000;
+    for &p in &pods {
+        parts.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{p},"tid":0,"args":{{"name":"pod {p}"}}}}"#
+        ));
+    }
+    for &(p, a) in &arrays {
+        parts.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{p},"tid":{a},"args":{{"name":"array {a}"}}}}"#
+        ));
+    }
+    for &(p, c) in &clients {
+        let tid = CLIENT_TID_BASE + c;
+        parts.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{p},"tid":{tid},"args":{{"name":"client {c}"}}}}"#
+        ));
+    }
+
+    // Open execution segments per (pod, seq): (start cycle, array, batch).
+    let mut open_exec: BTreeMap<(usize, usize), (u64, usize, usize)> = BTreeMap::new();
+    // Open queue slices per (pod, id): (enqueue cycle, client).
+    let mut open_queue: BTreeMap<(usize, usize), (u64, usize)> = BTreeMap::new();
+    let slice = |parts: &mut Vec<String>,
+                 name: &str,
+                 cat: &str,
+                 pid: usize,
+                 tid: usize,
+                 start: u64,
+                 end: u64| {
+        let mut s = String::from("{\"name\":");
+        push_escaped(&mut s, name);
+        s.push_str(&format!(
+            ",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3}}}",
+            ts(start),
+            ts(end.max(start)) - ts(start)
+        ));
+        parts.push(s);
+    };
+
+    for (pod, e) in events {
+        let p = *pod;
+        match e {
+            TraceEvent::Arrived { id, cycle, .. } => {
+                parts.push(format!(
+                    r#"{{"name":"req {id}","cat":"request","ph":"b","id":{id},"pid":{p},"ts":{:.3}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::Enqueued { id, client, cycle } => {
+                open_queue.insert((p, *id), (*cycle, *client));
+            }
+            TraceEvent::Dispatched {
+                seq,
+                ids,
+                array,
+                arrays,
+                cycle,
+            } => {
+                open_exec.insert((p, *seq), (*cycle, *array, ids.len()));
+                for id in ids {
+                    if let Some((start, client)) = open_queue.remove(&(p, *id)) {
+                        slice(
+                            &mut parts,
+                            &format!("queue req {id}"),
+                            "queue",
+                            p,
+                            CLIENT_TID_BASE + client,
+                            start,
+                            *cycle,
+                        );
+                    }
+                }
+                let _ = arrays;
+            }
+            TraceEvent::BatchJoined { seq, id, cycle } => {
+                if let Some((start, client)) = open_queue.remove(&(p, *id)) {
+                    slice(
+                        &mut parts,
+                        &format!("queue req {id}"),
+                        "queue",
+                        p,
+                        CLIENT_TID_BASE + client,
+                        start,
+                        *cycle,
+                    );
+                }
+                let _ = seq;
+            }
+            TraceEvent::CheckpointDrained { seq, cycle } => {
+                if let Some((start, array, batch)) = open_exec.remove(&(p, *seq)) {
+                    slice(
+                        &mut parts,
+                        &format!("job {seq} x{batch}"),
+                        "exec",
+                        p,
+                        array,
+                        start,
+                        *cycle,
+                    );
+                }
+            }
+            TraceEvent::Resumed { seq, array, cycle } => {
+                open_exec.insert((p, *seq), (*cycle, *array, 1));
+            }
+            TraceEvent::Preempted { seq, cycle } => {
+                if let Some(&(_, array, _)) = open_exec.get(&(p, *seq)) {
+                    parts.push(format!(
+                        r#"{{"name":"preempt job {seq}","cat":"preempt","ph":"i","s":"t","pid":{p},"tid":{array},"ts":{:.3}}}"#,
+                        ts(*cycle)
+                    ));
+                }
+            }
+            TraceEvent::ShardRefused { seq, cycle } => {
+                parts.push(format!(
+                    r#"{{"name":"shard refused (job {seq})","cat":"shard","ph":"i","s":"p","pid":{p},"ts":{:.3}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::Retimed { jobs, cycle } => {
+                parts.push(format!(
+                    r#"{{"name":"retimed jobs","cat":"retime","ph":"C","pid":{p},"ts":{:.3},"args":{{"jobs":{jobs}}}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::BandwidthEpoch {
+                total_weight,
+                cycle,
+            } => {
+                parts.push(format!(
+                    r#"{{"name":"bandwidth epoch","cat":"retime","ph":"C","pid":{p},"ts":{:.3},"args":{{"weight":{total_weight}}}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::Rerouted {
+                id,
+                from_pod,
+                to_pod,
+                cycle,
+            } => {
+                parts.push(format!(
+                    r#"{{"name":"reroute req {id}: pod {from_pod} -> pod {to_pod}","cat":"cluster","ph":"i","s":"g","pid":{from_pod},"ts":{:.3}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::PodFailed { pod, cycle } => {
+                parts.push(format!(
+                    r#"{{"name":"pod {pod} failed","cat":"cluster","ph":"i","s":"g","pid":{pod},"ts":{:.3}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::ScaleUp {
+                pod,
+                ready_at,
+                cycle,
+            } => {
+                parts.push(format!(
+                    r#"{{"name":"scale up pod {pod} (ready {ready_at})","cat":"cluster","ph":"i","s":"g","pid":{pod},"ts":{:.3}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::ScaleDown { pod, cycle } => {
+                parts.push(format!(
+                    r#"{{"name":"scale down pod {pod}","cat":"cluster","ph":"i","s":"g","pid":{pod},"ts":{:.3}}}"#,
+                    ts(*cycle)
+                ));
+            }
+            TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => {
+                if let Some((start, array, batch)) = open_exec.remove(&(p, o.seq)) {
+                    slice(
+                        &mut parts,
+                        &format!("job {} x{batch}", o.seq),
+                        "exec",
+                        p,
+                        array,
+                        start,
+                        o.completion,
+                    );
+                }
+                parts.push(format!(
+                    r#"{{"name":"req {}","cat":"request","ph":"e","id":{},"pid":{p},"ts":{:.3}}}"#,
+                    o.id,
+                    o.id,
+                    ts(o.completion)
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(&parts.join(","));
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: usize, seq: usize) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            client: 0,
+            class: RequestClass::Decode,
+            seq,
+            array: 0,
+            arrival: 0,
+            dispatch: 10,
+            completion: 30,
+            deadline: 100,
+            batch_size: 1,
+            sharded_over: 1,
+            stall_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        let mut s = RecordingSink::default();
+        assert!(TraceSink::enabled(&s));
+        s.record(
+            0,
+            TraceEvent::Arrived {
+                id: 0,
+                client: 0,
+                class: RequestClass::Decode,
+                cycle: 5,
+            },
+        );
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].1.cycle(), 5);
+        assert_eq!(s.events[0].1.name(), "arrived");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_stream() {
+        let events = vec![
+            (
+                0,
+                TraceEvent::Arrived {
+                    id: 0,
+                    client: 0,
+                    class: RequestClass::Decode,
+                    cycle: 0,
+                },
+            ),
+            (
+                0,
+                TraceEvent::Enqueued {
+                    id: 0,
+                    client: 0,
+                    cycle: 0,
+                },
+            ),
+            (
+                0,
+                TraceEvent::Dispatched {
+                    seq: 0,
+                    ids: vec![0],
+                    array: 0,
+                    arrays: 1,
+                    cycle: 10,
+                },
+            ),
+            (0, TraceEvent::Completed(outcome(0, 0))),
+        ];
+        check_conservation(&events).unwrap();
+    }
+
+    #[test]
+    fn conservation_rejects_lost_request() {
+        let events = vec![(
+            0,
+            TraceEvent::Arrived {
+                id: 7,
+                client: 0,
+                class: RequestClass::Decode,
+                cycle: 0,
+            },
+        )];
+        let err = check_conservation(&events).unwrap_err();
+        assert!(err.contains("request 7"), "{err}");
+    }
+
+    #[test]
+    fn conservation_rejects_unbalanced_preemption() {
+        let events = vec![(0, TraceEvent::Preempted { seq: 3, cycle: 9 })];
+        let err = check_conservation(&events).unwrap_err();
+        assert!(err.contains("job 3"), "{err}");
+    }
+
+    #[test]
+    fn aggregator_tracks_depth_and_phases() {
+        let mut agg = AggregatingSink::default();
+        agg.record(
+            0,
+            TraceEvent::Enqueued {
+                id: 0,
+                client: 0,
+                cycle: 0,
+            },
+        );
+        agg.record(
+            0,
+            TraceEvent::Enqueued {
+                id: 1,
+                client: 1,
+                cycle: 2,
+            },
+        );
+        assert_eq!(agg.max_queue_depth(), 2);
+        agg.record(
+            0,
+            TraceEvent::Dispatched {
+                seq: 0,
+                ids: vec![0, 1],
+                array: 0,
+                arrays: 1,
+                cycle: 10,
+            },
+        );
+        assert_eq!(*agg.queue_depth.last().unwrap(), (10, 0));
+        assert_eq!(*agg.busy_arrays.last().unwrap(), (10, 1));
+        agg.record(0, TraceEvent::Completed(outcome(0, 0)));
+        agg.record(0, TraceEvent::Completed(outcome(1, 0)));
+        // The first terminal frees the job's array; the second is a
+        // batch peer at the same cycle.
+        assert_eq!(*agg.busy_arrays.last().unwrap(), (30, 0));
+        assert_eq!(agg.queue_hist.count, 2);
+        assert_eq!(agg.service_hist.count, 2);
+        for o in &agg.outcomes {
+            assert_eq!(o.queue_cycles() + o.service_cycles(), o.total_cycles());
+        }
+    }
+
+    #[test]
+    fn chrome_export_emits_tracks_and_spans() {
+        let mut rec = RecordingSink::default();
+        rec.record(
+            0,
+            TraceEvent::Arrived {
+                id: 0,
+                client: 2,
+                class: RequestClass::Decode,
+                cycle: 0,
+            },
+        );
+        rec.record(
+            0,
+            TraceEvent::Enqueued {
+                id: 0,
+                client: 2,
+                cycle: 0,
+            },
+        );
+        rec.record(
+            0,
+            TraceEvent::Dispatched {
+                seq: 0,
+                ids: vec![0],
+                array: 1,
+                arrays: 1,
+                cycle: 10,
+            },
+        );
+        rec.record(
+            0,
+            TraceEvent::Completed(RequestOutcome {
+                client: 2,
+                array: 1,
+                ..outcome(0, 0)
+            }),
+        );
+        let json = chrome_trace_json(&rec.events, 500.0);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("pod 0"));
+        assert!(json.contains("array 1"));
+        assert!(json.contains("client 2"));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+}

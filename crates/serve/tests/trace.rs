@@ -1,0 +1,410 @@
+//! The tracing contract, end to end: observer neutrality (a sink must
+//! never change the simulation, bit for bit, under every scheduler and
+//! every router), lifecycle conservation (every `Arrived` reaches
+//! exactly one terminal event, preempt/drain/resume balance per job),
+//! and exact phase decomposition (the terminal outcome's queue +
+//! service cycles reproduce the completion record's latency split).
+
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    check_conservation, simulate_cluster, simulate_cluster_traced, simulate_pod,
+    simulate_pod_traced, AggregatingSink, AutoscaleConfig, ClusterConfig, ClusterPodConfig,
+    MemoryModel, PodConfig, PreemptionMode, RecordingSink, RequestClass, RouterPolicy,
+    SchedulerPolicy, ShardPlanner, SloBudgets, TraceEvent, TrafficConfig, WorkloadMix,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Every scheduler variant, built by hand (there is deliberately no
+/// `SchedulerPolicy::ALL` — adding a policy must force a look at the
+/// tests that enumerate them).
+fn all_schedulers() -> Vec<SchedulerPolicy> {
+    vec![
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Batching { max_batch: 8 },
+        SchedulerPolicy::Edf { max_batch: 8 },
+        SchedulerPolicy::Continuous { max_batch: 8 },
+        SchedulerPolicy::Wfq { max_batch: 8 },
+    ]
+}
+
+fn mixed_traffic(seed: u64, requests: usize, mean: f64) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, requests, mean)
+        .with_mix(WorkloadMix::balanced())
+        .with_clients(6)
+}
+
+/// The preemption recipe (few large arrays, long prefills, tight decode
+/// SLO, sparse arrivals) — the config under which tile-boundary
+/// preemption actually fires.
+fn preempting_pod(scheduler: SchedulerPolicy) -> PodConfig {
+    PodConfig::homogeneous(1, Architecture::Axon, 64)
+        .with_scheduler(scheduler)
+        .with_preemption(PreemptionMode::TileBoundary)
+        .with_shard_min_macs(None)
+}
+
+fn preempting_traffic(seed: u64, requests: usize) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, requests, 150_000.0)
+        .with_mix(WorkloadMix::new(vec![
+            (RequestClass::Prefill, 0.2),
+            (RequestClass::Decode, 0.8),
+        ]))
+        .with_slo(SloBudgets::serving_default().with_decode(70_000))
+}
+
+/// A fleet with a mid-run failure and a spare for the autoscaler, so
+/// the cluster-scope events (Routed/Rerouted/PodFailed/ScaleUp) all
+/// appear in the stream.
+fn failing_fleet() -> ClusterConfig {
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 32);
+    let pods = vec![
+        ClusterPodConfig::new(pod.clone()),
+        ClusterPodConfig::new(pod.clone()).with_fail_at(400_000),
+        ClusterPodConfig::new(pod.clone()),
+        ClusterPodConfig::new(pod),
+    ];
+    ClusterConfig::new(pods, RouterPolicy::JoinShortestQueue)
+        .with_autoscale(AutoscaleConfig::new(2, 2, 1, 50_000))
+}
+
+// ---------------------------------------------------------------------
+// Observer neutrality: any attached sink must leave the report
+// bit-identical to the untraced run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn recording_sink_is_neutral_under_every_scheduler() {
+    for scheduler in all_schedulers() {
+        let pod = PodConfig::homogeneous(3, Architecture::Axon, 32)
+            .with_scheduler(scheduler)
+            .with_memory(MemoryModel::Shared { channels: 2 });
+        let traffic = mixed_traffic(7, 120, 400.0);
+        let untraced = simulate_pod(&pod, &traffic);
+        let mut rec = RecordingSink::default();
+        let traced = simulate_pod_traced(&pod, &traffic, &mut rec);
+        assert_eq!(traced, untraced, "{scheduler:?}: sink changed the run");
+        assert!(!rec.events.is_empty(), "{scheduler:?}: sink saw nothing");
+    }
+}
+
+#[test]
+fn aggregating_sink_is_neutral_live_not_just_on_replay() {
+    let pod = preempting_pod(SchedulerPolicy::Edf { max_batch: 8 });
+    let traffic = preempting_traffic(21, 60);
+    let untraced = simulate_pod(&pod, &traffic);
+    let mut agg = AggregatingSink::default();
+    let traced = simulate_pod_traced(&pod, &traffic, &mut agg);
+    assert_eq!(traced, untraced);
+    assert_eq!(
+        agg.queue_hist.count as usize, untraced.metrics.completed,
+        "one queue-phase sample per terminal event"
+    );
+}
+
+#[test]
+fn recording_sink_is_neutral_under_every_router() {
+    let traffic = mixed_traffic(42, 150, 800.0);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(
+            vec![
+                ClusterPodConfig::new(PodConfig::homogeneous(4, Architecture::Axon, 32)),
+                ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Conventional, 32)),
+                ClusterPodConfig::new(PodConfig::homogeneous(3, Architecture::Axon, 64)),
+            ],
+            router,
+        );
+        let untraced = simulate_cluster(&cluster, &traffic);
+        let mut rec = RecordingSink::default();
+        let traced = simulate_cluster_traced(&cluster, &traffic, &mut rec);
+        assert_eq!(traced, untraced, "{}: sink changed the run", router.name());
+        check_conservation(&rec.events).unwrap_or_else(|e| panic!("{}: {e}", router.name()));
+    }
+}
+
+#[test]
+fn tracing_failure_and_autoscale_paths_is_neutral_and_conserving() {
+    let cluster = failing_fleet();
+    let traffic = mixed_traffic(3, 200, 300.0);
+    let untraced = simulate_cluster(&cluster, &traffic);
+    let mut rec = RecordingSink::default();
+    let traced = simulate_cluster_traced(&cluster, &traffic, &mut rec);
+    assert_eq!(traced, untraced, "failure-path tracing changed the run");
+    check_conservation(&rec.events).expect("conservation across a pod failure");
+
+    let count =
+        |pred: &dyn Fn(&TraceEvent) -> bool| rec.events.iter().filter(|(_, e)| pred(e)).count();
+    let m = &traced.metrics;
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::PodFailed { .. })),
+        m.failed_pods,
+        "one PodFailed per dead pod"
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::Rerouted { .. })),
+        m.rerouted,
+        "one Rerouted per rescued request"
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::ScaleUp { .. })),
+        m.scale_ups,
+        "one ScaleUp per activation"
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::ScaleDown { .. })),
+        m.scale_downs,
+        "one ScaleDown per drain"
+    );
+    assert!(m.failed_pods >= 1, "scenario must kill a pod");
+    assert!(m.rerouted >= 1, "scenario must reroute work");
+    // Every request is routed exactly once (reroutes are separate events).
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::Routed { .. })),
+        traffic.num_requests
+    );
+}
+
+// ---------------------------------------------------------------------
+// Conservation and balance laws.
+// ---------------------------------------------------------------------
+
+#[test]
+fn conservation_holds_across_schedulers_memory_models_and_preemption() {
+    let memories = [
+        MemoryModel::Unconstrained,
+        MemoryModel::Shared { channels: 1 },
+    ];
+    let preemptions = [PreemptionMode::Disabled, PreemptionMode::TileBoundary];
+    for scheduler in all_schedulers() {
+        for memory in memories {
+            for preemption in preemptions {
+                let pod = PodConfig::homogeneous(2, Architecture::Axon, 32)
+                    .with_scheduler(scheduler)
+                    .with_memory(memory)
+                    .with_preemption(preemption);
+                let traffic = mixed_traffic(11, 100, 500.0);
+                let mut rec = RecordingSink::default();
+                let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+                assert_eq!(r.metrics.completed, 100);
+                check_conservation(&rec.events)
+                    .unwrap_or_else(|e| panic!("{scheduler:?}/{memory:?}/{preemption:?}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn preempt_drain_resume_balance_exactly() {
+    let pod = preempting_pod(SchedulerPolicy::Edf { max_batch: 8 });
+    let traffic = preempting_traffic(21, 60);
+    let mut rec = RecordingSink::default();
+    let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+    assert!(r.metrics.preemptions > 0, "scenario must preempt");
+
+    let mut preempted: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut drained: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut resumed: BTreeMap<usize, usize> = BTreeMap::new();
+    for (_, e) in &rec.events {
+        match e {
+            TraceEvent::Preempted { seq, .. } => *preempted.entry(*seq).or_default() += 1,
+            TraceEvent::CheckpointDrained { seq, .. } => *drained.entry(*seq).or_default() += 1,
+            TraceEvent::Resumed { seq, .. } => *resumed.entry(*seq).or_default() += 1,
+            _ => {}
+        }
+    }
+    let total: usize = preempted.values().sum();
+    assert_eq!(total, r.metrics.preemptions, "one Preempted per preemption");
+    assert_eq!(preempted, drained, "every preemption drains a checkpoint");
+    assert_eq!(
+        drained, resumed,
+        "every drained job resumes (and completes)"
+    );
+    // check_conservation enforces the same laws — keep them agreeing.
+    check_conservation(&rec.events).expect("conservation");
+}
+
+#[test]
+fn sharding_events_match_the_planner_counters() {
+    // Light load on a wide pod: arrays idle together, prefills shard.
+    let traffic = TrafficConfig::open_loop(2026, 150, 420_000.0).with_mix(WorkloadMix::new(vec![
+        (RequestClass::Decode, 0.75),
+        (RequestClass::Prefill, 0.20),
+        (RequestClass::Gemv, 0.05),
+    ]));
+    let pod = PodConfig::homogeneous(4, Architecture::Axon, 128)
+        .with_memory(MemoryModel::Shared { channels: 1 })
+        .with_planner(ShardPlanner::BandwidthAware);
+    let mut rec = RecordingSink::default();
+    let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+    check_conservation(&rec.events).expect("conservation");
+
+    let planned = rec
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::ShardPlanned { .. }))
+        .count();
+    let refused = rec
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::ShardRefused { .. }))
+        .count();
+    assert_eq!(
+        planned, r.metrics.sharded_batches,
+        "one ShardPlanned per sharded dispatch"
+    );
+    assert_eq!(
+        refused, r.metrics.sharding_refused,
+        "one ShardRefused per refusal"
+    );
+    assert!(planned > 0, "scenario must shard");
+    assert!(refused > 0, "scenario must refuse");
+    // Every ShardPlanned pairs with a multi-array Dispatched at the
+    // same seq, with a grid that covers exactly the occupied arrays.
+    let dispatched: BTreeMap<usize, usize> = rec
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::Dispatched { seq, arrays, .. } => Some((*seq, *arrays)),
+            _ => None,
+        })
+        .collect();
+    for (_, e) in &rec.events {
+        if let TraceEvent::ShardPlanned { seq, pr, pc, .. } = e {
+            assert_eq!(
+                dispatched.get(seq),
+                Some(&(pr * pc)),
+                "grid covers the arrays"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase decomposition: the terminal outcome reproduces the completion
+// record's latency split exactly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn terminal_outcomes_decompose_latency_exactly() {
+    for scheduler in all_schedulers() {
+        let pod = PodConfig::homogeneous(2, Architecture::Axon, 64)
+            .with_scheduler(scheduler)
+            .with_memory(MemoryModel::Shared { channels: 1 })
+            .with_preemption(PreemptionMode::TileBoundary);
+        let traffic = preempting_traffic(9, 80);
+        let mut rec = RecordingSink::default();
+        let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+
+        let mut outcomes = BTreeMap::new();
+        for (_, e) in &rec.events {
+            match e {
+                TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => {
+                    assert!(
+                        outcomes.insert(o.id, *o).is_none(),
+                        "{scheduler:?}: dup terminal"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(outcomes.len(), r.completions.len(), "{scheduler:?}");
+        for c in &r.completions {
+            let o = outcomes[&c.id];
+            assert_eq!(o.client, c.client);
+            assert_eq!(o.class, c.class);
+            assert_eq!(o.arrival, c.arrival);
+            assert_eq!(o.dispatch, c.dispatch);
+            assert_eq!(o.completion, c.completion);
+            assert_eq!(o.deadline, c.deadline);
+            assert_eq!(o.array, c.array);
+            assert_eq!(o.batch_size, c.batch_size);
+            assert_eq!(o.sharded_over, c.sharded_over);
+            assert_eq!(
+                o.stall_cycles, c.bandwidth_stall_cycles,
+                "{scheduler:?} id {}",
+                c.id
+            );
+            // The decomposition sums exactly — no cycle unaccounted.
+            assert_eq!(o.queue_cycles() + o.service_cycles(), o.total_cycles());
+            assert_eq!(
+                o.queue_cycles(),
+                c.queue_cycles(),
+                "{scheduler:?} id {}",
+                c.id
+            );
+            assert_eq!(
+                o.service_cycles(),
+                c.service_cycles(),
+                "{scheduler:?} id {}",
+                c.id
+            );
+            // Terminal kind agrees with the deadline.
+            let on_time = c.completion <= c.deadline;
+            let event_on_time = rec
+                .events
+                .iter()
+                .any(|(_, e)| matches!(e, TraceEvent::Completed(o2) if o2.id == c.id));
+            assert_eq!(on_time, event_on_time, "{scheduler:?} id {}", c.id);
+        }
+    }
+}
+
+#[test]
+fn aggregating_sink_counts_match_the_report() {
+    let pod = preempting_pod(SchedulerPolicy::Continuous { max_batch: 8 });
+    let traffic = preempting_traffic(33, 70);
+    let mut rec = RecordingSink::default();
+    let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+    let mut agg = AggregatingSink::default();
+    agg.replay(&rec.events);
+
+    let count = |name: &str| agg.event_counts.get(name).copied().unwrap_or(0) as usize;
+    assert_eq!(count("arrived"), 70);
+    assert_eq!(count("enqueued"), 70);
+    assert_eq!(
+        count("completed") + count("deadline_missed"),
+        r.metrics.completed
+    );
+    assert_eq!(count("batch_joined"), r.metrics.inflight_joins);
+    assert_eq!(count("preempted"), r.metrics.preemptions);
+    assert_eq!(agg.outcomes.len(), r.metrics.completed);
+    assert!(agg.max_queue_depth() > 0);
+    assert!(agg.max_busy_arrays() >= 1);
+}
+
+// ---------------------------------------------------------------------
+// Property: neutrality and conservation hold over random seeds.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tracing_is_neutral_and_conserving_for_any_seed(
+        seed in 0u64..1_000_000,
+        requests in 40usize..120,
+    ) {
+        let pod = PodConfig::homogeneous(2, Architecture::Axon, 32)
+            .with_scheduler(SchedulerPolicy::Continuous { max_batch: 8 })
+            .with_memory(MemoryModel::Shared { channels: 1 })
+            .with_preemption(PreemptionMode::TileBoundary);
+        let traffic = mixed_traffic(seed, requests, 600.0);
+        let untraced = simulate_pod(&pod, &traffic);
+        let mut rec = RecordingSink::default();
+        let traced = simulate_pod_traced(&pod, &traffic, &mut rec);
+        prop_assert_eq!(&traced, &untraced);
+        prop_assert_eq!(traced.metrics.completed, requests);
+        check_conservation(&rec.events).expect("conservation");
+    }
+
+    #[test]
+    fn cluster_tracing_is_neutral_for_any_seed(seed in 0u64..1_000_000) {
+        let cluster = failing_fleet();
+        let traffic = mixed_traffic(seed, 100, 400.0);
+        let untraced = simulate_cluster(&cluster, &traffic);
+        let mut rec = RecordingSink::default();
+        let traced = simulate_cluster_traced(&cluster, &traffic, &mut rec);
+        prop_assert_eq!(&traced, &untraced);
+        check_conservation(&rec.events).expect("conservation");
+    }
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Verifies that every relative markdown link in README.md, ROADMAP.md,
-# and docs/*.md resolves to an existing file or directory, and that every `#anchor`
+# CHANGES.md and docs/*.md resolves to an existing file or directory, and that every `#anchor`
 # fragment pointing at a markdown file (the linking document itself for
 # bare `#anchor` links) matches an actual heading in that file, using
 # GitHub's slugification (lowercase; drop everything but alphanumerics,
@@ -29,7 +29,7 @@ slugs_of() {
 }
 
 fail=0
-for doc in README.md ROADMAP.md docs/*.md; do
+for doc in README.md ROADMAP.md CHANGES.md docs/*.md; do
     [ -f "$doc" ] || continue
     dir=$(dirname "$doc")
     # Extract (target) parts of [text](target) links, one per line.
@@ -72,4 +72,4 @@ if [ "$fail" -ne 0 ]; then
     echo "link check failed"
     exit 1
 fi
-echo "all relative links and #anchors in README.md, ROADMAP.md and docs/ resolve"
+echo "all relative links and #anchors in README.md, ROADMAP.md, CHANGES.md and docs/ resolve"
