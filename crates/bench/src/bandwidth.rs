@@ -23,6 +23,7 @@
 //! `docs/architecture.md` for where the planner sits in the stack.
 
 use crate::series::Json;
+use crate::sweep::run_sweep_parallel;
 use axon_core::runtime::Architecture;
 use axon_serve::{
     simulate_pod, MappingPolicy, MemoryModel, PodConfig, PodMetrics, RequestClass, ShardPlanner,
@@ -118,25 +119,22 @@ pub fn bandwidth_sweep(
     channels.sort_unstable();
     channels.dedup();
     let offered_rps = per_array_rps * arrays as f64;
-    channels
-        .into_iter()
-        .map(|c| {
-            let memory = MemoryModel::Shared { channels: c };
-            let measure = |planner: ShardPlanner, label: &'static str| {
-                let pod = bandwidth_pod(arrays, side, memory, planner);
-                let mean_interarrival = pod.clock_mhz * 1e6 / offered_rps;
-                let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
-                    .with_mix(bandwidth_mix());
-                PlannerRow::from_metrics(label, &simulate_pod(&pod, &traffic).metrics)
-            };
-            BandwidthPoint {
-                channels: c,
-                starved: c < arrays,
-                oblivious: measure(ShardPlanner::ComputeOnly, "oblivious"),
-                aware: measure(ShardPlanner::BandwidthAware, "bandwidth-aware"),
-            }
-        })
-        .collect()
+    run_sweep_parallel(&channels, |&c| {
+        let memory = MemoryModel::Shared { channels: c };
+        let measure = |planner: ShardPlanner, label: &'static str| {
+            let pod = bandwidth_pod(arrays, side, memory, planner);
+            let mean_interarrival = pod.clock_mhz * 1e6 / offered_rps;
+            let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+                .with_mix(bandwidth_mix());
+            PlannerRow::from_metrics(label, &simulate_pod(&pod, &traffic).metrics)
+        };
+        BandwidthPoint {
+            channels: c,
+            starved: c < arrays,
+            oblivious: measure(ShardPlanner::ComputeOnly, "oblivious"),
+            aware: measure(ShardPlanner::BandwidthAware, "bandwidth-aware"),
+        }
+    })
 }
 
 /// Asserts the planner's headline guarantee over a measured sweep:

@@ -7,6 +7,7 @@
 //! cargo run --release -p axon-bench --bin perf_baseline -- --smoke
 //! cargo run --release -p axon-bench --bin perf_baseline -- --smoke --json out.json
 //! cargo run --release -p axon-bench --bin perf_baseline -- --baseline BENCH_7.json
+//! cargo run --release -p axon-bench --bin perf_baseline -- --smoke --budget-s 60
 //! ```
 //!
 //! Measurement and gate live in [`axon_bench::perf`]; the schema is
@@ -16,7 +17,9 @@
 //! first run of a fresh checkout has nothing to regress against).
 //! Exits non-zero only on a confirmed regression.
 
-use axon_bench::perf::{find_baseline, measure, regression_vs, PerfReport, MAX_SLOWDOWN};
+use axon_bench::perf::{
+    delta_line, find_baseline, measure, regression_vs, PerfReport, MAX_SLOWDOWN,
+};
 use axon_bench::series::json_path_from_args;
 use std::path::PathBuf;
 
@@ -26,6 +29,17 @@ fn baseline_flag() -> Option<PathBuf> {
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
+}
+
+/// `--budget-s <seconds>`: fail when the best repetition's wall clock
+/// exceeds the budget (the CI guard against the benchmark itself
+/// growing unboundedly slow).
+fn budget_flag() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--budget-s")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--budget-s takes seconds (f64)"))
 }
 
 fn main() {
@@ -44,6 +58,20 @@ fn main() {
         "  {:>10} events, {} dispatches, {} retime passes ({:.1} jobs/pass)",
         current.events, current.dispatches, current.retime_passes, current.mean_jobs_per_retime
     );
+
+    if let Some(budget_s) = budget_flag() {
+        if current.wall_s > budget_s {
+            eprintln!(
+                "wall-clock budget FAILED: best rep took {:.3}s, budget {budget_s:.3}s",
+                current.wall_s
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "wall-clock budget ok: {:.3}s <= {budget_s:.3}s",
+            current.wall_s
+        );
+    }
 
     if let Some(path) = json_path_from_args() {
         current
@@ -75,6 +103,7 @@ fn main() {
         baseline.requests_per_wall_s,
         MAX_SLOWDOWN * 100.0
     );
+    println!("delta: {}", delta_line(&current, &baseline));
     match regression_vs(&current, &baseline) {
         Ok(warnings) => {
             for w in &warnings {

@@ -15,6 +15,7 @@
 //! decode p99 no worse than round-robin. See `docs/cluster.md`.
 
 use crate::series::Json;
+use crate::sweep::run_sweep_parallel;
 use axon_core::runtime::Architecture;
 use axon_serve::{
     simulate_cluster, simulate_pod, ClusterConfig, ClusterPodConfig, ClusterReport, PodConfig,
@@ -108,20 +109,17 @@ pub fn cluster_sweep(
     let fleet = sweep_fleet(arrays, side);
     let clock_mhz = fleet[0].pod.clock_mhz;
     let cluster = ClusterConfig::new(fleet, router);
-    let points = offered_rps
-        .iter()
-        .map(|&rps| {
-            let mean_interarrival = clock_mhz * 1e6 / rps;
-            // Enough clients that session placement keeps happening
-            // throughout the run (new sessions see current fleet load),
-            // not just in the first instants.
-            let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
-                .with_mix(cluster_mix())
-                .with_clients(64);
-            let report = simulate_cluster(&cluster, &traffic);
-            ClusterPoint::from_report(rps, &report)
-        })
-        .collect();
+    let points = run_sweep_parallel(offered_rps, |&rps| {
+        let mean_interarrival = clock_mhz * 1e6 / rps;
+        // Enough clients that session placement keeps happening
+        // throughout the run (new sessions see current fleet load),
+        // not just in the first instants.
+        let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+            .with_mix(cluster_mix())
+            .with_clients(64);
+        let report = simulate_cluster(&cluster, &traffic);
+        ClusterPoint::from_report(rps, &report)
+    });
     ClusterCurve { router, points }
 }
 

@@ -18,3 +18,4 @@ pub mod perf;
 pub mod policy;
 pub mod series;
 pub mod serving;
+pub mod sweep;

@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 pub const PERF_SCHEMA: &str = "axon-perf-v1";
 
 /// This PR's index in the `BENCH_<n>.json` trajectory.
-pub const BENCH_INDEX: u64 = 7;
+pub const BENCH_INDEX: u64 = 8;
 
 /// The regression gate: fail when throughput drops below
 /// `1 - MAX_SLOWDOWN` of the committed baseline.
@@ -193,6 +193,18 @@ pub fn measure(requests: usize, reps: usize) -> PerfReport {
     }
 }
 
+/// One-line trajectory delta against the committed baseline, e.g.
+/// `+212.4% vs BENCH_7 (964.8 -> 3012.2 req/wall-s)` — the summary the
+/// `perf_baseline` binary prints so a PR's perf movement is visible in
+/// one grep-able line.
+pub fn delta_line(current: &PerfReport, baseline: &PerfReport) -> String {
+    let pct = (current.requests_per_wall_s / baseline.requests_per_wall_s - 1.0) * 100.0;
+    format!(
+        "{pct:+.1}% vs BENCH_{} ({:.1} -> {:.1} req/wall-s)",
+        baseline.bench_index, baseline.requests_per_wall_s, current.requests_per_wall_s
+    )
+}
+
 /// Gates `current` against `baseline`: an `Err` means the throughput
 /// regressed more than [`MAX_SLOWDOWN`]; `Ok` carries informational
 /// warnings (counter drift is expected when the engine's *model*
@@ -326,6 +338,16 @@ mod tests {
         assert!(a.events > 0 && a.dispatches > 0);
         // The pinned scenario must exercise the shared-memory hot path.
         assert!(a.retime_passes > 0, "perf pod should retime");
+    }
+
+    #[test]
+    fn delta_line_is_signed_and_names_the_baseline() {
+        let base = report(1000.0);
+        let up = delta_line(&report(3120.0), &base);
+        assert!(up.starts_with("+212.0%"), "{up}");
+        assert!(up.contains("vs BENCH_8"), "{up}");
+        let down = delta_line(&report(900.0), &base);
+        assert!(down.starts_with("-10.0%"), "{down}");
     }
 
     #[test]

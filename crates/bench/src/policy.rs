@@ -12,6 +12,7 @@
 //! ranking.
 
 use crate::series::Json;
+use crate::sweep::run_sweep_parallel;
 use axon_core::runtime::Architecture;
 use axon_serve::{
     simulate_pod, MappingPolicy, MemoryModel, PodConfig, PreemptionMode, RequestClass,
@@ -188,17 +189,14 @@ pub fn policy_sweep_with_memory(
     seed: u64,
 ) -> PolicyCurve {
     let pod = policy_pod(arrays, side, policy).with_memory(memory);
-    let points = offered_rps
-        .iter()
-        .map(|&rps| {
-            let mean_interarrival = pod.clock_mhz * 1e6 / rps;
-            let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
-                .with_mix(policy_mix())
-                .with_slo(policy_slo());
-            let report = simulate_pod(&pod, &traffic);
-            PolicyPoint::from_report(rps, &report)
-        })
-        .collect();
+    let points = run_sweep_parallel(offered_rps, |&rps| {
+        let mean_interarrival = pod.clock_mhz * 1e6 / rps;
+        let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+            .with_mix(policy_mix())
+            .with_slo(policy_slo());
+        let report = simulate_pod(&pod, &traffic);
+        PolicyPoint::from_report(rps, &report)
+    });
     PolicyCurve { policy, points }
 }
 

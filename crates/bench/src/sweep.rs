@@ -1,0 +1,82 @@
+//! Shared parallel sweep runner.
+//!
+//! Every sweep in this crate has the same shape: a slice of independent
+//! operating points (offered loads, channel counts, routers), each
+//! measured by a pure function of the point — the simulator is a pure
+//! function of its config, so the points share no state. This module is
+//! the one place that shape is implemented: [`run_sweep_parallel`] fans
+//! the points out over threads and returns results **in input order**,
+//! so its output is element-for-element identical to the sequential
+//! `items.iter().map(run).collect()` it replaces (pinned by a unit test
+//! below). Callers must pass a `run` that is deterministic and
+//! side-effect-free; everything else (chunking, joining, ordering) is
+//! handled here.
+
+/// Maps `run` over `items` in parallel, preserving input order.
+///
+/// Items are split into contiguous chunks, one per worker thread (at
+/// most one worker per available core, never more than one per item),
+/// and the per-chunk results are concatenated in chunk order — so the
+/// output is exactly `items.iter().map(run).collect()`, computed on
+/// more cores. With one item (or one core) it simply runs inline.
+pub fn run_sweep_parallel<T, R, F>(items: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&run).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().map(&run).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axon_core::runtime::Architecture;
+    use axon_serve::{simulate_pod, PodConfig, TrafficConfig};
+
+    #[test]
+    fn parallel_equals_sequential_on_a_real_sweep() {
+        // A genuine simulator sweep, not a toy closure: the parallel
+        // runner must reproduce the sequential loop bit-for-bit,
+        // reports included.
+        let pod = PodConfig::homogeneous(2, Architecture::Axon, 32);
+        let loads: Vec<f64> = vec![500.0, 1000.0, 2000.0, 4000.0, 8000.0];
+        let run = |&mean: &f64| {
+            let traffic = TrafficConfig::open_loop(11, 60, mean);
+            simulate_pod(&pod, &traffic)
+        };
+        let sequential: Vec<_> = loads.iter().map(run).collect();
+        let parallel = run_sweep_parallel(&loads, run);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn preserves_order_for_more_items_than_cores() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = run_sweep_parallel(&items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(run_sweep_parallel(&empty, |&x| x), Vec::<u32>::new());
+        assert_eq!(run_sweep_parallel(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

@@ -2,9 +2,11 @@
 //! `trace_dump` writes must parse, carry the top-level keys Perfetto
 //! expects, stamp every event with the phase-appropriate fields, and
 //! pair every async-span begin with exactly one end. Also pins the
-//! committed `BENCH_7.json` perf baseline to the `axon-perf-v1` schema.
+//! committed `BENCH_<n>.json` perf trajectory to the `axon-perf-v1`
+//! schema: every file parses, indices match filenames and are unique,
+//! and the gate's baseline discovery picks the newest entry.
 
-use axon_bench::perf::{PerfReport, PERF_SCHEMA};
+use axon_bench::perf::{find_baseline, PerfReport, BENCH_INDEX, PERF_SCHEMA};
 use axon_bench::series::Json;
 use axon_core::runtime::Architecture;
 use axon_serve::{
@@ -111,12 +113,54 @@ fn chrome_trace_export_satisfies_the_trace_event_schema() {
 }
 
 #[test]
-fn committed_perf_baseline_parses_under_the_current_schema() {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json");
-    let text =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let report = PerfReport::from_json_str(&text).expect("baseline must parse");
-    assert_eq!(report.schema, PERF_SCHEMA);
-    assert!(report.requests_per_wall_s > 0.0);
-    assert!(report.requests > 0 && report.reps > 0);
+fn committed_perf_trajectory_parses_under_the_current_schema() {
+    // Every committed BENCH_<n>.json — the whole trajectory, not just
+    // the newest — must parse as axon-perf-v1, with the embedded index
+    // agreeing with the filename and no duplicates.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut indices = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("read repo root").flatten() {
+        let path = entry.path();
+        let Some(idx) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("BENCH_"))
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let report =
+            PerfReport::from_json_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(report.schema, PERF_SCHEMA);
+        assert_eq!(
+            report.bench_index,
+            idx,
+            "{}: embedded index disagrees with filename",
+            path.display()
+        );
+        assert!(report.requests_per_wall_s > 0.0, "{}", path.display());
+        assert!(report.requests > 0 && report.reps > 0, "{}", path.display());
+        indices.push(idx);
+    }
+    indices.sort_unstable();
+    assert!(
+        indices.windows(2).all(|w| w[0] != w[1]),
+        "duplicate trajectory indices: {indices:?}"
+    );
+    assert!(
+        indices.contains(&BENCH_INDEX),
+        "this PR's BENCH_{BENCH_INDEX}.json must be committed (found {indices:?})"
+    );
+    assert!(
+        indices.len() >= 2,
+        "trajectory should accumulate across PRs, found {indices:?}"
+    );
+
+    // The regression gate's discovery must land on the newest entry.
+    let (path, newest) = find_baseline(&root).expect("baseline exists");
+    assert_eq!(Some(&newest.bench_index), indices.last());
+    assert!(path.ends_with(format!("BENCH_{}.json", newest.bench_index)));
 }

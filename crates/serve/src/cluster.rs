@@ -816,11 +816,47 @@ pub fn simulate_cluster_traced(
         fi += 1;
     }
 
-    // Exact replay of every surviving pod's sub-trace.
-    for (i, st) in states.iter().enumerate() {
-        if reports[i].is_none() {
-            let cfg = effective_pod(&cluster.pods[i], st.ready_at);
-            reports[i] = Some(simulate_pod_trace_traced_at(&cfg, &st.assigned, sink, i));
+    // Exact replay of every surviving pod's sub-trace. The replays are
+    // embarrassingly parallel — pods share no cross-pod resource, so
+    // each sub-trace runs on its own thread, recording trace events
+    // into a private sink. Determinism is preserved by construction:
+    // each report lands in its pod's pre-assigned slot, and recorded
+    // events are forwarded to the caller's sink in ascending pod order
+    // *after* all threads join — exactly the order the sequential loop
+    // emitted, independent of thread completion order.
+    let record = sink.enabled();
+    let replayed: Vec<Option<(ServingReport, RecordingSink)>> = std::thread::scope(|scope| {
+        let handles: Vec<Option<_>> = states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                if reports[i].is_some() {
+                    return None;
+                }
+                let pods = &cluster.pods;
+                Some(scope.spawn(move || {
+                    let cfg = effective_pod(&pods[i], st.ready_at);
+                    let mut local = RecordingSink::default();
+                    let report = if record {
+                        simulate_pod_trace_traced_at(&cfg, &st.assigned, &mut local, i)
+                    } else {
+                        simulate_pod_trace_traced_at(&cfg, &st.assigned, &mut NullSink, i)
+                    };
+                    (report, local)
+                }))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("pod replay thread panicked")))
+            .collect()
+    });
+    for (i, r) in replayed.into_iter().enumerate() {
+        if let Some((report, local)) = r {
+            for (pod, ev) in local.events {
+                sink.record(pod, ev);
+            }
+            reports[i] = Some(report);
         }
     }
     let per_pod: Vec<ServingReport> = reports

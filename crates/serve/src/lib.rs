@@ -74,6 +74,9 @@ mod cluster;
 mod generator;
 mod metrics;
 mod pod;
+#[cfg(any(test, feature = "reference-engine"))]
+#[doc(hidden)]
+pub mod reference;
 mod request;
 mod rng;
 mod router;

@@ -1,0 +1,1277 @@
+//! The frozen reference engine: a verbatim copy of the pre-heap pod
+//! event loop (linear next-event scans, full O(running-jobs) re-timing
+//! on every concurrency change) and the scan-based policy head
+//! selection, kept solely so `crates/serve/tests/differential.rs` can
+//! pin the optimized engine bit-for-bit against the original.
+//!
+//! **Never edit this module to track engine changes.** Its whole value
+//! is that it does *not* move: any divergence between
+//! [`simulate_pod_trace_reference`] and
+//! [`simulate_pod_trace`](crate::simulate_pod_trace) is a correctness
+//! bug in the fast path, not a drift to paper over here. The module is
+//! compiled only for tests (`cfg(test)` or the `reference-engine`
+//! feature the crate's own dev-dependency enables), so it costs
+//! production builds nothing.
+
+use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
+use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
+use crate::pod::{
+    ArrayConfig, MappingPolicy, MemoryModel, PodConfig, PreemptionMode, ServingReport, ShardPlanner,
+};
+use crate::request::{coalesced_shape, BatchKey, Request};
+use crate::scheduler::{Batch, SchedulerPolicy, SchedulingPolicy};
+use crate::trace::{NullSink, RequestOutcome, TraceEvent, TraceSink};
+use axon_core::runtime::{
+    Accounting, Architecture, DrainPolicy, RuntimeSpec, TilePhase, TileSchedule,
+};
+use axon_core::{Dataflow, GemmShape, Tiling};
+use axon_hw::{execution_energy, ArrayDesign, ComponentLibrary, TechNode};
+use axon_mem::SharedDram;
+use axon_sim::{random_matrix, simulate_gemm, SimConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+const CHECKPOINT_BYTES_PER_PARTIAL: u64 = 4;
+
+// ---------------------------------------------------------------------------
+// Reference (scan-based) policy head selection
+// ---------------------------------------------------------------------------
+
+fn eligible_indices_ref(queue: &VecDeque<Request>) -> Vec<usize> {
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut out = Vec::new();
+    for (i, r) in queue.iter().enumerate() {
+        if seen.insert(r.client) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+fn coalesce_with_head_ref(head: Request, queue: &mut VecDeque<Request>, max_batch: usize) -> Batch {
+    let mut requests = vec![head];
+    let mut shape = head.workload.shape;
+    if let Some(key) = head.batch_key() {
+        let mut blocked: HashSet<usize> = HashSet::new();
+        let mut i = 0;
+        while i < queue.len() && requests.len() < max_batch {
+            let candidate = &queue[i];
+            if !blocked.contains(&candidate.client) && candidate.batch_key() == Some(key) {
+                let taken = queue.remove(i).expect("index in bounds");
+                requests.push(taken);
+            } else {
+                blocked.insert(candidate.client);
+                i += 1;
+            }
+        }
+        shape = coalesced_shape(key, requests.len());
+    }
+    Batch { requests, shape }
+}
+
+struct RefFifo;
+
+impl SchedulingPolicy for RefFifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head = queue.pop_front()?;
+        let shape = head.workload.shape;
+        Some(Batch {
+            requests: vec![head],
+            shape,
+        })
+    }
+}
+
+struct RefCoalescing {
+    max_batch: usize,
+}
+
+impl SchedulingPolicy for RefCoalescing {
+    fn name(&self) -> &'static str {
+        "coalescing"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head = queue.pop_front()?;
+        Some(coalesce_with_head_ref(head, queue, self.max_batch))
+    }
+}
+
+struct RefEdf {
+    max_batch: usize,
+}
+
+impl SchedulingPolicy for RefEdf {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head_idx = eligible_indices_ref(queue)
+            .into_iter()
+            .min_by_key(|&i| (queue[i].deadline, queue[i].id))?;
+        let head = queue.remove(head_idx).expect("index in bounds");
+        Some(coalesce_with_head_ref(head, queue, self.max_batch))
+    }
+}
+
+struct RefWfq {
+    max_batch: usize,
+    weights: Vec<f64>,
+    served: Vec<f64>,
+}
+
+impl RefWfq {
+    fn weight(&self, client: usize) -> f64 {
+        self.weights.get(client).copied().unwrap_or(1.0)
+    }
+
+    fn served(&self, client: usize) -> f64 {
+        self.served.get(client).copied().unwrap_or(0.0)
+    }
+
+    fn credit(&mut self, client: usize, cycles: f64) {
+        if self.served.len() <= client {
+            self.served.resize(client + 1, 0.0);
+        }
+        self.served[client] += cycles;
+    }
+}
+
+impl SchedulingPolicy for RefWfq {
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+
+    fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
+        let head_idx = eligible_indices_ref(queue).into_iter().min_by(|&a, &b| {
+            let fa = self.served(queue[a].client) / self.weight(queue[a].client);
+            let fb = self.served(queue[b].client) / self.weight(queue[b].client);
+            fa.total_cmp(&fb)
+                .then(queue[a].client.cmp(&queue[b].client))
+        })?;
+        let head = queue.remove(head_idx).expect("index in bounds");
+        Some(coalesce_with_head_ref(head, queue, self.max_batch))
+    }
+
+    fn on_dispatch(&mut self, batch: &Batch, service_cycles: u64) {
+        let share = service_cycles as f64 / batch.len() as f64;
+        for r in &batch.requests {
+            self.credit(r.client, share);
+        }
+    }
+
+    fn on_complete(&mut self, batch: &Batch, billed_cycles: u64, baseline_cycles: u64) {
+        let stall = billed_cycles.saturating_sub(baseline_cycles);
+        if stall == 0 {
+            return;
+        }
+        let share = stall as f64 / batch.len() as f64;
+        for r in &batch.requests {
+            self.credit(r.client, share);
+        }
+    }
+}
+
+fn build_reference(
+    scheduler: SchedulerPolicy,
+    client_weights: &[f64],
+) -> Box<dyn SchedulingPolicy> {
+    match scheduler {
+        SchedulerPolicy::Fifo => Box::new(RefFifo),
+        SchedulerPolicy::Batching { max_batch } => Box::new(RefCoalescing { max_batch }),
+        SchedulerPolicy::Edf { max_batch } | SchedulerPolicy::Continuous { max_batch } => {
+            Box::new(RefEdf { max_batch })
+        }
+        SchedulerPolicy::Wfq { max_batch } => {
+            assert!(
+                client_weights.iter().all(|&w| w > 0.0),
+                "WFQ weights must be positive"
+            );
+            Box::new(RefWfq {
+                max_batch,
+                weights: client_weights.to_vec(),
+                served: Vec::new(),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference runtime-model helpers (uncached)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingReq(Request);
+
+impl Ord for PendingReq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.arrival, self.0.id).cmp(&(other.0.arrival, other.0.id))
+    }
+}
+
+impl PartialOrd for PendingReq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn design_of(arch: Architecture) -> ArrayDesign {
+    match arch {
+        Architecture::Conventional => ArrayDesign::Conventional,
+        Architecture::Axon => ArrayDesign::Axon {
+            im2col: true,
+            unified_pe: true,
+        },
+    }
+}
+
+fn service_cycles_ref(
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    tiling: Tiling,
+    shape: GemmShape,
+) -> (Dataflow, usize) {
+    let eval = |df: Dataflow| {
+        RuntimeSpec::new(cfg.array, df)
+            .with_accounting(Accounting::ExactEdges)
+            .with_drain(drain)
+            .with_tiling(tiling)
+            .runtime(cfg.arch, shape)
+            .cycles
+    };
+    match mapping {
+        MappingPolicy::Fixed(df) => (df, eval(df)),
+        MappingPolicy::MinTemporal => {
+            let df = Dataflow::min_temporal(shape);
+            (df, eval(df))
+        }
+        MappingPolicy::BestPerRequest => Dataflow::ALL
+            .iter()
+            .map(|&df| (df, eval(df)))
+            .min_by_key(|&(_, c)| c)
+            .expect("Dataflow::ALL is non-empty"),
+    }
+}
+
+fn shard_grids(free_peers: usize) -> impl Iterator<Item = (usize, usize)> {
+    let cap = free_peers.min(4);
+    (1..=cap).flat_map(move |pr| {
+        (1..=cap).filter_map(move |pc| {
+            let arrays = pr * pc;
+            (2..=free_peers).contains(&arrays).then_some((pr, pc))
+        })
+    })
+}
+
+fn plan_sharding(
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    shape: GemmShape,
+    free_peers: usize,
+) -> (usize, usize, Dataflow, usize) {
+    let mut best = {
+        let (df, cycles) = service_cycles_ref(cfg, mapping, drain, Tiling::ScaleUp, shape);
+        (1usize, 1usize, df, cycles)
+    };
+    for (pr, pc) in shard_grids(free_peers) {
+        let tiling = Tiling::ScaleOut {
+            partitions_r: pr,
+            partitions_c: pc,
+        };
+        let (df, cycles) = service_cycles_ref(cfg, mapping, drain, tiling, shape);
+        if cycles < best.3 {
+            best = (pr, pc, df, cycles);
+        }
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_sharding_contended(
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    shape: GemmShape,
+    free_peers: usize,
+    shared: &SharedDram,
+    clock_mhz: f64,
+    co_running_weight: usize,
+) -> (usize, usize, Dataflow, usize, bool) {
+    let (df1, cycles1) = service_cycles_ref(cfg, mapping, drain, Tiling::ScaleUp, shape);
+    let est1 = {
+        let sched = plan_tiles(cfg, drain, df1, shape);
+        shared.schedule_cycles(
+            clock_mhz,
+            sched.tiles.iter().map(|t| (t.cycles, t.dram_bytes)),
+            1,
+            co_running_weight + 1,
+        ) + sched.final_drain
+    };
+    let mut best = (1usize, 1usize, df1, cycles1);
+    let mut best_est = est1;
+    let mut best_compute = (1usize, cycles1);
+    for (pr, pc) in shard_grids(free_peers) {
+        let arrays = pr * pc;
+        let tiling = Tiling::ScaleOut {
+            partitions_r: pr,
+            partitions_c: pc,
+        };
+        let (df, cycles) = service_cycles_ref(cfg, mapping, drain, tiling, shape);
+        let est = shared.leg_cycles(
+            clock_mhz,
+            cycles as u64,
+            dispatch_dram_bytes(shape, pr, pc),
+            arrays,
+            co_running_weight + arrays,
+        );
+        if est < best_est {
+            best = (pr, pc, df, cycles);
+            best_est = est;
+        }
+        if cycles < best_compute.1 {
+            best_compute = (arrays, cycles);
+        }
+    }
+    let refused = best_compute.0 > best.0 * best.1;
+    (best.0, best.1, best.2, best.3, refused)
+}
+
+fn dispatch_dram_bytes(shape: GemmShape, pr: usize, pc: usize) -> u64 {
+    (shape.m * shape.k * pc + shape.k * shape.n * pr + shape.m * shape.n) as u64
+}
+
+fn plan_tiles(
+    cfg: &ArrayConfig,
+    drain: DrainPolicy,
+    df: Dataflow,
+    shape: GemmShape,
+) -> TileSchedule {
+    RuntimeSpec::new(cfg.array, df)
+        .with_accounting(Accounting::ExactEdges)
+        .with_drain(drain)
+        .with_tiling(Tiling::ScaleUp)
+        .tile_schedule(cfg.arch, shape, dispatch_dram_bytes(shape, 1, 1))
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemTiming {
+    shared: Option<SharedDram>,
+    clock_mhz: f64,
+}
+
+impl MemTiming {
+    fn new(pod: &PodConfig) -> Self {
+        let shared = match pod.memory {
+            MemoryModel::Unconstrained => None,
+            MemoryModel::Shared { channels } => Some(SharedDram::new(pod.dram, channels)),
+        };
+        MemTiming {
+            shared,
+            clock_mhz: pod.clock_mhz,
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    fn tile_time(&self, tile: &TilePhase, weight: usize, total_weight: usize) -> u64 {
+        match self.shared {
+            None => tile.cycles,
+            Some(s) => s.leg_cycles(
+                self.clock_mhz,
+                tile.cycles,
+                tile.dram_bytes,
+                weight,
+                total_weight.max(weight),
+            ),
+        }
+    }
+
+    fn transfer_time(&self, bytes: u64, weight: usize, total_weight: usize) -> u64 {
+        match self.shared {
+            None => 0,
+            Some(s) => s
+                .transfer_cycles(
+                    bytes as usize,
+                    self.clock_mhz,
+                    weight,
+                    total_weight.max(weight),
+                )
+                .ceil() as u64,
+        }
+    }
+}
+
+fn ceil_mul_div(a: u64, b: u64, d: u64) -> u64 {
+    debug_assert!(d > 0);
+    ((a as u128 * b as u128).div_ceil(d as u128)) as u64
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    seq: usize,
+    batch: Batch,
+    dispatch_times: Vec<u64>,
+    joined: Vec<bool>,
+    key: Option<BatchKey>,
+    cfg: ArrayConfig,
+    dataflow: Dataflow,
+    used: Vec<usize>,
+    pr: usize,
+    pc: usize,
+    tiles: Vec<TilePhase>,
+    final_drain: u64,
+    next_tile: usize,
+    cur_consumed: u64,
+    cur_scheduled: u64,
+    last_update: u64,
+    timed_total_weight: usize,
+    segment_start: u64,
+    end: u64,
+    suspend_after: Option<usize>,
+    ckpt_drain: u64,
+    spill_bytes: u64,
+    billed: u64,
+    baseline_cycles: u64,
+    preemptions: u32,
+    checkpoint_dram_bytes: u64,
+}
+
+impl RunningJob {
+    fn deadline(&self) -> u64 {
+        self.batch.deadline()
+    }
+
+    fn weight(&self) -> usize {
+        self.used.len()
+    }
+
+    fn remaining_cycles(&self) -> u64 {
+        self.tiles[self.next_tile.min(self.tiles.len())..]
+            .iter()
+            .map(|t| t.cycles)
+            .sum::<u64>()
+            + self.final_drain
+    }
+
+    fn phase_time(&self, idx: usize, timing: &MemTiming, total_weight: usize) -> u64 {
+        if let Some(j) = self.suspend_after {
+            if idx > j {
+                return if idx == j + 1 {
+                    self.ckpt_drain
+                } else {
+                    timing.transfer_time(self.spill_bytes, self.weight(), total_weight)
+                };
+            }
+        }
+        if idx < self.tiles.len() {
+            timing.tile_time(&self.tiles[idx], self.weight(), total_weight)
+        } else {
+            self.final_drain
+        }
+    }
+
+    fn last_phase(&self) -> usize {
+        match self.suspend_after {
+            Some(j) => j + 2,
+            None => self.tiles.len(),
+        }
+    }
+
+    fn advance_to(&mut self, now: u64, timing: &MemTiming) {
+        let mut elapsed = now - self.last_update;
+        self.last_update = now;
+        loop {
+            let rem = self.cur_scheduled - self.cur_consumed;
+            if rem > elapsed {
+                self.cur_consumed += elapsed;
+                return;
+            }
+            elapsed -= rem;
+            if self.next_tile >= self.last_phase() {
+                self.cur_consumed = self.cur_scheduled;
+                return;
+            }
+            self.next_tile += 1;
+            self.cur_consumed = 0;
+            self.cur_scheduled = self.phase_time(self.next_tile, timing, self.timed_total_weight);
+        }
+    }
+
+    fn reproject(&mut self, timing: &MemTiming, total_weight: usize) {
+        let t_new = self.phase_time(self.next_tile, timing, total_weight);
+        let rem_old = self.cur_scheduled - self.cur_consumed;
+        let rem_new = if rem_old == 0 || t_new == self.cur_scheduled {
+            rem_old.min(t_new)
+        } else {
+            ceil_mul_div(t_new, rem_old, self.cur_scheduled)
+        };
+        self.cur_scheduled = t_new;
+        self.cur_consumed = t_new - rem_new;
+        let mut remaining = rem_new;
+        for idx in self.next_tile + 1..=self.last_phase() {
+            remaining += self.phase_time(idx, timing, total_weight);
+        }
+        self.timed_total_weight = total_weight;
+        self.end = self.last_update + remaining;
+    }
+
+    fn next_boundary(&self, now: u64, timing: &MemTiming) -> Option<(usize, u64)> {
+        if self.suspend_after.is_some() || self.used.len() != 1 {
+            return None;
+        }
+        if self.next_tile >= self.tiles.len() {
+            return None;
+        }
+        let mut t = self.last_update + (self.cur_scheduled - self.cur_consumed);
+        for j in self.next_tile..self.tiles.len().saturating_sub(1) {
+            if j > self.next_tile {
+                t += self.phase_time(j, timing, self.timed_total_weight);
+            }
+            if t > now {
+                return Some((j, t));
+            }
+        }
+        None
+    }
+
+    fn checkpoint_drain(&self, j: usize, drain: DrainPolicy) -> u64 {
+        match drain {
+            DrainPolicy::PerTile => 0,
+            DrainPolicy::Overlapped => self.tiles[j].rows as u64,
+        }
+    }
+
+    fn checkpoint_context_bytes(&self, j: usize) -> u64 {
+        CHECKPOINT_BYTES_PER_PARTIAL * (self.tiles[j].rows * self.tiles[j].cols) as u64
+    }
+}
+
+/// The reference re-timing pass: advances and re-projects **every**
+/// running job on each concurrency change — the O(running-jobs x
+/// remaining-tiles) cost the fast path's incremental epoch tracking
+/// exists to avoid, and the semantics it must reproduce exactly.
+fn retime(running: &mut [RunningJob], now: u64, timing: &MemTiming, free_at: &mut [u64]) {
+    let total_weight: usize = running.iter().map(|j| j.weight()).sum();
+    for job in running.iter_mut() {
+        job.advance_to(now, timing);
+        job.reproject(timing, total_weight);
+        for &i in &job.used {
+            free_at[i] = job.end;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference entry points
+// ---------------------------------------------------------------------------
+
+/// Reference analogue of [`simulate_pod`](crate::simulate_pod).
+pub fn simulate_pod_reference(pod: &PodConfig, traffic: &TrafficConfig) -> ServingReport {
+    simulate_pod_reference_traced(pod, traffic, &mut NullSink)
+}
+
+/// Reference analogue of [`simulate_pod_traced`](crate::simulate_pod_traced).
+pub fn simulate_pod_reference_traced(
+    pod: &PodConfig,
+    traffic: &TrafficConfig,
+    sink: &mut dyn TraceSink,
+) -> ServingReport {
+    let mut policy = build_reference(pod.scheduler, &pod.client_weights);
+    let mut gen = RequestGenerator::new(traffic);
+    match traffic.arrival {
+        ArrivalProcess::OpenLoop { mean_interarrival } => {
+            let trace = gen.open_loop_trace(mean_interarrival, traffic.num_clients);
+            run_pod_loop_reference(pod, policy.as_mut(), trace, None, sink, 0)
+        }
+        ArrivalProcess::ClosedLoop { think_cycles } => {
+            let mut trace = Vec::new();
+            for client in 0..traffic.num_clients {
+                match gen.next_request(client, 0) {
+                    Some(r) => trace.push(r),
+                    None => break,
+                }
+            }
+            run_pod_loop_reference(
+                pod,
+                policy.as_mut(),
+                trace,
+                Some((&mut gen, think_cycles)),
+                sink,
+                0,
+            )
+        }
+    }
+}
+
+/// Reference analogue of [`simulate_pod_trace`](crate::simulate_pod_trace).
+pub fn simulate_pod_trace_reference(pod: &PodConfig, trace: &[Request]) -> ServingReport {
+    simulate_pod_trace_reference_traced(pod, trace, &mut NullSink)
+}
+
+/// Reference analogue of
+/// [`simulate_pod_trace_traced`](crate::simulate_pod_trace_traced).
+pub fn simulate_pod_trace_reference_traced(
+    pod: &PodConfig,
+    trace: &[Request],
+    sink: &mut dyn TraceSink,
+) -> ServingReport {
+    let mut policy = build_reference(pod.scheduler, &pod.client_weights);
+    run_pod_loop_reference(pod, policy.as_mut(), trace.to_vec(), None, sink, 0)
+}
+
+/// The pre-heap event loop, verbatim: linear finalization partition +
+/// sort, linear next-event scan over `running`, full re-time of every
+/// job on each dirty shared-memory event.
+fn run_pod_loop_reference(
+    pod: &PodConfig,
+    policy: &mut dyn SchedulingPolicy,
+    trace: Vec<Request>,
+    mut reissue: Option<(&mut RequestGenerator, u64)>,
+    sink: &mut dyn TraceSink,
+    pod_id: usize,
+) -> ServingReport {
+    assert!(!pod.arrays.is_empty(), "a pod needs at least one array");
+    let mut trace = trace;
+    let mut pending: BinaryHeap<Reverse<PendingReq>> = BinaryHeap::new();
+    for r in &trace {
+        pending.push(Reverse(PendingReq(*r)));
+    }
+
+    let lib = ComponentLibrary::calibrated_7nm();
+    let node = TechNode::asap7();
+    let dram = pod.dram;
+    let timing = MemTiming::new(pod);
+
+    let n_arrays = pod.arrays.len();
+    let mut free_at = vec![pod.available_from; n_arrays];
+    let mut busy = vec![0u64; n_arrays];
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut suspended: Vec<RunningJob> = Vec::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut now = 0u64;
+    let mut seq = 0usize;
+    let mut batches = 0usize;
+    let mut sharded_batches = 0usize;
+    let mut sharding_refused = 0usize;
+    let mut bandwidth_stall_cycles = 0u64;
+    let mut preemptions = 0usize;
+    let mut inflight_joins = 0usize;
+    let mut array_energy_uj = 0.0f64;
+    let mut dram_energy_mj = 0.0f64;
+    let mut checkpoint_dram_mj = 0.0f64;
+    let mut spot_checks = 0usize;
+    let mut spot_check_mismatches = 0usize;
+
+    let eligible_min_deadline = |queue: &VecDeque<Request>| -> Option<u64> {
+        eligible_indices_ref(queue)
+            .into_iter()
+            .map(|i| queue[i].deadline)
+            .min()
+    };
+    let eligible_most_urgent = |queue: &VecDeque<Request>| -> Option<usize> {
+        eligible_indices_ref(queue)
+            .into_iter()
+            .min_by_key(|&i| (queue[i].deadline, queue[i].id))
+    };
+
+    loop {
+        let mut finalized: Vec<RunningJob> = Vec::new();
+        let mut keep: Vec<RunningJob> = Vec::with_capacity(running.len());
+        for job in running.drain(..) {
+            if job.end <= now {
+                finalized.push(job);
+            } else {
+                keep.push(job);
+            }
+        }
+        let mut dirty = !finalized.is_empty();
+        finalized.sort_by_key(|j| (j.end, j.seq));
+        running = keep;
+        for mut job in finalized {
+            let segment = job.end - job.segment_start;
+            job.billed += segment;
+            for &i in &job.used {
+                busy[i] += segment;
+            }
+            if let Some(j) = job.suspend_after.take() {
+                let ctx = job.checkpoint_context_bytes(j);
+                job.checkpoint_dram_bytes += 2 * ctx;
+                job.baseline_cycles += job.ckpt_drain;
+                job.ckpt_drain = 0;
+                job.spill_bytes = 0;
+                job.next_tile = j + 1;
+                job.tiles[job.next_tile].dram_bytes += ctx;
+                job.cur_consumed = 0;
+                job.cur_scheduled = 0;
+                job.preemptions += 1;
+                preemptions += 1;
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::CheckpointDrained {
+                            seq: job.seq,
+                            cycle: job.end,
+                        },
+                    );
+                }
+                suspended.push(job);
+                continue;
+            }
+            let per_array = execution_energy(
+                design_of(job.cfg.arch),
+                job.cfg.array,
+                node,
+                &lib,
+                job.billed as usize,
+                pod.clock_mhz,
+                0.0,
+            )
+            .energy_uj();
+            let job_array_uj = per_array * (job.pr * job.pc) as f64;
+            let bytes = dispatch_dram_bytes(job.batch.shape, job.pr, job.pc);
+            let ckpt_mj = dram.transfer_energy_mj(job.checkpoint_dram_bytes as usize);
+            let job_dram_mj = dram.transfer_energy_mj(bytes as usize) + ckpt_mj;
+            array_energy_uj += job_array_uj;
+            dram_energy_mj += job_dram_mj;
+            checkpoint_dram_mj += ckpt_mj;
+
+            let job_stall = job.billed.saturating_sub(job.baseline_cycles);
+            bandwidth_stall_cycles += job_stall;
+            policy.on_complete(&job.batch, job.billed, job.baseline_cycles);
+
+            let share = job.batch.requests.len() as f64;
+            let stall_share = job_stall / job.batch.requests.len() as u64;
+            let stall_rem = job_stall % job.batch.requests.len() as u64;
+            for (ri, r) in job.batch.requests.iter().enumerate() {
+                completions.push(Completion {
+                    id: r.id,
+                    client: r.client,
+                    class: r.class,
+                    shape: job.batch.shape,
+                    arrival: r.arrival,
+                    deadline: r.deadline,
+                    dispatch: job.dispatch_times[ri],
+                    completion: job.end,
+                    array: job.used[0],
+                    batch_size: job.batch.requests.len(),
+                    sharded_over: job.pr * job.pc,
+                    preemptions: job.preemptions,
+                    joined_inflight: job.joined[ri],
+                    bandwidth_stall_cycles: stall_share + if ri == 0 { stall_rem } else { 0 },
+                    array_energy_uj: job_array_uj / share,
+                    dram_energy_mj: job_dram_mj / share,
+                });
+                if sink.enabled() {
+                    let outcome = RequestOutcome {
+                        id: r.id,
+                        client: r.client,
+                        class: r.class,
+                        seq: job.seq,
+                        array: job.used[0],
+                        arrival: r.arrival,
+                        dispatch: job.dispatch_times[ri],
+                        completion: job.end,
+                        deadline: r.deadline,
+                        batch_size: job.batch.requests.len(),
+                        sharded_over: job.pr * job.pc,
+                        stall_cycles: stall_share + if ri == 0 { stall_rem } else { 0 },
+                    };
+                    sink.record(
+                        pod_id,
+                        if job.end <= r.deadline {
+                            TraceEvent::Completed(outcome)
+                        } else {
+                            TraceEvent::DeadlineMissed(outcome)
+                        },
+                    );
+                }
+                if let Some((gen, think_cycles)) = reissue.as_mut() {
+                    if let Some(next) = gen.next_request(r.client, job.end + *think_cycles) {
+                        trace.push(next);
+                        pending.push(Reverse(PendingReq(next)));
+                    }
+                }
+            }
+        }
+
+        while let Some(Reverse(p)) = pending.peek() {
+            if p.0.arrival > now {
+                break;
+            }
+            let Reverse(p) = pending.pop().expect("peeked");
+            if sink.enabled() {
+                sink.record(
+                    pod_id,
+                    TraceEvent::Arrived {
+                        id: p.0.id,
+                        client: p.0.client,
+                        class: p.0.class,
+                        cycle: p.0.arrival,
+                    },
+                );
+                sink.record(
+                    pod_id,
+                    TraceEvent::Enqueued {
+                        id: p.0.id,
+                        client: p.0.client,
+                        cycle: now,
+                    },
+                );
+            }
+            queue.push_back(p.0);
+        }
+
+        loop {
+            let idle: Vec<usize> = (0..n_arrays).filter(|&i| free_at[i] <= now).collect();
+            if idle.is_empty() {
+                break;
+            }
+            let queue_deadline = eligible_min_deadline(&queue);
+            let resume_pick = suspended
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| idle.iter().any(|&i| pod.arrays[i] == j.cfg))
+                .min_by_key(|(_, j)| (j.deadline(), j.seq))
+                .map(|(si, _)| si);
+            let do_resume = match (resume_pick, queue_deadline) {
+                (Some(si), Some(qd)) => suspended[si].deadline() <= qd,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if do_resume {
+                let mut job = suspended.remove(resume_pick.expect("checked"));
+                let ai = *idle
+                    .iter()
+                    .find(|&&i| pod.arrays[i] == job.cfg)
+                    .expect("resume_pick requires a matching idle array");
+                job.used = vec![ai];
+                job.segment_start = now;
+                job.last_update = now;
+                job.cur_consumed = 0;
+                job.cur_scheduled = job.tiles[job.next_tile].cycles;
+                job.timed_total_weight = 0;
+                job.end = now + job.remaining_cycles();
+                free_at[ai] = job.end;
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::Resumed {
+                            seq: job.seq,
+                            array: ai,
+                            cycle: now,
+                        },
+                    );
+                }
+                running.push(job);
+                dirty = true;
+                continue;
+            }
+            if queue.is_empty() {
+                break;
+            }
+            let batch = policy
+                .next_batch(&mut queue, now)
+                .expect("queue checked non-empty");
+            let ai = idle[0];
+            let cfg = pod.arrays[ai];
+
+            let peers: Vec<usize> = idle
+                .iter()
+                .copied()
+                .filter(|&i| pod.arrays[i] == cfg)
+                .collect();
+            let want_shard = pod
+                .shard_min_macs
+                .is_some_and(|min| batch.shape.macs() >= min);
+            let (pr, pc, df, cycles) = if want_shard && peers.len() > 1 {
+                match (&timing.shared, pod.planner) {
+                    (Some(shared), ShardPlanner::BandwidthAware) => {
+                        let co_running: usize = running.iter().map(|j| j.weight()).sum();
+                        let (pr, pc, df, cycles, refused) = plan_sharding_contended(
+                            &cfg,
+                            pod.mapping,
+                            pod.drain,
+                            batch.shape,
+                            peers.len(),
+                            shared,
+                            pod.clock_mhz,
+                            co_running,
+                        );
+                        if refused {
+                            sharding_refused += 1;
+                            if sink.enabled() {
+                                sink.record(pod_id, TraceEvent::ShardRefused { seq, cycle: now });
+                            }
+                        }
+                        (pr, pc, df, cycles)
+                    }
+                    _ => plan_sharding(&cfg, pod.mapping, pod.drain, batch.shape, peers.len()),
+                }
+            } else {
+                let (df, cycles) =
+                    service_cycles_ref(&cfg, pod.mapping, pod.drain, Tiling::ScaleUp, batch.shape);
+                (1, 1, df, cycles)
+            };
+            let used: Vec<usize> = peers.into_iter().take(pr * pc).collect();
+            debug_assert_eq!(used.len(), pr * pc);
+            debug_assert_eq!(used[0], ai);
+
+            let (tiles, final_drain) = if used.len() == 1 {
+                let sched = plan_tiles(&cfg, pod.drain, df, batch.shape);
+                debug_assert_eq!(
+                    sched.total_cycles(),
+                    cycles as u64,
+                    "tile plan disagrees with the runtime model"
+                );
+                (sched.tiles, sched.final_drain)
+            } else {
+                (
+                    vec![TilePhase {
+                        rows: 0,
+                        cols: 0,
+                        cycles: cycles as u64,
+                        dram_bytes: dispatch_dram_bytes(batch.shape, pr, pc),
+                    }],
+                    0,
+                )
+            };
+
+            if let Some(sc) = pod.spot_check {
+                if used.len() == 1
+                    && batch.shape.macs() <= sc.max_macs
+                    && batches.is_multiple_of(sc.every.max(1))
+                {
+                    let seed = batch.requests[0].id as u64;
+                    let a = random_matrix(batch.shape.m, batch.shape.k, seed, 0.0);
+                    let b = random_matrix(batch.shape.k, batch.shape.n, seed + 1, 0.0);
+                    let sim_cfg = SimConfig::new(cfg.array)
+                        .with_dataflow(df)
+                        .with_pipelining(pod.drain);
+                    let sim = simulate_gemm(cfg.arch, &sim_cfg, &a, &b)
+                        .expect("operand shapes match by construction");
+                    spot_checks += 1;
+                    if sim.stats.cycles != cycles {
+                        spot_check_mismatches += 1;
+                    }
+                }
+            }
+
+            policy.on_dispatch(&batch, cycles as u64);
+            let completion = now + cycles as u64;
+            for &i in &used {
+                free_at[i] = completion;
+            }
+            batches += 1;
+            if used.len() > 1 {
+                sharded_batches += 1;
+            }
+            let n_reqs = batch.requests.len();
+            let key = batch.requests[0].batch_key();
+            let cur_scheduled = tiles[0].cycles;
+            if sink.enabled() {
+                sink.record(
+                    pod_id,
+                    TraceEvent::Dispatched {
+                        seq,
+                        ids: batch.requests.iter().map(|r| r.id).collect(),
+                        array: used[0],
+                        arrays: used.len(),
+                        cycle: now,
+                    },
+                );
+                if used.len() > 1 {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::ShardPlanned {
+                            seq,
+                            pr,
+                            pc,
+                            cycle: now,
+                        },
+                    );
+                }
+            }
+            running.push(RunningJob {
+                seq,
+                batch,
+                dispatch_times: vec![now; n_reqs],
+                joined: vec![false; n_reqs],
+                key,
+                cfg,
+                dataflow: df,
+                used,
+                pr,
+                pc,
+                tiles,
+                final_drain,
+                next_tile: 0,
+                cur_consumed: 0,
+                cur_scheduled,
+                last_update: now,
+                timed_total_weight: 0,
+                segment_start: now,
+                end: completion,
+                suspend_after: None,
+                ckpt_drain: 0,
+                spill_bytes: 0,
+                billed: 0,
+                baseline_cycles: cycles as u64,
+                preemptions: 0,
+                checkpoint_dram_bytes: 0,
+            });
+            seq += 1;
+            dirty = true;
+        }
+
+        if pod.scheduler.admits_inflight_joins() && !queue.is_empty() {
+            let max_batch = pod.scheduler.max_batch();
+            let mut qi = 0;
+            while qi < queue.len() {
+                let cand = queue[qi];
+                let own_earlier = queue.iter().take(qi).any(|r| r.client == cand.client);
+                let Some(key) = cand.batch_key() else {
+                    qi += 1;
+                    continue;
+                };
+                if own_earlier {
+                    qi += 1;
+                    continue;
+                }
+                let target = running
+                    .iter_mut()
+                    .filter(|j| {
+                        j.used.len() == 1
+                            && j.suspend_after.is_none()
+                            && j.key == Some(key)
+                            && j.batch.requests.len() < max_batch
+                            && j.end > now
+                            && j.next_tile < j.tiles.len()
+                    })
+                    .min_by_key(|j| j.seq);
+                let Some(job) = target else {
+                    qi += 1;
+                    continue;
+                };
+                let old_shape = job.batch.shape;
+                let new_shape = coalesced_shape(key, job.batch.requests.len() + 1);
+                let old_total =
+                    plan_tiles(&job.cfg, pod.drain, job.dataflow, old_shape).total_cycles();
+                let new_total =
+                    plan_tiles(&job.cfg, pod.drain, job.dataflow, new_shape).total_cycles();
+                let delta = new_total.saturating_sub(old_total);
+                let delta_bytes = dispatch_dram_bytes(new_shape, 1, 1)
+                    .saturating_sub(dispatch_dram_bytes(old_shape, 1, 1));
+                job.batch.shape = new_shape;
+                job.batch.requests.push(cand);
+                job.dispatch_times.push(now);
+                job.joined.push(true);
+                let last_idx = job.tiles.len() - 1;
+                let old_t = job.phase_time(last_idx, &timing, job.timed_total_weight);
+                job.tiles[last_idx].cycles += delta;
+                job.tiles[last_idx].dram_bytes += delta_bytes;
+                job.baseline_cycles += delta;
+                let new_t = job.phase_time(last_idx, &timing, job.timed_total_weight);
+                let dt = new_t.saturating_sub(old_t);
+                if job.next_tile == last_idx {
+                    job.cur_scheduled += dt;
+                }
+                job.end += dt;
+                let ai = job.used[0];
+                free_at[ai] = job.end;
+                inflight_joins += 1;
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::BatchJoined {
+                            seq: job.seq,
+                            id: cand.id,
+                            cycle: now,
+                        },
+                    );
+                }
+                dirty = true;
+                queue.remove(qi).expect("index in bounds");
+            }
+        }
+
+        if dirty && timing.is_shared() {
+            retime(&mut running, now, &timing, &mut free_at);
+            if sink.enabled() {
+                sink.record(
+                    pod_id,
+                    TraceEvent::Retimed {
+                        jobs: running.len(),
+                        cycle: now,
+                    },
+                );
+                let total_weight: usize = running.iter().map(|j| j.weight()).sum();
+                sink.record(
+                    pod_id,
+                    TraceEvent::BandwidthEpoch {
+                        total_weight,
+                        cycle: now,
+                    },
+                );
+            }
+        }
+
+        if pod.preemption == PreemptionMode::TileBoundary && !queue.is_empty() {
+            let total_weight: usize = running.iter().map(|j| j.weight()).sum();
+            if let Some(ui) = eligible_most_urgent(&queue) {
+                let urgent = queue[ui].deadline;
+                let urgent_shape = queue[ui].workload.shape;
+                let mut urgent_ests: Vec<(ArrayConfig, u64)> = Vec::new();
+                let mut ests_built = !timing.is_shared();
+                loop {
+                    let min_free = free_at.iter().copied().min().unwrap_or(0);
+                    if urgent >= min_free {
+                        break;
+                    }
+                    if !ests_built {
+                        if let Some(s) = &timing.shared {
+                            for job in &running {
+                                if urgent_ests.iter().any(|(c, _)| *c == job.cfg) {
+                                    continue;
+                                }
+                                let (_, cycles) = service_cycles_ref(
+                                    &job.cfg,
+                                    pod.mapping,
+                                    pod.drain,
+                                    Tiling::ScaleUp,
+                                    urgent_shape,
+                                );
+                                let est = s.leg_cycles(
+                                    pod.clock_mhz,
+                                    cycles as u64,
+                                    dispatch_dram_bytes(urgent_shape, 1, 1),
+                                    1,
+                                    total_weight.max(1),
+                                );
+                                urgent_ests.push((job.cfg, est));
+                            }
+                        }
+                        ests_built = true;
+                    }
+                    let victim = running
+                        .iter_mut()
+                        .filter(|j| j.deadline() > urgent)
+                        .filter_map(|j| {
+                            let (jt, b) = j.next_boundary(now, &timing)?;
+                            let drain = j.checkpoint_drain(jt, pod.drain);
+                            let spill = timing.transfer_time(
+                                j.checkpoint_context_bytes(jt),
+                                1,
+                                total_weight,
+                            );
+                            let tail = drain + spill;
+                            let achievable = if timing.is_shared() {
+                                let est = urgent_ests
+                                    .iter()
+                                    .find(|(c, _)| *c == j.cfg)
+                                    .map(|&(_, e)| e)
+                                    .expect("estimate precomputed for every running config");
+                                (b + tail).saturating_add(est) <= urgent
+                            } else {
+                                b + tail < urgent
+                            };
+                            (b + tail < min_free && achievable).then_some((j, jt, b, drain, spill))
+                        })
+                        .max_by_key(|(j, ..)| (j.deadline(), j.seq));
+                    let Some((job, jt, boundary, drain, spill)) = victim else {
+                        break;
+                    };
+                    job.suspend_after = Some(jt);
+                    job.ckpt_drain = drain;
+                    job.spill_bytes = job.checkpoint_context_bytes(jt);
+                    job.end = boundary + drain + spill;
+                    let ai = job.used[0];
+                    free_at[ai] = job.end;
+                    if sink.enabled() {
+                        sink.record(
+                            pod_id,
+                            TraceEvent::Preempted {
+                                seq: job.seq,
+                                cycle: now,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        if queue.is_empty() && pending.is_empty() && running.is_empty() {
+            debug_assert!(suspended.is_empty(), "suspended job never resumed");
+            break;
+        }
+
+        let mut next = pending.peek().map_or(u64::MAX, |Reverse(p)| p.0.arrival);
+        if let Some(e) = running.iter().map(|j| j.end).min() {
+            next = next.min(e);
+        }
+        if !queue.is_empty() {
+            if let Some(f) = free_at.iter().copied().filter(|&f| f > now).min() {
+                next = next.min(f);
+            }
+        }
+        debug_assert!(next != u64::MAX && next > now, "simulation stalled");
+        now = next;
+    }
+
+    let makespan_cycles = completions.iter().map(|c| c.completion).max().unwrap_or(0);
+    let slo_met = completions.iter().filter(|c| c.met_deadline()).count();
+    let metrics = PodMetrics {
+        completed: completions.len(),
+        makespan_cycles,
+        clock_mhz: pod.clock_mhz,
+        queue: LatencySummary::from_cycles(completions.iter().map(|c| c.queue_cycles()).collect()),
+        service: LatencySummary::from_cycles(
+            completions.iter().map(|c| c.service_cycles()).collect(),
+        ),
+        total: LatencySummary::from_cycles(completions.iter().map(|c| c.total_cycles()).collect()),
+        per_array_utilization: busy
+            .iter()
+            .map(|&b| {
+                if makespan_cycles == 0 {
+                    0.0
+                } else {
+                    b as f64 / makespan_cycles as f64
+                }
+            })
+            .collect(),
+        batches,
+        mean_batch_size: if batches == 0 {
+            0.0
+        } else {
+            completions.len() as f64 / batches as f64
+        },
+        sharded_batches,
+        sharding_refused,
+        bandwidth_stall_cycles,
+        preemptions,
+        inflight_joins,
+        slo_met,
+        slo_violations: completions.len() - slo_met,
+        per_class: ClassMetrics::from_completions(&completions),
+        array_energy_uj,
+        dram_energy_mj,
+        checkpoint_dram_mj,
+        spot_checks,
+        spot_check_mismatches,
+    };
+
+    ServingReport {
+        trace,
+        completions,
+        metrics,
+    }
+}

@@ -37,7 +37,8 @@
 
 use crate::request::{coalesced_shape, Request};
 use axon_core::GemmShape;
-use std::collections::{HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// How the pod picks work off the queue (the configuration half of the
 /// policy layer; [`SchedulerPolicy::build`] yields the behavior).
@@ -128,6 +129,20 @@ pub trait SchedulingPolicy {
     /// Removes and returns the next dispatch unit from `queue` at time
     /// `now`, or `None` if the queue is empty.
     fn next_batch(&mut self, queue: &mut VecDeque<Request>, now: u64) -> Option<Batch>;
+
+    /// Notification that `r` was just appended to the back of the
+    /// queue. Indexed policies maintain their head structures here; the
+    /// default is a no-op. Policies must stay correct even when the
+    /// hook is not called (they rebuild from the queue on a count
+    /// mismatch), so external callers of `next_batch` need not wire it.
+    fn on_enqueue(&mut self, _r: &Request) {}
+
+    /// Notification that `r` was removed from the queue by the *pod*
+    /// rather than by `next_batch` (continuous batching admits queued
+    /// requests into in-flight batches). Same contract as
+    /// [`on_enqueue`](SchedulingPolicy::on_enqueue): a no-op by
+    /// default, and advisory — policies must survive missed calls.
+    fn on_dequeue(&mut self, _r: &Request) {}
 
     /// Feedback after dispatch: the batch was billed `service_cycles`.
     fn on_dispatch(&mut self, _batch: &Batch, _service_cycles: u64) {}
@@ -220,11 +235,83 @@ impl SchedulingPolicy for CoalescingPolicy {
     }
 }
 
+/// Sentinel for the indexed policies' element count meaning "the index
+/// no longer mirrors the queue — rebuild before the next selection".
+const INDEX_DESYNCED: usize = usize::MAX;
+
 /// Earliest-deadline-first head selection with coalescing.
-#[derive(Debug, Clone, Copy)]
+///
+/// Head selection is *indexed*: a per-client FIFO mirror plus a min-heap
+/// over each client's eligible (oldest) request, keyed
+/// `(deadline, id, client)` — the same canonical tie-break the original
+/// full-queue scan used, so selections are bit-identical. Heap entries
+/// are lazily invalidated (an entry counts only while it still equals
+/// its client's front); any queue mutation the policy did not observe is
+/// caught by an element-count check and answered with a full rebuild, so
+/// external callers that mutate the queue directly stay correct.
+#[derive(Debug, Clone, Default)]
 pub struct EdfPolicy {
     /// Maximum requests fused into one dispatch.
     pub max_batch: usize,
+    /// Per-client FIFO of queued `(deadline, id)` pairs.
+    fronts: HashMap<usize, VecDeque<(u64, usize)>>,
+    /// Candidate heads; valid iff equal to `fronts[client].front()`.
+    heads: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    /// Requests tracked by the index; `INDEX_DESYNCED` forces a rebuild.
+    indexed: usize,
+}
+
+impl EdfPolicy {
+    /// Creates the policy with an empty index.
+    pub fn new(max_batch: usize) -> Self {
+        EdfPolicy {
+            max_batch,
+            ..EdfPolicy::default()
+        }
+    }
+
+    fn rebuild(&mut self, queue: &VecDeque<Request>) {
+        self.fronts.clear();
+        self.heads.clear();
+        for r in queue {
+            self.fronts
+                .entry(r.client)
+                .or_default()
+                .push_back((r.deadline, r.id));
+        }
+        for (&client, fifo) in &self.fronts {
+            let &(deadline, id) = fifo.front().expect("fronts entries are non-empty");
+            self.heads.push(Reverse((deadline, id, client)));
+        }
+        self.indexed = queue.len();
+    }
+
+    /// Pops `client`'s front and, if a successor exists, promotes it
+    /// into the head heap.
+    fn pop_front_of(&mut self, client: usize) {
+        let fifo = self.fronts.get_mut(&client).expect("client is tracked");
+        fifo.pop_front();
+        if let Some(&(deadline, id)) = fifo.front() {
+            self.heads.push(Reverse((deadline, id, client)));
+        } else {
+            self.fronts.remove(&client);
+        }
+        self.indexed -= 1;
+    }
+
+    /// Repairs the index after `coalesce_with_head` removed `taken`
+    /// (each client's removals are a prefix of its FIFO, in order).
+    fn note_taken(&mut self, taken: &[Request]) {
+        for r in taken {
+            let front = self.fronts.get(&r.client).and_then(|f| f.front());
+            if front.map(|&(_, id)| id) == Some(r.id) {
+                self.pop_front_of(r.client);
+            } else {
+                self.indexed = INDEX_DESYNCED;
+                return;
+            }
+        }
+    }
 }
 
 impl SchedulingPolicy for EdfPolicy {
@@ -233,11 +320,76 @@ impl SchedulingPolicy for EdfPolicy {
     }
 
     fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
-        let head_idx = eligible_indices(queue)
-            .into_iter()
-            .min_by_key(|&i| (queue[i].deadline, queue[i].id))?;
+        if self.indexed != queue.len() {
+            self.rebuild(queue);
+        }
+        let (id, client) = loop {
+            let &Reverse((deadline, id, client)) = self.heads.peek()?;
+            if self.fronts.get(&client).and_then(|f| f.front()) == Some(&(deadline, id)) {
+                break (id, client);
+            }
+            self.heads.pop();
+        };
+        let head_idx = queue
+            .iter()
+            .position(|r| r.id == id)
+            .expect("indexed head is queued");
+        self.heads.pop();
+        self.pop_front_of(client);
         let head = queue.remove(head_idx).expect("index in bounds");
-        Some(coalesce_with_head(head, queue, self.max_batch))
+        let batch = coalesce_with_head(head, queue, self.max_batch);
+        self.note_taken(&batch.requests[1..]);
+        Some(batch)
+    }
+
+    fn on_enqueue(&mut self, r: &Request) {
+        if self.indexed == INDEX_DESYNCED {
+            return;
+        }
+        let fifo = self.fronts.entry(r.client).or_default();
+        fifo.push_back((r.deadline, r.id));
+        if fifo.len() == 1 {
+            self.heads.push(Reverse((r.deadline, r.id, r.client)));
+        }
+        self.indexed += 1;
+    }
+
+    fn on_dequeue(&mut self, r: &Request) {
+        if self.indexed == INDEX_DESYNCED {
+            return;
+        }
+        let front = self.fronts.get(&r.client).and_then(|f| f.front());
+        if front.map(|&(_, id)| id) == Some(r.id) {
+            self.pop_front_of(r.client);
+        } else {
+            self.indexed = INDEX_DESYNCED;
+        }
+    }
+}
+
+/// An `Ord` view of `f64` via [`f64::total_cmp`] — exactly the
+/// comparator the original WFQ full-queue scan used, so heap order and
+/// scan order can never disagree. Equal iff bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct TotalF64(f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -248,12 +400,27 @@ impl SchedulingPolicy for EdfPolicy {
 /// so far (ties go to the lower client id, then arrival order). Billed
 /// work is fed back through [`SchedulingPolicy::on_dispatch`]; each
 /// request in a fused batch is attributed an equal share.
+///
+/// Selection is *indexed* like [`EdfPolicy`], with one twist: the heap
+/// key is the client's weight-normalized service, which moves every time
+/// credit lands. Rather than rebuilding, the internal `credit` step pushes
+/// a fresh `(norm, client)` entry ("touch"); stale entries — whose norm
+/// no longer bit-matches the client's current value, or whose client has
+/// nothing queued — are discarded lazily at selection time. Duplicates
+/// are harmless: all live entries for a client carry the same key.
 #[derive(Debug, Clone)]
 pub struct WfqPolicy {
     /// Maximum requests fused into one dispatch.
     pub max_batch: usize,
     weights: Vec<f64>,
     served: Vec<f64>,
+    /// Per-client FIFO of queued request ids.
+    fronts: HashMap<usize, VecDeque<usize>>,
+    /// Candidate clients; valid iff the client has a front *and* the
+    /// recorded norm still bit-matches `served/weight`.
+    heads: BinaryHeap<Reverse<(TotalF64, usize)>>,
+    /// Requests tracked by the index; `INDEX_DESYNCED` forces a rebuild.
+    indexed: usize,
 }
 
 impl WfqPolicy {
@@ -268,6 +435,9 @@ impl WfqPolicy {
             max_batch,
             weights: weights.to_vec(),
             served: Vec::new(),
+            fronts: HashMap::new(),
+            heads: BinaryHeap::new(),
+            indexed: 0,
         }
     }
 
@@ -279,11 +449,63 @@ impl WfqPolicy {
         self.served.get(client).copied().unwrap_or(0.0)
     }
 
+    fn norm(&self, client: usize) -> TotalF64 {
+        TotalF64(self.served(client) / self.weight(client))
+    }
+
+    /// Re-arms `client`'s heap entry at its current norm (no-op when the
+    /// client has nothing queued — enqueue will arm it).
+    fn touch(&mut self, client: usize) {
+        if self.fronts.contains_key(&client) {
+            let norm = self.norm(client);
+            self.heads.push(Reverse((norm, client)));
+        }
+    }
+
     fn credit(&mut self, client: usize, cycles: f64) {
         if self.served.len() <= client {
             self.served.resize(client + 1, 0.0);
         }
         self.served[client] += cycles;
+        self.touch(client);
+    }
+
+    fn rebuild(&mut self, queue: &VecDeque<Request>) {
+        self.fronts.clear();
+        self.heads.clear();
+        for r in queue {
+            self.fronts.entry(r.client).or_default().push_back(r.id);
+        }
+        let clients: Vec<usize> = self.fronts.keys().copied().collect();
+        for client in clients {
+            self.touch(client);
+        }
+        self.indexed = queue.len();
+    }
+
+    /// Pops `client`'s front id; re-arms the client if more is queued.
+    fn pop_front_of(&mut self, client: usize) {
+        let fifo = self.fronts.get_mut(&client).expect("client is tracked");
+        fifo.pop_front();
+        if fifo.is_empty() {
+            self.fronts.remove(&client);
+        } else {
+            self.touch(client);
+        }
+        self.indexed -= 1;
+    }
+
+    /// Repairs the index after `coalesce_with_head` removed `taken`
+    /// (each client's removals are a prefix of its FIFO, in order).
+    fn note_taken(&mut self, taken: &[Request]) {
+        for r in taken {
+            if self.fronts.get(&r.client).and_then(|f| f.front()) == Some(&r.id) {
+                self.pop_front_of(r.client);
+            } else {
+                self.indexed = INDEX_DESYNCED;
+                return;
+            }
+        }
     }
 }
 
@@ -293,14 +515,50 @@ impl SchedulingPolicy for WfqPolicy {
     }
 
     fn next_batch(&mut self, queue: &mut VecDeque<Request>, _now: u64) -> Option<Batch> {
-        let head_idx = eligible_indices(queue).into_iter().min_by(|&a, &b| {
-            let fa = self.served(queue[a].client) / self.weight(queue[a].client);
-            let fb = self.served(queue[b].client) / self.weight(queue[b].client);
-            fa.total_cmp(&fb)
-                .then(queue[a].client.cmp(&queue[b].client))
-        })?;
+        if self.indexed != queue.len() {
+            self.rebuild(queue);
+        }
+        let client = loop {
+            let &Reverse((norm, client)) = self.heads.peek()?;
+            if self.fronts.contains_key(&client) && norm == self.norm(client) {
+                break client;
+            }
+            self.heads.pop();
+        };
+        let id = *self.fronts[&client].front().expect("fronts are non-empty");
+        let head_idx = queue
+            .iter()
+            .position(|r| r.id == id)
+            .expect("indexed head is queued");
+        self.heads.pop();
+        self.pop_front_of(client);
         let head = queue.remove(head_idx).expect("index in bounds");
-        Some(coalesce_with_head(head, queue, self.max_batch))
+        let batch = coalesce_with_head(head, queue, self.max_batch);
+        self.note_taken(&batch.requests[1..]);
+        Some(batch)
+    }
+
+    fn on_enqueue(&mut self, r: &Request) {
+        if self.indexed == INDEX_DESYNCED {
+            return;
+        }
+        let fifo = self.fronts.entry(r.client).or_default();
+        fifo.push_back(r.id);
+        if fifo.len() == 1 {
+            self.touch(r.client);
+        }
+        self.indexed += 1;
+    }
+
+    fn on_dequeue(&mut self, r: &Request) {
+        if self.indexed == INDEX_DESYNCED {
+            return;
+        }
+        if self.fronts.get(&r.client).and_then(|f| f.front()) == Some(&r.id) {
+            self.pop_front_of(r.client);
+        } else {
+            self.indexed = INDEX_DESYNCED;
+        }
     }
 
     fn on_dispatch(&mut self, batch: &Batch, service_cycles: u64) {
@@ -366,7 +624,7 @@ impl SchedulerPolicy {
             // join mechanism lives in the pod, gated on
             // `admits_inflight_joins`.
             SchedulerPolicy::Edf { max_batch } | SchedulerPolicy::Continuous { max_batch } => {
-                Box::new(EdfPolicy { max_batch })
+                Box::new(EdfPolicy::new(max_batch))
             }
             SchedulerPolicy::Wfq { max_batch } => {
                 Box::new(WfqPolicy::new(max_batch, client_weights))

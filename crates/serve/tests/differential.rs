@@ -1,0 +1,230 @@
+//! Differential harness: the optimized engine (heap next-event
+//! selection, memoized runtime model, incremental re-timing, indexed
+//! EDF/WFQ heads, parallel cluster replay) against the frozen
+//! pre-optimization copy in `axon_serve::reference`.
+//!
+//! Every comparison is **bit-for-bit**: the full [`ServingReport`]
+//! (trace, completion-by-completion records with their f64 energy
+//! fields, all derived metrics) *and* the recorded trace event
+//! streams, in order. Any divergence — a reordered completion, an
+//! off-by-one cycle, a missing `Retimed` event — fails here first.
+//!
+//! The matrix sweeps scheduler x memory model x preemption mode, the
+//! proptest adds random seeds/rates/closed-loop think times on random
+//! matrix cells, and the cluster section pins a 1-pod fleet under all
+//! six routers to the reference pod engine.
+
+use axon_core::runtime::Architecture;
+use axon_serve::reference::{
+    simulate_pod_reference, simulate_pod_reference_traced, simulate_pod_trace_reference_traced,
+};
+use axon_serve::{
+    simulate_cluster_traced, simulate_pod, simulate_pod_trace_traced, simulate_pod_traced,
+    ArrivalProcess, ClusterConfig, ClusterPodConfig, MemoryModel, PodConfig, PreemptionMode,
+    RecordingSink, RequestGenerator, RouterPolicy, SchedulerPolicy, ShardPlanner, TraceEvent,
+    TrafficConfig, WorkloadMix,
+};
+use proptest::prelude::*;
+
+const SCHEDULERS: [SchedulerPolicy; 5] = [
+    SchedulerPolicy::Fifo,
+    SchedulerPolicy::Batching { max_batch: 4 },
+    SchedulerPolicy::Edf { max_batch: 4 },
+    SchedulerPolicy::Continuous { max_batch: 4 },
+    SchedulerPolicy::Wfq { max_batch: 4 },
+];
+
+const MEMORIES: [MemoryModel; 3] = [
+    MemoryModel::Unconstrained,
+    MemoryModel::Shared { channels: 1 },
+    MemoryModel::Shared { channels: 2 },
+];
+
+const PREEMPTIONS: [PreemptionMode; 2] = [PreemptionMode::Disabled, PreemptionMode::TileBoundary];
+
+/// A pod that exercises every engine path the cell asks for: four
+/// arrays (so sharding and resume have peers), a low shard threshold,
+/// and the bandwidth-aware planner whenever memory is shared.
+fn matrix_pod(
+    scheduler: SchedulerPolicy,
+    memory: MemoryModel,
+    preemption: PreemptionMode,
+) -> PodConfig {
+    let planner = match memory {
+        MemoryModel::Unconstrained => ShardPlanner::ComputeOnly,
+        MemoryModel::Shared { .. } => ShardPlanner::BandwidthAware,
+    };
+    PodConfig::homogeneous(4, Architecture::Axon, 32)
+        .with_scheduler(scheduler)
+        .with_memory(memory)
+        .with_preemption(preemption)
+        .with_planner(planner)
+        .with_shard_min_macs(Some(1 << 20))
+        .with_client_weights(vec![3.0, 1.0, 1.0, 2.0])
+}
+
+fn matrix_traffic(seed: u64, requests: usize, mean: f64) -> TrafficConfig {
+    TrafficConfig::open_loop(seed, requests, mean)
+        .with_mix(WorkloadMix::balanced())
+        .with_clients(4)
+}
+
+/// The core differential assertion: fast engine vs frozen reference,
+/// full report and full event stream.
+fn assert_pod_identical(pod: &PodConfig, traffic: &TrafficConfig, label: &str) {
+    let mut fast_sink = RecordingSink::default();
+    let mut ref_sink = RecordingSink::default();
+    let fast = simulate_pod_traced(pod, traffic, &mut fast_sink);
+    let reference = simulate_pod_reference_traced(pod, traffic, &mut ref_sink);
+
+    // Completion-by-completion first, so a divergence points at the
+    // exact record rather than dumping two whole reports.
+    assert_eq!(
+        fast.completions.len(),
+        reference.completions.len(),
+        "{label}: completion count diverged"
+    );
+    for (i, (f, r)) in fast
+        .completions
+        .iter()
+        .zip(reference.completions.iter())
+        .enumerate()
+    {
+        assert_eq!(f, r, "{label}: completion #{i} diverged");
+    }
+    assert_eq!(fast, reference, "{label}: reports diverged");
+
+    assert_eq!(
+        fast_sink.events.len(),
+        ref_sink.events.len(),
+        "{label}: event count diverged"
+    );
+    for (i, (f, r)) in fast_sink
+        .events
+        .iter()
+        .zip(ref_sink.events.iter())
+        .enumerate()
+    {
+        assert_eq!(f, r, "{label}: trace event #{i} diverged");
+    }
+}
+
+/// The full scheduler x memory x preemption matrix on a seeded
+/// open-loop mixed stream.
+#[test]
+fn matrix_fast_engine_matches_reference_bit_for_bit() {
+    for scheduler in SCHEDULERS {
+        for memory in MEMORIES {
+            for preemption in PREEMPTIONS {
+                let pod = matrix_pod(scheduler, memory, preemption);
+                let traffic = matrix_traffic(1201, 40, 700.0);
+                let label = format!("{scheduler:?} / {memory:?} / {preemption:?}");
+                assert_pod_identical(&pod, &traffic, &label);
+            }
+        }
+    }
+}
+
+/// Closed-loop arrivals re-issue from completion edges, so they
+/// exercise the engine's event ordering under feedback.
+#[test]
+fn closed_loop_fast_engine_matches_reference() {
+    for scheduler in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Continuous { max_batch: 4 },
+        SchedulerPolicy::Wfq { max_batch: 4 },
+    ] {
+        let pod = matrix_pod(
+            scheduler,
+            MemoryModel::Shared { channels: 2 },
+            PreemptionMode::TileBoundary,
+        );
+        let traffic = TrafficConfig {
+            arrival: ArrivalProcess::ClosedLoop {
+                think_cycles: 2_000,
+            },
+            ..matrix_traffic(77, 30, 500.0)
+        };
+        assert_pod_identical(&pod, &traffic, &format!("closed-loop {scheduler:?}"));
+    }
+}
+
+/// Pre-built trace entry point: identical streams through
+/// `simulate_pod_trace*` on both engines.
+#[test]
+fn trace_entry_point_matches_reference() {
+    let pod = matrix_pod(
+        SchedulerPolicy::Continuous { max_batch: 4 },
+        MemoryModel::Shared { channels: 2 },
+        PreemptionMode::TileBoundary,
+    );
+    let traffic = matrix_traffic(5150, 50, 400.0);
+    let mut gen = RequestGenerator::new(&traffic);
+    let trace = gen.open_loop_trace(400.0, 4);
+    let mut fast_sink = RecordingSink::default();
+    let mut ref_sink = RecordingSink::default();
+    let fast = simulate_pod_trace_traced(&pod, &trace, &mut fast_sink);
+    let reference = simulate_pod_trace_reference_traced(&pod, &trace, &mut ref_sink);
+    assert_eq!(fast, reference, "trace entry point diverged");
+    assert_eq!(fast_sink.events, ref_sink.events, "event streams diverged");
+}
+
+/// A 1-pod cluster under every router must collapse onto the reference
+/// pod engine: same per-pod report, and the cluster's event stream —
+/// minus the router-level `Routed` records the pod engine never emits
+/// — must equal the reference pod's stream event-for-event.
+#[test]
+fn one_pod_cluster_matches_reference_under_every_router() {
+    let pod = matrix_pod(
+        SchedulerPolicy::Continuous { max_batch: 4 },
+        MemoryModel::Shared { channels: 2 },
+        PreemptionMode::TileBoundary,
+    );
+    let traffic = matrix_traffic(31, 40, 600.0);
+    let mut ref_sink = RecordingSink::default();
+    let reference = simulate_pod_reference_traced(&pod, &traffic, &mut ref_sink);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(vec![ClusterPodConfig::new(pod.clone())], router);
+        let mut sink = RecordingSink::default();
+        let r = simulate_cluster_traced(&cluster, &traffic, &mut sink);
+        assert_eq!(r.per_pod.len(), 1);
+        assert_eq!(
+            r.per_pod[0],
+            reference,
+            "{}: report diverged",
+            router.name()
+        );
+        let pod_events: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|(_, e)| !matches!(e, TraceEvent::Routed { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(
+            pod_events,
+            ref_sink.events,
+            "{}: event stream diverged",
+            router.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random cells of the matrix under random seeds and arrival rates.
+    #[test]
+    fn random_streams_match_reference(
+        seed in 0u64..10_000,
+        mean in 150.0f64..3_000.0,
+        si in 0usize..SCHEDULERS.len(),
+        mi in 0usize..MEMORIES.len(),
+        pi in 0usize..PREEMPTIONS.len(),
+    ) {
+        let pod = matrix_pod(SCHEDULERS[si], MEMORIES[mi], PREEMPTIONS[pi]);
+        let traffic = matrix_traffic(seed, 30, mean);
+        let fast = simulate_pod(&pod, &traffic);
+        let reference = simulate_pod_reference(&pod, &traffic);
+        prop_assert_eq!(fast, reference);
+    }
+}

@@ -123,6 +123,63 @@ fn recording_sink_is_neutral_under_every_router() {
 }
 
 #[test]
+fn heap_engine_is_neutral_and_conserving_per_scheduler_under_the_full_fast_path() {
+    // Every PR-8 hot-path mechanism in one config per scheduler: shared
+    // DRAM (heap-tracked incremental re-timing), tile-boundary
+    // preemption, bandwidth-aware sharding, and client weights (the
+    // indexed EDF/WFQ head structures).
+    for scheduler in all_schedulers() {
+        let pod = PodConfig::homogeneous(4, Architecture::Axon, 32)
+            .with_scheduler(scheduler)
+            .with_memory(MemoryModel::Shared { channels: 2 })
+            .with_preemption(PreemptionMode::TileBoundary)
+            .with_planner(ShardPlanner::BandwidthAware)
+            .with_shard_min_macs(Some(1 << 20))
+            .with_client_weights(vec![2.0, 1.0, 3.0]);
+        let traffic = mixed_traffic(5_108, 110, 450.0);
+        let untraced = simulate_pod(&pod, &traffic);
+        let mut rec = RecordingSink::default();
+        let traced = simulate_pod_traced(&pod, &traffic, &mut rec);
+        assert_eq!(
+            traced, untraced,
+            "{scheduler:?}: sink changed the fast path"
+        );
+        check_conservation(&rec.events).unwrap_or_else(|e| panic!("{scheduler:?}: {e}"));
+    }
+}
+
+#[test]
+fn parallel_replay_event_stream_is_deterministic_per_router() {
+    // Cluster replay runs pods on worker threads; the recorded stream
+    // must be identical run to run under every router — events are
+    // forwarded in ascending pod order after the join, never in
+    // thread-finish order.
+    let traffic = mixed_traffic(640, 160, 500.0);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(
+            vec![
+                ClusterPodConfig::new(PodConfig::homogeneous(4, Architecture::Axon, 32)),
+                ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Conventional, 32)),
+                ClusterPodConfig::new(PodConfig::homogeneous(3, Architecture::Axon, 64)),
+            ],
+            router,
+        );
+        let mut a = RecordingSink::default();
+        let mut b = RecordingSink::default();
+        let ra = simulate_cluster_traced(&cluster, &traffic, &mut a);
+        let rb = simulate_cluster_traced(&cluster, &traffic, &mut b);
+        assert_eq!(ra, rb, "{}: report not deterministic", router.name());
+        assert_eq!(
+            a.events,
+            b.events,
+            "{}: event order not deterministic",
+            router.name()
+        );
+        check_conservation(&a.events).unwrap_or_else(|e| panic!("{}: {e}", router.name()));
+    }
+}
+
+#[test]
 fn tracing_failure_and_autoscale_paths_is_neutral_and_conserving() {
     let cluster = failing_fleet();
     let traffic = mixed_traffic(3, 200, 300.0);
