@@ -8,48 +8,118 @@
 //! cargo run --release -p axon-bench --bin perf_baseline -- --smoke --json out.json
 //! cargo run --release -p axon-bench --bin perf_baseline -- --baseline BENCH_7.json
 //! cargo run --release -p axon-bench --bin perf_baseline -- --smoke --budget-s 60
+//! cargo run --release -p axon-bench --bin perf_baseline -- --reps 9
 //! ```
 //!
 //! Measurement and gate live in [`axon_bench::perf`]; the schema is
-//! documented in `docs/observability.md`. Without `--baseline`, the
-//! gate compares against the highest-index `BENCH_<n>.json` in the
-//! current directory and **skips gracefully** when none exists (the
-//! first run of a fresh checkout has nothing to regress against).
-//! Exits non-zero only on a confirmed regression.
+//! documented in `docs/observability.md`. Full (non-smoke) mode times
+//! its repetitions concurrently via `run_sweep_parallel` — the best-of-N
+//! pick and every deterministic counter are independent of thread
+//! timing (see `perf::measure_parallel`); `--smoke` stays serial so the
+//! CI smoke number is comparable across runners regardless of core
+//! count. Without `--baseline`, the gate compares against the
+//! highest-index `BENCH_<n>.json` in the current directory and **skips
+//! gracefully** when none exists (the first run of a fresh checkout has
+//! nothing to regress against). Exits non-zero on a confirmed
+//! regression, a blown `--budget-s`, or an invalid flag value.
 
 use axon_bench::perf::{
-    delta_line, find_baseline, measure, regression_vs, PerfReport, MAX_SLOWDOWN,
+    delta_line, find_baseline, measure, measure_parallel, regression_vs, PerfReport, MAX_SLOWDOWN,
 };
 use axon_bench::series::json_path_from_args;
 use std::path::PathBuf;
 
-fn baseline_flag() -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--baseline")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+/// Parsed command line. Every value flag is validated up front: a
+/// malformed `--reps`/`--budget-s` is a hard error, not a silently
+/// ignored or half-applied setting.
+#[derive(Debug, PartialEq)]
+struct Opts {
+    smoke: bool,
+    /// Override for the mode's default repetition count.
+    reps: Option<usize>,
+    budget_s: Option<f64>,
+    baseline: Option<PathBuf>,
 }
 
-/// `--budget-s <seconds>`: fail when the best repetition's wall clock
-/// exceeds the budget (the CI guard against the benchmark itself
-/// growing unboundedly slow).
-fn budget_flag() -> Option<f64> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--budget-s")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.parse().expect("--budget-s takes seconds (f64)"))
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        smoke: false,
+        reps: None,
+        budget_s: None,
+        baseline: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or(format!("{} requires a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--smoke" => i += 1,
+            "--reps" => {
+                let v = value(i)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--reps takes a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--reps must be at least 1".to_string());
+                }
+                opts.reps = Some(n);
+                i += 2;
+            }
+            "--budget-s" => {
+                let v = value(i)?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--budget-s takes seconds, got `{v}`"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!(
+                        "--budget-s must be a positive finite number of seconds, got `{v}`"
+                    ));
+                }
+                opts.budget_s = Some(s);
+                i += 2;
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            // `--json <path>` is handled by `json_path_from_args` (the
+            // convention every bench binary shares); skip its value.
+            "--json" => i += 2,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    // Re-scan for --smoke anywhere (it may precede a value we skipped).
+    opts.smoke = args.iter().any(|a| a == "--smoke");
+    Ok(opts)
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (requests, reps) = if smoke { (300, 3) } else { (1200, 5) };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Smoke reps rose 3 -> 9 when round 2 pushed a rep under ~25ms of
+    // wall clock: best-of-N over sub-hiccup reps needs a larger N for
+    // the max estimator to stabilize, and 9 reps still finish in well
+    // under a second. The deterministic counters are unaffected.
+    let (requests, default_reps) = if opts.smoke { (300, 9) } else { (1200, 5) };
+    let reps = opts.reps.unwrap_or(default_reps);
 
     println!(
         "Simulator self-benchmark — pinned perf scenario, {requests} requests, best of {reps} reps"
     );
-    let current = measure(requests, reps);
+    let current = if opts.smoke {
+        measure(requests, reps)
+    } else {
+        measure_parallel(requests, reps)
+    };
     println!(
         "  {:>10.0} requests/wall-second  ({} requests in {:.3}s)",
         current.requests_per_wall_s, current.requests, current.wall_s
@@ -58,8 +128,12 @@ fn main() {
         "  {:>10} events, {} dispatches, {} retime passes ({:.1} jobs/pass)",
         current.events, current.dispatches, current.retime_passes, current.mean_jobs_per_retime
     );
+    println!(
+        "  {:>10} plan-cache hits, {} misses, {} grids scored",
+        current.plan_cache_hits, current.plan_cache_misses, current.plan_grids_scored
+    );
 
-    if let Some(budget_s) = budget_flag() {
+    if let Some(budget_s) = opts.budget_s {
         if current.wall_s > budget_s {
             eprintln!(
                 "wall-clock budget FAILED: best rep took {:.3}s, budget {budget_s:.3}s",
@@ -81,7 +155,7 @@ fn main() {
         println!("wrote {}", path.display());
     }
 
-    let baseline = match baseline_flag() {
+    let baseline = match opts.baseline {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
@@ -115,5 +189,80 @@ fn main() {
             eprintln!("perf gate FAILED: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn valid_flags_parse() {
+        let opts = parse_opts(&args(&[
+            "--smoke",
+            "--reps",
+            "7",
+            "--budget-s",
+            "1.5",
+            "--baseline",
+            "BENCH_7.json",
+            "--json",
+            "out.json",
+        ]))
+        .unwrap();
+        assert!(opts.smoke);
+        assert_eq!(opts.reps, Some(7));
+        assert_eq!(opts.budget_s, Some(1.5));
+        assert_eq!(opts.baseline, Some(PathBuf::from("BENCH_7.json")));
+    }
+
+    #[test]
+    fn defaults_are_empty() {
+        let opts = parse_opts(&[]).unwrap();
+        assert_eq!(
+            opts,
+            Opts {
+                smoke: false,
+                reps: None,
+                budget_s: None,
+                baseline: None
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_reps_are_rejected() {
+        for bad in [&["--reps", "0"][..], &["--reps", "three"], &["--reps"]] {
+            let err = parse_opts(&args(bad)).unwrap_err();
+            assert!(err.contains("--reps"), "{bad:?}: {err}");
+        }
+        // A following flag is not a value.
+        let err = parse_opts(&args(&["--reps", "--smoke"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected() {
+        for bad in [
+            &["--budget-s", "-1"][..],
+            &["--budget-s", "0"],
+            &["--budget-s", "NaN"],
+            &["--budget-s", "inf"],
+            &["--budget-s", "soon"],
+            &["--budget-s"],
+        ] {
+            let err = parse_opts(&args(bad)).unwrap_err();
+            assert!(err.contains("--budget-s"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse_opts(&args(&["--warmup", "2"])).unwrap_err();
+        assert!(err.contains("--warmup"), "{err}");
     }
 }

@@ -6,7 +6,7 @@
 //! schema: every file parses, indices match filenames and are unique,
 //! and the gate's baseline discovery picks the newest entry.
 
-use axon_bench::perf::{find_baseline, PerfReport, BENCH_INDEX, PERF_SCHEMA};
+use axon_bench::perf::{find_baseline, PerfReport, BENCH_INDEX, PERF_SCHEMA, PLANNER_FIELDS_SINCE};
 use axon_bench::series::Json;
 use axon_core::runtime::Architecture;
 use axon_serve::{
@@ -143,6 +143,25 @@ fn committed_perf_trajectory_parses_under_the_current_schema() {
         );
         assert!(report.requests_per_wall_s > 0.0, "{}", path.display());
         assert!(report.requests > 0 && report.reps > 0, "{}", path.display());
+        // The planner counters joined the schema at BENCH_9: newer
+        // entries must carry all three fields *in the raw JSON* (the
+        // parser would default them on older files), older entries are
+        // accepted either way.
+        if idx >= PLANNER_FIELDS_SINCE {
+            let raw = Json::parse(&text).expect("parsed once already");
+            for key in ["plan_cache_hits", "plan_cache_misses", "plan_grids_scored"] {
+                assert!(
+                    raw.get(key).and_then(Json::as_f64).is_some(),
+                    "{}: BENCH_{idx} must carry numeric `{key}`",
+                    path.display()
+                );
+            }
+            assert!(
+                report.plan_grids_scored >= report.plan_cache_misses,
+                "{}: every cold pass scores at least its 1x1 baseline",
+                path.display()
+            );
+        }
         indices.push(idx);
     }
     indices.sort_unstable();

@@ -147,31 +147,39 @@ impl RuntimeSpec {
         let st = self.dataflow.map(gemm);
         let (sr, sc) = self.tiling.effective_spatial(st);
         let t = st.t;
-        let mut fill = 0usize;
-        let mut compute = 0usize;
-        let mut drain = 0usize;
-        let mut tiles = 0usize;
-        let mut last_drain = 0usize;
-
-        match self.accounting {
+        let (fill, compute, drain, tiles, last_drain) = match self.accounting {
             Accounting::PaperCeil => {
                 let n = self.tiling.sequential_tiles(st, self.array);
-                fill = n * arch.tile_fill(self.array.rows(), self.array.cols());
-                compute = n * t;
-                drain = n * self.array.rows();
-                last_drain = self.array.rows();
-                tiles = n;
+                (
+                    n * arch.tile_fill(self.array.rows(), self.array.cols()),
+                    n * t,
+                    n * self.array.rows(),
+                    n,
+                    self.array.rows(),
+                )
             }
             Accounting::ExactEdges => {
-                for (r, c) in TileExtents::new(sr, sc, self.array) {
-                    fill += arch.tile_fill(r, c);
-                    compute += t;
-                    drain += r;
-                    last_drain = r;
-                    tiles += 1;
-                }
+                // Closed form of the row-major `TileExtents` walk. The
+                // grid has at most four distinct extents — full tiles
+                // `(R, C)`, a ragged last column `(R, rc)`, a ragged
+                // last row `(rr, C)` and the corner `(rr, rc)` — and
+                // every billed quantity is a sum of per-extent values,
+                // so grouping is exact: same tile counts, same integer
+                // sums, bit-identical to the per-tile loop (pinned by
+                // `exact_edges_closed_form_matches_walk`).
+                let (rows, cols) = (self.array.rows(), self.array.cols());
+                let nr = (sr.max(1)).div_ceil(rows);
+                let nc = (sc.max(1)).div_ceil(cols);
+                let rr = sr - (nr - 1) * rows; // last row extent (0 when sr == 0)
+                let rc = sc - (nc - 1) * cols; // last col extent (0 when sc == 0)
+                let fill = (nr - 1) * (nc - 1) * arch.tile_fill(rows, cols)
+                    + (nr - 1) * arch.tile_fill(rows, rc)
+                    + (nc - 1) * arch.tile_fill(rr, cols)
+                    + arch.tile_fill(rr, rc);
+                let tiles = nr * nc;
+                (fill, tiles * t, nc * ((nr - 1) * rows + rr), tiles, rr)
             }
-        }
+        };
 
         let cycles = match self.drain {
             DrainPolicy::PerTile => fill + compute + drain,
@@ -306,11 +314,21 @@ impl RuntimeSpec {
         let mut cum_area: u128 = 0;
         let mut cum_bytes: u64 = 0;
         let mut last_rows = 0usize;
+        // The cumulative products stay within u64 for every realistic
+        // workload; keep the u128 path as the exact fallback. Both
+        // compute the identical floor, so the choice is invisible.
+        let u64_ok = (total_dram_bytes as u128)
+            .checked_mul(total_area)
+            .is_some_and(|p| p <= u64::MAX as u128);
         for &(r, c) in &extents {
             cum_area += (r * c) as u128;
             // Largest-cumulative-floor rounding: per-tile slices differ
             // from the exact proportion by < 1 byte and sum exactly.
-            let cum_target = (total_dram_bytes as u128 * cum_area / total_area.max(1)) as u64;
+            let cum_target = if u64_ok {
+                total_dram_bytes * cum_area as u64 / (total_area.max(1) as u64)
+            } else {
+                (total_dram_bytes as u128 * cum_area / total_area.max(1)) as u64
+            };
             let dram_bytes = cum_target - cum_bytes;
             cum_bytes = cum_target;
 

@@ -147,4 +147,72 @@ proptest! {
         prop_assert_eq!(st.t, m.min(k).min(n));
         prop_assert!(st.sr >= st.t && st.sc >= st.t);
     }
+
+    /// `runtime` under `ExactEdges` uses a 4-group closed form of the
+    /// row-major tile walk; this pins it bit-identical to summing the
+    /// per-tile quantities over `TileExtents` directly, across both
+    /// architectures, all dataflows, both drain policies and ragged
+    /// scale-out partitions.
+    #[test]
+    fn exact_edges_closed_form_matches_walk(
+        m in 1usize..600,
+        k in 1usize..600,
+        n in 1usize..600,
+        rows in 1usize..64,
+        cols in 1usize..64,
+        df_idx in 0usize..3,
+        arch_idx in 0usize..2,
+        drain_idx in 0usize..2,
+        pr in 1usize..5,
+        pc in 1usize..5,
+    ) {
+        let g = GemmShape::new(m, k, n);
+        let df = Dataflow::ALL[df_idx];
+        let arch = [Architecture::Conventional, Architecture::Axon][arch_idx];
+        let drain = [DrainPolicy::PerTile, DrainPolicy::Overlapped][drain_idx];
+        let tiling = if pr == 1 && pc == 1 {
+            Tiling::ScaleUp
+        } else {
+            Tiling::ScaleOut { partitions_r: pr, partitions_c: pc }
+        };
+        let array = ArrayShape::new(rows.max(2), cols.max(2));
+        let spec = RuntimeSpec::new(array, df)
+            .with_accounting(Accounting::ExactEdges)
+            .with_drain(drain)
+            .with_tiling(tiling);
+        let report = spec.runtime(arch, g);
+
+        // Reference: the explicit per-tile walk.
+        let st = df.map(g);
+        let (sr, sc) = tiling.effective_spatial(st);
+        let mut fill = 0usize;
+        let mut tiles = 0usize;
+        let mut drain_sum = 0usize;
+        let mut last_drain = 0usize;
+        for (r, c) in TileExtents::new(sr, sc, array) {
+            fill += match arch {
+                Architecture::Conventional => sa_tile_fill(r, c),
+                Architecture::Axon => axon_tile_fill(r, c),
+            };
+            drain_sum += r;
+            last_drain = r;
+            tiles += 1;
+        }
+        let compute = tiles * st.t;
+        let cycles = match drain {
+            DrainPolicy::PerTile => fill + compute + drain_sum,
+            DrainPolicy::Overlapped => fill + compute + last_drain,
+        };
+        prop_assert_eq!(report.cycles, cycles);
+        prop_assert_eq!(report.tiles, tiles);
+        prop_assert_eq!(report.fill_cycles, fill);
+        prop_assert_eq!(report.compute_cycles, compute);
+        prop_assert_eq!(
+            report.drain_cycles,
+            match drain {
+                DrainPolicy::PerTile => drain_sum,
+                DrainPolicy::Overlapped => last_drain,
+            }
+        );
+    }
 }

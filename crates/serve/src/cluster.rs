@@ -57,6 +57,7 @@ use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
 use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
 use crate::pod::{
     service_cycles, simulate_pod_trace, simulate_pod_trace_traced_at, PodConfig, ServingReport,
+    SharedModelCache,
 };
 use crate::request::{Request, RequestClass};
 use crate::router::{PodRole, PodView, RouterPolicy, RoutingPolicy};
@@ -603,7 +604,7 @@ fn process_failure(
     // completions that survive the cut can be forwarded.
     let mut rec = RecordingSink::default();
     let full = if sink.enabled() {
-        simulate_pod_trace_traced_at(&cfg, &states[pi].assigned, &mut rec, pi)
+        simulate_pod_trace_traced_at(&cfg, &states[pi].assigned, &mut rec, pi, None)
     } else {
         simulate_pod_trace(&cfg, &states[pi].assigned)
     };
@@ -697,6 +698,19 @@ pub fn simulate_cluster_traced(
     cluster: &ClusterConfig,
     traffic: &TrafficConfig,
     sink: &mut dyn TraceSink,
+) -> ClusterReport {
+    simulate_cluster_traced_impl(cluster, traffic, sink, true)
+}
+
+/// Shared implementation: `share_models` backs every pod replay with
+/// one fleet-wide [`SharedModelCache`]. Exposed crate-privately so
+/// `shared_model_cache_is_bit_identical` can pin the shared and
+/// loop-local runs against each other.
+pub(crate) fn simulate_cluster_traced_impl(
+    cluster: &ClusterConfig,
+    traffic: &TrafficConfig,
+    sink: &mut dyn TraceSink,
+    share_models: bool,
 ) -> ClusterReport {
     assert!(!cluster.pods.is_empty(), "a cluster needs at least one pod");
     let clock_mhz = cluster.pods[0].pod.clock_mhz;
@@ -825,6 +839,10 @@ pub fn simulate_cluster_traced(
     // *after* all threads join — exactly the order the sequential loop
     // emitted, independent of thread completion order.
     let record = sink.enabled();
+    // One model cache L2 for the whole sweep point: replay threads
+    // share pure model results (see `SharedModelCache` for why this
+    // cannot perturb any report).
+    let shared_models = share_models.then(|| std::sync::Arc::new(SharedModelCache::default()));
     let replayed: Vec<Option<(ServingReport, RecordingSink)>> = std::thread::scope(|scope| {
         let handles: Vec<Option<_>> = states
             .iter()
@@ -834,13 +852,14 @@ pub fn simulate_cluster_traced(
                     return None;
                 }
                 let pods = &cluster.pods;
+                let shared = shared_models.clone();
                 Some(scope.spawn(move || {
                     let cfg = effective_pod(&pods[i], st.ready_at);
                     let mut local = RecordingSink::default();
                     let report = if record {
-                        simulate_pod_trace_traced_at(&cfg, &st.assigned, &mut local, i)
+                        simulate_pod_trace_traced_at(&cfg, &st.assigned, &mut local, i, shared)
                     } else {
-                        simulate_pod_trace_traced_at(&cfg, &st.assigned, &mut NullSink, i)
+                        simulate_pod_trace_traced_at(&cfg, &st.assigned, &mut NullSink, i, shared)
                     };
                     (report, local)
                 }))
@@ -929,6 +948,29 @@ mod tests {
             assert_eq!(r.metrics.routed_per_pod.iter().sum::<usize>(), 80);
             assert_eq!(r.metrics.rerouted, 0);
             assert_eq!(r.metrics.failed_pods, 0);
+        }
+    }
+
+    /// The fleet-shared model-cache L2 must be unobservable: a cluster
+    /// replay with every pod on one [`SharedModelCache`] is bit-equal
+    /// to the loop-local-cache replay, whatever order threads populate
+    /// the shared maps in. Heterogeneous pods (different arch/array
+    /// mixes) make the pods' key spaces overlap only partially.
+    #[test]
+    fn shared_model_cache_is_bit_identical() {
+        let mut pods = vec![
+            ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Axon, 32)),
+            ClusterPodConfig::new(PodConfig::homogeneous(2, Architecture::Conventional, 32)),
+            ClusterPodConfig::new(PodConfig::homogeneous(4, Architecture::Axon, 16)),
+        ];
+        // Sharding-capable pod: populates schedule + plan caches too.
+        pods[2].pod = pods[2].pod.clone().with_shard_min_macs(Some(1 << 18));
+        let cluster = ClusterConfig::new(pods, RouterPolicy::JoinShortestQueue);
+        let traffic = light_traffic(23, 120);
+        for _ in 0..3 {
+            let shared = simulate_cluster_traced_impl(&cluster, &traffic, &mut NullSink, true);
+            let local = simulate_cluster_traced_impl(&cluster, &traffic, &mut NullSink, false);
+            assert_eq!(shared, local);
         }
     }
 

@@ -60,10 +60,13 @@
 //! assert_eq!(report.metrics.completed, 120);
 //! ```
 
+use crate::arrivals::ArrivalCalendar;
 use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
 use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
 use crate::request::{coalesced_shape, BatchKey, Request};
-use crate::scheduler::{eligible_indices, Batch, SchedulerPolicy, SchedulingPolicy};
+use crate::scheduler::{
+    eligible_min_deadline, eligible_most_urgent, Batch, SchedulerPolicy, SchedulingPolicy,
+};
 use crate::trace::{NullSink, RequestOutcome, TraceEvent, TraceSink};
 use axon_core::runtime::{
     Accounting, Architecture, DrainPolicy, RuntimeSpec, TilePhase, TileSchedule,
@@ -73,7 +76,8 @@ use axon_hw::{execution_energy, ArrayDesign, ComponentLibrary, TechNode};
 use axon_mem::{DramConfig, SharedDram};
 use axon_sim::{random_matrix, simulate_gemm, SimConfig};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Bytes per spilled/refilled accumulator value at a checkpoint (int32
 /// partials, vs the 1 byte/element of the int8 operand streams).
@@ -399,22 +403,6 @@ pub struct ServingReport {
     pub metrics: PodMetrics,
 }
 
-/// Pending-arrival ordering: by `(arrival, id)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingReq(Request);
-
-impl Ord for PendingReq {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.arrival, self.0.id).cmp(&(other.0.arrival, other.0.id))
-    }
-}
-
-impl PartialOrd for PendingReq {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 fn design_of(arch: Architecture) -> ArrayDesign {
     match arch {
         Architecture::Conventional => ArrayDesign::Conventional,
@@ -476,6 +464,18 @@ fn shard_grids(free_peers: usize) -> impl Iterator<Item = (usize, usize)> {
 /// Picks the scale-out grid (and resulting cycles) for `shape` given
 /// `free_peers` idle identical arrays. Returns `(pr, pc, dataflow,
 /// cycles)`; `(1, 1, ..)` means no sharding pays off.
+///
+/// The whole plan is memoized on `(cfg, mapping, drain, shape,
+/// free_peers)` — every input the compute-only score reads — so warm
+/// calls replay the cold pass bit-for-bit. Cold passes under `PerTile`
+/// drain prune dominated grids ([`plan_sharding_pruned`]); `Overlapped`
+/// drain falls back to full enumeration because its score is *not*
+/// monotone in the grid: shrinking an effective extent across a tile
+/// boundary can swap a full-height final drain for a 1-row one and net
+/// *fewer* cycles (e.g. Axon 32×32 at `t = 1`: `sr` 33 → 32 drops
+/// `axon_tile_fill(1, 32) + 1` fill+compute cycles but re-bills the
+/// final drain at 32 rows instead of 1), so a dominated grid may
+/// strictly beat its dominator.
 fn plan_sharding(
     cache: &mut ModelCache,
     cfg: &ArrayConfig,
@@ -484,6 +484,44 @@ fn plan_sharding(
     shape: GemmShape,
     free_peers: usize,
 ) -> (usize, usize, Dataflow, usize) {
+    let key = (*cfg, mapping, drain, shape, free_peers);
+    if let Some(&v) = cache.plans.get(&key) {
+        cache.plan_stats.hits += 1;
+        return v;
+    }
+    cache.plan_stats.misses += 1;
+    let v = match drain {
+        DrainPolicy::PerTile => {
+            let v = plan_sharding_pruned(cache, cfg, mapping, drain, shape, free_peers);
+            #[cfg(debug_assertions)]
+            {
+                let full = plan_sharding_full(cache, cfg, mapping, drain, shape, free_peers, false);
+                assert_eq!(v, full, "pruned planner diverged from full enumeration");
+            }
+            v
+        }
+        DrainPolicy::Overlapped => {
+            plan_sharding_full(cache, cfg, mapping, drain, shape, free_peers, true)
+        }
+    };
+    cache.plans.insert(key, v);
+    v
+}
+
+/// Full enumeration of the compute-only planner: scores the `1×1`
+/// baseline and every candidate grid, keeping the first strict
+/// improvement in canonical order. `count` gates the `grids_scored`
+/// counter so the debug-only prune verification doesn't double-bill.
+fn plan_sharding_full(
+    cache: &mut ModelCache,
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    shape: GemmShape,
+    free_peers: usize,
+    count: bool,
+) -> (usize, usize, Dataflow, usize) {
+    let mut scored = 1u64;
     let mut best = {
         let (df, cycles) = cache.service_cycles(cfg, mapping, drain, Tiling::ScaleUp, shape);
         (1usize, 1usize, df, cycles)
@@ -494,12 +532,93 @@ fn plan_sharding(
             partitions_c: pc,
         };
         let (df, cycles) = cache.service_cycles(cfg, mapping, drain, tiling, shape);
+        scored += 1;
         // Strict improvement required: idle arrays are better spent on
         // the next queued batch than on marginal sharding gains.
         if cycles < best.3 {
             best = (pr, pc, df, cycles);
         }
     }
+    if count {
+        cache.plan_stats.grids_scored += scored;
+    }
+    best
+}
+
+/// Cold compute-only pass under `PerTile` drain: prunes grids dominated
+/// componentwise by another candidate, exactly.
+///
+/// Why the prune is sound *here*: under `PerTile` accounting the score
+/// is `Σ_tiles (fill(r, c) + t + r)`. Every per-tile term is
+/// non-decreasing in the tile extents, and shrinking an effective
+/// spatial extent only shrinks or removes tiles, so cycles are
+/// non-decreasing in `(⌈sr/pr⌉, ⌈sc/pc⌉)` — i.e. non-increasing
+/// componentwise in `(pr, pc)`. (For `BestPerRequest` the min over
+/// dataflows of monotone scores is itself monotone.) Hence:
+///
+/// 1. every candidate is dominated by some componentwise-maximal
+///    candidate, so the minimum over that frontier is the global
+///    minimum `V` over all grids;
+/// 2. the full scan's winner is the first entry of `[1×1, grids in
+///    canonical order…]` scoring the overall minimum — reproduced by
+///    checking the baseline first (strict improvement means it wins
+///    ties) and then scanning the canonical order for the first grid
+///    scoring `V`.
+///
+/// Probes repeated between the frontier pass and the canonical scan
+/// answer from the service-cycles memo, so no model evaluation runs
+/// twice; `grids_scored` bills every probe issued, memoized or not.
+/// Debug builds re-run the full enumeration and assert equality
+/// (`plan_sharding`); `shard_plan_prune_matches_full` pins the same
+/// property over random shapes.
+fn plan_sharding_pruned(
+    cache: &mut ModelCache,
+    cfg: &ArrayConfig,
+    mapping: MappingPolicy,
+    drain: DrainPolicy,
+    shape: GemmShape,
+    free_peers: usize,
+) -> (usize, usize, Dataflow, usize) {
+    let grids: Vec<(usize, usize)> = shard_grids(free_peers).collect();
+    let mut scored = 1u64;
+    let (df1, cycles1) = cache.service_cycles(cfg, mapping, drain, Tiling::ScaleUp, shape);
+    // Frontier pass: the global grid minimum V by monotonicity.
+    let mut v = usize::MAX;
+    for &(pr, pc) in &grids {
+        let dominated = grids
+            .iter()
+            .any(|&(qr, qc)| (qr, qc) != (pr, pc) && qr >= pr && qc >= pc);
+        if dominated {
+            continue;
+        }
+        let tiling = Tiling::ScaleOut {
+            partitions_r: pr,
+            partitions_c: pc,
+        };
+        let (_, cycles) = cache.service_cycles(cfg, mapping, drain, tiling, shape);
+        scored += 1;
+        v = v.min(cycles);
+    }
+    let best = if cycles1 <= v {
+        (1, 1, df1, cycles1)
+    } else {
+        // Earliest grid in canonical order achieving V.
+        let mut found = None;
+        for &(pr, pc) in &grids {
+            let tiling = Tiling::ScaleOut {
+                partitions_r: pr,
+                partitions_c: pc,
+            };
+            let (df, cycles) = cache.service_cycles(cfg, mapping, drain, tiling, shape);
+            scored += 1;
+            if cycles == v {
+                found = Some((pr, pc, df, cycles));
+                break;
+            }
+        }
+        found.expect("some candidate grid achieves the frontier minimum")
+    };
+    cache.plan_stats.grids_scored += scored;
     best
 }
 
@@ -528,6 +647,26 @@ fn plan_sharding_contended(
     clock_mhz: f64,
     co_running_weight: usize,
 ) -> (usize, usize, Dataflow, usize, bool) {
+    // Whole-plan memo. Beyond the compute-only inputs the contended
+    // score reads only `shared`, `clock_mhz` (both fixed for this
+    // cache's lifetime — one pod loop) and the frozen co-running
+    // demand, so `co_running_weight` fingerprints the bandwidth epoch:
+    // equal weight ⇒ identical fair-share arithmetic ⇒ identical plan.
+    let plan_key = (*cfg, mapping, drain, shape, free_peers, co_running_weight);
+    if let Some(&v) = cache.plans_contended.get(&plan_key) {
+        cache.plan_stats.hits += 1;
+        return v;
+    }
+    cache.plan_stats.misses += 1;
+    let mut scored = 1u64;
+    // No dominance prune here — always full enumeration. The contended
+    // estimate is NOT monotone in the grid: a `pr × pc` plan duplicates
+    // operands (`A` moves `pc` times, `B` moves `pr` times), so traffic
+    // grows with the grid perimeter while compute shrinks, and a
+    // dominated grid can strictly beat its dominator on a
+    // bandwidth-starved pod. The structure does not admit the prune;
+    // per the planner contract we enumerate every candidate.
+    //
     // The no-shard candidate is billed as its per-tile walk, so estimate
     // it the same way (final drain is bandwidth-independent).
     let (df1, cycles1) = cache.service_cycles(cfg, mapping, drain, Tiling::ScaleUp, shape);
@@ -558,6 +697,7 @@ fn plan_sharding_contended(
             partitions_c: pc,
         };
         let (df, cycles) = cache.service_cycles(cfg, mapping, drain, tiling, shape);
+        scored += 1;
         // A sharded job is billed as one opaque leg carrying the
         // grid's full (duplicated) traffic at grid weight: the
         // estimate is that exact roofline.
@@ -577,7 +717,10 @@ fn plan_sharding_contended(
         }
     }
     let refused = best_compute.0 > best.0 * best.1;
-    (best.0, best.1, best.2, best.3, refused)
+    let v = (best.0, best.1, best.2, best.3, refused);
+    cache.plan_stats.grids_scored += scored;
+    cache.plans_contended.insert(plan_key, v);
+    v
 }
 
 /// The DRAM traffic of one dispatched GEMM at 1 byte/element (int8
@@ -606,13 +749,47 @@ fn plan_tiles(
         .tile_schedule(cfg.arch, shape, dispatch_dram_bytes(shape, 1, 1))
 }
 
-/// One memoized tile schedule: the walk, its final drain, and the
-/// pre-summed cycle total (what the join path needs without cloning).
+/// One memoized tile schedule: the walk (behind an `Arc`, so dispatch
+/// hands jobs a shared reference instead of cloning thousands of
+/// phases), its final drain, and the pre-summed cycle total.
 #[derive(Debug, Clone)]
 struct CachedSchedule {
-    tiles: Vec<TilePhase>,
+    tiles: Arc<Vec<TilePhase>>,
     final_drain: u64,
     total: u64,
+}
+
+/// Cross-pod second-level model cache: exactly the slices of
+/// [`ModelCache`] that are *pure functions of their full key* —
+/// service cycles, tile walks and walk totals. Pods replaying within
+/// one cluster run (one sweep point) share a single instance so a
+/// shape modeled by one pod is never re-walked by another.
+///
+/// Determinism argument: every cached value is a pure function of its
+/// key (`service_cycles` / `plan_tiles` read nothing else), so *which*
+/// thread publishes an entry first is timing-dependent but the
+/// published value is not — every reader observes the bit-identical
+/// value a loop-local evaluation would produce. Pinned by
+/// `shared_model_cache_is_bit_identical` in `cluster.rs`. The
+/// contended-planner maps stay loop-local: their values read the pod's
+/// own [`SharedDram`] law and clock, which differ across pods.
+#[derive(Debug, Default)]
+pub(crate) struct SharedModelCache(std::sync::Mutex<SharedModelState>);
+
+#[derive(Debug, Default)]
+struct SharedModelState {
+    service: HashMap<ServiceKey, (Dataflow, usize)>,
+    tiles: HashMap<ScheduleKey, CachedSchedule>,
+    totals: HashMap<ScheduleKey, u64>,
+}
+
+impl SharedModelCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedModelState> {
+        // Model evaluation can't panic mid-insert in a way that leaves
+        // a torn value (inserts are single HashMap writes of Copy/Arc
+        // data), so a poisoned lock still guards coherent state.
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Per-run memo table for the analytical runtime model — the engine's
@@ -626,26 +803,81 @@ struct CachedSchedule {
 ///
 /// The cache is loop-local (created per `run_pod_loop` call): no state
 /// leaks across runs, so determinism per `(pod, traffic)` pair is
-/// untouched.
+/// untouched. An optional [`SharedModelCache`] second level (cluster
+/// replays) is consulted on local misses of the pure slices; see its
+/// determinism argument.
 #[derive(Debug, Default)]
 struct ModelCache {
+    /// Cross-pod L2 for the pure slices; `None` outside cluster
+    /// replays.
+    shared: Option<Arc<SharedModelCache>>,
     /// `(cfg, mapping, drain, tiling, shape)` → the chosen dataflow and
     /// modeled cycles.
     service: HashMap<ServiceKey, (Dataflow, usize)>,
     /// `(cfg, drain, dataflow, shape)` → the exact-edge tile walk.
     tiles: HashMap<ScheduleKey, CachedSchedule>,
+    /// `(cfg, drain, dataflow, shape)` → the walk's cycle total alone,
+    /// computed from the closed-form runtime model in O(1) — the join
+    /// path bills shape deltas off totals and must not pay for (or
+    /// allocate) a full tile walk per probed shape.
+    totals: HashMap<ScheduleKey, u64>,
     /// `(cfg, drain, dataflow, shape, co_running_weight)` → the
     /// contended no-shard estimate of [`plan_sharding_contended`]
     /// (a full [`SharedDram::schedule_cycles`] walk over the tile
     /// schedule, the planner's most expensive probe).
     contended_est: HashMap<ContendedKey, u64>,
+    /// Whole-plan memo of [`plan_sharding`]: key → `(pr, pc, dataflow,
+    /// cycles)`. Every planner input is in the key — the compute-only
+    /// score depends on nothing else — so a replay is bit-identical to
+    /// a cold pass by purity.
+    plans: HashMap<PlanKey, (usize, usize, Dataflow, usize)>,
+    /// Whole-plan memo of [`plan_sharding_contended`]. The contended
+    /// score additionally reads the pod's [`SharedDram`] law and clock
+    /// (fixed for this cache's per-loop lifetime) and the co-running
+    /// demand at decision time; `co_running_weight` is that bandwidth
+    /// epoch's fingerprint — two decisions with equal weight see
+    /// identical fair-share arithmetic, whatever jobs compose the
+    /// weight.
+    plans_contended: HashMap<PlanContendedKey, (usize, usize, Dataflow, usize, bool)>,
+    /// Plan-cache traffic, surfaced once per loop through
+    /// [`TraceSink::planner_stats`].
+    plan_stats: PlanStats,
 }
 
 type ServiceKey = (ArrayConfig, MappingPolicy, DrainPolicy, Tiling, GemmShape);
 type ScheduleKey = (ArrayConfig, DrainPolicy, Dataflow, GemmShape);
 type ContendedKey = (ArrayConfig, DrainPolicy, Dataflow, GemmShape, usize);
+type PlanKey = (ArrayConfig, MappingPolicy, DrainPolicy, GemmShape, usize);
+type PlanContendedKey = (
+    ArrayConfig,
+    MappingPolicy,
+    DrainPolicy,
+    GemmShape,
+    usize,
+    usize,
+);
+
+/// Counters of the dispatch-plan cache: replayed plans (`hits`), cold
+/// planner passes (`misses`), and candidate plans probed against the
+/// service model during cold passes (`grids_scored`, the `1×1`
+/// no-shard baseline included; pruned passes count every probe they
+/// issue, frontier and scan alike).
+#[derive(Debug, Default, Clone, Copy)]
+struct PlanStats {
+    hits: u64,
+    misses: u64,
+    grids_scored: u64,
+}
 
 impl ModelCache {
+    /// A cache whose pure slices are backed by the cross-pod L2.
+    fn with_shared(shared: Option<Arc<SharedModelCache>>) -> Self {
+        ModelCache {
+            shared,
+            ..ModelCache::default()
+        }
+    }
+
     fn service_cycles(
         &mut self,
         cfg: &ArrayConfig,
@@ -658,7 +890,15 @@ impl ModelCache {
         if let Some(&v) = self.service.get(&key) {
             return v;
         }
-        let v = service_cycles(cfg, mapping, drain, tiling, shape);
+        let v = match &self.shared {
+            Some(l2) => {
+                let mut g = l2.lock();
+                *g.service
+                    .entry(key)
+                    .or_insert_with(|| service_cycles(cfg, mapping, drain, tiling, shape))
+            }
+            None => service_cycles(cfg, mapping, drain, tiling, shape),
+        };
         self.service.insert(key, v);
         v
     }
@@ -670,20 +910,33 @@ impl ModelCache {
         df: Dataflow,
         shape: GemmShape,
     ) -> &CachedSchedule {
-        self.tiles
-            .entry((*cfg, drain, df, shape))
-            .or_insert_with(|| {
+        let key = (*cfg, drain, df, shape);
+        if !self.tiles.contains_key(&key) {
+            let build = || {
                 let sched = plan_tiles(cfg, drain, df, shape);
                 CachedSchedule {
                     total: sched.total_cycles(),
-                    tiles: sched.tiles,
+                    tiles: Arc::new(sched.tiles),
                     final_drain: sched.final_drain,
                 }
-            })
+            };
+            let v = match &self.shared {
+                // The walk itself rides the L2 `Arc`: pods share one
+                // allocation per distinct schedule.
+                Some(l2) => l2.lock().tiles.entry(key).or_insert_with(build).clone(),
+                None => build(),
+            };
+            self.tiles.insert(key, v);
+        }
+        &self.tiles[&key]
     }
 
-    /// Total cycles of the tile walk — the join path bills shape deltas
-    /// off totals alone, no clone needed.
+    /// Total cycles of the tile walk, without materializing it: the
+    /// closed-form exact-edge runtime equals `TileSchedule::
+    /// total_cycles` for the same spec by construction (the schedule
+    /// *is* that accounting, phase by phase — pinned by
+    /// `schedule_total_matches_walk`), so the join path bills shape
+    /// deltas off an O(1) model evaluation per distinct shape.
     fn schedule_total(
         &mut self,
         cfg: &ArrayConfig,
@@ -691,7 +944,27 @@ impl ModelCache {
         df: Dataflow,
         shape: GemmShape,
     ) -> u64 {
-        self.schedule(cfg, drain, df, shape).total
+        let key = (*cfg, drain, df, shape);
+        if let Some(&t) = self.totals.get(&key) {
+            return t;
+        }
+        let closed_form = || {
+            RuntimeSpec::new(cfg.array, df)
+                .with_accounting(Accounting::ExactEdges)
+                .with_drain(drain)
+                .with_tiling(Tiling::ScaleUp)
+                .runtime(cfg.arch, shape)
+                .cycles as u64
+        };
+        let t = match self.tiles.get(&key) {
+            Some(s) => s.total,
+            None => match &self.shared {
+                Some(l2) => *l2.lock().totals.entry(key).or_insert_with(closed_form),
+                None => closed_form(),
+            },
+        };
+        self.totals.insert(key, t);
+        t
     }
 }
 
@@ -811,11 +1084,47 @@ fn ceil_mul_div(a: u64, b: u64, d: u64) -> u64 {
 /// Groups `tiles[from..]` by `(cycles, dram_bytes)` — the initial value
 /// of a job's [`RunningJob::rest`] tail summary.
 fn rest_of(tiles: &[TilePhase], from: usize) -> BTreeMap<(u64, u64), usize> {
-    let mut rest: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    // The walk has a handful of distinct `(cycles, dram_bytes)` keys
+    // (≤4 extents x the ±1-byte rounding split), so accumulate runs in
+    // a tiny linear buffer and fold into the map once per key instead
+    // of paying a map lookup per tile.
+    let mut acc: Vec<((u64, u64), usize)> = Vec::new();
     for t in &tiles[from.min(tiles.len())..] {
-        *rest.entry((t.cycles, t.dram_bytes)).or_insert(0) += 1;
+        let key = (t.cycles, t.dram_bytes);
+        match acc.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => acc.push((key, 1)),
+        }
     }
-    rest
+    acc.into_iter().collect()
+}
+
+/// A tiny fixed-capacity memo for tile-phase durations within one walk
+/// (one `advance_to` / `next_boundary` call): the timing law is a pure
+/// function of a tile's `(cycles, dram_bytes)` once the weight and the
+/// bandwidth epoch are fixed, and a walk only ever sees the few
+/// distinct keys of its schedule, so replayed values are bit-identical
+/// to fresh evaluations while skipping the roofline arithmetic per
+/// tile crossed.
+#[derive(Debug, Default)]
+struct PhaseTimeMemo {
+    entries: [Option<((u64, u64), u64)>; 8],
+    next: usize,
+}
+
+impl PhaseTimeMemo {
+    fn get(&self, key: (u64, u64)) -> Option<u64> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    fn put(&mut self, key: (u64, u64), v: u64) {
+        self.entries[self.next] = Some((key, v));
+        self.next = (self.next + 1) % self.entries.len();
+    }
 }
 
 /// A dispatched batch occupying one or more arrays, with its remaining
@@ -844,7 +1153,11 @@ struct RunningJob {
     used: Vec<usize>,
     pr: usize,
     pc: usize,
-    tiles: Vec<TilePhase>,
+    /// The tile walk, shared with the model cache until the job needs
+    /// to mutate it (in-flight join delta, checkpoint refill) —
+    /// `Arc::make_mut` clones lazily, so unmutated jobs never copy the
+    /// schedule.
+    tiles: Arc<Vec<TilePhase>>,
     final_drain: u64,
     /// The tiles strictly after `next_tile`, grouped by `(cycles,
     /// dram_bytes)` — the only tile fields the timing law reads — so
@@ -943,6 +1256,30 @@ impl RunningJob {
         }
     }
 
+    /// [`phase_time`](Self::phase_time) through a per-walk memo: pure
+    /// in the tile's `(cycles, dram_bytes)` under a fixed weight and
+    /// epoch, so hits replay the identical value. Non-tile phases
+    /// (final drain, checkpoint tail) bypass the memo.
+    fn phase_time_memo(
+        &self,
+        idx: usize,
+        timing: &MemTiming,
+        total_weight: usize,
+        memo: &mut PhaseTimeMemo,
+    ) -> u64 {
+        if self.suspend_after.is_none() && idx < self.tiles.len() {
+            let t = &self.tiles[idx];
+            let key = (t.cycles, t.dram_bytes);
+            if let Some(v) = memo.get(key) {
+                return v;
+            }
+            let v = timing.tile_time(t, self.weight(), total_weight);
+            memo.put(key, v);
+            return v;
+        }
+        self.phase_time(idx, timing, total_weight)
+    }
+
     /// Index of the terminal phase: the context spill when a checkpoint
     /// is scheduled, the final drain otherwise.
     fn last_phase(&self) -> usize {
@@ -959,6 +1296,7 @@ impl RunningJob {
     fn advance_to(&mut self, now: u64, timing: &MemTiming) {
         let mut elapsed = now - self.last_update;
         self.last_update = now;
+        let mut memo = PhaseTimeMemo::default();
         loop {
             let rem = self.cur_scheduled - self.cur_consumed;
             if rem > elapsed {
@@ -987,7 +1325,8 @@ impl RunningJob {
                 }
             }
             self.cur_consumed = 0;
-            self.cur_scheduled = self.phase_time(self.next_tile, timing, self.timed_total_weight);
+            self.cur_scheduled =
+                self.phase_time_memo(self.next_tile, timing, self.timed_total_weight, &mut memo);
         }
     }
 
@@ -1048,9 +1387,10 @@ impl RunningJob {
             return None; // already in the final drain
         }
         let mut t = self.last_update + (self.cur_scheduled - self.cur_consumed);
+        let mut memo = PhaseTimeMemo::default();
         for j in self.next_tile..self.tiles.len().saturating_sub(1) {
             if j > self.next_tile {
-                t += self.phase_time(j, timing, self.timed_total_weight);
+                t += self.phase_time_memo(j, timing, self.timed_total_weight, &mut memo);
             }
             if t > now {
                 return Some((j, t));
@@ -1180,7 +1520,7 @@ fn simulate_pod_with_policy_traced(
     match traffic.arrival {
         ArrivalProcess::OpenLoop { mean_interarrival } => {
             let trace = gen.open_loop_trace(mean_interarrival, traffic.num_clients);
-            run_pod_loop(pod, policy, trace, None, sink, 0)
+            run_pod_loop(pod, policy, trace, None, sink, 0, None)
         }
         ArrivalProcess::ClosedLoop { think_cycles } => {
             let mut trace = Vec::new();
@@ -1190,7 +1530,15 @@ fn simulate_pod_with_policy_traced(
                     None => break,
                 }
             }
-            run_pod_loop(pod, policy, trace, Some((&mut gen, think_cycles)), sink, 0)
+            run_pod_loop(
+                pod,
+                policy,
+                trace,
+                Some((&mut gen, think_cycles)),
+                sink,
+                0,
+                None,
+            )
         }
     }
 }
@@ -1231,19 +1579,29 @@ pub fn simulate_pod_trace_traced(
     trace: &[Request],
     sink: &mut dyn TraceSink,
 ) -> ServingReport {
-    simulate_pod_trace_traced_at(pod, trace, sink, 0)
+    simulate_pod_trace_traced_at(pod, trace, sink, 0, None)
 }
 
 /// The cluster replay hook: like [`simulate_pod_trace_traced`] but
-/// stamps every event with the pod's fleet declaration index.
+/// stamps every event with the pod's fleet declaration index and
+/// optionally backs the model cache with the fleet-shared L2.
 pub(crate) fn simulate_pod_trace_traced_at(
     pod: &PodConfig,
     trace: &[Request],
     sink: &mut dyn TraceSink,
     pod_id: usize,
+    shared: Option<Arc<SharedModelCache>>,
 ) -> ServingReport {
     let mut policy = pod.scheduler.build(&pod.client_weights);
-    run_pod_loop(pod, policy.as_mut(), trace.to_vec(), None, sink, pod_id)
+    run_pod_loop(
+        pod,
+        policy.as_mut(),
+        trace.to_vec(),
+        None,
+        sink,
+        pod_id,
+        shared,
+    )
 }
 
 /// [`simulate_pod_trace`] with an externally supplied queue discipline
@@ -1253,13 +1611,14 @@ pub fn simulate_pod_trace_with_policy(
     trace: &[Request],
     policy: &mut dyn SchedulingPolicy,
 ) -> ServingReport {
-    run_pod_loop(pod, policy, trace.to_vec(), None, &mut NullSink, 0)
+    run_pod_loop(pod, policy, trace.to_vec(), None, &mut NullSink, 0, None)
 }
 
 /// The event loop shared by the traffic-driven and trace-driven entry
 /// points: `trace` seeds the pending heap; `reissue` (closed loop
 /// only) appends each completing client's next request after its think
 /// time.
+#[allow(clippy::too_many_arguments)]
 fn run_pod_loop(
     pod: &PodConfig,
     policy: &mut dyn SchedulingPolicy,
@@ -1267,19 +1626,19 @@ fn run_pod_loop(
     mut reissue: Option<(&mut RequestGenerator, u64)>,
     sink: &mut dyn TraceSink,
     pod_id: usize,
+    shared_models: Option<Arc<SharedModelCache>>,
 ) -> ServingReport {
     assert!(!pod.arrays.is_empty(), "a pod needs at least one array");
     let mut trace = trace;
-    let mut pending: BinaryHeap<Reverse<PendingReq>> = BinaryHeap::new();
-    for r in &trace {
-        pending.push(Reverse(PendingReq(*r)));
-    }
+    // Bucketed arrival structure; pops in exact `(arrival, id)` order,
+    // matching the reference engine's heap key (see `arrivals`).
+    let mut pending = ArrivalCalendar::seed(&trace);
 
     let lib = ComponentLibrary::calibrated_7nm();
     let node = TechNode::asap7();
     let dram = pod.dram;
     let timing = MemTiming::new(pod);
-    let mut models = ModelCache::default();
+    let mut models = ModelCache::with_shared(shared_models);
     let mut events = EventHeap::default();
 
     let n_arrays = pod.arrays.len();
@@ -1304,22 +1663,9 @@ fn run_pod_loop(
     let mut spot_checks = 0usize;
     let mut spot_check_mismatches = 0usize;
 
-    // Earliest deadline among requests eligible for dispatch (each
-    // client's oldest queued request).
-    let eligible_min_deadline = |queue: &VecDeque<Request>| -> Option<u64> {
-        eligible_indices(queue)
-            .into_iter()
-            .map(|i| queue[i].deadline)
-            .min()
-    };
-    // The queue position of the most urgent eligible request (ties by
-    // id, so the pick is deterministic) — the request the preemption
-    // achievability guard sizes its contended service estimate for.
-    let eligible_most_urgent = |queue: &VecDeque<Request>| -> Option<usize> {
-        eligible_indices(queue)
-            .into_iter()
-            .min_by_key(|&i| (queue[i].deadline, queue[i].id))
-    };
+    // Scratch client set reused by the eligibility scans and the join
+    // pass below — these run on every event, so they must not allocate.
+    let mut seen_clients: HashSet<usize> = HashSet::new();
 
     loop {
         // Finalize jobs whose segment ends by `now`: completion, or a
@@ -1359,7 +1705,8 @@ fn run_pod_loop(
                 job.ckpt_drain = 0;
                 job.spill_bytes = 0;
                 job.next_tile = j + 1;
-                job.tiles[job.next_tile].dram_bytes += ctx;
+                let nt = job.next_tile;
+                Arc::make_mut(&mut job.tiles)[nt].dram_bytes += ctx;
                 job.cur_consumed = 0;
                 job.cur_scheduled = 0; // rewritten at resume
                 job.preemptions += 1;
@@ -1455,7 +1802,10 @@ fn run_pod_loop(
                 if let Some((gen, think_cycles)) = reissue.as_mut() {
                     if let Some(next) = gen.next_request(r.client, job.end + *think_cycles) {
                         trace.push(next);
-                        pending.push(Reverse(PendingReq(next)));
+                        // Never in the past: the issuing job finalized
+                        // at `end == now`, so the calendar cursor only
+                        // moves forward.
+                        pending.push(next);
                     }
                 }
             }
@@ -1463,32 +1813,29 @@ fn run_pod_loop(
 
         // Admit every arrival due by `now` (including same-cycle
         // closed-loop reissues from the finalization above).
-        while let Some(Reverse(p)) = pending.peek() {
-            if p.0.arrival > now {
-                break;
-            }
-            let Reverse(p) = pending.pop().expect("peeked");
+        while pending.peek_arrival().is_some_and(|a| a <= now) {
+            let p = pending.pop().expect("peeked");
             if sink.enabled() {
                 sink.record(
                     pod_id,
                     TraceEvent::Arrived {
-                        id: p.0.id,
-                        client: p.0.client,
-                        class: p.0.class,
-                        cycle: p.0.arrival,
+                        id: p.id,
+                        client: p.client,
+                        class: p.class,
+                        cycle: p.arrival,
                     },
                 );
                 sink.record(
                     pod_id,
                     TraceEvent::Enqueued {
-                        id: p.0.id,
-                        client: p.0.client,
+                        id: p.id,
+                        client: p.client,
                         cycle: now,
                     },
                 );
             }
-            policy.on_enqueue(&p.0);
-            queue.push_back(p.0);
+            policy.on_enqueue(&p);
+            queue.push_back(p);
         }
 
         // Dispatch onto idle arrays: resume a checkpointed job when
@@ -1498,7 +1845,7 @@ fn run_pod_loop(
             if idle.is_empty() {
                 break;
             }
-            let queue_deadline = eligible_min_deadline(&queue);
+            let queue_deadline = eligible_min_deadline(&queue, &mut seen_clients);
             let resume_pick = suspended
                 .iter()
                 .enumerate()
@@ -1626,12 +1973,12 @@ fn run_pod_loop(
                 (sched.tiles.clone(), sched.final_drain)
             } else {
                 (
-                    vec![TilePhase {
+                    Arc::new(vec![TilePhase {
                         rows: 0,
                         cols: 0,
                         cycles: cycles as u64,
                         dram_bytes: dispatch_dram_bytes(batch.shape, pr, pc),
-                    }],
+                    }]),
                     0,
                 )
             };
@@ -1732,11 +2079,18 @@ fn run_pod_loop(
         // running coalesced batch join it in flight instead of waiting.
         if pod.scheduler.admits_inflight_joins() && !queue.is_empty() {
             let max_batch = pod.scheduler.max_batch();
+            // `seen_clients` tracks clients with an entry strictly
+            // before `qi`: removing the entry *at* `qi` leaves it
+            // untouched, advancing past one adds it — so the
+            // own-earlier test is O(1) instead of re-scanning the
+            // queue prefix per candidate.
+            seen_clients.clear();
             let mut qi = 0;
             while qi < queue.len() {
                 let cand = queue[qi];
-                let own_earlier = queue.iter().take(qi).any(|r| r.client == cand.client);
+                let own_earlier = seen_clients.contains(&cand.client);
                 let Some(key) = cand.batch_key() else {
+                    seen_clients.insert(cand.client);
                     qi += 1;
                     continue;
                 };
@@ -1756,6 +2110,7 @@ fn run_pod_loop(
                     })
                     .min_by_key(|j| j.seq);
                 let Some(job) = target else {
+                    seen_clients.insert(cand.client);
                     qi += 1;
                     continue;
                 };
@@ -1789,8 +2144,11 @@ fn run_pod_loop(
                         job.rest.remove(&old_key);
                     }
                 }
-                job.tiles[last_idx].cycles += delta;
-                job.tiles[last_idx].dram_bytes += delta_bytes;
+                {
+                    let tiles = Arc::make_mut(&mut job.tiles);
+                    tiles[last_idx].cycles += delta;
+                    tiles[last_idx].dram_bytes += delta_bytes;
+                }
                 if job.next_tile < last_idx {
                     let t = &job.tiles[last_idx];
                     *job.rest.entry((t.cycles, t.dram_bytes)).or_insert(0) += 1;
@@ -1857,7 +2215,7 @@ fn run_pod_loop(
             // moves as victims are scheduled to checkpoint), so the most
             // urgent eligible request — and everything derived from it —
             // is loop-invariant.
-            if let Some(ui) = eligible_most_urgent(&queue) {
+            if let Some(ui) = eligible_most_urgent(&queue, &mut seen_clients) {
                 let urgent = queue[ui].deadline;
                 let urgent_shape = queue[ui].workload.shape;
                 let mut urgent_ests: Vec<(ArrayConfig, u64)> = Vec::new();
@@ -1965,7 +2323,7 @@ fn run_pod_loop(
         // or — when work is queued on a pod still warming up — the
         // first array coming online (`free_at` beyond `now` is either a
         // running job's end, already covered, or `available_from`).
-        let mut next = pending.peek().map_or(u64::MAX, |Reverse(p)| p.0.arrival);
+        let mut next = pending.peek_arrival().unwrap_or(u64::MAX);
         if let Some(e) = events.next_end() {
             debug_assert_eq!(
                 Some(e),
@@ -1982,6 +2340,15 @@ fn run_pod_loop(
         debug_assert!(next != u64::MAX && next > now, "simulation stalled");
         now = next;
     }
+
+    // Engine self-measurement rides outside the compared report/event
+    // surface (see `TraceSink::planner_stats`): one call per loop.
+    sink.planner_stats(
+        pod_id,
+        models.plan_stats.hits,
+        models.plan_stats.misses,
+        models.plan_stats.grids_scored,
+    );
 
     let makespan_cycles = completions.iter().map(|c| c.completion).max().unwrap_or(0);
     let slo_met = completions.iter().filter(|c| c.met_deadline()).count();
@@ -2037,9 +2404,161 @@ mod tests {
     use super::*;
     use crate::generator::WorkloadMix;
     use crate::request::{RequestClass, SloBudgets};
+    use proptest::prelude::*;
 
     fn small_pod(arch: Architecture) -> PodConfig {
         PodConfig::homogeneous(2, arch, 16)
+    }
+
+    /// `ModelCache::schedule_total` answers from the closed-form
+    /// runtime model when no tile walk is cached; that value must equal
+    /// `TileSchedule::total_cycles()` of the walk it stands in for,
+    /// bit-for-bit, or join-path shape deltas drift off dispatch
+    /// billing.
+    #[test]
+    fn schedule_total_matches_walk() {
+        for (arch, side) in [
+            (Architecture::Axon, 32),
+            (Architecture::Conventional, 16),
+            (Architecture::Axon, 8),
+        ] {
+            let cfg = ArrayConfig {
+                arch,
+                array: ArrayShape::square(side),
+            };
+            for drain in [DrainPolicy::Overlapped, DrainPolicy::PerTile] {
+                for df in Dataflow::ALL {
+                    for shape in [
+                        GemmShape::new(1, 4096, 4096),
+                        GemmShape::new(8, 4096, 4096),
+                        GemmShape::new(257, 96, 1000),
+                        GemmShape::new(3, 3, 3),
+                        GemmShape::new(640, 640, 1),
+                    ] {
+                        let mut cache = ModelCache::default();
+                        let closed = cache.schedule_total(&cfg, drain, df, shape);
+                        let walk = plan_tiles(&cfg, drain, df, shape).total_cycles();
+                        assert_eq!(closed, walk, "{arch:?} {side} {drain:?} {df:?} {shape}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The candidate-grid enumeration behind both planners: canonical
+    /// strictly-increasing `(pr, pc)` order, no duplicates, and exactly
+    /// the divisor-complete set `{pr, pc ≤ 4, 2 ≤ pr·pc ≤ free_peers}`
+    /// (for `free_peers ≤ 4` the per-dimension cap is implied by the
+    /// array budget, so the closed-form set is the whole contract).
+    #[test]
+    fn shard_grids_enumeration_invariants() {
+        for free_peers in 0..=12 {
+            let grids: Vec<(usize, usize)> = shard_grids(free_peers).collect();
+            assert!(
+                grids.windows(2).all(|w| w[0] < w[1]),
+                "canonical order with no duplicates, free_peers={free_peers}: {grids:?}"
+            );
+            let expect: Vec<(usize, usize)> = (1..=4)
+                .flat_map(|pr| (1..=4).map(move |pc| (pr, pc)))
+                .filter(|&(pr, pc)| (2..=free_peers).contains(&(pr * pc)))
+                .collect();
+            assert_eq!(grids, expect, "free_peers={free_peers}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The cold-pass dominance prune under `PerTile` drain must
+        /// reproduce the full enumeration bit-for-bit — grid, dataflow
+        /// and cycles (the monotonicity argument on
+        /// [`plan_sharding_pruned`], pinned over random shapes).
+        #[test]
+        fn shard_plan_prune_matches_full(
+            m in 1usize..600,
+            n in 1usize..600,
+            t in 1usize..600,
+            free_peers in 0usize..9,
+            side_i in 0usize..3,
+            axon in 0usize..2,
+            mi in 0usize..3,
+        ) {
+            let shape = GemmShape::new(m, n, t);
+            let cfg = ArrayConfig {
+                arch: if axon == 1 { Architecture::Axon } else { Architecture::Conventional },
+                array: ArrayShape::square([8, 16, 32][side_i]),
+            };
+            let mapping = [
+                MappingPolicy::Fixed(Dataflow::Ws),
+                MappingPolicy::MinTemporal,
+                MappingPolicy::BestPerRequest,
+            ][mi];
+            let mut pruned_cache = ModelCache::default();
+            let mut full_cache = ModelCache::default();
+            let pruned = plan_sharding_pruned(
+                &mut pruned_cache, &cfg, mapping, DrainPolicy::PerTile, shape, free_peers,
+            );
+            let full = plan_sharding_full(
+                &mut full_cache, &cfg, mapping, DrainPolicy::PerTile, shape, free_peers, true,
+            );
+            prop_assert_eq!(pruned, full);
+        }
+
+        /// Warm plan-cache answers must equal a fresh cold planner's,
+        /// bit for bit, across random shapes, free-peer counts and
+        /// bandwidth epochs (`co_running_weight`) — for both the
+        /// compute-only and the contended planner. Each case derives a
+        /// query stream from a *small* shape pool with a seeded
+        /// xorshift, so queries repeat and the warm cache genuinely
+        /// answers from memo entries.
+        #[test]
+        fn plan_cache_matches_uncached_planner(
+            seed in 0u64..u64::MAX,
+            pool in 1usize..6,
+            n_queries in 1usize..40,
+            pertile in 0usize..2,
+        ) {
+            let mut s = seed | 1;
+            let mut rng = move |bound: usize| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % bound as u64) as usize
+            };
+            let shapes: Vec<GemmShape> = (0..pool)
+                .map(|_| GemmShape::new(1 + rng(400), 1 + rng(400), 1 + rng(400)))
+                .collect();
+            let pod = PodConfig::homogeneous(4, Architecture::Axon, 16);
+            let cfg = ArrayConfig {
+                arch: Architecture::Axon,
+                array: ArrayShape::square(16),
+            };
+            let mapping = MappingPolicy::BestPerRequest;
+            let drain = if pertile == 1 { DrainPolicy::PerTile } else { DrainPolicy::Overlapped };
+            let shared = SharedDram::new(pod.dram, 2);
+            let mut warm = ModelCache::default();
+            for _ in 0..n_queries {
+                let shape = shapes[rng(shapes.len())];
+                let free_peers = rng(9);
+                let co_w = rng(6);
+                let mut cold = ModelCache::default();
+                prop_assert_eq!(
+                    plan_sharding(&mut warm, &cfg, mapping, drain, shape, free_peers),
+                    plan_sharding(&mut cold, &cfg, mapping, drain, shape, free_peers),
+                );
+                let mut cold = ModelCache::default();
+                prop_assert_eq!(
+                    plan_sharding_contended(
+                        &mut warm, &cfg, mapping, drain, shape, free_peers,
+                        &shared, pod.clock_mhz, co_w,
+                    ),
+                    plan_sharding_contended(
+                        &mut cold, &cfg, mapping, drain, shape, free_peers,
+                        &shared, pod.clock_mhz, co_w,
+                    ),
+                );
+            }
+        }
     }
 
     #[test]
@@ -2479,7 +2998,7 @@ mod tests {
             pr: 1,
             pc: 1,
             rest: rest_of(&sched.tiles, 1),
-            tiles: sched.tiles,
+            tiles: Arc::new(sched.tiles),
             final_drain: sched.final_drain,
             next_tile: 0,
             cur_consumed: 0,

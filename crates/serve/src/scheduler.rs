@@ -183,19 +183,46 @@ fn coalesce_with_head(head: Request, queue: &mut VecDeque<Request>, max_batch: u
     Batch { requests, shape }
 }
 
-/// Indices of the *eligible* queue positions: for each client, only its
-/// oldest queued request may be dispatched next (per-client FIFO). The
-/// pod's urgency checks (resume vs dispatch, preemption) share this
-/// definition so the two layers can never disagree on eligibility.
-pub(crate) fn eligible_indices(queue: &VecDeque<Request>) -> Vec<usize> {
-    let mut seen: HashSet<usize> = HashSet::new();
-    let mut out = Vec::new();
-    for (i, r) in queue.iter().enumerate() {
+/// Earliest deadline among the *eligible* queue positions: for each
+/// client, only its oldest queued request may be dispatched next
+/// (per-client FIFO). The pod's urgency checks (resume vs dispatch,
+/// preemption) share this definition so the two layers can never
+/// disagree on eligibility. Runs on every event, so it takes a caller
+/// scratch set instead of allocating: a single pass where the first
+/// queue entry per client is exactly the eligible set, and `min` over
+/// deadlines is order-free.
+pub(crate) fn eligible_min_deadline(
+    queue: &VecDeque<Request>,
+    seen: &mut HashSet<usize>,
+) -> Option<u64> {
+    seen.clear();
+    let mut best: Option<u64> = None;
+    for r in queue {
         if seen.insert(r.client) {
-            out.push(i);
+            best = Some(best.map_or(r.deadline, |b| b.min(r.deadline)));
         }
     }
-    out
+    best
+}
+
+/// The queue position of the most urgent eligible request (ties by id,
+/// so the pick is deterministic) — the request the pod's preemption
+/// achievability guard sizes its contended service estimate for.
+/// `(deadline, id)` is unique per request (ids are unique), so the
+/// single-pass strict-min pick equals `min_by_key` over the eligible
+/// indices exactly.
+pub(crate) fn eligible_most_urgent(
+    queue: &VecDeque<Request>,
+    seen: &mut HashSet<usize>,
+) -> Option<usize> {
+    seen.clear();
+    let mut best: Option<(u64, usize, usize)> = None;
+    for (i, r) in queue.iter().enumerate() {
+        if seen.insert(r.client) && best.is_none_or(|(d, id, _)| (r.deadline, r.id) < (d, id)) {
+            best = Some((r.deadline, r.id, i));
+        }
+    }
+    best.map(|(_, _, i)| i)
 }
 
 /// Strict arrival order, one request per dispatch.

@@ -339,6 +339,19 @@ pub trait TraceSink {
     /// Receives one event from pod `pod` (declaration index; 0 for
     /// single-pod runs).
     fn record(&mut self, pod: usize, event: TraceEvent);
+
+    /// Receives pod `pod`'s dispatch-planner counters once, when its
+    /// loop finishes: plan-cache hits and misses, and candidate grids
+    /// scored by cold planner passes.
+    ///
+    /// Deliberately *not* a [`TraceEvent`] and default no-op: the
+    /// differential harness compares reports and event streams
+    /// bit-for-bit against the reference engine, which has no plan
+    /// cache — engine self-measurement must ride outside the compared
+    /// surface.
+    fn planner_stats(&mut self, pod: usize, hits: u64, misses: u64, grids_scored: u64) {
+        let _ = (pod, hits, misses, grids_scored);
+    }
 }
 
 /// The disabled sink: reports `enabled() == false`, so the engines skip
@@ -550,6 +563,12 @@ pub struct SimProfile {
     pub retime_jobs_touched: u64,
     /// Dispatches observed.
     pub dispatches: u64,
+    /// Dispatch-plan cache hits ([`TraceSink::planner_stats`]).
+    pub plan_cache_hits: u64,
+    /// Dispatch-plan cache misses (cold planner passes).
+    pub plan_cache_misses: u64,
+    /// Candidate grids scored by cold planner passes.
+    pub plan_grids_scored: u64,
 }
 
 impl SimProfile {
@@ -562,6 +581,9 @@ impl SimProfile {
             retime_passes: 0,
             retime_jobs_touched: 0,
             dispatches: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_grids_scored: 0,
         }
     }
 
@@ -586,6 +608,9 @@ impl SimProfile {
             } else {
                 self.retime_jobs_touched as f64 / self.retime_passes as f64
             },
+            plan_cache_hits: self.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses,
+            plan_grids_scored: self.plan_grids_scored,
         }
     }
 }
@@ -609,6 +634,12 @@ impl TraceSink for SimProfile {
             _ => {}
         }
     }
+
+    fn planner_stats(&mut self, _pod: usize, hits: u64, misses: u64, grids_scored: u64) {
+        self.plan_cache_hits += hits;
+        self.plan_cache_misses += misses;
+        self.plan_grids_scored += grids_scored;
+    }
 }
 
 /// What [`SimProfile::finish`] reports: the simulator's own speed.
@@ -631,6 +662,13 @@ pub struct ProfileReport {
     pub retime_jobs_touched: u64,
     /// Mean jobs touched per retime pass.
     pub mean_jobs_per_retime: f64,
+    /// Dispatch-plan cache hits across all pods.
+    pub plan_cache_hits: u64,
+    /// Dispatch-plan cache misses (cold planner passes).
+    pub plan_cache_misses: u64,
+    /// Candidate grids scored by cold planner passes (the `1×1`
+    /// no-shard baseline included).
+    pub plan_grids_scored: u64,
 }
 
 /// Checks the lifecycle-conservation laws over a recorded event stream:

@@ -14,15 +14,15 @@
 //! matrix cells, and the cluster section pins a 1-pod fleet under all
 //! six routers to the reference pod engine.
 
-use axon_core::runtime::Architecture;
+use axon_core::runtime::{Architecture, DrainPolicy};
 use axon_serve::reference::{
     simulate_pod_reference, simulate_pod_reference_traced, simulate_pod_trace_reference_traced,
 };
 use axon_serve::{
     simulate_cluster_traced, simulate_pod, simulate_pod_trace_traced, simulate_pod_traced,
     ArrivalProcess, ClusterConfig, ClusterPodConfig, MemoryModel, PodConfig, PreemptionMode,
-    RecordingSink, RequestGenerator, RouterPolicy, SchedulerPolicy, ShardPlanner, TraceEvent,
-    TrafficConfig, WorkloadMix,
+    RecordingSink, Request, RequestGenerator, RouterPolicy, SchedulerPolicy, ShardPlanner,
+    TraceEvent, TrafficConfig, WorkloadMix,
 };
 use proptest::prelude::*;
 
@@ -206,6 +206,125 @@ fn one_pod_cluster_matches_reference_under_every_router() {
             "{}: event stream diverged",
             router.name()
         );
+    }
+}
+
+/// Sharding-heavy streams through the dispatch-plan cache: a low shard
+/// threshold sends most dispatches through the planner, and the
+/// repeated decode/GEMV shapes of the mix make the warm cache answer
+/// most of them from memo entries — under both drain policies (the
+/// `PerTile` cold pass prunes dominated grids, `Overlapped` enumerates
+/// fully) and both planners (compute-only and contended). The reference
+/// engine re-enumerates every grid on every dispatch; any cache-key or
+/// prune defect diverges here.
+#[test]
+fn sharding_heavy_stream_matches_reference() {
+    for drain in [DrainPolicy::PerTile, DrainPolicy::Overlapped] {
+        for (memory, planner) in [
+            (MemoryModel::Unconstrained, ShardPlanner::ComputeOnly),
+            (
+                MemoryModel::Shared { channels: 2 },
+                ShardPlanner::BandwidthAware,
+            ),
+        ] {
+            let mut pod = matrix_pod(SchedulerPolicy::Fifo, memory, PreemptionMode::TileBoundary);
+            pod.drain = drain;
+            // Low threshold + sparse arrivals: free peers are usually
+            // available, so the planner runs on most dispatches.
+            let pod = pod.with_shard_min_macs(Some(1 << 14));
+            let traffic = matrix_traffic(4242, 60, 2_500.0);
+            assert_pod_identical(
+                &pod,
+                &traffic,
+                &format!("sharding-heavy {planner:?} / {drain:?}"),
+            );
+        }
+    }
+}
+
+/// Calendar-queue stress: zero think time makes every completion
+/// reissue an arrival at the completion cycle itself (a push exactly at
+/// the window anchor), and a dense open-loop burst piles many requests
+/// into single buckets with duplicated arrival cycles — both must drain
+/// in the exact `(arrival, id)` order of the reference engine's heap.
+#[test]
+fn bursty_and_zero_think_arrivals_match_reference() {
+    let pod = matrix_pod(
+        SchedulerPolicy::Continuous { max_batch: 4 },
+        MemoryModel::Shared { channels: 2 },
+        PreemptionMode::TileBoundary,
+    );
+    let zero_think = TrafficConfig {
+        arrival: ArrivalProcess::ClosedLoop { think_cycles: 0 },
+        ..matrix_traffic(909, 40, 400.0)
+    };
+    assert_pod_identical(&pod, &zero_think, "closed-loop zero think");
+    let burst = matrix_traffic(911, 80, 10.0);
+    assert_pod_identical(&pod, &burst, "dense arrival burst");
+}
+
+/// Multi-pod cluster replay with the fleet-wide shared `ModelCache`
+/// (the public entry point always shares): every pod's report and event
+/// stream must equal the frozen reference engine run on exactly the
+/// sub-trace the router assigned that pod — recovered here from the
+/// `Routed` events, which the routing pass records in trace order.
+#[test]
+fn multi_pod_shared_cache_cluster_matches_reference_per_pod() {
+    let pods = vec![
+        ClusterPodConfig::new(matrix_pod(
+            SchedulerPolicy::Continuous { max_batch: 4 },
+            MemoryModel::Shared { channels: 2 },
+            PreemptionMode::TileBoundary,
+        )),
+        ClusterPodConfig::new(matrix_pod(
+            SchedulerPolicy::Fifo,
+            MemoryModel::Shared { channels: 2 },
+            PreemptionMode::Disabled,
+        )),
+        ClusterPodConfig::new(matrix_pod(
+            SchedulerPolicy::Continuous { max_batch: 4 },
+            MemoryModel::Shared { channels: 2 },
+            PreemptionMode::TileBoundary,
+        )),
+    ];
+    let cluster = ClusterConfig::new(pods.clone(), RouterPolicy::JoinShortestQueue);
+    let traffic = matrix_traffic(313, 60, 500.0);
+    let mut sink = RecordingSink::default();
+    let r = simulate_cluster_traced(&cluster, &traffic, &mut sink);
+
+    // The cluster generates this exact stream internally, then routes
+    // request-by-request in trace order.
+    let mut gen = RequestGenerator::new(&traffic);
+    let trace = gen.open_loop_trace(500.0, 4);
+    let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); pods.len()];
+    for (_, e) in &sink.events {
+        if let TraceEvent::Routed { id, pod, .. } = e {
+            let req = trace
+                .iter()
+                .find(|r| r.id == *id)
+                .copied()
+                .expect("routed id must come from the generated trace");
+            assigned[*pod].push(req);
+        }
+    }
+    assert_eq!(
+        assigned.iter().map(Vec::len).sum::<usize>(),
+        trace.len(),
+        "every request routes exactly once"
+    );
+
+    for (i, sub) in assigned.iter().enumerate() {
+        let mut ref_sink = RecordingSink::default();
+        let reference = simulate_pod_trace_reference_traced(&pods[i].pod, sub, &mut ref_sink);
+        assert_eq!(r.per_pod[i], reference, "pod {i}: report diverged");
+        let pod_events: Vec<TraceEvent> = sink
+            .events
+            .iter()
+            .filter(|(p, e)| *p == i && !matches!(e, TraceEvent::Routed { .. }))
+            .map(|(_, e)| e.clone())
+            .collect();
+        let ref_events: Vec<TraceEvent> = ref_sink.events.into_iter().map(|(_, e)| e).collect();
+        assert_eq!(pod_events, ref_events, "pod {i}: event stream diverged");
     }
 }
 
