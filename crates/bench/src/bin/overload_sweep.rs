@@ -1,0 +1,111 @@
+//! Overload sweep on one Axon pod (4x 128x128 arrays, FIFO): goodput
+//! under accept-all vs queue-cap vs deadline-infeasible admission as
+//! offered load climbs from half capacity to 2x overload.
+//!
+//! ```sh
+//! cargo run --release -p axon-bench --bin overload_sweep
+//! cargo run --release -p axon-bench --bin overload_sweep -- --smoke
+//! cargo run --release -p axon-bench --bin overload_sweep -- --json out.json
+//! ```
+//!
+//! Computation in [`axon_bench::overload`]; admission semantics are
+//! documented in `docs/traffic.md`. The binary asserts the headline
+//! result at every swept factor up to 2x: each admission policy's
+//! goodput is at least accept-all's on the bit-identical trace, and
+//! past saturation neither admission policy's goodput falls more than
+//! `COLLAPSE_TOLERANCE` below its own 1x value (no congestion
+//! collapse).
+
+use axon_bench::overload::{
+    collapse_violations, goodput_regressions, overload_ladder, overload_sweep, overload_to_json,
+    OverloadCurve, BASE_RPS, COLLAPSE_TOLERANCE,
+};
+use axon_bench::series::json_path_from_args;
+
+const SEED: u64 = 2026;
+
+fn print_curve(c: &OverloadCurve) {
+    println!("--- {} ---", c.config.label);
+    println!(
+        "{:>8}{:>12}{:>12}{:>12}{:>10}{:>8}{:>9}{:>9}",
+        "factor", "offered/s", "achieved/s", "goodput/s", "admitted", "shed", "slo met", "late"
+    );
+    for p in &c.points {
+        println!(
+            "{:>8.2}{:>12.0}{:>12.0}{:>12.0}{:>10}{:>8}{:>9}{:>9}",
+            p.factor,
+            p.offered_rps,
+            p.achieved_rps,
+            p.goodput_rps,
+            p.admitted,
+            p.shed,
+            p.slo_met,
+            p.slo_violations
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (factors, requests): (Vec<f64>, usize) = if smoke {
+        (vec![1.0, 1.5, 2.0], 400)
+    } else {
+        (vec![0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0], 2000)
+    };
+
+    println!(
+        "Overload sweep — 4x 128x128 Axon pod, FIFO, mixed SLO classes, seed {SEED}, \
+         {requests} requests/point, base load {BASE_RPS:.0} req/s"
+    );
+    println!("(identical request traces into every admission policy at each factor)\n");
+
+    let curves: Vec<OverloadCurve> = overload_ladder()
+        .into_iter()
+        .map(|c| overload_sweep(c, &factors, requests, SEED))
+        .collect();
+    for c in &curves {
+        print_curve(c);
+    }
+
+    let accept_all = curves
+        .iter()
+        .find(|c| c.config.label == "accept-all")
+        .expect("ladder contains accept-all");
+    for c in curves.iter().filter(|c| c.config.label != "accept-all") {
+        let regressions = goodput_regressions(c, accept_all);
+        assert!(
+            regressions.is_empty(),
+            "{} goodput fell below accept-all at (factor, ours, theirs): {regressions:?}",
+            c.config.label
+        );
+        let collapses = collapse_violations(c);
+        assert!(
+            collapses.is_empty(),
+            "{} goodput collapsed past saturation at (factor, goodput, floor): {collapses:?}",
+            c.config.label
+        );
+        let top = c.points.last().expect("swept at least one factor");
+        assert!(
+            top.shed > 0,
+            "{} should shed at {}x overload: {top:?}",
+            c.config.label,
+            top.factor
+        );
+        println!(
+            "{}: goodput >= accept-all at all {} factors, \
+             within {:.0}% of its 1x goodput past saturation",
+            c.config.label,
+            factors.len(),
+            COLLAPSE_TOLERANCE * 100.0
+        );
+    }
+    println!("\naccept-all queues every doomed request and its goodput collapses under");
+    println!("overload; both admission policies shed early and hold their goodput.");
+
+    if let Some(path) = json_path_from_args() {
+        let json = overload_to_json(&curves);
+        json.write_to_file(&path).expect("write --json output");
+        println!("\nwrote {}", path.display());
+    }
+}

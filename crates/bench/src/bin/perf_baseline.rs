@@ -132,6 +132,10 @@ fn main() {
         "  {:>10} plan-cache hits, {} misses, {} grids scored",
         current.plan_cache_hits, current.plan_cache_misses, current.plan_grids_scored
     );
+    println!(
+        "  {:>10} admitted, {} shed",
+        current.requests_admitted, current.requests_shed
+    );
 
     if let Some(budget_s) = opts.budget_s {
         if current.wall_s > budget_s {

@@ -14,6 +14,7 @@ pub mod contention;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod overload;
 pub mod perf;
 pub mod policy;
 pub mod series;

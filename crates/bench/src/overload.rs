@@ -1,0 +1,286 @@
+//! Overload sweep: goodput under admission control vs accept-all as
+//! offered load climbs past pod capacity (the `overload_sweep` binary).
+//!
+//! The scenario fixes the pod and the traffic shape — the 4x 128x128
+//! Axon pod and mixed SLO-class traffic of [`crate::policy`], under
+//! FIFO — and sweeps the *overload factor*: offered load as a multiple
+//! of [`BASE_RPS`], the load the accept-all pod saturates near. Each
+//! factor compares three front doors on the bit-identical request
+//! trace:
+//!
+//! * `accept-all` — every arrival queues; under overload the queue
+//!   grows without bound, every request's queueing delay blows its
+//!   deadline, and goodput (in-SLO completions per second) collapses;
+//! * `queue-cap` — a bounded queue sheds arrivals past a depth cap,
+//!   keeping queueing delay (and thus goodput) bounded;
+//! * `deadline-infeasible` — sheds exactly the requests whose
+//!   optimistic completion estimate already misses their deadline, the
+//!   classic goodput-maximizing admission test.
+//!
+//! The binary asserts the headline inequality the admission layer
+//! exists for: at **every** swept factor up to 2x, each admission
+//! policy's goodput is at least accept-all's, and past saturation it
+//! stays within [`COLLAPSE_TOLERANCE`] of its own 1x value (no
+//! congestion collapse) while accept-all's falls off a cliff. The
+//! semantics of the admission policies are documented in
+//! `docs/traffic.md`.
+
+use crate::policy::{policy_mix, policy_slo};
+use crate::series::Json;
+use crate::sweep::run_sweep_parallel;
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    simulate_pod, AdmissionPolicy, MappingPolicy, PodConfig, SchedulerPolicy, ServingReport,
+    TrafficConfig,
+};
+
+/// Offered load at overload factor 1.0, requests per second: chosen at
+/// the sweep pod's saturation knee (accept-all achieved throughput
+/// stops tracking offered load just above it).
+pub const BASE_RPS: f64 = 95_000.0;
+
+/// How far below its own 1x goodput an admission policy may fall at
+/// any factor past saturation: `goodput(f) >= (1 - tolerance) *
+/// goodput(1.0)` for every swept `f > 1`. Accept-all fails this bound
+/// by design — that is the collapse the admission layer removes.
+pub const COLLAPSE_TOLERANCE: f64 = 0.30;
+
+/// A named admission configuration the sweep compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Sweep label (`accept-all`, `queue-cap`, `deadline-infeasible`).
+    pub label: &'static str,
+    /// The pod's front-door policy.
+    pub admission: AdmissionPolicy,
+}
+
+/// The admission ladder the sweep walks.
+pub fn overload_ladder() -> Vec<OverloadConfig> {
+    vec![
+        OverloadConfig {
+            label: "accept-all",
+            admission: AdmissionPolicy::AcceptAll,
+        },
+        OverloadConfig {
+            label: "queue-cap",
+            admission: AdmissionPolicy::QueueCap { max_depth: 16 },
+        },
+        OverloadConfig {
+            label: "deadline-infeasible",
+            admission: AdmissionPolicy::DeadlineInfeasible,
+        },
+    ]
+}
+
+/// The sweep pod: the policy-sweep pod under FIFO with `admission`
+/// installed. FIFO is deliberate: it is the discipline the admission
+/// outlook's wait model (`queued_work / arrays`) describes, and the
+/// one where accept-all's unbounded queue visibly destroys goodput —
+/// EDF already reorders doomed work out of the way, which is the
+/// *scheduling* answer to overload ([`crate::policy`]); this sweep
+/// measures the *admission* answer.
+pub fn overload_pod(admission: AdmissionPolicy) -> PodConfig {
+    PodConfig::homogeneous(4, Architecture::Axon, 128)
+        .with_mapping(MappingPolicy::MinTemporal)
+        .with_scheduler(SchedulerPolicy::Fifo)
+        .with_admission(admission)
+}
+
+/// One measured operating point of an admission policy under overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPoint {
+    /// Offered load as a multiple of [`BASE_RPS`].
+    pub factor: f64,
+    /// Offered load (requests per second of the arrival process).
+    pub offered_rps: f64,
+    /// Achieved throughput (completions over makespan).
+    pub achieved_rps: f64,
+    /// In-SLO completions over makespan — the headline.
+    pub goodput_rps: f64,
+    /// Requests admitted (equals completions: open loop).
+    pub admitted: usize,
+    /// Requests shed at the front door.
+    pub shed: usize,
+    /// In-SLO completions.
+    pub slo_met: usize,
+    /// Served-but-late completions.
+    pub slo_violations: usize,
+}
+
+impl OverloadPoint {
+    fn from_report(factor: f64, offered_rps: f64, r: &ServingReport) -> Self {
+        let m = &r.metrics;
+        OverloadPoint {
+            factor,
+            offered_rps,
+            achieved_rps: m.throughput_rps(),
+            goodput_rps: m.goodput_rps(),
+            admitted: m.completed,
+            shed: m.shed,
+            slo_met: m.slo_met,
+            slo_violations: m.slo_violations,
+        }
+    }
+}
+
+/// An admission policy's full overload curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadCurve {
+    /// The swept admission configuration.
+    pub config: OverloadConfig,
+    /// Points in overload-factor order.
+    pub points: Vec<OverloadPoint>,
+}
+
+impl OverloadCurve {
+    /// The point at `factor`, if swept.
+    pub fn at(&self, factor: f64) -> Option<&OverloadPoint> {
+        self.points.iter().find(|p| p.factor == factor)
+    }
+}
+
+/// Sweeps overload `factors` (multiples of [`BASE_RPS`]) through the
+/// sweep pod under `config`. Every policy and factor reuses `seed`, so
+/// all curves see the bit-identical request trace at each factor.
+pub fn overload_sweep(
+    config: OverloadConfig,
+    factors: &[f64],
+    requests: usize,
+    seed: u64,
+) -> OverloadCurve {
+    let pod = overload_pod(config.admission);
+    let points = run_sweep_parallel(factors, |&factor| {
+        let rps = BASE_RPS * factor;
+        let mean_interarrival = pod.clock_mhz * 1e6 / rps;
+        let traffic = TrafficConfig::open_loop(seed, requests, mean_interarrival)
+            .with_mix(policy_mix())
+            .with_slo(policy_slo());
+        let report = simulate_pod(&pod, &traffic);
+        OverloadPoint::from_report(factor, rps, &report)
+    });
+    OverloadCurve { config, points }
+}
+
+/// Checks the headline inequality: at every factor, `admission`'s
+/// goodput is at least `accept_all`'s. Both curves must cover the same
+/// factors. Returns the violations as `(factor, admission_goodput,
+/// accept_all_goodput)`.
+pub fn goodput_regressions(
+    admission: &OverloadCurve,
+    accept_all: &OverloadCurve,
+) -> Vec<(f64, f64, f64)> {
+    admission
+        .points
+        .iter()
+        .zip(&accept_all.points)
+        .filter(|(a, b)| {
+            debug_assert_eq!(a.factor, b.factor);
+            a.goodput_rps < b.goodput_rps
+        })
+        .map(|(a, b)| (a.factor, a.goodput_rps, b.goodput_rps))
+        .collect()
+}
+
+/// Checks the no-collapse bound: at every swept factor past 1.0, the
+/// curve's goodput stays within [`COLLAPSE_TOLERANCE`] of its own 1.0
+/// value. Returns the violations as `(factor, goodput, floor)`.
+///
+/// # Panics
+///
+/// The curve must include factor 1.0 — the bound is relative to it.
+pub fn collapse_violations(curve: &OverloadCurve) -> Vec<(f64, f64, f64)> {
+    let at_one = curve
+        .at(1.0)
+        .expect("overload sweep must include factor 1.0")
+        .goodput_rps;
+    let floor = at_one * (1.0 - COLLAPSE_TOLERANCE);
+    curve
+        .points
+        .iter()
+        .filter(|p| p.factor > 1.0 && p.goodput_rps < floor)
+        .map(|p| (p.factor, p.goodput_rps, floor))
+        .collect()
+}
+
+/// Machine-readable form of the sweep.
+pub fn overload_to_json(curves: &[OverloadCurve]) -> Json {
+    Json::obj([(
+        "admission",
+        Json::arr(curves.iter().map(|c| {
+            Json::obj([
+                ("label", Json::str(c.config.label)),
+                (
+                    "points",
+                    Json::arr(c.points.iter().map(|p| {
+                        Json::obj([
+                            ("factor", Json::num(p.factor)),
+                            ("offered_rps", Json::num(p.offered_rps)),
+                            ("achieved_rps", Json::num(p.achieved_rps)),
+                            ("goodput_rps", Json::num(p.goodput_rps)),
+                            ("admitted", Json::num(p.admitted as f64)),
+                            ("shed", Json::num(p.shed as f64)),
+                            ("slo_met", Json::num(p.slo_met as f64)),
+                            ("slo_violations", Json::num(p.slo_violations as f64)),
+                        ])
+                    })),
+                ),
+            ])
+        })),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(label: &str, factors: &[f64], requests: usize) -> OverloadCurve {
+        let config = overload_ladder()
+            .into_iter()
+            .find(|c| c.label == label)
+            .expect("known admission label");
+        overload_sweep(config, factors, requests, 2026)
+    }
+
+    #[test]
+    fn ladder_labels_are_unique_and_start_with_accept_all() {
+        let ladder = overload_ladder();
+        assert_eq!(ladder[0].admission, AdmissionPolicy::AcceptAll);
+        for (i, a) in ladder.iter().enumerate() {
+            for b in &ladder[i + 1..] {
+                assert_ne!(a.label, b.label);
+            }
+        }
+    }
+
+    #[test]
+    fn admission_beats_accept_all_at_overload() {
+        // A scaled-down smoke of the binary's headline assertion.
+        let factors = [1.0, 2.0];
+        let accept = curve("accept-all", &factors, 300);
+        let infeasible = curve("deadline-infeasible", &factors, 300);
+        assert!(
+            goodput_regressions(&infeasible, &accept).is_empty(),
+            "admission goodput fell below accept-all: {:?} vs {:?}",
+            infeasible.points,
+            accept.points
+        );
+        let two = infeasible.at(2.0).unwrap();
+        assert!(two.shed > 0, "2x overload should shed: {two:?}");
+    }
+
+    #[test]
+    fn conservation_holds_per_point() {
+        for p in &curve("queue-cap", &[2.0], 300).points {
+            assert_eq!(p.admitted + p.shed, 300, "{p:?}");
+            assert_eq!(p.slo_met + p.slo_violations, p.admitted, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn overload_json_is_parseable_shape() {
+        let j = overload_to_json(&[curve("accept-all", &[1.0], 100)]).to_string();
+        assert!(j.contains(r#""label":"accept-all""#));
+        assert!(j.contains(r#""goodput_rps""#));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -31,13 +31,19 @@ use std::path::{Path, PathBuf};
 pub const PERF_SCHEMA: &str = "axon-perf-v1";
 
 /// This PR's index in the `BENCH_<n>.json` trajectory.
-pub const BENCH_INDEX: u64 = 9;
+pub const BENCH_INDEX: u64 = 10;
 
 /// The first trajectory index whose committed JSON must carry the
 /// dispatch-planner counters (`plan_cache_hits` / `plan_cache_misses` /
 /// `plan_grids_scored`). Earlier files predate the plan cache and parse
 /// with the counters defaulted to zero.
 pub const PLANNER_FIELDS_SINCE: u64 = 9;
+
+/// The first trajectory index whose committed JSON must carry the
+/// admission counters (`requests_admitted` / `requests_shed`). Earlier
+/// files predate admission control and parse with the counters
+/// defaulted to zero.
+pub const SHED_FIELDS_SINCE: u64 = 10;
 
 /// The regression gate: fail when throughput drops below
 /// `1 - MAX_SLOWDOWN` of the committed baseline.
@@ -100,6 +106,13 @@ pub struct PerfReport {
     pub plan_cache_misses: u64,
     /// Candidate grids scored across cold passes (deterministic).
     pub plan_grids_scored: u64,
+    /// Requests admitted past admission control (deterministic;
+    /// BENCH_10+).
+    pub requests_admitted: u64,
+    /// Requests shed by admission control (deterministic; BENCH_10+ —
+    /// zero for the pinned accept-all scenario, pinned so drift is
+    /// visible).
+    pub requests_shed: u64,
     /// Timed repetitions behind the best-of pick.
     pub reps: u64,
 }
@@ -130,6 +143,11 @@ impl PerfReport {
                 "plan_grids_scored",
                 Json::num(self.plan_grids_scored as f64),
             ),
+            (
+                "requests_admitted",
+                Json::num(self.requests_admitted as f64),
+            ),
+            ("requests_shed", Json::num(self.requests_shed as f64)),
             ("reps", Json::num(self.reps as f64)),
         ])
     }
@@ -143,9 +161,10 @@ impl PerfReport {
     ///
     /// # Errors
     ///
-    /// Rejects malformed JSON, a wrong `schema` tag, missing fields, or
-    /// a `BENCH_{PLANNER_FIELDS_SINCE}`+ entry without the planner
-    /// counters.
+    /// Rejects malformed JSON, a wrong `schema` tag, missing fields, a
+    /// `BENCH_{PLANNER_FIELDS_SINCE}`+ entry without the planner
+    /// counters, or a `BENCH_{SHED_FIELDS_SINCE}`+ entry without the
+    /// admission counters.
     pub fn from_json_str(text: &str) -> Result<PerfReport, String> {
         let j = Json::parse(text)?;
         let schema = j
@@ -163,16 +182,17 @@ impl PerfReport {
                 .ok_or(format!("missing numeric `{key}`"))
         };
         let bench_index = num("bench_index")? as u64;
-        let planner = |key: &str| -> Result<u64, String> {
+        let since = |key: &str, floor: u64| -> Result<u64, String> {
             match j.get(key).and_then(Json::as_f64) {
                 Some(v) => Ok(v as u64),
-                None if bench_index < PLANNER_FIELDS_SINCE => Ok(0),
+                None if bench_index < floor => Ok(0),
                 None => Err(format!(
                     "BENCH_{bench_index} must carry `{key}` \
-                     (required since BENCH_{PLANNER_FIELDS_SINCE})"
+                     (required since BENCH_{floor})"
                 )),
             }
         };
+        let planner = |key: &str| since(key, PLANNER_FIELDS_SINCE);
         Ok(PerfReport {
             schema: schema.to_string(),
             bench_index,
@@ -187,6 +207,8 @@ impl PerfReport {
             plan_cache_hits: planner("plan_cache_hits")?,
             plan_cache_misses: planner("plan_cache_misses")?,
             plan_grids_scored: planner("plan_grids_scored")?,
+            requests_admitted: since("requests_admitted", SHED_FIELDS_SINCE)?,
+            requests_shed: since("requests_shed", SHED_FIELDS_SINCE)?,
             reps: num("reps")? as u64,
         })
     }
@@ -257,6 +279,8 @@ fn measure_with(requests: usize, reps: usize, parallel: bool) -> PerfReport {
         plan_cache_hits: p.plan_cache_hits,
         plan_cache_misses: p.plan_cache_misses,
         plan_grids_scored: p.plan_grids_scored,
+        requests_admitted: p.requests_admitted,
+        requests_shed: p.requests_shed,
         reps: reps as u64,
     }
 }
@@ -371,6 +395,8 @@ mod tests {
             plan_cache_hits: 25,
             plan_cache_misses: 15,
             plan_grids_scored: 60,
+            requests_admitted: 100,
+            requests_shed: 0,
             reps: 3,
         }
     }
@@ -401,6 +427,29 @@ mod tests {
         json = json.replace("\"plan_cache_hits\":", "\"x_plan_cache_hits\":");
         let err = PerfReport::from_json_str(&json).unwrap_err();
         assert!(err.contains("plan_cache_hits"), "{err}");
+    }
+
+    #[test]
+    fn shed_counters_are_optional_only_before_bench_10() {
+        // A pre-admission-control entry without the counters parses…
+        let mut old = report(500.0);
+        old.bench_index = SHED_FIELDS_SINCE - 1;
+        let mut json = old.to_json().to_string();
+        for key in ["requests_admitted", "requests_shed"] {
+            json = json.replace(&format!("\"{key}\":"), &format!("\"x_{key}\":"));
+        }
+        let parsed = PerfReport::from_json_str(&json).unwrap();
+        assert_eq!(parsed.requests_admitted, 0);
+        assert_eq!(parsed.requests_shed, 0);
+        // …but the same omission on a BENCH_10+ entry is rejected.
+        let mut new = report(500.0);
+        new.bench_index = SHED_FIELDS_SINCE;
+        let json = new
+            .to_json()
+            .to_string()
+            .replace("\"requests_shed\":", "\"x_requests_shed\":");
+        let err = PerfReport::from_json_str(&json).unwrap_err();
+        assert!(err.contains("requests_shed"), "{err}");
     }
 
     #[test]
@@ -446,6 +495,10 @@ mod tests {
         assert_eq!(a.plan_cache_misses, b.plan_cache_misses);
         assert_eq!(a.plan_grids_scored, b.plan_grids_scored);
         assert!(a.plan_grids_scored >= a.plan_cache_misses);
+        // The pinned scenario is accept-all: everything that arrives
+        // is admitted, nothing sheds.
+        assert_eq!(a.requests_admitted, a.requests);
+        assert_eq!(a.requests_shed, 0);
     }
 
     #[test]
@@ -469,7 +522,7 @@ mod tests {
         let base = report(1000.0);
         let up = delta_line(&report(3120.0), &base);
         assert!(up.starts_with("+212.0%"), "{up}");
-        assert!(up.contains("vs BENCH_9"), "{up}");
+        assert!(up.contains("vs BENCH_10"), "{up}");
         assert!(up.contains("plan cache 25/15 hit/miss"), "{up}");
         assert!(up.contains("60 grids scored"), "{up}");
         let down = delta_line(&report(900.0), &base);

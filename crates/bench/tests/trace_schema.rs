@@ -6,7 +6,9 @@
 //! schema: every file parses, indices match filenames and are unique,
 //! and the gate's baseline discovery picks the newest entry.
 
-use axon_bench::perf::{find_baseline, PerfReport, BENCH_INDEX, PERF_SCHEMA, PLANNER_FIELDS_SINCE};
+use axon_bench::perf::{
+    find_baseline, PerfReport, BENCH_INDEX, PERF_SCHEMA, PLANNER_FIELDS_SINCE, SHED_FIELDS_SINCE,
+};
 use axon_bench::series::Json;
 use axon_core::runtime::Architecture;
 use axon_serve::{
@@ -159,6 +161,32 @@ fn committed_perf_trajectory_parses_under_the_current_schema() {
             assert!(
                 report.plan_grids_scored >= report.plan_cache_misses,
                 "{}: every cold pass scores at least its 1x1 baseline",
+                path.display()
+            );
+        }
+        // The admission counters joined the schema at BENCH_10: newer
+        // entries must carry both fields in the raw JSON, and the
+        // pinned perf scenario is accept-all, so everything that
+        // arrives is admitted and nothing sheds.
+        if idx >= SHED_FIELDS_SINCE {
+            let raw = Json::parse(&text).expect("parsed once already");
+            for key in ["requests_admitted", "requests_shed"] {
+                assert!(
+                    raw.get(key).and_then(Json::as_f64).is_some(),
+                    "{}: BENCH_{idx} must carry numeric `{key}`",
+                    path.display()
+                );
+            }
+            assert_eq!(
+                report.requests_admitted,
+                report.requests,
+                "{}: the pinned scenario is accept-all",
+                path.display()
+            );
+            assert_eq!(
+                report.requests_shed,
+                0,
+                "{}: the pinned scenario never sheds",
                 path.display()
             );
         }

@@ -53,7 +53,7 @@
 //! assert_eq!(report.metrics.routed_per_pod.iter().sum::<usize>(), 60);
 //! ```
 
-use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
+use crate::generator::{RequestGenerator, TrafficConfig};
 use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
 use crate::pod::{
     service_cycles, simulate_pod_trace, simulate_pod_trace_traced_at, PodConfig, ServingReport,
@@ -61,6 +61,7 @@ use crate::pod::{
 };
 use crate::request::{Request, RequestClass};
 use crate::router::{PodRole, PodView, RouterPolicy, RoutingPolicy};
+use crate::scheduler::{AdmissionOutlook, AdmissionPolicy, ShedReason};
 use crate::trace::{NullSink, RecordingSink, TraceEvent, TraceSink};
 use axon_core::runtime::Architecture;
 use axon_core::Tiling;
@@ -158,21 +159,37 @@ pub struct ClusterConfig {
     pub router: RouterPolicy,
     /// Deterministic autoscaling; `None` keeps every pod active.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Front-door admission control, applied at routing time against
+    /// the router-side estimator of the chosen pod: `QueueCap` bounds
+    /// its pruned outstanding count, `DeadlineInfeasible` sheds when
+    /// the booked completion estimate would already blow the deadline.
+    /// A shed request is never booked or assigned (the estimator stays
+    /// honest) and terminates with a [`TraceEvent::Shed`]. Pods may
+    /// additionally run their own [`PodConfig::admission`] policy.
+    pub admission: AdmissionPolicy,
 }
 
 impl ClusterConfig {
-    /// A cluster with every pod active and no autoscaling.
+    /// A cluster with every pod active, no autoscaling, and accept-all
+    /// admission.
     pub fn new(pods: Vec<ClusterPodConfig>, router: RouterPolicy) -> Self {
         ClusterConfig {
             pods,
             router,
             autoscale: None,
+            admission: AdmissionPolicy::AcceptAll,
         }
     }
 
     /// Builder-style autoscale override.
     pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
         self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Builder-style front-door admission override.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
         self
     }
 }
@@ -199,6 +216,10 @@ pub struct ClusterMetrics {
     pub routed_per_pod: Vec<usize>,
     /// Requests re-routed off a failed pod.
     pub rerouted: usize,
+    /// Requests shed by admission control fleet-wide: the router's
+    /// front door ([`ClusterConfig::admission`]) plus every pod's own
+    /// [`PodConfig::admission`] (the sum of `per_pod[i].shed`).
+    pub shed: usize,
     /// Pods that failed mid-run.
     pub failed_pods: usize,
     /// Autoscale activations (cold spares plus warm re-opens).
@@ -280,8 +301,13 @@ impl fmt::Display for ClusterMetrics {
         writeln!(f, "  total   {}", self.total)?;
         writeln!(
             f,
-            "  routed {:?} ({} rerouted, {} pods failed, {} scale-ups, {} scale-downs)",
-            self.routed_per_pod, self.rerouted, self.failed_pods, self.scale_ups, self.scale_downs
+            "  routed {:?} ({} rerouted, {} shed, {} pods failed, {} scale-ups, {} scale-downs)",
+            self.routed_per_pod,
+            self.rerouted,
+            self.shed,
+            self.failed_pods,
+            self.scale_ups,
+            self.scale_downs
         )?;
         write!(
             f,
@@ -379,7 +405,11 @@ fn effective_pod(cfg: &ClusterPodConfig, ready_at: u64) -> PodConfig {
 type EstCache = BTreeMap<(usize, (usize, usize, usize)), u64>;
 
 /// Routes one request: sticky affinity first, the policy on a miss,
-/// then books the estimator. Returns the chosen pod.
+/// then an admission review against the chosen pod's estimator, then
+/// books the estimator. Returns the chosen pod and, when admission
+/// rejects, the shed reason — a shed request is *not* booked, so it
+/// never inflates the outstanding estimate the routers read.
+#[allow(clippy::too_many_arguments)]
 fn route_one(
     req: Request,
     now: u64,
@@ -388,7 +418,8 @@ fn route_one(
     router: &mut dyn RoutingPolicy,
     affinity: &mut BTreeMap<(usize, u8), usize>,
     cache: &mut EstCache,
-) -> usize {
+    admission: AdmissionPolicy,
+) -> (usize, Option<ShedReason>) {
     for s in states.iter_mut() {
         if s.alive {
             s.prune(now);
@@ -454,8 +485,31 @@ fn route_one(
             let p = &pods[target].pod;
             service_cycles(&p.arrays[0], p.mapping, p.drain, Tiling::ScaleUp, shape).1 as u64
         });
+    // Front-door admission against the estimator of the chosen pod.
+    // The outlook collapses to the slot `book` would pick: `start` is
+    // the least-loaded server's free edge, so with `queued_work: 0`
+    // and `arrays: 1` the deadline test is exactly
+    // `booked completion > deadline`.
+    let start = states[target]
+        .server_free
+        .iter()
+        .min()
+        .copied()
+        .expect("pods have at least one array")
+        .max(now)
+        .max(states[target].ready_at);
+    if let Some(reason) = admission.review(&AdmissionOutlook {
+        now: start,
+        deadline: req.deadline,
+        queue_depth: states[target].outstanding.len(),
+        service_estimate: est,
+        queued_work: 0,
+        arrays: 1,
+    }) {
+        return (target, Some(reason));
+    }
     states[target].book(req, now, est);
-    target
+    (target, None)
 }
 
 /// Recomputes a failed pod's report over the completions it finished by
@@ -464,6 +518,10 @@ fn route_one(
 /// prefix cannot attribute them.
 fn truncate_report(mut report: ServingReport, cutoff: u64, arrays: usize) -> ServingReport {
     report.completions.retain(|c| c.completion <= cutoff);
+    // A shed by the pod's own admission policy is terminal the moment
+    // it happens, so sheds at or before the failure survive it (the
+    // request must not be resurrected at a rescue pod).
+    report.shed.retain(|s| s.cycle <= cutoff);
     let cs = &report.completions;
     let slo_met = cs.iter().filter(|c| c.met_deadline()).count();
     let metrics = PodMetrics {
@@ -483,6 +541,7 @@ fn truncate_report(mut report: ServingReport, cutoff: u64, arrays: usize) -> Ser
         inflight_joins: 0,
         slo_met,
         slo_violations: cs.len() - slo_met,
+        shed: report.shed.len(),
         per_class: ClassMetrics::from_completions(cs),
         array_energy_uj: cs.iter().map(|c| c.array_energy_uj).sum(),
         dram_energy_mj: cs.iter().map(|c| c.dram_energy_mj).sum(),
@@ -595,6 +654,8 @@ fn process_failure(
     cache: &mut EstCache,
     reports: &mut [Option<ServingReport>],
     rerouted: &mut usize,
+    admission: AdmissionPolicy,
+    router_shed: &mut usize,
     sink: &mut dyn TraceSink,
 ) {
     states[pi].alive = false;
@@ -609,7 +670,15 @@ fn process_failure(
         simulate_pod_trace(&cfg, &states[pi].assigned)
     };
     let report = truncate_report(full, f, cfg.arrays.len());
-    let kept: BTreeSet<usize> = report.completions.iter().map(|c| c.id).collect();
+    // Terminal on the dead pod: completions it finished by the cut,
+    // plus requests its own admission policy shed by then. Neither may
+    // re-arrive at a rescue pod.
+    let kept: BTreeSet<usize> = report
+        .completions
+        .iter()
+        .map(|c| c.id)
+        .chain(report.shed.iter().map(|s| s.id))
+        .collect();
     if sink.enabled() {
         sink.record(pi, TraceEvent::PodFailed { pod: pi, cycle: f });
         // Forward only the surviving prefix: events of requests (and
@@ -635,6 +704,7 @@ fn process_failure(
                     kept.contains(id)
                 }
                 TraceEvent::BatchJoined { id, .. } => kept.contains(id),
+                TraceEvent::Shed { id, .. } => kept.contains(id),
                 TraceEvent::Dispatched { seq, .. }
                 | TraceEvent::ShardPlanned { seq, .. }
                 | TraceEvent::ShardRefused { seq, .. }
@@ -660,7 +730,7 @@ fn process_failure(
     for mut r in unfinished {
         r.arrival = r.arrival.max(f);
         *rerouted += 1;
-        let to = route_one(r, f, pods, states, router, affinity, cache);
+        let (to, shed_reason) = route_one(r, f, pods, states, router, affinity, cache, admission);
         if sink.enabled() {
             sink.record(
                 pi,
@@ -671,6 +741,33 @@ fn process_failure(
                     cycle: f,
                 },
             );
+        }
+        // The rescue pod's front door may refuse the refugee: its
+        // events were dropped from the dead pod's stream, so it
+        // re-arrives (and terminates) at the rescue pod.
+        if let Some(reason) = shed_reason {
+            *router_shed += 1;
+            if sink.enabled() {
+                sink.record(
+                    to,
+                    TraceEvent::Arrived {
+                        id: r.id,
+                        client: r.client,
+                        class: r.class,
+                        cycle: f,
+                    },
+                );
+                sink.record(
+                    to,
+                    TraceEvent::Shed {
+                        id: r.id,
+                        client: r.client,
+                        class: r.class,
+                        cycle: f,
+                        reason,
+                    },
+                );
+            }
         }
     }
 }
@@ -718,11 +815,14 @@ pub(crate) fn simulate_cluster_traced_impl(
         cluster.pods.iter().all(|p| p.pod.clock_mhz == clock_mhz),
         "cluster pods must share one clock"
     );
-    let ArrivalProcess::OpenLoop { mean_interarrival } = traffic.arrival else {
-        panic!("cluster simulation is open-loop only");
-    };
-    let trace =
-        RequestGenerator::new(traffic).open_loop_trace(mean_interarrival, traffic.num_clients);
+    // Any trace-driven arrival process works at cluster scope — the
+    // router consumes a pre-generated global trace. Only closed-loop
+    // feedback is a per-pod construct.
+    let trace = RequestGenerator::new(traffic)
+        .arrival_trace(&traffic.arrival, traffic.num_clients)
+        .unwrap_or_else(|| {
+            panic!("cluster simulation is trace-driven only (closed-loop is a per-pod construct)")
+        });
 
     let n = cluster.pods.len();
     let initial_active = match cluster.autoscale {
@@ -752,6 +852,7 @@ pub(crate) fn simulate_cluster_traced_impl(
     let mut cache: EstCache = BTreeMap::new();
     let mut reports: Vec<Option<ServingReport>> = vec![None; n];
     let mut rerouted = 0usize;
+    let mut router_shed = 0usize;
     let (mut scale_ups, mut scale_downs) = (0usize, 0usize);
 
     // Failure events in time order; a failure at cycle t happens before
@@ -778,6 +879,8 @@ pub(crate) fn simulate_cluster_traced_impl(
                 &mut cache,
                 &mut reports,
                 &mut rerouted,
+                cluster.admission,
+                &mut router_shed,
                 sink,
             );
             fi += 1;
@@ -792,7 +895,7 @@ pub(crate) fn simulate_cluster_traced_impl(
                 sink,
             );
         }
-        let target = route_one(
+        let (target, shed_reason) = route_one(
             *req,
             req.arrival,
             &cluster.pods,
@@ -800,7 +903,37 @@ pub(crate) fn simulate_cluster_traced_impl(
             router.as_mut(),
             &mut affinity,
             &mut cache,
+            cluster.admission,
         );
+        if let Some(reason) = shed_reason {
+            // Shed at the front door: never booked, never assigned, so
+            // no pod replay will see it — its whole lifecycle (Arrived
+            // then Shed) is emitted here, attributed to the pod that
+            // refused it.
+            router_shed += 1;
+            if sink.enabled() {
+                sink.record(
+                    target,
+                    TraceEvent::Arrived {
+                        id: req.id,
+                        client: req.client,
+                        class: req.class,
+                        cycle: req.arrival,
+                    },
+                );
+                sink.record(
+                    target,
+                    TraceEvent::Shed {
+                        id: req.id,
+                        client: req.client,
+                        class: req.class,
+                        cycle: req.arrival,
+                        reason,
+                    },
+                );
+            }
+            continue;
+        }
         if sink.enabled() {
             sink.record(
                 target,
@@ -825,6 +958,8 @@ pub(crate) fn simulate_cluster_traced_impl(
             &mut cache,
             &mut reports,
             &mut rerouted,
+            cluster.admission,
+            &mut router_shed,
             sink,
         );
         fi += 1;
@@ -900,6 +1035,7 @@ pub(crate) fn simulate_cluster_traced_impl(
         completed: all.len(),
         routed_per_pod: states.iter().map(|s| s.routed).collect(),
         rerouted,
+        shed: router_shed + per_pod.iter().map(|r| r.metrics.shed).sum::<usize>(),
         failed_pods: states.iter().filter(|s| !s.alive).count(),
         scale_ups,
         scale_downs,

@@ -1,11 +1,74 @@
 //! Seeded request generation: workload mixes and arrival processes.
+//!
+//! Beyond the Poisson / closed-loop pair the load sweeps were built on,
+//! the generator speaks the production traffic shapes that actually
+//! break schedulers (see `docs/traffic.md`): [`TraceReplay`] replays a
+//! parsed arrival file verbatim, [`MarkovModulatedPoisson`] cycles
+//! through rate states with exponential dwell times (bursts),
+//! [`Diurnal`] repeats a piecewise rate curve (load-over-the-day), and
+//! [`FlashCrowd`] overlays spike windows on a baseline rate. All of
+//! them are pure functions of `(seed, config)` and produce arrivals in
+//! exact `(arrival, id)` order — the calendar-queue contract.
+//!
+//! [`TraceReplay`]: ArrivalProcess::TraceReplay
+//! [`MarkovModulatedPoisson`]: ArrivalProcess::MarkovModulatedPoisson
+//! [`Diurnal`]: ArrivalProcess::Diurnal
+//! [`FlashCrowd`]: ArrivalProcess::FlashCrowd
 
+use crate::replay::ReplayEntry;
 use crate::request::{Request, RequestClass, SloBudgets};
 use crate::rng::ServeRng;
 use axon_workloads::GemmWorkload;
 
-/// How requests arrive at the pod.
+/// One rate state of a [Markov-modulated Poisson
+/// process](ArrivalProcess::MarkovModulatedPoisson).
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppState {
+    /// Mean cycles between arrivals while this state holds.
+    pub mean_interarrival: f64,
+    /// Mean cycles the process dwells in this state before moving on
+    /// (the actual dwell is drawn exponentially).
+    pub mean_dwell: f64,
+}
+
+/// One segment of a [diurnal rate curve](ArrivalProcess::Diurnal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSegment {
+    /// Segment length in cycles (> 0).
+    pub duration: u64,
+    /// Mean cycles between arrivals inside the segment.
+    pub mean_interarrival: f64,
+}
+
+/// One spike window of a [flash crowd](ArrivalProcess::FlashCrowd).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeWindow {
+    /// Absolute cycle the spike starts at.
+    pub start: u64,
+    /// Spike length in cycles (> 0).
+    pub duration: u64,
+    /// Mean cycles between arrivals inside the spike (typically far
+    /// below the baseline mean).
+    pub mean_interarrival: f64,
+}
+
+/// A `[start, end)` window of constant exponential rate as realized by
+/// one generated trace — the ground truth
+/// [`arrival_trace_with_windows`](RequestGenerator::arrival_trace_with_windows)
+/// hands the statistical tests in `tests/arrivals_stats.rs`, which
+/// check empirical per-window rates against `mean_interarrival`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateWindow {
+    /// First cycle the rate holds at.
+    pub start: u64,
+    /// First cycle past the window.
+    pub end: u64,
+    /// Mean cycles between arrivals inside the window.
+    pub mean_interarrival: f64,
+}
+
+/// How requests arrive at the pod.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Open loop: arrivals are a Poisson-like process with the given mean
     /// inter-arrival time in cycles, independent of completions. This is
@@ -20,6 +83,47 @@ pub enum ArrivalProcess {
         /// Client think time between completion and the next issue.
         think_cycles: u64,
     },
+    /// File-driven replay: arrivals, classes, shapes, clients and
+    /// deadlines all come verbatim from parsed
+    /// [`ReplayEntry`] records (see [`parse_trace`](crate::parse_trace)
+    /// for the `axon-trace-v1` file format). Nothing is drawn from the
+    /// RNG; only ids are reassigned in file order.
+    TraceReplay {
+        /// The parsed trace, in non-decreasing arrival order.
+        entries: Vec<ReplayEntry>,
+    },
+    /// Markov-modulated Poisson process: the rate cycles through
+    /// `states` in declaration order, dwelling in each for an
+    /// exponentially drawn time, emitting Poisson arrivals at that
+    /// state's rate while it holds. Two states (quiet / burst) make the
+    /// classic bursty interrupted-Poisson process.
+    MarkovModulatedPoisson {
+        /// The rate states, visited cyclically from the first.
+        states: Vec<MmppState>,
+    },
+    /// Piecewise rate curve repeated end to end — a load-over-the-day
+    /// shape (overnight trough, morning ramp, evening peak).
+    Diurnal {
+        /// The curve's segments, repeated cyclically from cycle 0.
+        segments: Vec<RateSegment>,
+    },
+    /// Baseline Poisson arrivals with spike windows overlaid: inside
+    /// each spike the mean inter-arrival drops to the spike's own.
+    FlashCrowd {
+        /// Mean cycles between arrivals outside any spike.
+        base_interarrival: f64,
+        /// Spike windows, sorted by start and non-overlapping.
+        spikes: Vec<SpikeWindow>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Whether the process pre-computes its full arrival trace up front
+    /// (everything except [`ClosedLoop`](ArrivalProcess::ClosedLoop),
+    /// whose arrivals are completion-driven).
+    pub fn is_trace_driven(&self) -> bool {
+        !matches!(self, ArrivalProcess::ClosedLoop { .. })
+    }
 }
 
 /// A weighted mix over request classes.
@@ -125,6 +229,31 @@ impl TrafficConfig {
         }
     }
 
+    /// Replay traffic: volume, clients, arrivals, shapes and deadlines
+    /// all come from the parsed trace entries (see
+    /// [`parse_trace`](crate::parse_trace)).
+    /// The seed is kept for config identity only — replay draws nothing
+    /// from the RNG.
+    pub fn trace_replay(seed: u64, entries: Vec<ReplayEntry>) -> Self {
+        let num_clients = entries.iter().map(|e| e.client + 1).max().unwrap_or(1);
+        TrafficConfig {
+            seed,
+            num_requests: entries.len(),
+            num_clients,
+            arrival: ArrivalProcess::TraceReplay { entries },
+            // Mix and SLO are unused by replay: classes and deadlines
+            // come from the file.
+            mix: WorkloadMix::decode_heavy(),
+            slo: SloBudgets::serving_default(),
+        }
+    }
+
+    /// Builder-style arrival-process override.
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
     /// Builder-style mix override.
     pub fn with_mix(mut self, mix: WorkloadMix) -> Self {
         self.mix = mix;
@@ -211,23 +340,214 @@ impl RequestGenerator {
     /// Draws the full open-loop trace: exponential inter-arrivals with
     /// the given mean, clients assigned uniformly. Returns requests in
     /// arrival (= id) order.
+    ///
+    /// Rounding rule: each exponential gap rounds to the nearest whole
+    /// cycle (ties away from zero) and the rounded gaps accumulate in
+    /// exact `u64` arithmetic, so arrival cycles never pass through a
+    /// lossy `f64` running sum — beyond 2^53 cycles an `f64`
+    /// accumulator cannot even represent odd cycles, and truncating it
+    /// silently quantized arrivals to the float spacing.
     pub fn open_loop_trace(&mut self, mean_interarrival: f64, num_clients: usize) -> Vec<Request> {
-        assert!(
-            mean_interarrival >= 0.0 && mean_interarrival.is_finite(),
-            "inter-arrival time must be finite and non-negative"
-        );
-        let mut out = Vec::with_capacity(self.remaining());
-        let mut t = 0.0f64;
-        while self.remaining() > 0 {
-            t += self.rng.exp(mean_interarrival);
-            let client = self.rng.below(num_clients);
-            let r = self
-                .next_request(client, t as u64)
-                .expect("budget checked above");
-            out.push(r);
+        validate_mean(mean_interarrival);
+        self.piecewise_trace(num_clients, move |_| (u64::MAX, mean_interarrival))
+            .0
+    }
+
+    /// Draws the arrival trace for any trace-driven process, or `None`
+    /// for [`ArrivalProcess::ClosedLoop`] (whose arrivals are
+    /// completion-driven and issued inside the pod loop).
+    pub fn arrival_trace(
+        &mut self,
+        arrival: &ArrivalProcess,
+        num_clients: usize,
+    ) -> Option<Vec<Request>> {
+        self.arrival_trace_with_windows(arrival, num_clients)
+            .map(|(trace, _)| trace)
+    }
+
+    /// Like [`arrival_trace`](RequestGenerator::arrival_trace), but also
+    /// returns the realized constant-rate [`RateWindow`]s the trace was
+    /// drawn under (empty for [`ArrivalProcess::TraceReplay`], which
+    /// has no generative rate).
+    pub fn arrival_trace_with_windows(
+        &mut self,
+        arrival: &ArrivalProcess,
+        num_clients: usize,
+    ) -> Option<(Vec<Request>, Vec<RateWindow>)> {
+        match arrival {
+            ArrivalProcess::ClosedLoop { .. } => None,
+            ArrivalProcess::OpenLoop { mean_interarrival } => {
+                validate_mean(*mean_interarrival);
+                let mean = *mean_interarrival;
+                Some(self.piecewise_trace(num_clients, move |_| (u64::MAX, mean)))
+            }
+            ArrivalProcess::TraceReplay { entries } => {
+                Some((self.replay_trace(entries, num_clients), Vec::new()))
+            }
+            ArrivalProcess::MarkovModulatedPoisson { states } => {
+                assert!(!states.is_empty(), "MMPP needs at least one state");
+                for s in states {
+                    validate_mean(s.mean_interarrival);
+                    assert!(
+                        s.mean_dwell > 0.0 && s.mean_dwell.is_finite(),
+                        "MMPP dwell time must be finite and positive"
+                    );
+                }
+                let mut idx = 0usize;
+                Some(self.piecewise_trace(num_clients, move |rng| {
+                    let s = states[idx % states.len()];
+                    idx += 1;
+                    (exp_cycles(rng, s.mean_dwell), s.mean_interarrival)
+                }))
+            }
+            ArrivalProcess::Diurnal { segments } => {
+                assert!(
+                    !segments.is_empty(),
+                    "diurnal curve needs at least one segment"
+                );
+                for s in segments {
+                    validate_mean(s.mean_interarrival);
+                    assert!(s.duration > 0, "diurnal segment duration must be positive");
+                }
+                let mut idx = 0usize;
+                Some(self.piecewise_trace(num_clients, move |_| {
+                    let s = segments[idx % segments.len()];
+                    idx += 1;
+                    (s.duration, s.mean_interarrival)
+                }))
+            }
+            ArrivalProcess::FlashCrowd {
+                base_interarrival,
+                spikes,
+            } => {
+                validate_mean(*base_interarrival);
+                let base = *base_interarrival;
+                // Flatten baseline + spikes into back-to-back windows,
+                // then an unbounded baseline tail.
+                let mut bounds: Vec<(u64, f64)> = Vec::new();
+                let mut cursor = 0u64;
+                for sp in spikes {
+                    validate_mean(sp.mean_interarrival);
+                    assert!(sp.duration > 0, "spike duration must be positive");
+                    assert!(
+                        sp.start >= cursor,
+                        "flash-crowd spikes must be sorted by start and non-overlapping"
+                    );
+                    if sp.start > cursor {
+                        bounds.push((sp.start - cursor, base));
+                    }
+                    bounds.push((sp.duration, sp.mean_interarrival));
+                    cursor = sp.start + sp.duration;
+                }
+                let mut idx = 0usize;
+                Some(self.piecewise_trace(num_clients, move |_| {
+                    let w = bounds.get(idx).copied().unwrap_or((u64::MAX, base));
+                    idx += 1;
+                    w
+                }))
+            }
+        }
+    }
+
+    /// Replays parsed trace entries verbatim, reassigning ids in file
+    /// order and charging each entry against the request budget.
+    fn replay_trace(&mut self, entries: &[ReplayEntry], num_clients: usize) -> Vec<Request> {
+        let mut out = Vec::with_capacity(entries.len().min(self.remaining()));
+        for e in entries {
+            if self.budget == 0 {
+                break;
+            }
+            self.budget -= 1;
+            assert!(
+                e.client < num_clients,
+                "replay entry client {} out of range (num_clients {num_clients})",
+                e.client
+            );
+            let id = self.next_id;
+            self.next_id += 1;
+            out.push(Request {
+                id,
+                client: e.client,
+                class: e.class,
+                workload: e.workload,
+                arrival: e.arrival,
+                deadline: e.deadline,
+            });
         }
         out
     }
+
+    /// The shared piecewise-constant-rate engine: `next_window` yields
+    /// each successive window's `(duration, mean_interarrival)`, laid
+    /// back to back from cycle 0; arrivals inside a window are Poisson
+    /// at its rate.
+    ///
+    /// When a drawn gap crosses the window boundary, the draw is
+    /// discarded and redrawn in the next window — valid because the
+    /// exponential is memoryless, so each window's arrival process
+    /// stays exactly Poisson at its own rate. Gaps round to the nearest
+    /// whole cycle and accumulate in `u64` (see
+    /// [`open_loop_trace`](RequestGenerator::open_loop_trace)).
+    fn piecewise_trace<F>(
+        &mut self,
+        num_clients: usize,
+        mut next_window: F,
+    ) -> (Vec<Request>, Vec<RateWindow>)
+    where
+        F: FnMut(&mut ServeRng) -> (u64, f64),
+    {
+        let mut out = Vec::with_capacity(self.remaining());
+        let mut windows: Vec<RateWindow> = Vec::new();
+        let (dur, mut mean) = next_window(&mut self.rng);
+        let mut window_start = 0u64;
+        let mut window_end = dur.max(1);
+        let mut t = 0u64;
+        while self.remaining() > 0 {
+            let gap = exp_cycles(&mut self.rng, mean);
+            let next = t.saturating_add(gap);
+            if next >= window_end {
+                windows.push(RateWindow {
+                    start: window_start,
+                    end: window_end,
+                    mean_interarrival: mean,
+                });
+                t = window_end;
+                let (dur, m) = next_window(&mut self.rng);
+                mean = m;
+                window_start = window_end;
+                window_end = window_end.saturating_add(dur.max(1));
+                continue;
+            }
+            t = next;
+            let client = self.rng.below(num_clients);
+            out.push(
+                self.next_request(client, t)
+                    .expect("budget checked by the loop"),
+            );
+        }
+        // Close the final (partial) window at the last arrival.
+        if t > window_start {
+            windows.push(RateWindow {
+                start: window_start,
+                end: t,
+                mean_interarrival: mean,
+            });
+        }
+        (out, windows)
+    }
+}
+
+/// One exponential gap, rounded to the nearest whole cycle (ties away
+/// from zero) — the documented integer-cycle accumulation rule.
+fn exp_cycles(rng: &mut ServeRng, mean: f64) -> u64 {
+    rng.exp(mean).round() as u64
+}
+
+fn validate_mean(mean: f64) {
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "inter-arrival time must be finite and non-negative"
+    );
 }
 
 #[cfg(test)]
@@ -279,6 +599,105 @@ mod tests {
             .count() as f64
             / trace.len() as f64;
         assert!((0.80..0.90).contains(&decode), "decode fraction {decode}");
+    }
+
+    #[test]
+    fn open_loop_accumulates_integer_cycles_at_large_t() {
+        // Regression for the silent `t as u64` truncation: with a mean
+        // inter-arrival of 1e16 cycles the running sum passes 2^53
+        // almost immediately, where an f64 accumulator cannot even
+        // represent odd cycle counts (spacing >= 2). Integer
+        // accumulation keeps every rounded gap exact.
+        let cfg = TrafficConfig::open_loop(9, 64, 1e16)
+            .with_mix(WorkloadMix::single(RequestClass::Decode));
+        let trace = RequestGenerator::new(&cfg).open_loop_trace(1e16, cfg.num_clients);
+        assert_eq!(trace.len(), 64);
+        let odd_beyond_f64 = trace
+            .iter()
+            .filter(|r| r.arrival > (1u64 << 53) && r.arrival % 2 == 1)
+            .count();
+        assert!(
+            odd_beyond_f64 > 0,
+            "no odd arrivals beyond 2^53 — arrivals are still f64-quantized"
+        );
+        // And the documented rule is exactly reproducible: each gap
+        // rounds to the nearest cycle, gaps accumulate in u64.
+        let mut rng = ServeRng::new(9);
+        let catalog_len = RequestClass::Decode.catalog().len();
+        let mut t = 0u64;
+        for r in &trace {
+            t = t.saturating_add(rng.exp(1e16).round() as u64);
+            let _client = rng.below(cfg.num_clients);
+            assert_eq!(r.arrival, t);
+            let _class_draw = rng.unit_f64();
+            let _workload = rng.below(catalog_len);
+        }
+    }
+
+    #[test]
+    fn arrival_trace_dispatches_every_trace_driven_model() {
+        let models = [
+            ArrivalProcess::OpenLoop {
+                mean_interarrival: 500.0,
+            },
+            ArrivalProcess::MarkovModulatedPoisson {
+                states: vec![
+                    MmppState {
+                        mean_interarrival: 2_000.0,
+                        mean_dwell: 100_000.0,
+                    },
+                    MmppState {
+                        mean_interarrival: 200.0,
+                        mean_dwell: 20_000.0,
+                    },
+                ],
+            },
+            ArrivalProcess::Diurnal {
+                segments: vec![
+                    RateSegment {
+                        duration: 50_000,
+                        mean_interarrival: 2_000.0,
+                    },
+                    RateSegment {
+                        duration: 50_000,
+                        mean_interarrival: 400.0,
+                    },
+                ],
+            },
+            ArrivalProcess::FlashCrowd {
+                base_interarrival: 2_000.0,
+                spikes: vec![SpikeWindow {
+                    start: 30_000,
+                    duration: 10_000,
+                    mean_interarrival: 100.0,
+                }],
+            },
+        ];
+        for arrival in models {
+            let cfg = TrafficConfig::open_loop(21, 400, 500.0).with_arrival(arrival.clone());
+            let (a, wa) = RequestGenerator::new(&cfg)
+                .arrival_trace_with_windows(&cfg.arrival, cfg.num_clients)
+                .expect("trace-driven");
+            let b = RequestGenerator::new(&cfg)
+                .arrival_trace(&cfg.arrival, cfg.num_clients)
+                .expect("trace-driven");
+            assert_eq!(a, b, "bit determinism for {arrival:?}");
+            assert_eq!(a.len(), 400);
+            for w in a.windows(2) {
+                assert!(w[0].arrival <= w[1].arrival);
+                assert!(w[0].id < w[1].id);
+            }
+            // Windows tile the trace: back to back from cycle 0.
+            assert!(!wa.is_empty());
+            assert_eq!(wa[0].start, 0);
+            for pair in wa.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+        let closed = TrafficConfig::closed_loop(1, 10, 2, 100);
+        assert!(RequestGenerator::new(&closed)
+            .arrival_trace(&closed.arrival, closed.num_clients)
+            .is_none());
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod pod;
 #[cfg(any(test, feature = "reference-engine"))]
 #[doc(hidden)]
 pub mod reference;
+mod replay;
 mod request;
 mod rng;
 mod router;
@@ -88,14 +89,18 @@ pub use cluster::{
     simulate_cluster, simulate_cluster_traced, AutoscaleConfig, ClusterCompletion, ClusterConfig,
     ClusterMetrics, ClusterPodConfig, ClusterReport,
 };
-pub use generator::{ArrivalProcess, RequestGenerator, TrafficConfig, WorkloadMix};
-pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics};
+pub use generator::{
+    ArrivalProcess, MmppState, RateSegment, RateWindow, RequestGenerator, SpikeWindow,
+    TrafficConfig, WorkloadMix,
+};
+pub use metrics::{percentile, ClassMetrics, Completion, LatencySummary, PodMetrics, ShedRecord};
 pub use pod::{
     service_cycles, simulate_pod, simulate_pod_trace, simulate_pod_trace_traced,
     simulate_pod_trace_with_policy, simulate_pod_traced, simulate_pod_with_policy, ArrayConfig,
     MappingPolicy, MemoryModel, PodConfig, PreemptionMode, ServingReport, ShardPlanner,
     SpotCheckConfig,
 };
+pub use replay::{parse_trace, write_trace, ReplayEntry, TRACE_SCHEMA};
 pub use request::{
     batch_key_of, coalesced_shape, serving_transformer, BatchAxis, BatchKey, Request, RequestClass,
     SloBudgets,
@@ -106,7 +111,8 @@ pub use router::{
     RoundRobinRouter, RouterPolicy, RoutingPolicy, SloAwareRouter,
 };
 pub use scheduler::{
-    Batch, CoalescingPolicy, EdfPolicy, FifoPolicy, SchedulerPolicy, SchedulingPolicy, WfqPolicy,
+    AdmissionOutlook, AdmissionPolicy, Batch, CoalescingPolicy, EdfPolicy, FifoPolicy,
+    SchedulerPolicy, SchedulingPolicy, ShedReason, WfqPolicy,
 };
 pub use trace::{
     check_conservation, chrome_trace_json, AggregatingSink, Histogram, NullSink, ProfileReport,

@@ -120,6 +120,30 @@ impl Completion {
     }
 }
 
+/// The rejection record of one shed request — what admission control
+/// turned away, kept on the
+/// [`ServingReport`](crate::ServingReport) beside the completions so
+/// shed accounting survives report truncation (pod failure) without an
+/// event recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedRecord {
+    /// Request id.
+    pub id: usize,
+    /// Client stream.
+    pub client: usize,
+    /// Workload family.
+    pub class: RequestClass,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Absolute completion deadline it could not have met (or the cap
+    /// it ran into).
+    pub deadline: u64,
+    /// Rejection cycle.
+    pub cycle: u64,
+    /// Why admission rejected it.
+    pub reason: crate::scheduler::ShedReason,
+}
+
 /// Latency and SLO attainment of one request class within a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassMetrics {
@@ -205,6 +229,11 @@ pub struct PodMetrics {
     pub slo_met: usize,
     /// Completions past their deadline.
     pub slo_violations: usize,
+    /// Requests shed by admission control — they never entered the
+    /// queue and are *not* counted in `completed`. The conservation
+    /// law: arrivals = `completed` + `shed` (deadline-missed requests
+    /// are served-late completions inside `completed`).
+    pub shed: usize,
     /// Per-class latency/SLO breakdown (classes with traffic only).
     pub per_class: Vec<ClassMetrics>,
     /// Total array (PE/SRAM) energy, microjoules.
@@ -297,6 +326,9 @@ impl fmt::Display for PodMetrics {
             self.inflight_joins,
             100.0 * self.mean_utilization()
         )?;
+        if self.shed > 0 {
+            writeln!(f, "  {} shed by admission control", self.shed)?;
+        }
         if self.bandwidth_stall_cycles > 0 {
             writeln!(
                 f,

@@ -62,10 +62,11 @@
 
 use crate::arrivals::ArrivalCalendar;
 use crate::generator::{ArrivalProcess, RequestGenerator, TrafficConfig};
-use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics};
+use crate::metrics::{ClassMetrics, Completion, LatencySummary, PodMetrics, ShedRecord};
 use crate::request::{coalesced_shape, BatchKey, Request};
 use crate::scheduler::{
-    eligible_min_deadline, eligible_most_urgent, Batch, SchedulerPolicy, SchedulingPolicy,
+    eligible_min_deadline, eligible_most_urgent, AdmissionOutlook, AdmissionPolicy, Batch,
+    SchedulerPolicy, SchedulingPolicy,
 };
 use crate::trace::{NullSink, RequestOutcome, TraceEvent, TraceSink};
 use axon_core::runtime::{
@@ -268,6 +269,11 @@ pub struct PodConfig {
     /// cluster layer bills autoscale spin-up (see
     /// [`AutoscaleConfig`](crate::AutoscaleConfig)).
     pub available_from: u64,
+    /// Front-door admission control. The default
+    /// [`AdmissionPolicy::AcceptAll`] reproduces every earlier result
+    /// bit for bit; the shedding policies reject open-loop arrivals
+    /// that would only add doomed work (see `docs/traffic.md`).
+    pub admission: AdmissionPolicy,
 }
 
 impl PodConfig {
@@ -297,6 +303,7 @@ impl PodConfig {
             planner: ShardPlanner::BandwidthAware,
             spot_check: None,
             available_from: 0,
+            admission: AdmissionPolicy::AcceptAll,
         }
     }
 
@@ -390,6 +397,15 @@ impl PodConfig {
         self.available_from = cycle;
         self
     }
+
+    /// Builder-style admission-control override. Open-loop arrivals
+    /// that fail review are shed (terminal
+    /// [`TraceEvent::Shed`](crate::TraceEvent::Shed)); closed-loop
+    /// arrivals are delayed (backpressure) instead.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
 }
 
 /// Everything a pod run produces.
@@ -399,6 +415,9 @@ pub struct ServingReport {
     pub trace: Vec<Request>,
     /// Per-request completion records, in completion order.
     pub completions: Vec<Completion>,
+    /// Per-request rejection records, in shed order (empty under
+    /// [`AdmissionPolicy::AcceptAll`]).
+    pub shed: Vec<ShedRecord>,
     /// Aggregate metrics.
     pub metrics: PodMetrics,
 }
@@ -1517,12 +1536,9 @@ fn simulate_pod_with_policy_traced(
     sink: &mut dyn TraceSink,
 ) -> ServingReport {
     let mut gen = RequestGenerator::new(traffic);
-    match traffic.arrival {
-        ArrivalProcess::OpenLoop { mean_interarrival } => {
-            let trace = gen.open_loop_trace(mean_interarrival, traffic.num_clients);
-            run_pod_loop(pod, policy, trace, None, sink, 0, None)
-        }
+    match &traffic.arrival {
         ArrivalProcess::ClosedLoop { think_cycles } => {
+            let think_cycles = *think_cycles;
             let mut trace = Vec::new();
             for client in 0..traffic.num_clients {
                 match gen.next_request(client, 0) {
@@ -1539,6 +1555,12 @@ fn simulate_pod_with_policy_traced(
                 0,
                 None,
             )
+        }
+        trace_driven => {
+            let trace = gen
+                .arrival_trace(trace_driven, traffic.num_clients)
+                .expect("every non-closed-loop arrival process is trace-driven");
+            run_pod_loop(pod, policy, trace, None, sink, 0, None)
         }
     }
 }
@@ -1649,6 +1671,13 @@ fn run_pod_loop(
     let mut running: Vec<RunningJob> = Vec::new();
     let mut suspended: Vec<RunningJob> = Vec::new();
     let mut completions: Vec<Completion> = Vec::new();
+    let mut shed: Vec<ShedRecord> = Vec::new();
+    // Closed-loop candidates rejected by admission: backpressure holds
+    // them here and re-offers every iteration until accepted.
+    let mut blocked: VecDeque<Request> = VecDeque::new();
+    let admission = pod.admission;
+    // Closed loop never sheds — rejection becomes backpressure.
+    let backpressure = reissue.is_some();
     let mut now = 0u64;
     let mut seq = 0usize;
     let mut batches = 0usize;
@@ -1813,29 +1842,146 @@ fn run_pod_loop(
 
         // Admit every arrival due by `now` (including same-cycle
         // closed-loop reissues from the finalization above).
-        while pending.peek_arrival().is_some_and(|a| a <= now) {
-            let p = pending.pop().expect("peeked");
-            if sink.enabled() {
-                sink.record(
-                    pod_id,
-                    TraceEvent::Arrived {
-                        id: p.id,
-                        client: p.client,
-                        class: p.class,
-                        cycle: p.arrival,
-                    },
-                );
-                sink.record(
-                    pod_id,
-                    TraceEvent::Enqueued {
-                        id: p.id,
-                        client: p.client,
-                        cycle: now,
-                    },
-                );
+        if admission == AdmissionPolicy::AcceptAll {
+            // The pre-admission hot path, byte for byte: zero review
+            // work, bit-identical to the frozen reference engine.
+            while pending.peek_arrival().is_some_and(|a| a <= now) {
+                let p = pending.pop().expect("peeked");
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::Arrived {
+                            id: p.id,
+                            client: p.client,
+                            class: p.class,
+                            cycle: p.arrival,
+                        },
+                    );
+                    sink.record(
+                        pod_id,
+                        TraceEvent::Enqueued {
+                            id: p.id,
+                            client: p.client,
+                            cycle: now,
+                        },
+                    );
+                }
+                policy.on_enqueue(&p);
+                queue.push_back(p);
             }
-            policy.on_enqueue(&p);
-            queue.push_back(p);
+        } else {
+            // Admission review, in offer order: closed-loop candidates
+            // blocked by an earlier rejection re-offer *before* new
+            // arrivals (a blocked request was first offered no later
+            // than anything still pending).
+            let reoffers: Vec<Request> = blocked.drain(..).collect();
+            let mut due: Vec<Request> = Vec::new();
+            while pending.peek_arrival().is_some_and(|a| a <= now) {
+                due.push(pending.pop().expect("peeked"));
+            }
+            // Queued optimistic service cycles, maintained across the
+            // accepts of this review batch (DeadlineInfeasible only).
+            let mut queued_work = 0u64;
+            let est = |models: &mut ModelCache, r: &Request| -> u64 {
+                models
+                    .service_cycles(
+                        &pod.arrays[0],
+                        pod.mapping,
+                        pod.drain,
+                        Tiling::ScaleUp,
+                        r.workload.shape,
+                    )
+                    .1 as u64
+            };
+            if admission.needs_estimates() {
+                queued_work = queue.iter().map(|r| est(&mut models, r)).sum();
+            }
+            let fresh_from = reoffers.len();
+            for (i, mut p) in reoffers.into_iter().chain(due).enumerate() {
+                let is_reoffer = i < fresh_from;
+                if is_reoffer {
+                    // Backpressure rebases the deadline budget: the
+                    // cycles spent blocked extend the deadline, so the
+                    // SLO clock effectively restarts at accept.
+                    let wait = now - p.arrival;
+                    p.deadline = p.deadline.saturating_add(wait);
+                    p.arrival = now;
+                } else if sink.enabled() {
+                    // Arrived fires exactly once, at first offer.
+                    sink.record(
+                        pod_id,
+                        TraceEvent::Arrived {
+                            id: p.id,
+                            client: p.client,
+                            class: p.class,
+                            cycle: p.arrival,
+                        },
+                    );
+                }
+                let service_estimate = if admission.needs_estimates() {
+                    est(&mut models, &p)
+                } else {
+                    0
+                };
+                let outlook = AdmissionOutlook {
+                    now,
+                    deadline: p.deadline,
+                    queue_depth: queue.len(),
+                    service_estimate,
+                    queued_work,
+                    arrays: n_arrays,
+                };
+                if let Some(reason) = admission.review(&outlook) {
+                    if backpressure {
+                        // Never shed a closed-loop client. A candidate
+                        // the policy rejects even against an empty
+                        // system can never be admitted by waiting —
+                        // admit it now instead of stalling the loop.
+                        if admission.review(&outlook.empty_system()).is_some() {
+                            // fall through to accept
+                        } else {
+                            blocked.push_back(p);
+                            continue;
+                        }
+                    } else {
+                        shed.push(ShedRecord {
+                            id: p.id,
+                            client: p.client,
+                            class: p.class,
+                            arrival: p.arrival,
+                            deadline: p.deadline,
+                            cycle: now,
+                            reason,
+                        });
+                        if sink.enabled() {
+                            sink.record(
+                                pod_id,
+                                TraceEvent::Shed {
+                                    id: p.id,
+                                    client: p.client,
+                                    class: p.class,
+                                    cycle: now,
+                                    reason,
+                                },
+                            );
+                        }
+                        continue;
+                    }
+                }
+                queued_work = queued_work.saturating_add(service_estimate);
+                if sink.enabled() {
+                    sink.record(
+                        pod_id,
+                        TraceEvent::Enqueued {
+                            id: p.id,
+                            client: p.client,
+                            cycle: now,
+                        },
+                    );
+                }
+                policy.on_enqueue(&p);
+                queue.push_back(p);
+            }
         }
 
         // Dispatch onto idle arrays: resume a checkpointed job when
@@ -2314,7 +2460,12 @@ fn run_pod_loop(
             }
         }
 
-        if queue.is_empty() && pending.is_empty() && running.is_empty() {
+        if queue.is_empty() && pending.is_empty() && running.is_empty() && blocked.is_empty() {
+            // `blocked` cannot actually be non-empty here: a review
+            // against an empty queue sees the empty-system outlook and
+            // always accepts (permanently-infeasible candidates
+            // included), and a non-empty queue at review time leaves
+            // the queue or the running set non-empty below.
             debug_assert!(suspended.is_empty(), "suspended job never resumed");
             break;
         }
@@ -2384,6 +2535,7 @@ fn run_pod_loop(
         inflight_joins,
         slo_met,
         slo_violations: completions.len() - slo_met,
+        shed: shed.len(),
         per_class: ClassMetrics::from_completions(&completions),
         array_energy_uj,
         dram_energy_mj,
@@ -2395,6 +2547,7 @@ fn run_pod_loop(
     ServingReport {
         trace,
         completions,
+        shed,
         metrics,
     }
 }

@@ -580,19 +580,30 @@ pub fn simulate_pod_reference(pod: &PodConfig, traffic: &TrafficConfig) -> Servi
 }
 
 /// Reference analogue of [`simulate_pod_traced`](crate::simulate_pod_traced).
+///
+/// Admission control is the one documented carve-out from the
+/// differential surface: the frozen engine predates it, so it only
+/// accepts pods configured with
+/// [`AdmissionPolicy::AcceptAll`](crate::AdmissionPolicy) (asserted
+/// here rather than silently diverging). Trace *generation* is shared
+/// with the fast engine, so every trace-driven arrival model — Poisson,
+/// MMPP, diurnal, flash crowd, replay — is pinned differentially; only
+/// the shedding/backpressure admission behavior is carved out.
 pub fn simulate_pod_reference_traced(
     pod: &PodConfig,
     traffic: &TrafficConfig,
     sink: &mut dyn TraceSink,
 ) -> ServingReport {
+    assert_eq!(
+        pod.admission,
+        crate::scheduler::AdmissionPolicy::AcceptAll,
+        "the reference engine predates admission control"
+    );
     let mut policy = build_reference(pod.scheduler, &pod.client_weights);
     let mut gen = RequestGenerator::new(traffic);
-    match traffic.arrival {
-        ArrivalProcess::OpenLoop { mean_interarrival } => {
-            let trace = gen.open_loop_trace(mean_interarrival, traffic.num_clients);
-            run_pod_loop_reference(pod, policy.as_mut(), trace, None, sink, 0)
-        }
+    match &traffic.arrival {
         ArrivalProcess::ClosedLoop { think_cycles } => {
+            let think_cycles = *think_cycles;
             let mut trace = Vec::new();
             for client in 0..traffic.num_clients {
                 match gen.next_request(client, 0) {
@@ -609,6 +620,12 @@ pub fn simulate_pod_reference_traced(
                 0,
             )
         }
+        trace_driven => {
+            let trace = gen
+                .arrival_trace(trace_driven, traffic.num_clients)
+                .expect("every non-closed-loop arrival process is trace-driven");
+            run_pod_loop_reference(pod, policy.as_mut(), trace, None, sink, 0)
+        }
     }
 }
 
@@ -624,6 +641,11 @@ pub fn simulate_pod_trace_reference_traced(
     trace: &[Request],
     sink: &mut dyn TraceSink,
 ) -> ServingReport {
+    assert_eq!(
+        pod.admission,
+        crate::scheduler::AdmissionPolicy::AcceptAll,
+        "the reference engine predates admission control"
+    );
     let mut policy = build_reference(pod.scheduler, &pod.client_weights);
     run_pod_loop_reference(pod, policy.as_mut(), trace.to_vec(), None, sink, 0)
 }
@@ -1261,6 +1283,9 @@ fn run_pod_loop_reference(
         inflight_joins,
         slo_met,
         slo_violations: completions.len() - slo_met,
+        // The frozen engine predates admission control; the accept-all
+        // assertion at the entry points guarantees nothing sheds.
+        shed: 0,
         per_class: ClassMetrics::from_completions(&completions),
         array_energy_uj,
         dram_energy_mj,
@@ -1272,6 +1297,7 @@ fn run_pod_loop_reference(
     ServingReport {
         trace,
         completions,
+        shed: Vec::new(),
         metrics,
     }
 }

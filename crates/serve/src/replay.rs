@@ -1,0 +1,210 @@
+//! The `axon-trace-v1` arrival-trace replay format: a dependency-free
+//! line format for replaying production arrival traces through
+//! [`ArrivalProcess::TraceReplay`](crate::ArrivalProcess::TraceReplay).
+//!
+//! The format is deliberately minimal (in the spirit of the
+//! hand-rolled `axon_bench::series` JSON layer — no serde):
+//!
+//! ```text
+//! axon-trace-v1
+//! # comment lines and blank lines are skipped
+//! <arrival> <class> <client> <deadline> <workload name>
+//! ```
+//!
+//! * `arrival` / `deadline` — absolute cycles (`u64`), arrivals
+//!   non-decreasing top to bottom;
+//! * `class` — a [`RequestClass`] display name (`prefill`, `decode`,
+//!   `resnet50`, `yolov3`, `gemv`);
+//! * `client` — the client-stream index (`usize`);
+//! * `workload name` — the rest of the line, matched verbatim against
+//!   the class's default catalog ([`RequestClass::catalog`]); workload
+//!   names may contain spaces, which is why the field comes last.
+//!
+//! [`write_trace`] emits this format from a generated request trace and
+//! [`parse_trace`] reads it back; `tests/replay.rs` pins the round trip
+//! bit-for-bit (reports + event streams) and the exact rejection
+//! message for each malformed-input case.
+
+use crate::request::{Request, RequestClass};
+use axon_workloads::GemmWorkload;
+
+/// The header line every trace file must start with.
+pub const TRACE_SCHEMA: &str = "axon-trace-v1";
+
+/// One parsed line of an `axon-trace-v1` file: everything a replayed
+/// request carries except its id (ids are reassigned in file order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayEntry {
+    /// Absolute arrival cycle.
+    pub arrival: u64,
+    /// Workload family.
+    pub class: RequestClass,
+    /// The resolved workload (looked up by name in the class catalog).
+    pub workload: GemmWorkload,
+    /// Client stream.
+    pub client: usize,
+    /// Absolute completion deadline in cycles.
+    pub deadline: u64,
+}
+
+/// Serializes a request trace into the `axon-trace-v1` line format.
+///
+/// The output round-trips through [`parse_trace`]: replaying it yields
+/// a bit-identical run provided the requests were in `(arrival, id)`
+/// order with ids `0..n` (what every generator trace satisfies).
+pub fn write_trace(requests: &[Request]) -> String {
+    let mut out = String::with_capacity(32 * (requests.len() + 1));
+    out.push_str(TRACE_SCHEMA);
+    out.push('\n');
+    for r in requests {
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            r.arrival, r.class, r.client, r.deadline, r.workload.name
+        ));
+    }
+    out
+}
+
+/// Parses an `axon-trace-v1` file into replay entries.
+///
+/// # Errors
+///
+/// Returns the first violation with its 1-based line number; the exact
+/// messages are part of the format contract (pinned in
+/// `tests/replay.rs`):
+///
+/// * missing / wrong header,
+/// * `truncated line` — fewer than the five required fields,
+/// * `invalid number` — an unparsable `arrival`, `client` or `deadline`,
+/// * `unknown class` — a class token outside the catalog names,
+/// * `unknown workload` — a name absent from the class's catalog,
+/// * `non-monotone arrival` — an arrival earlier than its predecessor.
+pub fn parse_trace(text: &str) -> Result<Vec<ReplayEntry>, String> {
+    let catalogs: Vec<(RequestClass, Vec<GemmWorkload>)> = RequestClass::ALL
+        .iter()
+        .map(|&c| (c, c.catalog()))
+        .collect();
+    let mut entries: Vec<ReplayEntry> = Vec::new();
+    let mut saw_header = false;
+    let mut prev_arrival = 0u64;
+    for (i, raw) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if line != TRACE_SCHEMA {
+                return Err(format!(
+                    "line {n}: bad header `{line}` (expected `{TRACE_SCHEMA}`)"
+                ));
+            }
+            saw_header = true;
+            continue;
+        }
+        let truncated = || {
+            format!(
+                "line {n}: truncated line (want `<arrival> <class> <client> <deadline> <workload>`)"
+            )
+        };
+        let (arrival_tok, rest) = split_field(line).ok_or_else(truncated)?;
+        let (class_tok, rest) = split_field(rest).ok_or_else(truncated)?;
+        let (client_tok, rest) = split_field(rest).ok_or_else(truncated)?;
+        let (deadline_tok, name) = split_field(rest).ok_or_else(truncated)?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(truncated());
+        }
+        let arrival: u64 = arrival_tok
+            .parse()
+            .map_err(|_| format!("line {n}: invalid number `{arrival_tok}` for <arrival>"))?;
+        let client: usize = client_tok
+            .parse()
+            .map_err(|_| format!("line {n}: invalid number `{client_tok}` for <client>"))?;
+        let deadline: u64 = deadline_tok
+            .parse()
+            .map_err(|_| format!("line {n}: invalid number `{deadline_tok}` for <deadline>"))?;
+        let Some((class, catalog)) = catalogs
+            .iter()
+            .find(|(c, _)| c.to_string() == class_tok)
+            .map(|(c, cat)| (*c, cat))
+        else {
+            return Err(format!("line {n}: unknown class `{class_tok}`"));
+        };
+        let Some(workload) = catalog.iter().find(|w| w.name == name).copied() else {
+            return Err(format!(
+                "line {n}: unknown workload `{name}` for class `{class}`"
+            ));
+        };
+        if arrival < prev_arrival {
+            return Err(format!(
+                "line {n}: non-monotone arrival {arrival} after {prev_arrival}"
+            ));
+        }
+        prev_arrival = arrival;
+        entries.push(ReplayEntry {
+            arrival,
+            class,
+            workload,
+            client,
+            deadline,
+        });
+    }
+    if !saw_header {
+        return Err(format!("missing header: expected `{TRACE_SCHEMA}`"));
+    }
+    Ok(entries)
+}
+
+/// Splits one whitespace-delimited field off the front of `s`,
+/// returning `(field, rest)`; `None` if nothing is left.
+fn split_field(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    let end = s.find(char::is_whitespace).unwrap_or(s.len());
+    Some((&s[..end], &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{RequestGenerator, TrafficConfig};
+
+    #[test]
+    fn write_then_parse_preserves_every_field() {
+        let cfg = TrafficConfig::open_loop(3, 50, 400.0);
+        let trace = RequestGenerator::new(&cfg).open_loop_trace(400.0, cfg.num_clients);
+        let text = write_trace(&trace);
+        let entries = parse_trace(&text).unwrap();
+        assert_eq!(entries.len(), trace.len());
+        for (e, r) in entries.iter().zip(&trace) {
+            assert_eq!(e.arrival, r.arrival);
+            assert_eq!(e.class, r.class);
+            assert_eq!(e.workload, r.workload);
+            assert_eq!(e.client, r.client);
+            assert_eq!(e.deadline, r.deadline);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# preamble\n\naxon-trace-v1\n# body comment\n10 decode 0 500 xf_decode_qkv\n";
+        let entries = parse_trace(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].arrival, 10);
+        assert_eq!(entries[0].workload.name, "xf_decode_qkv");
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let err = parse_trace("# only comments\n").unwrap_err();
+        assert_eq!(err, "missing header: expected `axon-trace-v1`");
+        let err = parse_trace("axon-trace-v2\n").unwrap_err();
+        assert_eq!(
+            err,
+            "line 1: bad header `axon-trace-v2` (expected `axon-trace-v1`)"
+        );
+    }
+}

@@ -87,6 +87,133 @@ pub enum SchedulerPolicy {
     },
 }
 
+/// Front-door admission control: whether a request is allowed into the
+/// scheduler queue at all, or shed before it can do damage.
+///
+/// Admission is the overload half of the scheduling story (see
+/// `docs/traffic.md`): under sustained overload an accept-all queue
+/// grows without bound and *every* request eventually misses its
+/// deadline — goodput collapses. Shedding already-doomed requests keeps
+/// the queue short enough that the requests actually served still meet
+/// their SLOs.
+///
+/// The decision ([`AdmissionPolicy::review`]) is a pure function of the
+/// [`AdmissionOutlook`] snapshot, so admission preserves the
+/// pure-function-of-`(seed, config)` contract. Open-loop arrivals that
+/// fail review are shed (a terminal
+/// [`Shed`](crate::TraceEvent::Shed) lifecycle event); closed-loop
+/// arrivals are never shed — rejection becomes *backpressure*, the
+/// request re-offers every engine iteration until accepted and its
+/// deadline budget restarts at the accept cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit everything (the pre-admission behavior, and the default).
+    #[default]
+    AcceptAll,
+    /// Reject while the scheduler queue already holds `max_depth`
+    /// requests (a classic bounded listen queue).
+    QueueCap {
+        /// Maximum queued requests admitted concurrently (>= 1
+        /// enforced at review time).
+        max_depth: usize,
+    },
+    /// Reject requests that are already doomed: the optimistic finish
+    /// estimate (queued work fair-shared over the arrays, plus the
+    /// request's own solo service time) lands past the deadline.
+    DeadlineInfeasible,
+}
+
+/// Why admission control rejected a request
+/// (rides on [`TraceEvent::Shed`](crate::TraceEvent::Shed)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// [`AdmissionPolicy::QueueCap`]: the queue was at its cap.
+    QueueFull,
+    /// [`AdmissionPolicy::DeadlineInfeasible`]: the finish estimate
+    /// already missed the deadline at arrival.
+    DeadlineInfeasible,
+}
+
+impl ShedReason {
+    /// Short stable name (taxonomy key in `docs/traffic.md`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineInfeasible => "deadline_infeasible",
+        }
+    }
+}
+
+/// The deterministic system snapshot one admission review reads —
+/// everything [`AdmissionPolicy::review`] is allowed to look at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionOutlook {
+    /// Review cycle.
+    pub now: u64,
+    /// The candidate's absolute completion deadline.
+    pub deadline: u64,
+    /// Requests currently in the scheduler queue (or, at the cluster
+    /// front door, outstanding on the chosen pod).
+    pub queue_depth: usize,
+    /// Optimistic solo service estimate for the candidate, in cycles.
+    pub service_estimate: u64,
+    /// Optimistic service cycles already queued ahead of the candidate.
+    pub queued_work: u64,
+    /// Arrays (or serving slots) the queued work fair-shares over.
+    pub arrays: usize,
+}
+
+impl AdmissionOutlook {
+    /// The outlook of an empty system at `now`: nothing queued, full
+    /// fan-out. A candidate rejected even under this outlook can never
+    /// be admitted by waiting — the signal the closed-loop backpressure
+    /// path uses to admit permanently-infeasible requests instead of
+    /// stalling forever.
+    pub fn empty_system(&self) -> AdmissionOutlook {
+        AdmissionOutlook {
+            queue_depth: 0,
+            queued_work: 0,
+            ..*self
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Short stable name (sweep labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::AcceptAll => "accept-all",
+            AdmissionPolicy::QueueCap { .. } => "queue-cap",
+            AdmissionPolicy::DeadlineInfeasible => "deadline-infeasible",
+        }
+    }
+
+    /// Whether reviews under this policy read the service-estimate
+    /// fields — lets the engine skip estimate construction entirely for
+    /// [`AcceptAll`](AdmissionPolicy::AcceptAll) /
+    /// [`QueueCap`](AdmissionPolicy::QueueCap), keeping the accept-all
+    /// hot path bit-identical to the pre-admission engine.
+    pub fn needs_estimates(&self) -> bool {
+        matches!(self, AdmissionPolicy::DeadlineInfeasible)
+    }
+
+    /// Reviews one candidate: `None` admits, `Some(reason)` sheds.
+    /// Pure — same outlook, same verdict.
+    pub fn review(&self, o: &AdmissionOutlook) -> Option<ShedReason> {
+        match *self {
+            AdmissionPolicy::AcceptAll => None,
+            AdmissionPolicy::QueueCap { max_depth } => {
+                (o.queue_depth >= max_depth.max(1)).then_some(ShedReason::QueueFull)
+            }
+            AdmissionPolicy::DeadlineInfeasible => {
+                let start = o.now.saturating_add(o.queued_work / o.arrays.max(1) as u64);
+                (start.saturating_add(o.service_estimate) > o.deadline)
+                    .then_some(ShedReason::DeadlineInfeasible)
+            }
+        }
+    }
+}
+
 /// One dispatch unit: the fused requests and the GEMM actually executed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch {

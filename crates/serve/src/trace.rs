@@ -53,6 +53,7 @@
 //! ```
 
 use crate::request::RequestClass;
+use crate::scheduler::ShedReason;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -261,6 +262,21 @@ pub enum TraceEvent {
     Completed(RequestOutcome),
     /// A request completed past its deadline (terminal).
     DeadlineMissed(RequestOutcome),
+    /// Admission control rejected a request (terminal): it never
+    /// entered a scheduler queue and was never served. See
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy).
+    Shed {
+        /// Request id.
+        id: usize,
+        /// Client stream.
+        client: usize,
+        /// Workload family.
+        class: RequestClass,
+        /// Rejection cycle.
+        cycle: u64,
+        /// Why admission rejected it.
+        reason: ShedReason,
+    },
 }
 
 impl TraceEvent {
@@ -282,7 +298,8 @@ impl TraceEvent {
             | TraceEvent::Rerouted { cycle, .. }
             | TraceEvent::ScaleUp { cycle, .. }
             | TraceEvent::ScaleDown { cycle, .. }
-            | TraceEvent::PodFailed { cycle, .. } => *cycle,
+            | TraceEvent::PodFailed { cycle, .. }
+            | TraceEvent::Shed { cycle, .. } => *cycle,
             TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) => o.completion,
         }
     }
@@ -309,15 +326,17 @@ impl TraceEvent {
             TraceEvent::PodFailed { .. } => "pod_failed",
             TraceEvent::Completed(_) => "completed",
             TraceEvent::DeadlineMissed(_) => "deadline_missed",
+            TraceEvent::Shed { .. } => "shed",
         }
     }
 
     /// Whether this is a terminal lifecycle event (exactly one per
-    /// completed request — the conservation law).
+    /// arrived request — the conservation law: arrivals = completions +
+    /// deadline-missed + shed).
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            TraceEvent::Completed(_) | TraceEvent::DeadlineMissed(_)
+            TraceEvent::Completed(_) | TraceEvent::DeadlineMissed(_) | TraceEvent::Shed { .. }
         )
     }
 }
@@ -563,6 +582,11 @@ pub struct SimProfile {
     pub retime_jobs_touched: u64,
     /// Dispatches observed.
     pub dispatches: u64,
+    /// Requests admitted into a scheduler queue
+    /// ([`TraceEvent::Enqueued`]).
+    pub admitted: u64,
+    /// Requests shed by admission control ([`TraceEvent::Shed`]).
+    pub shed: u64,
     /// Dispatch-plan cache hits ([`TraceSink::planner_stats`]).
     pub plan_cache_hits: u64,
     /// Dispatch-plan cache misses (cold planner passes).
@@ -581,6 +605,8 @@ impl SimProfile {
             retime_passes: 0,
             retime_jobs_touched: 0,
             dispatches: 0,
+            admitted: 0,
+            shed: 0,
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_grids_scored: 0,
@@ -601,6 +627,8 @@ impl SimProfile {
             },
             events: self.events,
             dispatches: self.dispatches,
+            requests_admitted: self.admitted,
+            requests_shed: self.shed,
             retime_passes: self.retime_passes,
             retime_jobs_touched: self.retime_jobs_touched,
             mean_jobs_per_retime: if self.retime_passes == 0 {
@@ -630,6 +658,8 @@ impl TraceSink for SimProfile {
                 self.retime_jobs_touched += jobs as u64;
             }
             TraceEvent::Dispatched { .. } => self.dispatches += 1,
+            TraceEvent::Enqueued { .. } => self.admitted += 1,
+            TraceEvent::Shed { .. } => self.shed += 1,
             TraceEvent::Completed(_) | TraceEvent::DeadlineMissed(_) => self.completed += 1,
             _ => {}
         }
@@ -656,6 +686,10 @@ pub struct ProfileReport {
     pub events: u64,
     /// Dispatches issued.
     pub dispatches: u64,
+    /// Requests admitted into a scheduler queue.
+    pub requests_admitted: u64,
+    /// Requests shed by admission control.
+    pub requests_shed: u64,
     /// Retime passes run by the shared-memory model.
     pub retime_passes: u64,
     /// Total running jobs touched across all retime passes.
@@ -674,16 +708,20 @@ pub struct ProfileReport {
 /// Checks the lifecycle-conservation laws over a recorded event stream:
 ///
 /// * every request with an [`Arrived`](TraceEvent::Arrived) event has
-///   exactly one `Arrived`, exactly one
-///   [`Enqueued`](TraceEvent::Enqueued) and exactly one terminal event
-///   ([`Completed`](TraceEvent::Completed) /
-///   [`DeadlineMissed`](TraceEvent::DeadlineMissed));
+///   exactly one `Arrived` and exactly one terminal event — arrivals =
+///   [`Completed`](TraceEvent::Completed) +
+///   [`DeadlineMissed`](TraceEvent::DeadlineMissed) +
+///   [`Shed`](TraceEvent::Shed);
+/// * a served request (terminal `Completed` / `DeadlineMissed`) was
+///   [`Enqueued`](TraceEvent::Enqueued) exactly once; a
+///   [`Shed`](TraceEvent::Shed) request was *never* enqueued (admission
+///   rejects at the front door);
 /// * every [`Rerouted`](TraceEvent::Rerouted) request still reaches a
 ///   terminal event (at its rescue pod);
 /// * per job, [`Preempted`](TraceEvent::Preempted) /
 ///   [`CheckpointDrained`](TraceEvent::CheckpointDrained) /
 ///   [`Resumed`](TraceEvent::Resumed) counts balance exactly;
-/// * every terminal event's job was actually
+/// * every served terminal event's job was actually
 ///   [`Dispatched`](TraceEvent::Dispatched).
 ///
 /// # Errors
@@ -693,6 +731,7 @@ pub fn check_conservation(events: &[(usize, TraceEvent)]) -> Result<(), String> 
     let mut arrived: BTreeMap<usize, u64> = BTreeMap::new();
     let mut enqueued: BTreeMap<usize, u64> = BTreeMap::new();
     let mut terminal: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut shed: BTreeMap<usize, u64> = BTreeMap::new();
     let mut rerouted: BTreeSet<usize> = BTreeSet::new();
     // (pod, seq) -> (preempted, drained, resumed)
     let mut jobs: BTreeMap<(usize, usize), (u64, u64, u64)> = BTreeMap::new();
@@ -718,6 +757,10 @@ pub fn check_conservation(events: &[(usize, TraceEvent)]) -> Result<(), String> 
                 *terminal.entry(o.id).or_insert(0) += 1;
                 terminal_seqs.insert((*pod, o.seq));
             }
+            TraceEvent::Shed { id, .. } => {
+                *terminal.entry(*id).or_insert(0) += 1;
+                *shed.entry(*id).or_insert(0) += 1;
+            }
             _ => {}
         }
     }
@@ -726,7 +769,12 @@ pub fn check_conservation(events: &[(usize, TraceEvent)]) -> Result<(), String> 
         if n != 1 {
             return Err(format!("request {id}: {n} Arrived events (want 1)"));
         }
-        if enqueued.get(&id).copied().unwrap_or(0) != 1 {
+        let enq = enqueued.get(&id).copied().unwrap_or(0);
+        if shed.get(&id).copied().unwrap_or(0) > 0 {
+            if enq != 0 {
+                return Err(format!("request {id}: Shed but also Enqueued"));
+            }
+        } else if enq != 1 {
             return Err(format!(
                 "request {id}: Arrived but not Enqueued exactly once"
             ));
@@ -996,6 +1044,19 @@ pub fn chrome_trace_json(events: &[(usize, TraceEvent)], clock_mhz: f64) -> Stri
                     o.id,
                     o.id,
                     ts(o.completion)
+                ));
+            }
+            TraceEvent::Shed {
+                id, cycle, reason, ..
+            } => {
+                parts.push(format!(
+                    r#"{{"name":"shed req {id} ({})","cat":"admission","ph":"i","s":"p","pid":{p},"ts":{:.3}}}"#,
+                    reason.name(),
+                    ts(*cycle)
+                ));
+                parts.push(format!(
+                    r#"{{"name":"req {id}","cat":"request","ph":"e","id":{id},"pid":{p},"ts":{:.3}}}"#,
+                    ts(*cycle)
                 ));
             }
             _ => {}

@@ -1,0 +1,258 @@
+//! Statistical pinning of the trace-driven arrival models.
+//!
+//! Every generative model reduces to the piecewise-constant-rate engine
+//! in `generator.rs`, which reports the realized [`RateWindow`]s next
+//! to the trace it drew. These tests check the *distributional*
+//! contract that differential tests cannot: inside each window the
+//! empirical rate matches the configured rate, a diurnal curve's
+//! per-segment volume matches its integral, and a flash crowd's burst
+//! mass lands inside the spike window. Seeds are fixed, so the
+//! tolerances are deterministic assertions, not flaky confidence
+//! intervals — they are sized at several Poisson standard deviations
+//! so a same-family reseed would pass too.
+
+use axon_serve::{
+    ArrivalProcess, MmppState, RateSegment, RateWindow, RequestGenerator, SloBudgets, SpikeWindow,
+    TrafficConfig,
+};
+
+/// A traffic config for `arrival` with everything else fixed.
+fn traffic(seed: u64, requests: usize, arrival: ArrivalProcess) -> TrafficConfig {
+    TrafficConfig {
+        arrival,
+        ..TrafficConfig::open_loop(seed, requests, 1_000.0)
+    }
+    .with_clients(4)
+}
+
+/// Draws the trace and realized windows for `arrival`.
+fn draw(
+    seed: u64,
+    requests: usize,
+    arrival: ArrivalProcess,
+) -> (Vec<axon_serve::Request>, Vec<RateWindow>) {
+    let cfg = traffic(seed, requests, arrival);
+    RequestGenerator::new(&cfg)
+        .arrival_trace_with_windows(&cfg.arrival, cfg.num_clients)
+        .expect("trace-driven model")
+}
+
+/// Arrivals inside `[start, end)` of `window`.
+fn count_in(trace: &[axon_serve::Request], w: &RateWindow) -> usize {
+    trace
+        .iter()
+        .filter(|r| w.start <= r.arrival && r.arrival < w.end)
+        .count()
+}
+
+#[test]
+fn mmpp_empirical_rate_matches_each_state() {
+    // Two states an order of magnitude apart: the empirical mean gap
+    // aggregated over every window a state realized must recover that
+    // state's configured mean.
+    let states = vec![
+        MmppState {
+            mean_interarrival: 50.0,
+            mean_dwell: 60_000.0,
+        },
+        MmppState {
+            mean_interarrival: 2_000.0,
+            mean_dwell: 120_000.0,
+        },
+    ];
+    let (trace, windows) = draw(
+        4242,
+        8_000,
+        ArrivalProcess::MarkovModulatedPoisson {
+            states: states.clone(),
+        },
+    );
+    assert_eq!(trace.len(), 8_000);
+    assert!(windows.len() >= 4, "expected several dwells: {windows:?}");
+    for s in &states {
+        let mine: Vec<&RateWindow> = windows
+            .iter()
+            .filter(|w| w.mean_interarrival == s.mean_interarrival)
+            .collect();
+        assert!(!mine.is_empty(), "state {s:?} never realized a window");
+        let span: u64 = mine.iter().map(|w| w.end - w.start).sum();
+        let arrivals: usize = mine.iter().map(|w| count_in(&trace, w)).sum();
+        assert!(arrivals > 30, "state {s:?} too thin to test: {arrivals}");
+        let empirical = span as f64 / arrivals as f64;
+        let rel = (empirical - s.mean_interarrival).abs() / s.mean_interarrival;
+        // Poisson relative sd is 1/sqrt(n); 30+ arrivals at worst gives
+        // sd < 0.19, and the dense state has thousands.
+        assert!(
+            rel < 0.25,
+            "state mean {} recovered as {empirical:.1} over {arrivals} arrivals ({span} cycles)",
+            s.mean_interarrival
+        );
+    }
+}
+
+#[test]
+fn diurnal_volume_matches_the_curve_integral() {
+    // Each fully elapsed window must carry ~duration/mean arrivals —
+    // the discrete integral of the rate curve over that segment.
+    let segments = vec![
+        RateSegment {
+            duration: 200_000,
+            mean_interarrival: 100.0,
+        },
+        RateSegment {
+            duration: 400_000,
+            mean_interarrival: 400.0,
+        },
+        RateSegment {
+            duration: 100_000,
+            mean_interarrival: 50.0,
+        },
+    ];
+    let (trace, windows) = draw(
+        99,
+        20_000,
+        ArrivalProcess::Diurnal {
+            segments: segments.clone(),
+        },
+    );
+    // The last window is truncated at budget exhaustion; every earlier
+    // one spans its full configured duration.
+    assert!(windows.len() >= 4, "budget should outlast one full cycle");
+    let mut checked = 0;
+    for w in &windows[..windows.len() - 1] {
+        let expected = (w.end - w.start) as f64 / w.mean_interarrival;
+        let got = count_in(&trace, w) as f64;
+        let sigma = expected.sqrt();
+        assert!(
+            (got - expected).abs() < 6.0 * sigma,
+            "window {w:?}: {got} arrivals, integral predicts {expected:.0} (sigma {sigma:.1})"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "should check at least one full cycle");
+    // Windows tile the timeline back to back in segment order.
+    for pair in windows.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start, "windows must tile: {pair:?}");
+    }
+}
+
+#[test]
+fn flash_crowd_mass_concentrates_in_the_spike() {
+    let spike = SpikeWindow {
+        start: 150_000,
+        duration: 60_000,
+        mean_interarrival: 50.0,
+    };
+    let (trace, _) = draw(
+        7,
+        4_000,
+        ArrivalProcess::FlashCrowd {
+            base_interarrival: 5_000.0,
+            spikes: vec![spike],
+        },
+    );
+    let in_spike = trace
+        .iter()
+        .filter(|r| spike.start <= r.arrival && r.arrival < spike.start + spike.duration)
+        .count();
+    // An equal-length window of pure baseline immediately before.
+    let before = trace
+        .iter()
+        .filter(|r| spike.start - spike.duration <= r.arrival && r.arrival < spike.start)
+        .count();
+    let expected = spike.duration as f64 / spike.mean_interarrival;
+    assert!(
+        (in_spike as f64 - expected).abs() < 6.0 * expected.sqrt(),
+        "spike carried {in_spike} arrivals, expected ~{expected:.0}"
+    );
+    assert!(
+        in_spike > 20 * before.max(1),
+        "burst mass must dwarf the baseline: {in_spike} in-spike vs {before} before"
+    );
+}
+
+type ModelCase = (&'static str, Box<dyn Fn() -> ArrivalProcess>);
+
+#[test]
+fn trace_driven_models_are_deterministic_and_ordered() {
+    let models: Vec<ModelCase> = vec![
+        (
+            "open-loop",
+            Box::new(|| ArrivalProcess::OpenLoop {
+                mean_interarrival: 300.0,
+            }),
+        ),
+        (
+            "mmpp",
+            Box::new(|| ArrivalProcess::MarkovModulatedPoisson {
+                states: vec![
+                    MmppState {
+                        mean_interarrival: 80.0,
+                        mean_dwell: 10_000.0,
+                    },
+                    MmppState {
+                        mean_interarrival: 900.0,
+                        mean_dwell: 30_000.0,
+                    },
+                ],
+            }),
+        ),
+        (
+            "diurnal",
+            Box::new(|| ArrivalProcess::Diurnal {
+                segments: vec![
+                    RateSegment {
+                        duration: 20_000,
+                        mean_interarrival: 150.0,
+                    },
+                    RateSegment {
+                        duration: 20_000,
+                        mean_interarrival: 1_500.0,
+                    },
+                ],
+            }),
+        ),
+        (
+            "flash-crowd",
+            Box::new(|| ArrivalProcess::FlashCrowd {
+                base_interarrival: 1_200.0,
+                spikes: vec![SpikeWindow {
+                    start: 8_000,
+                    duration: 6_000,
+                    mean_interarrival: 60.0,
+                }],
+            }),
+        ),
+    ];
+    let slo = SloBudgets::serving_default();
+    for (label, make) in models {
+        let (a, wa) = draw(31, 500, make());
+        let (b, wb) = draw(31, 500, make());
+        assert_eq!(a, b, "{label}: same seed must be bit-identical");
+        assert_eq!(wa, wb, "{label}: windows must be bit-identical too");
+        let (c, _) = draw(32, 500, make());
+        assert_ne!(a, c, "{label}: a reseed must move the trace");
+
+        assert_eq!(a.len(), 500, "{label}: full budget drawn");
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i, "{label}: ids are issue-order");
+            assert!(r.client < 4, "{label}: client in range");
+            assert_eq!(
+                r.deadline,
+                r.arrival + slo.budget(r.class),
+                "{label}: deadline is arrival + class budget"
+            );
+        }
+        // Nondecreasing arrivals + sequential ids = the trace is already
+        // in the exact `(arrival, id)` order the pod's calendar queue
+        // consumes, so simulation order is pinned by construction.
+        for (i, w) in a.windows(2).enumerate() {
+            assert!(
+                (w[0].arrival, w[0].id) < (w[1].arrival, w[1].id),
+                "{label}: order violated at {i}: {:?} then {:?}",
+                (w[0].arrival, w[0].id),
+                (w[1].arrival, w[1].id)
+            );
+        }
+    }
+}

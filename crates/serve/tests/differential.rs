@@ -19,10 +19,11 @@ use axon_serve::reference::{
     simulate_pod_reference, simulate_pod_reference_traced, simulate_pod_trace_reference_traced,
 };
 use axon_serve::{
-    simulate_cluster_traced, simulate_pod, simulate_pod_trace_traced, simulate_pod_traced,
-    ArrivalProcess, ClusterConfig, ClusterPodConfig, MemoryModel, PodConfig, PreemptionMode,
-    RecordingSink, Request, RequestGenerator, RouterPolicy, SchedulerPolicy, ShardPlanner,
-    TraceEvent, TrafficConfig, WorkloadMix,
+    parse_trace, simulate_cluster_traced, simulate_pod, simulate_pod_trace_traced,
+    simulate_pod_traced, write_trace, ArrivalProcess, ClusterConfig, ClusterPodConfig, MemoryModel,
+    MmppState, PodConfig, PreemptionMode, RateSegment, RecordingSink, Request, RequestGenerator,
+    RouterPolicy, SchedulerPolicy, ShardPlanner, SpikeWindow, TraceEvent, TrafficConfig,
+    WorkloadMix,
 };
 use proptest::prelude::*;
 
@@ -261,6 +262,88 @@ fn bursty_and_zero_think_arrivals_match_reference() {
     assert_pod_identical(&pod, &zero_think, "closed-loop zero think");
     let burst = matrix_traffic(911, 80, 10.0);
     assert_pod_identical(&pod, &burst, "dense arrival burst");
+}
+
+/// Every new trace-driven arrival model — MMPP bursts, a diurnal rate
+/// curve, a flash crowd, and a replayed trace file — runs through the
+/// same generation path the frozen reference dispatches to, so the
+/// engines stay bit-for-bit comparable on bursty and overloaded
+/// streams too (admission stays accept-all: the reference predates
+/// admission control, and generation — not admission — is what these
+/// models change).
+#[test]
+fn trace_driven_arrival_models_match_reference() {
+    let pod = matrix_pod(
+        SchedulerPolicy::Continuous { max_batch: 4 },
+        MemoryModel::Shared { channels: 2 },
+        PreemptionMode::TileBoundary,
+    );
+    let replay_entries = {
+        // Round-trip a generated trace through the on-disk format so
+        // the replayed stream is exactly what a file would carry.
+        let mut gen = RequestGenerator::new(&matrix_traffic(1807, 50, 120.0));
+        parse_trace(&write_trace(&gen.open_loop_trace(120.0, 4))).expect("own format parses")
+    };
+    let cases: Vec<(&str, ArrivalProcess)> = vec![
+        (
+            "mmpp burst/lull",
+            ArrivalProcess::MarkovModulatedPoisson {
+                states: vec![
+                    MmppState {
+                        mean_interarrival: 60.0,
+                        mean_dwell: 8_000.0,
+                    },
+                    MmppState {
+                        mean_interarrival: 1_200.0,
+                        mean_dwell: 20_000.0,
+                    },
+                ],
+            },
+        ),
+        (
+            "diurnal ramp",
+            ArrivalProcess::Diurnal {
+                segments: vec![
+                    RateSegment {
+                        duration: 15_000,
+                        mean_interarrival: 900.0,
+                    },
+                    RateSegment {
+                        duration: 15_000,
+                        mean_interarrival: 150.0,
+                    },
+                    RateSegment {
+                        duration: 15_000,
+                        mean_interarrival: 2_000.0,
+                    },
+                ],
+            },
+        ),
+        (
+            "flash crowd",
+            ArrivalProcess::FlashCrowd {
+                base_interarrival: 1_000.0,
+                spikes: vec![SpikeWindow {
+                    start: 10_000,
+                    duration: 8_000,
+                    mean_interarrival: 50.0,
+                }],
+            },
+        ),
+        (
+            "trace replay",
+            ArrivalProcess::TraceReplay {
+                entries: replay_entries,
+            },
+        ),
+    ];
+    for (label, arrival) in cases {
+        let traffic = TrafficConfig {
+            arrival,
+            ..matrix_traffic(1807, 60, 300.0)
+        };
+        assert_pod_identical(&pod, &traffic, label);
+    }
 }
 
 /// Multi-pod cluster replay with the fleet-wide shared `ModelCache`

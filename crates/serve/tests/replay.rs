@@ -1,0 +1,161 @@
+//! The `axon-trace-v1` format contract, pinned end to end.
+//!
+//! Round trip: a generated arrival trace, serialized with
+//! [`write_trace`] and parsed back with [`parse_trace`], must drive a
+//! **bit-identical** run — same [`ServingReport`], same recorded event
+//! stream — as simulating the generated trace directly. And the
+//! rejection table pins the *exact* error message for every malformed
+//! input the parser documents, so the format's failure modes are API,
+//! not incidental strings.
+
+use axon_core::runtime::Architecture;
+use axon_serve::{
+    parse_trace, simulate_pod_traced, write_trace, ArrivalProcess, MemoryModel, MmppState,
+    PodConfig, RecordingSink, RequestGenerator, SchedulerPolicy, TraceEvent, TrafficConfig,
+    WorkloadMix, TRACE_SCHEMA,
+};
+
+fn replay_pod() -> PodConfig {
+    PodConfig::homogeneous(4, Architecture::Axon, 64)
+        .with_scheduler(SchedulerPolicy::Edf { max_batch: 4 })
+        .with_memory(MemoryModel::Shared { channels: 2 })
+}
+
+/// Round trip on a bursty source: generate -> serialize -> parse ->
+/// replay, asserting the replayed run is bit-identical to the
+/// generated one.
+#[test]
+fn replayed_file_drives_a_bit_identical_run() {
+    let source = TrafficConfig {
+        arrival: ArrivalProcess::MarkovModulatedPoisson {
+            states: vec![
+                MmppState {
+                    mean_interarrival: 90.0,
+                    mean_dwell: 12_000.0,
+                },
+                MmppState {
+                    mean_interarrival: 1_100.0,
+                    mean_dwell: 25_000.0,
+                },
+            ],
+        },
+        ..TrafficConfig::open_loop(613, 80, 300.0)
+    }
+    .with_mix(WorkloadMix::balanced())
+    .with_clients(4);
+    let pod = replay_pod();
+
+    let mut direct_sink = RecordingSink::default();
+    let direct = simulate_pod_traced(&pod, &source, &mut direct_sink);
+
+    // Serialize the same trace the direct run consumed.
+    let trace = RequestGenerator::new(&source)
+        .arrival_trace(&source.arrival, source.num_clients)
+        .expect("trace-driven");
+    let text = write_trace(&trace);
+    assert!(text.starts_with(TRACE_SCHEMA), "file carries the header");
+    let entries = parse_trace(&text).expect("own output parses");
+    assert_eq!(entries.len(), trace.len());
+
+    // Replay it. `num_clients` is pinned to the source's so the two
+    // configs describe the same client population even if a tail
+    // client drew no requests.
+    let replay = TrafficConfig {
+        num_clients: source.num_clients,
+        ..TrafficConfig::trace_replay(613, entries)
+    };
+    let mut replay_sink = RecordingSink::default();
+    let replayed = simulate_pod_traced(&pod, &replay, &mut replay_sink);
+
+    assert_eq!(direct, replayed, "reports diverged across the round trip");
+    assert_eq!(
+        direct_sink.events, replay_sink.events,
+        "event streams diverged across the round trip"
+    );
+    // Sanity: the run did real work.
+    assert_eq!(direct.metrics.completed, 80);
+    assert!(direct_sink
+        .events
+        .iter()
+        .any(|(_, e)| matches!(e, TraceEvent::Completed { .. })));
+}
+
+/// A replayed file is self-describing: volume and client count come
+/// from the entries.
+#[test]
+fn replay_config_is_inferred_from_the_file() {
+    let text =
+        format!("{TRACE_SCHEMA}\n10 decode 0 500 xf_decode_qkv\n20 decode 2 900 xf_decode_qkv\n");
+    let entries = parse_trace(&text).unwrap();
+    let cfg = TrafficConfig::trace_replay(1, entries);
+    assert_eq!(cfg.num_requests, 2);
+    assert_eq!(cfg.num_clients, 3, "max client index + 1");
+}
+
+/// The rejection table: one malformed file per documented failure
+/// mode, each pinned to its exact error message.
+#[test]
+fn malformed_files_are_rejected_with_exact_messages() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "wrong header",
+            "axon-trace-v2\n10 decode 0 500 xf_decode_qkv\n",
+            "line 1: bad header `axon-trace-v2` (expected `axon-trace-v1`)",
+        ),
+        (
+            "missing header",
+            "# nothing but comments\n\n",
+            "missing header: expected `axon-trace-v1`",
+        ),
+        (
+            "truncated line",
+            "axon-trace-v1\n10 decode 0 500\n",
+            "line 2: truncated line (want `<arrival> <class> <client> <deadline> <workload>`)",
+        ),
+        (
+            "missing workload name",
+            "axon-trace-v1\n10 decode 0 500   \n",
+            "line 2: truncated line (want `<arrival> <class> <client> <deadline> <workload>`)",
+        ),
+        (
+            "bad arrival",
+            "axon-trace-v1\nten decode 0 500 xf_decode_qkv\n",
+            "line 2: invalid number `ten` for <arrival>",
+        ),
+        (
+            "bad client",
+            "axon-trace-v1\n10 decode -1 500 xf_decode_qkv\n",
+            "line 2: invalid number `-1` for <client>",
+        ),
+        (
+            "bad deadline",
+            "axon-trace-v1\n10 decode 0 5.5 xf_decode_qkv\n",
+            "line 2: invalid number `5.5` for <deadline>",
+        ),
+        (
+            "unknown class",
+            "axon-trace-v1\n10 embedding 0 500 xf_decode_qkv\n",
+            "line 2: unknown class `embedding`",
+        ),
+        (
+            "unknown workload",
+            "axon-trace-v1\n10 decode 0 500 xf_decode_qkv_v2\n",
+            "line 2: unknown workload `xf_decode_qkv_v2` for class `decode`",
+        ),
+        (
+            "non-monotone arrival",
+            "axon-trace-v1\n20 decode 0 500 xf_decode_qkv\n10 decode 0 500 xf_decode_qkv\n",
+            "line 3: non-monotone arrival 10 after 20",
+        ),
+    ];
+    for (label, text, want) in cases {
+        let got = parse_trace(text).expect_err(label);
+        assert_eq!(&got, want, "{label}: message drifted");
+    }
+    // Line numbers count raw lines, comments and blanks included.
+    let text = format!("# c\n\n{TRACE_SCHEMA}\n# c\n10 decode 0 500 nope\n");
+    assert_eq!(
+        parse_trace(&text).unwrap_err(),
+        "line 5: unknown workload `nope` for class `decode`"
+    );
+}

@@ -8,9 +8,10 @@
 use axon_core::runtime::Architecture;
 use axon_serve::{
     check_conservation, simulate_cluster, simulate_cluster_traced, simulate_pod,
-    simulate_pod_traced, AggregatingSink, AutoscaleConfig, ClusterConfig, ClusterPodConfig,
-    MemoryModel, PodConfig, PreemptionMode, RecordingSink, RequestClass, RouterPolicy,
-    SchedulerPolicy, ShardPlanner, SloBudgets, TraceEvent, TrafficConfig, WorkloadMix,
+    simulate_pod_traced, AdmissionPolicy, AggregatingSink, AutoscaleConfig, ClusterConfig,
+    ClusterPodConfig, MemoryModel, PodConfig, PreemptionMode, RecordingSink, RequestClass,
+    RouterPolicy, SchedulerPolicy, ShardPlanner, SloBudgets, TraceEvent, TrafficConfig,
+    WorkloadMix,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -334,6 +335,211 @@ fn sharding_events_match_the_planner_counters() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Shed conservation: with admission control in the path the law
+// becomes arrivals = completions + deadline-missed + shed, and a shed
+// request must be terminal-only (Arrived, never Enqueued).
+// ---------------------------------------------------------------------
+
+#[test]
+fn shed_conservation_holds_per_scheduler_under_overload() {
+    for admission in [
+        AdmissionPolicy::QueueCap { max_depth: 4 },
+        AdmissionPolicy::DeadlineInfeasible,
+    ] {
+        for scheduler in all_schedulers() {
+            // One small array under a dense open-loop stream: far past
+            // saturation, so both policies must actually shed.
+            let pod = PodConfig::homogeneous(1, Architecture::Axon, 32)
+                .with_scheduler(scheduler)
+                .with_admission(admission);
+            let traffic = mixed_traffic(17, 120, 40.0);
+            let untraced = simulate_pod(&pod, &traffic);
+            let mut rec = RecordingSink::default();
+            let r = simulate_pod_traced(&pod, &traffic, &mut rec);
+            assert_eq!(
+                r, untraced,
+                "{admission:?}/{scheduler:?}: sink changed the run"
+            );
+            check_conservation(&rec.events)
+                .unwrap_or_else(|e| panic!("{admission:?}/{scheduler:?}: {e}"));
+
+            assert_eq!(
+                r.metrics.completed + r.metrics.shed,
+                traffic.num_requests,
+                "{admission:?}/{scheduler:?}: arrivals must split into served + shed"
+            );
+            assert!(
+                r.metrics.shed > 0,
+                "{admission:?}/{scheduler:?}: overload scenario must shed"
+            );
+            assert_eq!(
+                r.shed.len(),
+                r.metrics.shed,
+                "{admission:?}/{scheduler:?}: one ShedRecord per shed"
+            );
+            let shed_events = rec
+                .events
+                .iter()
+                .filter(|(_, e)| matches!(e, TraceEvent::Shed { .. }))
+                .count();
+            assert_eq!(
+                shed_events, r.metrics.shed,
+                "{admission:?}/{scheduler:?}: one Shed event per shed"
+            );
+            // A shed request arrives but is never enqueued.
+            for (_, e) in &rec.events {
+                if let TraceEvent::Shed { id, .. } = e {
+                    assert!(
+                        !rec.events.iter().any(
+                            |(_, e2)| matches!(e2, TraceEvent::Enqueued { id: id2, .. } if id2 == id)
+                        ),
+                        "{admission:?}/{scheduler:?}: shed request {id} was enqueued"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_front_door_sheds_conserve_per_router() {
+    // Two small pods under a stream they cannot absorb: the router's
+    // front door (deadline-infeasible at the booked slot) must shed,
+    // and a router-shed request is never routed, booked, or enqueued.
+    let traffic = mixed_traffic(29, 180, 60.0);
+    for router in RouterPolicy::ALL {
+        let cluster = ClusterConfig::new(
+            vec![
+                ClusterPodConfig::new(PodConfig::homogeneous(1, Architecture::Axon, 32)),
+                ClusterPodConfig::new(PodConfig::homogeneous(1, Architecture::Axon, 32)),
+            ],
+            router,
+        )
+        .with_admission(AdmissionPolicy::DeadlineInfeasible);
+        let untraced = simulate_cluster(&cluster, &traffic);
+        let mut rec = RecordingSink::default();
+        let m = simulate_cluster_traced(&cluster, &traffic, &mut rec).metrics;
+        assert_eq!(
+            m,
+            untraced.metrics,
+            "{}: sink changed the run",
+            router.name()
+        );
+        check_conservation(&rec.events).unwrap_or_else(|e| panic!("{}: {e}", router.name()));
+
+        assert_eq!(
+            m.completed + m.shed,
+            traffic.num_requests,
+            "{}: fleet-wide served + shed must cover every arrival",
+            router.name()
+        );
+        assert!(m.shed > 0, "{}: overloaded fleet must shed", router.name());
+        let count =
+            |pred: &dyn Fn(&TraceEvent) -> bool| rec.events.iter().filter(|(_, e)| pred(e)).count();
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::Shed { .. })),
+            m.shed,
+            "{}: one Shed event per shed",
+            router.name()
+        );
+        // Router sheds happen instead of routing: Routed + Shed
+        // partition the arrival stream (pods are accept-all here).
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::Routed { .. })) + m.shed,
+            traffic.num_requests,
+            "{}: Routed and Shed must partition arrivals",
+            router.name()
+        );
+    }
+}
+
+#[test]
+fn shed_conservation_survives_a_pod_failure() {
+    // The failure scenario with a queue-cap front door: sheds recorded
+    // before the failure survive truncation, refugees re-admitted at
+    // rescue pods can shed again, and the fleet ledger still balances.
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 32);
+    let cluster = ClusterConfig::new(
+        vec![
+            ClusterPodConfig::new(pod.clone()),
+            ClusterPodConfig::new(pod.clone()).with_fail_at(300_000),
+            ClusterPodConfig::new(pod),
+        ],
+        RouterPolicy::JoinShortestQueue,
+    )
+    .with_admission(AdmissionPolicy::QueueCap { max_depth: 3 });
+    let traffic = mixed_traffic(3, 200, 80.0);
+    let untraced = simulate_cluster(&cluster, &traffic);
+    let mut rec = RecordingSink::default();
+    let m = simulate_cluster_traced(&cluster, &traffic, &mut rec).metrics;
+    assert_eq!(m, untraced.metrics, "failure-path tracing changed the run");
+    check_conservation(&rec.events).expect("conservation across failure + shedding");
+
+    assert!(m.failed_pods >= 1, "scenario must kill a pod");
+    assert!(m.shed > 0, "scenario must shed");
+    assert_eq!(
+        m.completed + m.shed,
+        traffic.num_requests,
+        "served + shed must cover every arrival even across a failure"
+    );
+    // Sheds are terminal: a shed id must never also complete or reroute
+    // to a completion.
+    let shed_ids: Vec<usize> = rec
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::Shed { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shed_ids.len(), m.shed, "one Shed event per shed");
+    for id in &shed_ids {
+        assert!(
+            !rec.events.iter().any(|(_, e)| matches!(
+                e,
+                TraceEvent::Completed(o) | TraceEvent::DeadlineMissed(o) if o.id == *id
+            )),
+            "shed request {id} also reached a served terminal"
+        );
+    }
+}
+
+#[test]
+fn queue_cap_backpressures_closed_loop_clients_instead_of_shedding() {
+    // Closed-loop clients cannot be shed — a rejected offer blocks the
+    // client, whose request is re-offered before new arrivals. The
+    // visible effects: zero Shed events, every request still completes,
+    // and the queue depth never exceeds the cap.
+    let cap = 4;
+    let pod = PodConfig::homogeneous(2, Architecture::Axon, 32)
+        .with_scheduler(SchedulerPolicy::Edf { max_batch: 8 })
+        .with_admission(AdmissionPolicy::QueueCap { max_depth: cap });
+    let traffic = TrafficConfig::closed_loop(47, 200, 12, 500);
+    let untraced = simulate_pod(&pod, &traffic);
+    let mut agg = AggregatingSink::default();
+    let r = simulate_pod_traced(&pod, &traffic, &mut agg);
+    assert_eq!(r, untraced, "sink changed the closed-loop run");
+
+    assert_eq!(r.metrics.shed, 0, "closed-loop never sheds");
+    assert_eq!(agg.event_counts.get("shed").copied().unwrap_or(0), 0);
+    assert_eq!(
+        r.metrics.completed, 200,
+        "backpressure must not lose requests"
+    );
+    assert!(
+        agg.max_queue_depth() <= cap as u64,
+        "queue depth {} exceeded the admission cap {cap}",
+        agg.max_queue_depth()
+    );
+    // The cap binds: 12 always-on clients against a depth-4 door.
+    assert_eq!(
+        agg.max_queue_depth(),
+        cap as u64,
+        "the cap should be reached"
+    );
 }
 
 // ---------------------------------------------------------------------
